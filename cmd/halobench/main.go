@@ -1,0 +1,103 @@
+// Command halobench regenerates the tables and figures of the HALOTIS
+// paper's evaluation section (DATE 2001).
+//
+// Usage:
+//
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2] [-fast]
+//
+// -fast uses a coarser analog integration step for Table 2 (the shape of
+// the comparison — orders of magnitude — is unaffected).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"halotis/internal/cellib"
+	"halotis/internal/paper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve")
+	fast := flag.Bool("fast", false, "coarser analog step for table2")
+	flag.Parse()
+
+	lib := cellib.Default06()
+	run := func(name string) error {
+		switch name {
+		case "fig1":
+			r, err := paper.Fig1(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "fig3":
+			r, err := paper.Fig3(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "fig5":
+			r, err := paper.Fig5(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "fig6":
+			r, err := paper.Fig6(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "fig7":
+			r, err := paper.Fig7(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "table1":
+			r, err := paper.Table1(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "table2":
+			cfg := paper.Table2Config{}
+			if *fast {
+				cfg.AnalogDt = 0.005
+			}
+			r, err := paper.Table2(lib, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "power":
+			r, err := paper.PowerExperiment(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		case "ddmcurve":
+			r, err := paper.DDMCurve(lib)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Text)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig1", "fig3", "fig5", "fig6", "fig7", "table1", "table2", "power", "ddmcurve"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "halobench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command halochar characterizes library cells against the analog reference
+// engine and prints the fitted IDDM coefficients (eq. 1-3 of the paper),
+// the way the authors fitted against HSPICE.
+//
+// Usage:
+//
+//	halochar [-cells INV,NAND2,...] [-dt 0.0005]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"halotis/internal/cellib"
+	"halotis/internal/charlib"
+)
+
+func main() {
+	cells := flag.String("cells", "INV,NAND2,NOR2", "comma-separated cell kinds (primitive inverting kinds only)")
+	dt := flag.Float64("dt", 0.0005, "analog integration step, ns")
+	flag.Parse()
+
+	lib := cellib.Default06()
+	cfg := charlib.Config{Dt: *dt}
+
+	var kinds []cellib.Kind
+	for _, name := range strings.Split(*cells, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := cellib.KindByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "halochar: unknown cell kind %q\n", name)
+			os.Exit(2)
+		}
+		kinds = append(kinds, k)
+	}
+
+	for _, k := range kinds {
+		cf, err := charlib.Characterize(lib, k, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halochar: %s: %v\n", k, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cell %s (%d analog runs)\n", k, cf.Runs)
+		for pin, pf := range cf.Pins {
+			for _, dir := range []struct {
+				name string
+				ef   charlib.EdgeFit
+			}{{"rise", pf.Rise}, {"fall", pf.Fall}} {
+				p := dir.ef.Params
+				fmt.Printf("  pin %d %s: tp0 = %.4f + %.3f*CL + %.3f*tin   slew = %.4f + %.3f*CL + %.3f*tin\n",
+					pin, dir.name, p.D0, p.D1, p.D2, p.S0, p.S1, p.S2)
+				fmt.Printf("             degradation: A=%.4f B=%.3f C=%.3f  (delayRMS %.4f, %d pulse pts)\n",
+					p.A, p.B, p.C, dir.ef.DelayRMS, dir.ef.DegradationPoints)
+				var loads []float64
+				for cl := range dir.ef.TauAtLoads {
+					loads = append(loads, cl)
+				}
+				sort.Float64s(loads)
+				for _, cl := range loads {
+					fmt.Printf("             tau(CL=%.3fpF) = %.4f ns\n", cl, dir.ef.TauAtLoads[cl])
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,178 @@
+// Command halotis is the logic-timing simulator CLI: it reads a netlist
+// and a stimulus in the text formats of internal/netfmt, simulates with the
+// selected delay model, and writes statistics plus optional VCD or ASCII
+// waveforms.
+//
+// Usage:
+//
+//	halotis -net circuit.net -stim drive.stim [-model ddm|cdm|classic]
+//	        [-t 30] [-vcd out.vcd] [-view] [-nets s0,s1,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netfmt"
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+	"halotis/internal/vcd"
+	"halotis/internal/wave"
+	"halotis/internal/waveview"
+)
+
+func main() {
+	netPath := flag.String("net", "", "netlist file (required)")
+	stimPath := flag.String("stim", "", "stimulus file (optional: quiescent inputs)")
+	model := flag.String("model", "ddm", "delay model: ddm, cdm or classic")
+	tEnd := flag.Float64("t", 30, "simulation horizon, ns")
+	vcdPath := flag.String("vcd", "", "write VCD waveforms to this file")
+	view := flag.Bool("view", false, "print ASCII waveforms of the primary outputs")
+	netsFlag := flag.String("nets", "", "comma-separated nets for -vcd/-view (default: primary outputs)")
+	flag.Parse()
+
+	if *netPath == "" {
+		fmt.Fprintln(os.Stderr, "halotis: -net is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*netPath, *stimPath, *model, *tEnd, *vcdPath, *view, *netsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "halotis: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(netPath, stimPath, model string, tEnd float64, vcdPath string, view bool, netsFlag string) error {
+	lib := cellib.Default06()
+	nf, err := os.Open(netPath)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	ckt, err := netfmt.ParseCircuit(nf, lib)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", netPath, err)
+	}
+
+	st := sim.Stimulus{}
+	if stimPath != "" {
+		sf, err := os.Open(stimPath)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		st, err = netfmt.ParseStimulus(sf)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", stimPath, err)
+		}
+	}
+
+	nets := selectNets(ckt, netsFlag)
+
+	type netWave struct {
+		name string
+		init bool
+		cs   []wave.Crossing
+	}
+	var waves []netWave
+	vdd := lib.VDD
+
+	switch model {
+	case "ddm", "cdm":
+		m := sim.DDM
+		if model == "cdm" {
+			m = sim.CDM
+		}
+		res, err := sim.New(ckt, sim.Options{Model: m}).Run(st, tEnd)
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		fmt.Printf("%s: %s\n", ckt.Name, ckt.Stats())
+		fmt.Printf("model=%s t=%gns kernel=%v\n", m, tEnd, res.Elapsed)
+		fmt.Printf("events: %d processed, %d filtered, %d queued; %d transitions (%d degraded, %d fully)\n",
+			s.EventsProcessed, s.EventsFiltered, s.EventsQueued,
+			s.Transitions, s.DegradedTransitions, s.FullyDegraded)
+		for _, n := range nets {
+			wf := res.Waveform(n)
+			waves = append(waves, netWave{name: n, init: wf.VInit > vdd/2, cs: wf.Crossings(vdd / 2)})
+		}
+	case "classic":
+		res, err := sim.RunClassic(ckt, st, tEnd, sim.ClassicOptions{})
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		fmt.Printf("%s: %s\n", ckt.Name, ckt.Stats())
+		fmt.Printf("model=classic-inertial t=%gns kernel=%v\n", tEnd, res.Elapsed)
+		fmt.Printf("events: %d processed, %d filtered; %d transitions\n",
+			s.EventsProcessed, s.EventsFiltered, s.Transitions)
+		for _, n := range nets {
+			wf := res.Waveform(n)
+			waves = append(waves, netWave{name: n, init: wf.VInit > vdd/2, cs: wf.Crossings(vdd / 2)})
+		}
+	default:
+		return fmt.Errorf("unknown model %q (want ddm, cdm or classic)", model)
+	}
+
+	if vcdPath != "" {
+		var w vcd.Writer
+		for _, nw := range waves {
+			sig := vcd.Signal{Name: nw.name, Init: nw.init}
+			for _, c := range nw.cs {
+				sig.Changes = append(sig.Changes, vcd.Change{Time: c.Time, Value: c.Rising})
+			}
+			w.Add(sig)
+		}
+		f, err := os.Create(vcdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := w.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d signals)\n", vcdPath, len(waves))
+	}
+
+	if view {
+		v := waveview.View{T0: 0, T1: tEnd, Width: 100}
+		for _, nw := range waves {
+			nw := nw
+			v.Add(nw.name, func(t float64) bool {
+				state := nw.init
+				for _, c := range nw.cs {
+					if c.Time > t {
+						break
+					}
+					state = c.Rising
+				}
+				return state
+			})
+		}
+		fmt.Print(v.Render())
+	}
+	return nil
+}
+
+// selectNets resolves -nets (or defaults to primary outputs).
+func selectNets(ckt *netlist.Circuit, flagVal string) []string {
+	if flagVal == "" {
+		names := make([]string, len(ckt.Outputs))
+		for i, o := range ckt.Outputs {
+			names[i] = o.Name
+		}
+		return names
+	}
+	var out []string
+	for _, n := range strings.Split(flagVal, ",") {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testNet = `
+circuit demo
+input a b
+output y
+gate g1 NAND2 n1 a b
+gate g2 INV y n1
+`
+
+const testStim = `
+edge a 1 rise 0.2
+edge b 2 rise 0.2
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	net := writeTemp(t, "demo.net", testNet)
+	stim := writeTemp(t, "demo.stim", testStim)
+	vcdOut := filepath.Join(t.TempDir(), "out.vcd")
+	for _, model := range []string{"ddm", "cdm", "classic"} {
+		if err := run(net, stim, model, 20, "", false, ""); err != nil {
+			t.Errorf("model %s: %v", model, err)
+		}
+	}
+	if err := run(net, stim, "ddm", 20, vcdOut, true, "y,n1"); err != nil {
+		t.Fatalf("vcd/view run: %v", err)
+	}
+	data, err := os.ReadFile(vcdOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "$enddefinitions") {
+		t.Error("VCD output malformed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	net := writeTemp(t, "demo.net", testNet)
+	stim := writeTemp(t, "demo.stim", testStim)
+	if err := run("missing.net", stim, "ddm", 20, "", false, ""); err == nil {
+		t.Error("missing netlist accepted")
+	}
+	if err := run(net, "missing.stim", "ddm", 20, "", false, ""); err == nil {
+		t.Error("missing stimulus accepted")
+	}
+	if err := run(net, stim, "frob", 20, "", false, ""); err == nil {
+		t.Error("bad model accepted")
+	}
+	bad := writeTemp(t, "bad.net", "gate g1 FROB2 x a\n")
+	if err := run(bad, stim, "ddm", 20, "", false, ""); err == nil {
+		t.Error("bad netlist accepted")
+	}
+}
+
+func TestRunQuiescent(t *testing.T) {
+	net := writeTemp(t, "demo.net", testNet)
+	if err := run(net, "", "ddm", 10, "", false, ""); err != nil {
+		t.Errorf("quiescent run: %v", err)
+	}
+}

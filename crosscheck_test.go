@@ -1,0 +1,84 @@
+package halotis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"halotis"
+	"halotis/internal/analog"
+	"halotis/internal/circuits"
+	"halotis/internal/sim"
+)
+
+// TestCrossCheckRandomCircuits is the fleet-level accuracy property: on
+// random primitives-only netlists with random vector changes, HALOTIS-DDM
+// and the analog reference must agree on every settled primary output.
+func TestCrossCheckRandomCircuits(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		ckt, err := circuits.RandomCombinational(lib, circuits.RandomOptions{
+			Inputs: 4, Gates: 18, Seed: int64(100 + trial), PrimitiveOnly: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sim.Stimulus{}
+		for _, in := range ckt.Inputs {
+			init := rng.Intn(2) == 1
+			target := rng.Intn(2) == 1
+			w := sim.InputWave{Init: init}
+			if target != init {
+				w.Edges = []sim.InputEdge{{Time: 1 + rng.Float64(), Rising: target, Slew: 0.15}}
+			}
+			st[in.Name] = w
+		}
+		lr, err := halotis.Simulate(ckt, st, 25)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ar, err := analog.Run(ckt, st, 25, analog.Options{Dt: 0.002})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		logic := lr.OutputLogic(25, lib.VDD/2)
+		ana := ar.OutputLogic(25)
+		for name, v := range logic {
+			if ana[name] != v {
+				t.Errorf("trial %d: output %s settles to %v (DDM) vs %v (analog)",
+					trial, name, v, ana[name])
+			}
+		}
+	}
+}
+
+// TestCrossCheckEdgeAgreement requires that on a glitch-rich circuit the
+// DDM edge stream stays close to the analog one while CDM drifts above it.
+func TestCrossCheckEdgeAgreement(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.ParityTree(lib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stimulus{
+		"x0": {Edges: []sim.InputEdge{{Time: 1.0, Rising: true, Slew: 0.15}}},
+		"x1": {Edges: []sim.InputEdge{{Time: 1.2, Rising: true, Slew: 0.15}}},
+		"x2": {Edges: []sim.InputEdge{{Time: 1.1, Rising: true, Slew: 0.15}}},
+		"x3": {Edges: []sim.InputEdge{{Time: 1.3, Rising: true, Slew: 0.15}}},
+	}
+	ddm, err := halotis.Simulate(ckt, st, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := halotis.SimulateAnalog(ckt, st, 20, halotis.AnalogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := halotis.CompareWithAnalog(ddm, ar, 20)
+	if !s.SettleAll {
+		t.Error("settle disagreement on parity tree")
+	}
+	if s.MatchFraction() < 0.5 {
+		t.Errorf("match fraction %.2f too low", s.MatchFraction())
+	}
+}

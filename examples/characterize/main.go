@@ -1,0 +1,54 @@
+// Characterize: fit a cell library against the analog reference engine the
+// way the paper's authors fitted the IDDM against HSPICE, then check that
+// HALOTIS-DDM with the fitted library tracks the analog waveforms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"halotis"
+)
+
+func main() {
+	template := halotis.DefaultLibrary()
+
+	fmt.Println("characterizing INV and NAND2 against the analog reference...")
+	lib, err := halotis.CharacterizeLibrary(template, halotis.CharConfig{}, halotis.INV, halotis.NAND2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, kind := range []halotis.Kind{halotis.INV, halotis.NAND2} {
+		cell := lib.Cell(kind)
+		fmt.Printf("\n%s (fitted):\n", kind)
+		for i, pin := range cell.Pins {
+			fmt.Printf("  pin %d rise: tp0 = %.4f + %.3f*CL + %.3f*tin ; A=%.4f B=%.3f C=%.3f\n",
+				i, pin.Rise.D0, pin.Rise.D1, pin.Rise.D2, pin.Rise.A, pin.Rise.B, pin.Rise.C)
+			fmt.Printf("  pin %d fall: tp0 = %.4f + %.3f*CL + %.3f*tin ; A=%.4f B=%.3f C=%.3f\n",
+				i, pin.Fall.D0, pin.Fall.D1, pin.Fall.D2, pin.Fall.A, pin.Fall.B, pin.Fall.C)
+		}
+	}
+
+	// Round trip: a chain built from the fitted library must track the
+	// analog engine closely.
+	ckt, err := halotis.InverterChain(lib, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := halotis.Stimulus{"in": halotis.InputWave{Edges: []halotis.InputEdge{
+		{Time: 1, Rising: true, Slew: 0.1},
+		{Time: 4, Rising: false, Slew: 0.1},
+	}}}
+	lr, err := halotis.Simulate(ckt, st, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ar, err := halotis.SimulateAnalog(ckt, st, 10, halotis.AnalogOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := halotis.CompareWithAnalog(lr, ar, 10)
+	fmt.Printf("\nround trip on a 5-inverter chain: matched %d/%d output edges, RMS %.3f ns, settle agree=%v\n",
+		s.TotalMatch, s.TotalLogic, s.RMSError, s.SettleAll)
+}

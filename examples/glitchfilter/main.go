@@ -1,0 +1,62 @@
+// Glitchfilter: the paper's Fig. 1 scenario through the public API — one
+// degraded pulse drives two receivers with different input thresholds; the
+// IDDM propagates it into one and filters it at the other, while the
+// classical inertial baseline cannot tell them apart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"halotis"
+)
+
+func main() {
+	lib := halotis.DefaultLibrary()
+
+	// Build the two-threshold circuit by hand to show the builder API.
+	b := halotis.NewBuilder("fig1", lib)
+	b.Input("in")
+	b.AddGate("g0", halotis.INV, "n", "in")
+	b.AddGate("g1", halotis.INV, "out1", "n")
+	b.AddGate("g2", halotis.INV, "out2", "n")
+	b.SetPinVT("g1", 0, 1.7) // low threshold
+	b.SetPinVT("g2", 0, 3.3) // high threshold
+	b.Output("out1")
+	b.Output("out2")
+	ckt, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A pulse chosen so the runt on n dips between the two thresholds.
+	st, err := halotis.PulseTrain("in", 2, 0.14, 1, 1, 0.12)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ddm, err := halotis.Simulate(ckt, st, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classic, err := halotis.SimulateClassic(ckt, st, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analog, err := halotis.SimulateAnalog(ckt, st, 15, halotis.AnalogOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("receiver responses to the same degraded pulse:")
+	fmt.Printf("%-18s %12s %12s\n", "engine", "out1 (VT1.7)", "out2 (VT3.3)")
+	fmt.Printf("%-18s %12d %12d\n", "analog reference",
+		analog.Trace("out1").TransitionCount(), analog.Trace("out2").TransitionCount())
+	fmt.Printf("%-18s %12d %12d\n", "HALOTIS-DDM",
+		ddm.Waveform("out1").Len(), ddm.Waveform("out2").Len())
+	fmt.Printf("%-18s %12d %12d\n", "classic inertial",
+		classic.Waveform("out1").Len(), classic.Waveform("out2").Len())
+
+	fmt.Println("\nper-input thresholds let HALOTIS filter a pulse at one fanout")
+	fmt.Println("while propagating it into another — Fig. 1 of the paper.")
+}

@@ -1,0 +1,63 @@
+// Multiplier: the paper's 4x4 array multiplier under both evaluation
+// sequences, comparing HALOTIS-DDM and HALOTIS-CDM event counts and
+// switching activity (the Table 1 quantities), and verifying settled
+// products against integer multiplication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"halotis"
+)
+
+func main() {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.Multiplier4x4(lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 5 multiplier: %s\n\n", ckt.Stats())
+
+	sequences := []struct {
+		name  string
+		pairs []halotis.MultiplierPair
+	}{
+		{"0x0, 7x7, 5xA, Ex6, FxF", halotis.PaperSequence1()},
+		{"0x0, FxF, 0x0, FxF, 0x0", halotis.PaperSequence2()},
+	}
+
+	for _, seq := range sequences {
+		st, err := halotis.MultiplierSequence(seq.pairs, 4, 4, halotis.PaperPeriod, 0.2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ddm, err := halotis.Simulate(ckt, st, 28, halotis.WithModel(halotis.DDM))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cdm, err := halotis.Simulate(ckt, st, 28, halotis.WithModel(halotis.CDM))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		last := seq.pairs[len(seq.pairs)-1]
+		want := int(last.A) * int(last.B)
+		out := ddm.OutputLogic(28, lib.VDD/2)
+		got := 0
+		for k := 0; k < 8; k++ {
+			if out[fmt.Sprintf("s%d", k)] {
+				got |= 1 << k
+			}
+		}
+
+		fmt.Printf("sequence %s\n", seq.name)
+		fmt.Printf("  settled product: %d (want %d)\n", got, want)
+		fmt.Printf("  events:   DDM %5d   CDM %5d   (CDM +%.0f%%)\n",
+			ddm.Stats.EventsProcessed, cdm.Stats.EventsProcessed,
+			100*float64(cdm.Stats.EventsProcessed-ddm.Stats.EventsProcessed)/float64(ddm.Stats.EventsProcessed))
+		fmt.Printf("  filtered: DDM %5d   CDM %5d\n",
+			ddm.Stats.EventsFiltered, cdm.Stats.EventsFiltered)
+		fmt.Printf("  activity: %s\n\n", halotis.CompareActivity(ddm, cdm))
+	}
+}

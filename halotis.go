@@ -1,0 +1,208 @@
+// Package halotis is a reproduction of the HALOTIS high-accuracy logic
+// timing simulator (Ruiz de Clavijo et al., DATE 2001): an event-driven
+// gate-level simulator implementing the Inertial and Degradation Delay
+// Model (IDDM), together with the substrates the paper's evaluation needs —
+// a conventional-delay configuration (CDM), a classical inertial-delay
+// baseline, an analog reference engine standing in for HSPICE, a 0.6 µm
+// style cell library with characterization tooling, and the benchmark
+// circuits (inverter chains, the Fig. 1 two-threshold circuit, the Fig. 5
+// 4x4 array multiplier).
+//
+// Quick start:
+//
+//	lib := halotis.DefaultLibrary()
+//	ckt, _ := halotis.Multiplier4x4(lib)
+//	st, _ := halotis.MultiplierSequence(halotis.PaperSequence1(), 4, 4, 5.0, 0.2)
+//	res, _ := halotis.Simulate(ckt, st, 28, halotis.WithModel(halotis.DDM))
+//	fmt.Println(res.Stats.EventsProcessed, "events")
+package halotis
+
+import (
+	"halotis/internal/analog"
+	"halotis/internal/cellib"
+	"halotis/internal/charlib"
+	"halotis/internal/circuits"
+	"halotis/internal/compare"
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+	"halotis/internal/stats"
+	"halotis/internal/stimuli"
+)
+
+// Core type aliases: the public API is expressed in terms of the internal
+// engine types so results interoperate across subsystems.
+type (
+	// Library is a cell library (functions, delay and degradation
+	// coefficients, thresholds) under one supply voltage.
+	Library = cellib.Library
+	// Cell is one library cell definition.
+	Cell = cellib.Cell
+	// Kind identifies a cell's logic function (INV, NAND2, ...).
+	Kind = cellib.Kind
+	// Circuit is a finalized combinational netlist.
+	Circuit = netlist.Circuit
+	// Builder assembles circuits incrementally.
+	Builder = netlist.Builder
+	// Stimulus maps primary input names to drive waveforms.
+	Stimulus = sim.Stimulus
+	// InputWave is one primary input's drive: initial level plus edges.
+	InputWave = sim.InputWave
+	// InputEdge is one externally driven transition.
+	InputEdge = sim.InputEdge
+	// Model selects the delay model (DDM or CDM).
+	Model = sim.Model
+	// Result is the outcome of a logic-timing run.
+	Result = sim.Result
+	// ClassicResult is the outcome of a classical inertial-delay run.
+	ClassicResult = sim.ClassicResult
+	// AnalogResult is the outcome of an analog reference run.
+	AnalogResult = analog.Result
+	// AnalogOptions configures the analog engine.
+	AnalogOptions = analog.Options
+	// CharConfig parameterizes cell characterization.
+	CharConfig = charlib.Config
+	// MultiplierPair is one AxB operand pair of a vector sequence.
+	MultiplierPair = stimuli.MultiplierPair
+	// ComparisonSummary quantifies logic-vs-analog agreement.
+	ComparisonSummary = compare.Summary
+	// ActivityComparison summarizes DDM-vs-CDM switching activity.
+	ActivityComparison = stats.ActivityComparison
+)
+
+// Delay model selectors.
+const (
+	// DDM is the paper's inertial and degradation delay model.
+	DDM = sim.DDM
+	// CDM is the conventional delay model inside the same engine.
+	CDM = sim.CDM
+)
+
+// Cell kinds, re-exported for builder calls.
+const (
+	INV   = cellib.INV
+	BUF   = cellib.BUF
+	NAND2 = cellib.NAND2
+	NAND3 = cellib.NAND3
+	NAND4 = cellib.NAND4
+	NOR2  = cellib.NOR2
+	NOR3  = cellib.NOR3
+	NOR4  = cellib.NOR4
+	AND2  = cellib.AND2
+	AND3  = cellib.AND3
+	OR2   = cellib.OR2
+	OR3   = cellib.OR3
+	XOR2  = cellib.XOR2
+	XNOR2 = cellib.XNOR2
+	AOI21 = cellib.AOI21
+	OAI21 = cellib.OAI21
+)
+
+// DefaultLibrary returns the default 0.6 µm-style cell library (VDD = 5 V).
+func DefaultLibrary() *Library { return cellib.Default06() }
+
+// NewBuilder starts a circuit over a library.
+func NewBuilder(name string, lib *Library) *Builder { return netlist.NewBuilder(name, lib) }
+
+// Option configures Simulate.
+type Option func(*sim.Options)
+
+// WithModel selects the delay model (default DDM).
+func WithModel(m Model) Option { return func(o *sim.Options) { o.Model = m } }
+
+// WithMaxEvents overrides the oscillation guard.
+func WithMaxEvents(n uint64) Option { return func(o *sim.Options) { o.MaxEvents = n } }
+
+// WithMinPulse overrides the minimum emitted pulse separation, ns.
+func WithMinPulse(p float64) Option { return func(o *sim.Options) { o.MinPulse = p } }
+
+// Simulate runs the HALOTIS engine on the circuit until tEnd ns.
+func Simulate(ckt *Circuit, st Stimulus, tEnd float64, opts ...Option) (*Result, error) {
+	var o sim.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return sim.New(ckt, o).Run(st, tEnd)
+}
+
+// SimulateClassic runs the conventional inertial-delay baseline (the
+// simulator style the paper's Fig. 1c criticizes).
+func SimulateClassic(ckt *Circuit, st Stimulus, tEnd float64) (*ClassicResult, error) {
+	return sim.RunClassic(ckt, st, tEnd, sim.ClassicOptions{})
+}
+
+// SimulateAnalog runs the analog reference engine (the repository's HSPICE
+// substitute) on a primitives-only circuit.
+func SimulateAnalog(ckt *Circuit, st Stimulus, tEnd float64, opt AnalogOptions) (*AnalogResult, error) {
+	return analog.Run(ckt, st, tEnd, opt)
+}
+
+// CompareWithAnalog matches the logic result's primary-output edges against
+// the analog reference.
+func CompareWithAnalog(lr *Result, ar *AnalogResult, tEnd float64) ComparisonSummary {
+	return compare.CompareOutputs(lr, ar, tEnd)
+}
+
+// CompareActivity summarizes switching activity of a DDM and a CDM run of
+// the same workload (the paper's glitch-power overestimation argument).
+func CompareActivity(ddm, cdm *Result) ActivityComparison {
+	return stats.CompareActivity(ddm, cdm)
+}
+
+// CharacterizeLibrary fits a new library against the analog reference, the
+// way the authors fitted the IDDM against HSPICE. Only primitive inverting
+// kinds are re-fitted; composites keep template parameters.
+func CharacterizeLibrary(template *Library, cfg CharConfig, kinds ...Kind) (*Library, error) {
+	lib, _, err := charlib.BuildLibrary(template, cfg, kinds...)
+	return lib, err
+}
+
+// Circuit generators (paper benchmarks).
+
+// InverterChain builds a chain of n inverters (nets in, w1.., out).
+func InverterChain(lib *Library, n int) (*Circuit, error) { return circuits.InverterChain(lib, n) }
+
+// Figure1 builds the paper's Fig. 1 two-threshold circuit.
+func Figure1(lib *Library) (*Circuit, error) { return circuits.Figure1(lib) }
+
+// Multiplier4x4 builds the paper's Fig. 5 4x4 array multiplier.
+func Multiplier4x4(lib *Library) (*Circuit, error) { return circuits.Multiplier4x4(lib) }
+
+// Multiplier builds the generalized n x m array multiplier.
+func Multiplier(lib *Library, n, m int) (*Circuit, error) { return circuits.Multiplier(lib, n, m) }
+
+// RippleCarryAdder builds a width-bit NAND-adder.
+func RippleCarryAdder(lib *Library, width int) (*Circuit, error) {
+	return circuits.RippleCarryAdder(lib, width)
+}
+
+// ParityTree builds a width-input XOR tree from NAND primitives.
+func ParityTree(lib *Library, width int) (*Circuit, error) { return circuits.ParityTree(lib, width) }
+
+// C17 builds the ISCAS-85 C17 benchmark.
+func C17(lib *Library) (*Circuit, error) { return circuits.C17(lib) }
+
+// Stimulus builders.
+
+// Sequence converts period-spaced vectors into a stimulus.
+func Sequence(vectors []stimuli.Vector, period, slew float64) (Stimulus, error) {
+	return stimuli.Sequence(vectors, period, slew)
+}
+
+// MultiplierSequence applies AxB operand pairs to an n x m multiplier.
+func MultiplierSequence(pairs []MultiplierPair, n, m int, period, slew float64) (Stimulus, error) {
+	return stimuli.MultiplierSequence(pairs, n, m, period, slew)
+}
+
+// PaperSequence1 is the Fig. 6 / Table 1 sequence 0x0, 7x7, 5xA, Ex6, FxF.
+func PaperSequence1() []MultiplierPair { return stimuli.PaperSequence1() }
+
+// PaperSequence2 is the Fig. 7 / Table 1 sequence 0x0, FxF, 0x0, FxF, 0x0.
+func PaperSequence2() []MultiplierPair { return stimuli.PaperSequence2() }
+
+// PaperPeriod is the 5 ns vector period of the paper's evaluation.
+const PaperPeriod = stimuli.PaperPeriod
+
+// PulseTrain drives one input with count pulses of the given width.
+func PulseTrain(input string, t0, width, gap float64, count int, slew float64) (Stimulus, error) {
+	return stimuli.PulseTrain(input, t0, width, gap, count, slew)
+}

@@ -1,0 +1,169 @@
+package halotis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"halotis"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.InverterChain(lib, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := halotis.Stimulus{"in": halotis.InputWave{Edges: []halotis.InputEdge{
+		{Time: 1, Rising: true, Slew: 0.2},
+	}}}
+	res, err := halotis.Simulate(ckt, st, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.OutputLogic(20, lib.VDD/2)["out"]; got {
+		t.Error("3 inversions of 1 should be 0")
+	}
+	if res.Model != halotis.DDM {
+		t.Error("default model should be DDM")
+	}
+}
+
+func TestSimulateOptions(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.InverterChain(lib, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := halotis.Simulate(ckt, halotis.Stimulus{}, 5,
+		halotis.WithModel(halotis.CDM), halotis.WithMaxEvents(100), halotis.WithMinPulse(1e-5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != halotis.CDM {
+		t.Error("WithModel not applied")
+	}
+}
+
+func TestMultiplierEndToEnd(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.Multiplier4x4(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := halotis.MultiplierSequence(halotis.PaperSequence1(), 4, 4, halotis.PaperPeriod, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddm, err := halotis.Simulate(ckt, st, 28, halotis.WithModel(halotis.DDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdm, err := halotis.Simulate(ckt, st, 28, halotis.WithModel(halotis.CDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settled product of the last vector FxF = 225.
+	out := ddm.OutputLogic(28, lib.VDD/2)
+	p := 0
+	for k := 0; k < 8; k++ {
+		if out[fmt.Sprintf("s%d", k)] {
+			p |= 1 << k
+		}
+	}
+	if p != 225 {
+		t.Errorf("settled product = %d, want 225", p)
+	}
+	// Table 1 shape: CDM processes more events and filters fewer.
+	if cdm.Stats.EventsProcessed <= ddm.Stats.EventsProcessed {
+		t.Errorf("CDM events %d should exceed DDM %d",
+			cdm.Stats.EventsProcessed, ddm.Stats.EventsProcessed)
+	}
+	if ddm.Stats.EventsFiltered <= cdm.Stats.EventsFiltered {
+		t.Errorf("DDM filtered %d should exceed CDM %d",
+			ddm.Stats.EventsFiltered, cdm.Stats.EventsFiltered)
+	}
+	act := halotis.CompareActivity(ddm, cdm)
+	if act.TransOverestPct() <= 0 {
+		t.Errorf("CDM should overestimate activity, got %+v", act)
+	}
+}
+
+func TestAnalogComparisonEndToEnd(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.InverterChain(lib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := halotis.Stimulus{"in": halotis.InputWave{Edges: []halotis.InputEdge{
+		{Time: 1, Rising: true, Slew: 0.2},
+		{Time: 5, Rising: false, Slew: 0.2},
+	}}}
+	lr, err := halotis.Simulate(ckt, st, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := halotis.SimulateAnalog(ckt, st, 12, halotis.AnalogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := halotis.CompareWithAnalog(lr, ar, 12)
+	if !s.SettleAll {
+		t.Error("settle disagreement")
+	}
+	if s.TotalMatch == 0 {
+		t.Error("no matched edges")
+	}
+}
+
+func TestClassicBaseline(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.Figure1(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := halotis.PulseTrain("in", 2, 0.16, 2, 1, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := halotis.SimulateClassic(ckt, st, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classic engine treats both fanouts identically.
+	a := res.Waveform("out1").Len()
+	b := res.Waveform("out2").Len()
+	if (a == 0) != (b == 0) {
+		t.Errorf("classic engine differentiated fanouts: %d vs %d", a, b)
+	}
+}
+
+func TestGeneratorsBuild(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	if _, err := halotis.RippleCarryAdder(lib, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := halotis.ParityTree(lib, 6); err != nil {
+		t.Error(err)
+	}
+	if _, err := halotis.C17(lib); err != nil {
+		t.Error(err)
+	}
+	if _, err := halotis.Multiplier(lib, 3, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	b := halotis.NewBuilder("mine", lib)
+	b.Input("a")
+	b.AddGate("g", halotis.INV, "y", "a")
+	b.Output("y")
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Name != "mine" {
+		t.Errorf("name = %q", ckt.Name)
+	}
+}

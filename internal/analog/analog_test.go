@@ -1,0 +1,268 @@
+package analog
+
+import (
+	"math"
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+)
+
+var lib = cellib.Default06()
+
+const vdd = cellib.Default06VDD
+
+func invChain(t testing.TB, n int) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("chain", lib)
+	b.Input("in")
+	prev := "in"
+	for i := 0; i < n; i++ {
+		out := "w" + string(rune('a'+i))
+		if i == n-1 {
+			out = "out"
+		}
+		b.AddGate("g"+string(rune('a'+i)), cellib.INV, out, prev)
+		prev = out
+	}
+	b.Output(prev)
+	return b.MustBuild()
+}
+
+func pulse(name string, t0, width, slew float64) sim.Stimulus {
+	return sim.Stimulus{name: sim.InputWave{Edges: []sim.InputEdge{
+		{Time: t0, Rising: true, Slew: slew},
+		{Time: t0 + width, Rising: false, Slew: slew},
+	}}}
+}
+
+func runA(t testing.TB, ckt *netlist.Circuit, st sim.Stimulus, tEnd float64) *Result {
+	t.Helper()
+	res, err := Run(ckt, st, tEnd, Options{})
+	if err != nil {
+		t.Fatalf("analog run: %v", err)
+	}
+	return res
+}
+
+func TestInverterDCLevels(t *testing.T) {
+	ckt := invChain(t, 1)
+	// No stimulus: input stays 0, output must hold at VDD.
+	res := runA(t, ckt, sim.Stimulus{}, 2)
+	if got := res.Trace("out").SettleValue(); math.Abs(got-vdd) > 0.05 {
+		t.Errorf("inverter(0) settle = %g, want ~%g", got, vdd)
+	}
+	// Input held high from t=0.
+	res2 := runA(t, ckt, sim.Stimulus{"in": sim.InputWave{Init: true}}, 2)
+	if got := res2.Trace("out").SettleValue(); math.Abs(got) > 0.05 {
+		t.Errorf("inverter(1) settle = %g, want ~0", got)
+	}
+}
+
+func TestInverterStepDelay(t *testing.T) {
+	ckt := invChain(t, 1)
+	st := sim.Stimulus{"in": sim.InputWave{Edges: []sim.InputEdge{{Time: 1, Rising: true, Slew: 0.3}}}}
+	res := runA(t, ckt, st, 5)
+	out := res.Trace("out")
+	edges := out.Edges(0.4*vdd, 0.6*vdd)
+	if len(edges) != 1 || edges[0].Rising {
+		t.Fatalf("edges = %v, want one falling", edges)
+	}
+	// Delay from input half-swing (1.15 ns) to output half-swing: should
+	// be of the order of the library's gate delays (0.05..0.8 ns).
+	d := edges[0].Time - 1.15
+	if d < 0.02 || d > 1.0 {
+		t.Errorf("inverter delay %g ns out of plausible range", d)
+	}
+}
+
+func TestNANDTopology(t *testing.T) {
+	b := netlist.NewBuilder("nand", lib)
+	b.Input("a")
+	b.Input("b")
+	b.AddGate("g", cellib.NAND2, "out", "a", "b")
+	b.Output("out")
+	ckt := b.MustBuild()
+	cases := []struct {
+		a, b bool
+		want float64
+	}{
+		{false, false, vdd},
+		{true, false, vdd},
+		{false, true, vdd},
+		{true, true, 0},
+	}
+	for _, c := range cases {
+		st := sim.Stimulus{
+			"a": sim.InputWave{Init: c.a},
+			"b": sim.InputWave{Init: c.b},
+		}
+		res := runA(t, ckt, st, 3)
+		if got := res.Trace("out").SettleValue(); math.Abs(got-c.want) > 0.1 {
+			t.Errorf("NAND(%v,%v) settle = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompositeKindRejected(t *testing.T) {
+	b := netlist.NewBuilder("xor", lib)
+	b.Input("a")
+	b.Input("b")
+	b.AddGate("g", cellib.XOR2, "out", "a", "b")
+	b.Output("out")
+	ckt := b.MustBuild()
+	if _, err := Run(ckt, sim.Stimulus{}, 1, Options{}); err == nil {
+		t.Error("XOR2 should be rejected by the analog engine")
+	}
+}
+
+func TestStimulusValidated(t *testing.T) {
+	ckt := invChain(t, 1)
+	if _, err := Run(ckt, sim.Stimulus{"ghost": {}}, 1, Options{}); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestWidePulsePropagates(t *testing.T) {
+	ckt := invChain(t, 3)
+	res := runA(t, ckt, pulse("in", 1, 3, 0.3), 10)
+	out := res.Trace("out")
+	edges := out.Edges(0.4*vdd, 0.6*vdd)
+	if len(edges) != 2 {
+		t.Fatalf("out edges = %d, want 2", len(edges))
+	}
+	// Odd chain inverts: the output pulse is falling then rising.
+	if edges[0].Rising || !edges[1].Rising {
+		t.Errorf("edge directions wrong: %v", edges)
+	}
+}
+
+// TestNarrowPulseDegrades is the core physical check: successive stages
+// attenuate a narrow pulse until it disappears — the degradation effect the
+// DDM models, emerging from the electrical macromodel.
+func TestNarrowPulseDegrades(t *testing.T) {
+	ckt := invChain(t, 4)
+	res := runA(t, ckt, pulse("in", 1, 0.10, 0.12), 12)
+	// Swing of the first stage response.
+	waMin, _ := res.Trace("wa").MinMax(0, 12)
+	// The first stage dips but the pulse narrows stage by stage; by the
+	// final stage the excursion must be much smaller.
+	outLo, outHi := res.Trace("out").MinMax(0, 12)
+	outSwing := outHi - outLo
+	waSwing := vdd - waMin
+	if waSwing < 0.5 {
+		t.Fatalf("first stage barely responded (swing %g); widen the pulse", waSwing)
+	}
+	if outSwing > waSwing/2 {
+		t.Errorf("final swing %g not attenuated vs first stage %g", outSwing, waSwing)
+	}
+	if n := res.Trace("out").TransitionCount(); n != 0 {
+		t.Errorf("runt survived to the output: %d transitions", n)
+	}
+}
+
+func TestTraceInterpolation(t *testing.T) {
+	tr := newTrace(vdd, 8)
+	tr.append(0, 0)
+	tr.append(1, 2)
+	tr.append(2, 4)
+	if got := tr.V(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("V(0.5) = %g, want 1", got)
+	}
+	if got := tr.V(-1); got != 0 {
+		t.Errorf("V(-1) = %g, want clamp to first", got)
+	}
+	if got := tr.V(5); got != 4 {
+		t.Errorf("V(5) = %g, want clamp to last", got)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	times, volts := tr.Samples()
+	if len(times) != 3 || len(volts) != 3 {
+		t.Error("Samples length mismatch")
+	}
+}
+
+func TestEdgesHysteresisIgnoresRunt(t *testing.T) {
+	tr := newTrace(vdd, 16)
+	// Rise to 2.6 (above mid 2.5, below hi 3.0) then fall back: no edge.
+	pts := []struct{ t, v float64 }{
+		{0, 0}, {1, 0}, {1.2, 2.6}, {1.4, 0}, {2, 0},
+		// Then a full swing: one rising edge.
+		{3, 0}, {3.5, 5}, {4, 5},
+	}
+	for _, p := range pts {
+		tr.append(p.t, p.v)
+	}
+	edges := tr.Edges(2.0, 3.0)
+	if len(edges) != 1 || !edges[0].Rising {
+		t.Fatalf("edges = %v, want single rising", edges)
+	}
+	if edges[0].Time < 3 {
+		t.Errorf("edge time %g should belong to the full swing", edges[0].Time)
+	}
+}
+
+func TestMinMaxWindow(t *testing.T) {
+	tr := newTrace(vdd, 8)
+	tr.append(0, 1)
+	tr.append(1, 3)
+	tr.append(2, 2)
+	min, max := tr.MinMax(0, 2)
+	if min != 1 || max != 3 {
+		t.Errorf("MinMax = %g,%g want 1,3", min, max)
+	}
+	// Empty window falls back to interpolated point.
+	min2, max2 := tr.MinMax(0.4, 0.45)
+	if min2 != max2 {
+		t.Errorf("point window: %g != %g", min2, max2)
+	}
+}
+
+func TestOutputLogic(t *testing.T) {
+	ckt := invChain(t, 2)
+	st := sim.Stimulus{"in": sim.InputWave{Edges: []sim.InputEdge{{Time: 1, Rising: true, Slew: 0.3}}}}
+	res := runA(t, ckt, st, 6)
+	if got := res.OutputLogic(6)["out"]; !got {
+		t.Error("double inversion of 1 should be 1")
+	}
+	if res.Trace("ghost") != nil {
+		t.Error("unknown net should be nil")
+	}
+}
+
+// TestSettledLogicMatchesBoolean checks that for clean inputs the analog
+// engine settles every net to the boolean solution.
+func TestSettledLogicMatchesBoolean(t *testing.T) {
+	b := netlist.NewBuilder("mix", lib)
+	b.Input("a")
+	b.Input("b")
+	b.Input("c")
+	b.AddGate("g1", cellib.NAND2, "n1", "a", "b")
+	b.AddGate("g2", cellib.NOR2, "n2", "n1", "c")
+	b.AddGate("g3", cellib.INV, "out", "n2")
+	b.AddGate("g4", cellib.AOI21, "out2", "a", "n1", "c")
+	b.Output("out")
+	b.Output("out2")
+	ckt := b.MustBuild()
+	for mask := 0; mask < 8; mask++ {
+		in := map[string]bool{"a": mask&1 == 1, "b": mask&2 == 2, "c": mask&4 == 4}
+		st := sim.Stimulus{}
+		for k, v := range in {
+			st[k] = sim.InputWave{Init: v}
+		}
+		res := runA(t, ckt, st, 4)
+		want, err := ckt.EvalBool(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.OutputLogic(4)
+		for name, w := range want {
+			if got[name] != w {
+				t.Errorf("mask %d: %s = %v, want %v", mask, name, got[name], w)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analog
+
+// history is a ring buffer of node-voltage vectors at integer integration
+// steps, supporting interpolated reads at lagged times. It implements the
+// device transport delay: gate inputs are read Lag seconds in the past.
+type history struct {
+	dt    float64
+	n     int         // nets per vector
+	buf   [][]float64 // ring of vectors
+	step  []int       // absolute step number stored in each slot
+	last  int         // most recent absolute step pushed
+	init  []float64   // state before t=0
+	valid bool
+}
+
+// newHistory allocates a ring holding depth vectors of n nets each; v0 is
+// the initial state applying to all t <= 0.
+func newHistory(n, depth int, dt float64, v0 []float64) *history {
+	h := &history{
+		dt:   dt,
+		n:    n,
+		buf:  make([][]float64, depth),
+		step: make([]int, depth),
+		init: append([]float64(nil), v0...),
+	}
+	for i := range h.buf {
+		h.buf[i] = make([]float64, n)
+		h.step[i] = -1
+	}
+	h.push(0, v0)
+	return h
+}
+
+// push stores the state at absolute step s.
+func (h *history) push(s int, v []float64) {
+	slot := s % len(h.buf)
+	copy(h.buf[slot], v)
+	h.step[slot] = s
+	if s > h.last {
+		h.last = s
+	}
+}
+
+// slotFor returns the stored vector for absolute step s, or nil.
+func (h *history) slotFor(s int) []float64 {
+	slot := s % len(h.buf)
+	if h.step[slot] != s {
+		return nil
+	}
+	return h.buf[slot]
+}
+
+// at returns the interpolated voltage of net id at time t. Times at or
+// before zero return the initial state; times beyond the newest stored step
+// clamp to it (they occur only when Lag < Dt).
+func (h *history) at(id int, t float64) float64 {
+	if t <= 0 {
+		return h.init[id]
+	}
+	s := t / h.dt
+	s0 := int(s)
+	if s0 >= h.last {
+		return h.mustSlot(h.last)[id]
+	}
+	frac := s - float64(s0)
+	v0 := h.slotFor(s0)
+	v1 := h.slotFor(s0 + 1)
+	switch {
+	case v0 == nil && v1 == nil:
+		// Beyond ring capacity in the past: clamp to the oldest we have.
+		return h.mustSlot(h.oldest())[id]
+	case v0 == nil:
+		return v1[id]
+	case v1 == nil:
+		return v0[id]
+	}
+	return v0[id] + frac*(v1[id]-v0[id])
+}
+
+// oldest returns the oldest absolute step still stored.
+func (h *history) oldest() int {
+	old := h.last
+	for _, s := range h.step {
+		if s >= 0 && s < old {
+			old = s
+		}
+	}
+	return old
+}
+
+// mustSlot returns the vector for step s, falling back to the initial state.
+func (h *history) mustSlot(s int) []float64 {
+	if v := h.slotFor(s); v != nil {
+		return v
+	}
+	return h.init
+}

@@ -1,0 +1,131 @@
+// Package analog is the electrical reference simulator HALOTIS is compared
+// against — the role HSPICE plays in the paper. It performs transient
+// analysis of a gate-level netlist with a first-order CMOS macromodel per
+// gate: the output node voltage obeys
+//
+//	CL * dVout/dt = Iup(Vin..., Vout) - Idn(Vin..., Vout)
+//
+// where the pull-up/pull-down currents come from Shichman–Hodges-style
+// conduction of the cell's series/parallel transistor networks. The model
+// reproduces the behaviour the comparison needs: continuous waveforms,
+// gradual attenuation of narrow pulses (the degradation effect emerges
+// physically from partial charging), and node-by-node numerical integration
+// that is orders of magnitude slower than event-driven simulation.
+//
+// Units: ns, pF, V; currents are in mA (1 mA = 1 pF*V/ns).
+package analog
+
+import (
+	"math"
+
+	"halotis/internal/cellib"
+)
+
+// DeviceParams sets the macromodel's transistor behaviour.
+type DeviceParams struct {
+	// VtN and VtP are NMOS and PMOS threshold voltages (magnitudes), V.
+	VtN, VtP float64
+	// Alpha is the velocity-saturation exponent of the drive law.
+	Alpha float64
+	// Knee is the drain-source voltage (V) at which the output current
+	// reaches half its saturated value; smaller means more ideal switch.
+	Knee float64
+	// IUnit is the saturated drive current (mA) of a unit-drive cell.
+	IUnit float64
+	// Lag is the intrinsic input-to-output transport delay of a gate, ns:
+	// each gate responds to its input voltages Lag earlier. It models the
+	// internal-node and channel-transit latency a single-pole output
+	// model lacks, and keeps gate delays positive under the ramp-start
+	// convention.
+	Lag float64
+}
+
+// DefaultDevice returns parameters tuned so a unit inverter at a typical
+// fanout load has delays of a few hundred ps, in the range of the default
+// 0.6 um cell library.
+func DefaultDevice() DeviceParams {
+	return DeviceParams{VtN: 0.8, VtP: 0.8, Alpha: 1.3, Knee: 0.4, IUnit: 0.9, Lag: 0.035}
+}
+
+// nmosCond returns the normalized conduction [0,1] of an NMOS gated by vin.
+func (d DeviceParams) nmosCond(vdd, vin float64) float64 {
+	x := (vin - d.VtN) / (vdd - d.VtN)
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return math.Pow(x, d.Alpha)
+}
+
+// pmosCond returns the normalized conduction [0,1] of a PMOS gated by vin.
+func (d DeviceParams) pmosCond(vdd, vin float64) float64 {
+	x := (vdd - vin - d.VtP) / (vdd - d.VtP)
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return math.Pow(x, d.Alpha)
+}
+
+// netCond evaluates the series/parallel conduction of a transistor network
+// where leaf i has conduction leaf(i).
+func netCond(e cellib.CondExpr, leaf func(int) float64) float64 {
+	if e.Pin >= 0 {
+		return leaf(e.Pin)
+	}
+	if e.Series {
+		// Series: harmonic composition; any off transistor opens the path.
+		inv := 0.0
+		for _, kid := range e.Kids {
+			g := netCond(kid, leaf)
+			if g <= 0 {
+				return 0
+			}
+			inv += 1 / g
+		}
+		return 1 / inv
+	}
+	sum := 0.0
+	for _, kid := range e.Kids {
+		sum += netCond(kid, leaf)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// drainFactor models the output-voltage dependence of the drive current:
+// ~linear (triode) near 0 V across the conducting device, saturating at 1.
+func (d DeviceParams) drainFactor(vds float64) float64 {
+	if vds <= 0 {
+		return 0
+	}
+	return vds / (vds + d.Knee)
+}
+
+// gateModel precomputes one gate's topology for fast evaluation.
+type gateModel struct {
+	pullDown cellib.CondExpr
+	pullUp   cellib.CondExpr
+	imax     float64 // saturated drive current, mA
+	cl       float64 // output load, pF
+	// vtOff shifts each input's effective voltage: a pin with input
+	// threshold VT above VDD/2 conducts later (a skewed transfer curve,
+	// as in the paper's Fig. 1a). vtOff[i] = VDD/2 - VT(i).
+	vtOff []float64
+}
+
+// dVdt evaluates the output node derivative given the input voltages
+// (indexed by pin) and the present output voltage.
+func (g *gateModel) dVdt(d DeviceParams, vdd float64, vin []float64, vout float64) float64 {
+	gdn := netCond(g.pullDown, func(p int) float64 { return d.nmosCond(vdd, vin[p]+g.vtOff[p]) })
+	gup := netCond(g.pullUp, func(p int) float64 { return d.pmosCond(vdd, vin[p]+g.vtOff[p]) })
+	idn := g.imax * gdn * d.drainFactor(vout)
+	iup := g.imax * gup * d.drainFactor(vdd-vout)
+	return (iup - idn) / g.cl
+}

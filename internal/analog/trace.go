@@ -1,0 +1,135 @@
+package analog
+
+import (
+	"math"
+	"sort"
+)
+
+// Trace is a sampled voltage waveform from the transient analysis.
+type Trace struct {
+	vdd   float64
+	times []float64
+	volts []float64
+}
+
+func newTrace(vdd float64, capacity int) *Trace {
+	return &Trace{
+		vdd:   vdd,
+		times: make([]float64, 0, capacity),
+		volts: make([]float64, 0, capacity),
+	}
+}
+
+func (tr *Trace) append(t, v float64) {
+	tr.times = append(tr.times, t)
+	tr.volts = append(tr.volts, v)
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.times) }
+
+// Samples returns the sample vectors; the slices alias internal storage.
+func (tr *Trace) Samples() (times, volts []float64) { return tr.times, tr.volts }
+
+// V returns the linearly interpolated voltage at time t.
+func (tr *Trace) V(t float64) float64 {
+	if len(tr.times) == 0 {
+		return 0
+	}
+	if t <= tr.times[0] {
+		return tr.volts[0]
+	}
+	if t >= tr.times[len(tr.times)-1] {
+		return tr.volts[len(tr.volts)-1]
+	}
+	i := sort.SearchFloat64s(tr.times, t)
+	// times[i-1] < t <= times[i]
+	t0, t1 := tr.times[i-1], tr.times[i]
+	v0, v1 := tr.volts[i-1], tr.volts[i]
+	if t1 == t0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// LogicAt thresholds the trace at time t.
+func (tr *Trace) LogicAt(t, vt float64) bool { return tr.V(t) > vt }
+
+// Edge is one logic transition extracted from a trace.
+type Edge struct {
+	// Time is the half-swing crossing instant (interpolated).
+	Time float64
+	// Rising direction.
+	Rising bool
+}
+
+// Edges extracts full logic transitions using hysteresis: the trace must
+// cross from below lo to above hi (rising) or from above hi to below lo
+// (falling) to register an edge; runts that stay inside the band are
+// ignored. The reported time is the half-swing crossing. lo and hi are
+// voltages; callers typically use 0.4*VDD and 0.6*VDD.
+func (tr *Trace) Edges(lo, hi float64) []Edge {
+	if len(tr.times) == 0 {
+		return nil
+	}
+	mid := (lo + hi) / 2
+	var edges []Edge
+	state := tr.volts[0] > mid
+	var midTime float64
+	midSeen := false
+	for i := 1; i < len(tr.times); i++ {
+		v0, v1 := tr.volts[i-1], tr.volts[i]
+		// Track the most recent mid crossing in the pending direction.
+		if !state && v0 < mid && v1 >= mid || state && v0 > mid && v1 <= mid {
+			frac := (mid - v0) / (v1 - v0)
+			midTime = tr.times[i-1] + frac*(tr.times[i]-tr.times[i-1])
+			midSeen = true
+		}
+		if !state && v1 >= hi && midSeen {
+			edges = append(edges, Edge{Time: midTime, Rising: true})
+			state = true
+			midSeen = false
+		} else if state && v1 <= lo && midSeen {
+			edges = append(edges, Edge{Time: midTime, Rising: false})
+			state = false
+			midSeen = false
+		}
+	}
+	return edges
+}
+
+// TransitionCount returns the number of full-swing edges with the default
+// 40%/60% hysteresis band.
+func (tr *Trace) TransitionCount() int {
+	return len(tr.Edges(0.4*tr.vdd, 0.6*tr.vdd))
+}
+
+// MinMax returns the extreme voltages within [t0, t1].
+func (tr *Trace) MinMax(t0, t1 float64) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for i, t := range tr.times {
+		if t < t0 || t > t1 {
+			continue
+		}
+		v := tr.volts[i]
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		v := tr.V(t0)
+		return v, v
+	}
+	return min, max
+}
+
+// SettleValue returns the final sampled voltage.
+func (tr *Trace) SettleValue() float64 {
+	if len(tr.volts) == 0 {
+		return 0
+	}
+	return tr.volts[len(tr.volts)-1]
+}

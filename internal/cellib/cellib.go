@@ -1,0 +1,232 @@
+// Package cellib defines the gate cell library used by both the HALOTIS
+// logic-timing engine and the analog reference simulator: boolean functions,
+// per-pin per-edge delay and slew coefficients, input thresholds, input
+// capacitances, and the degradation parameters (A, B, C) of the Inertial and
+// Degradation Delay Model (eq. 2 and eq. 3 of the DATE 2001 paper).
+//
+// Units: time ns, capacitance pF, voltage V.
+package cellib
+
+import "fmt"
+
+// Kind identifies a cell's logic function.
+type Kind int
+
+// Supported cell kinds. INV/NAND/NOR are primitive complementary CMOS
+// topologies usable by the analog reference simulator; the remaining kinds
+// are logic-engine-only composites.
+const (
+	INV Kind = iota
+	BUF
+	NAND2
+	NAND3
+	NAND4
+	NOR2
+	NOR3
+	NOR4
+	AND2
+	AND3
+	OR2
+	OR3
+	XOR2
+	XNOR2
+	AOI21 // out = !(a*b + c)
+	OAI21 // out = !((a+b) * c)
+	numKinds
+)
+
+var kindNames = [...]string{
+	INV: "INV", BUF: "BUF",
+	NAND2: "NAND2", NAND3: "NAND3", NAND4: "NAND4",
+	NOR2: "NOR2", NOR3: "NOR3", NOR4: "NOR4",
+	AND2: "AND2", AND3: "AND3", OR2: "OR2", OR3: "OR3",
+	XOR2: "XOR2", XNOR2: "XNOR2",
+	AOI21: "AOI21", OAI21: "OAI21",
+}
+
+// String returns the conventional cell name for the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// KindByName resolves a cell name (as used in netlist files) to its Kind.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns all defined cell kinds in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// NumInputs returns the number of input pins of the kind.
+func (k Kind) NumInputs() int {
+	switch k {
+	case INV, BUF:
+		return 1
+	case NAND2, NOR2, AND2, OR2, XOR2, XNOR2:
+		return 2
+	case NAND3, NOR3, AND3, OR3, AOI21, OAI21:
+		return 3
+	case NAND4, NOR4:
+		return 4
+	}
+	return 0
+}
+
+// Eval computes the cell's boolean function. It panics if the input count
+// does not match the kind.
+func (k Kind) Eval(in []bool) bool {
+	if len(in) != k.NumInputs() {
+		panic(fmt.Sprintf("cellib: %s expects %d inputs, got %d", k, k.NumInputs(), len(in)))
+	}
+	and := func() bool {
+		for _, v := range in {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	or := func() bool {
+		for _, v := range in {
+			if v {
+				return true
+			}
+		}
+		return false
+	}
+	switch k {
+	case INV:
+		return !in[0]
+	case BUF:
+		return in[0]
+	case NAND2, NAND3, NAND4:
+		return !and()
+	case NOR2, NOR3, NOR4:
+		return !or()
+	case AND2, AND3:
+		return and()
+	case OR2, OR3:
+		return or()
+	case XOR2:
+		return in[0] != in[1]
+	case XNOR2:
+		return in[0] == in[1]
+	case AOI21:
+		return !(in[0] && in[1] || in[2])
+	case OAI21:
+		return !((in[0] || in[1]) && in[2])
+	}
+	panic(fmt.Sprintf("cellib: Eval on unknown kind %d", int(k)))
+}
+
+// Inverting reports whether the kind has a primitive complementary CMOS
+// (single-stage, inverting) topology. Only inverting kinds can be simulated
+// by the analog reference engine; the rest are composites that circuit
+// generators expand into primitives when analog comparison is required.
+func (k Kind) Inverting() bool {
+	switch k {
+	case INV, NAND2, NAND3, NAND4, NOR2, NOR3, NOR4, AOI21, OAI21:
+		return true
+	}
+	return false
+}
+
+// CondExpr describes a transistor network as a series/parallel conduction
+// expression over input pins. The pull-up network of a complementary cell
+// is the structural dual of the pull-down network.
+type CondExpr struct {
+	// Pin >= 0 names a leaf: the transistor gated by that input pin.
+	Pin int
+	// Series is meaningful only for internal nodes (Pin < 0): true for a
+	// series composition of Kids, false for parallel.
+	Series bool
+	Kids   []CondExpr
+}
+
+func pinLeaf(i int) CondExpr { return CondExpr{Pin: i} }
+
+func series(kids ...CondExpr) CondExpr { return CondExpr{Pin: -1, Series: true, Kids: kids} }
+
+func parallel(kids ...CondExpr) CondExpr { return CondExpr{Pin: -1, Series: false, Kids: kids} }
+
+// PullDown returns the NMOS pull-down network of a primitive inverting kind.
+// The second result is false for composite kinds.
+func (k Kind) PullDown() (CondExpr, bool) {
+	leafSeries := func(n int) CondExpr {
+		kids := make([]CondExpr, n)
+		for i := range kids {
+			kids[i] = pinLeaf(i)
+		}
+		return series(kids...)
+	}
+	leafParallel := func(n int) CondExpr {
+		kids := make([]CondExpr, n)
+		for i := range kids {
+			kids[i] = pinLeaf(i)
+		}
+		return parallel(kids...)
+	}
+	switch k {
+	case INV:
+		return pinLeaf(0), true
+	case NAND2, NAND3, NAND4:
+		return leafSeries(k.NumInputs()), true
+	case NOR2, NOR3, NOR4:
+		return leafParallel(k.NumInputs()), true
+	case AOI21:
+		return parallel(series(pinLeaf(0), pinLeaf(1)), pinLeaf(2)), true
+	case OAI21:
+		return series(parallel(pinLeaf(0), pinLeaf(1)), pinLeaf(2)), true
+	}
+	return CondExpr{}, false
+}
+
+// Dual returns the structural dual of the expression (series <-> parallel),
+// which is the pull-up network of a complementary cell.
+func (e CondExpr) Dual() CondExpr {
+	if e.Pin >= 0 {
+		return e
+	}
+	kids := make([]CondExpr, len(e.Kids))
+	for i, kid := range e.Kids {
+		kids[i] = kid.Dual()
+	}
+	return CondExpr{Pin: -1, Series: !e.Series, Kids: kids}
+}
+
+// EvalBool evaluates the conduction expression as a boolean network:
+// a leaf conducts when its pin predicate is true, series requires all kids,
+// parallel any kid. Used to cross-check topologies against Eval.
+func (e CondExpr) EvalBool(pinOn func(int) bool) bool {
+	if e.Pin >= 0 {
+		return pinOn(e.Pin)
+	}
+	if e.Series {
+		for _, kid := range e.Kids {
+			if !kid.EvalBool(pinOn) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, kid := range e.Kids {
+		if kid.EvalBool(pinOn) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+package cellib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if INV.String() != "INV" || NAND2.String() != "NAND2" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("out-of-range kind name wrong")
+	}
+}
+
+func TestKindByNameRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%s) = %v,%v", k, got, ok)
+		}
+	}
+	if _, ok := KindByName("FROB3"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestNumInputs(t *testing.T) {
+	cases := map[Kind]int{
+		INV: 1, BUF: 1, NAND2: 2, NAND3: 3, NAND4: 4,
+		NOR2: 2, NOR3: 3, NOR4: 4, AND2: 2, AND3: 3,
+		OR2: 2, OR3: 3, XOR2: 2, XNOR2: 2, AOI21: 3, OAI21: 3,
+	}
+	for k, want := range cases {
+		if got := k.NumInputs(); got != want {
+			t.Errorf("%s.NumInputs = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// truth spells out expected truth tables explicitly for the 2-input kinds
+// and spot values for wider ones.
+func TestEvalTruthTables(t *testing.T) {
+	b := func(bits ...int) []bool {
+		out := make([]bool, len(bits))
+		for i, v := range bits {
+			out[i] = v != 0
+		}
+		return out
+	}
+	cases := []struct {
+		k    Kind
+		in   []bool
+		want bool
+	}{
+		{INV, b(0), true}, {INV, b(1), false},
+		{BUF, b(0), false}, {BUF, b(1), true},
+		{NAND2, b(0, 0), true}, {NAND2, b(1, 0), true}, {NAND2, b(1, 1), false},
+		{NOR2, b(0, 0), true}, {NOR2, b(1, 0), false}, {NOR2, b(1, 1), false},
+		{AND2, b(1, 1), true}, {AND2, b(1, 0), false},
+		{OR2, b(0, 0), false}, {OR2, b(0, 1), true},
+		{XOR2, b(0, 0), false}, {XOR2, b(0, 1), true}, {XOR2, b(1, 1), false},
+		{XNOR2, b(0, 0), true}, {XNOR2, b(1, 0), false}, {XNOR2, b(1, 1), true},
+		{NAND3, b(1, 1, 1), false}, {NAND3, b(1, 1, 0), true},
+		{NOR3, b(0, 0, 0), true}, {NOR3, b(0, 0, 1), false},
+		{NAND4, b(1, 1, 1, 1), false}, {NAND4, b(0, 1, 1, 1), true},
+		{NOR4, b(0, 0, 0, 0), true}, {NOR4, b(1, 0, 0, 0), false},
+		{AND3, b(1, 1, 1), true}, {AND3, b(1, 0, 1), false},
+		{OR3, b(0, 0, 0), false}, {OR3, b(0, 1, 0), true},
+		{AOI21, b(1, 1, 0), false}, {AOI21, b(0, 1, 0), true}, {AOI21, b(0, 0, 1), false},
+		{OAI21, b(0, 0, 1), true}, {OAI21, b(1, 0, 1), false}, {OAI21, b(1, 1, 0), true},
+	}
+	for _, c := range cases {
+		if got := c.k.Eval(c.in); got != c.want {
+			t.Errorf("%s%v = %v, want %v", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong arity")
+		}
+	}()
+	NAND2.Eval([]bool{true})
+}
+
+// For every inverting kind, the pull-down conduction network must conduct
+// exactly when the output is logic 0 — i.e. Eval(in) == !pullDown(in) — for
+// all input combinations. This ties the analog topology to the logic model.
+func TestPullDownMatchesEval(t *testing.T) {
+	for _, k := range Kinds() {
+		pd, ok := k.PullDown()
+		if !ok {
+			if k.Inverting() {
+				t.Errorf("%s is inverting but has no pull-down network", k)
+			}
+			continue
+		}
+		if !k.Inverting() {
+			t.Errorf("%s has a pull-down network but is not inverting", k)
+		}
+		n := k.NumInputs()
+		for mask := 0; mask < 1<<n; mask++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = mask>>i&1 == 1
+			}
+			conducts := pd.EvalBool(func(p int) bool { return in[p] })
+			if conducts == k.Eval(in) {
+				t.Errorf("%s%v: pull-down conducts=%v but Eval=%v", k, in, conducts, k.Eval(in))
+			}
+			// Complementary property: pull-up (dual with inverted
+			// predicate) conducts exactly when output is 1.
+			up := pd.Dual().EvalBool(func(p int) bool { return !in[p] })
+			if up != k.Eval(in) {
+				t.Errorf("%s%v: pull-up conducts=%v but Eval=%v", k, in, up, k.Eval(in))
+			}
+		}
+	}
+}
+
+func TestDualIsInvolution(t *testing.T) {
+	for _, k := range Kinds() {
+		pd, ok := k.PullDown()
+		if !ok {
+			continue
+		}
+		dd := pd.Dual().Dual()
+		n := k.NumInputs()
+		for mask := 0; mask < 1<<n; mask++ {
+			pin := func(p int) bool { return mask>>p&1 == 1 }
+			if pd.EvalBool(pin) != dd.EvalBool(pin) {
+				t.Errorf("%s: dual∘dual changed semantics at mask %b", k, mask)
+			}
+		}
+	}
+}
+
+func TestEdgeParamFormulas(t *testing.T) {
+	p := EdgeParams{D0: 0.1, D1: 2, D2: 0.5, S0: 0.2, S1: 4, S2: 0.1, A: 0.05, B: 2, C: 1}
+	if got := p.Tp0(0.03, 0.4); math.Abs(got-(0.1+0.06+0.2)) > 1e-12 {
+		t.Errorf("Tp0 = %g", got)
+	}
+	if got := p.Slew(0.03, 0.4); math.Abs(got-(0.2+0.12+0.04)) > 1e-12 {
+		t.Errorf("Slew = %g", got)
+	}
+	if got := p.Tau(5, 0.03); math.Abs(got-5*(0.05+0.06)) > 1e-12 {
+		t.Errorf("Tau = %g", got)
+	}
+	if got := p.T0(5, 0.4); math.Abs(got-(0.5-0.2)*0.4) > 1e-12 {
+		t.Errorf("T0 = %g", got)
+	}
+}
+
+func TestDefaultLibraryComplete(t *testing.T) {
+	l := Default06()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("default library invalid: %v", err)
+	}
+	if l.VDD != Default06VDD {
+		t.Errorf("VDD = %g, want %g", l.VDD, Default06VDD)
+	}
+	for _, k := range Kinds() {
+		c := l.Cell(k)
+		if c == nil {
+			t.Errorf("default library missing %s", k)
+			continue
+		}
+		if len(c.Pins) != k.NumInputs() {
+			t.Errorf("%s has %d pins, want %d", k, len(c.Pins), k.NumInputs())
+		}
+		for i, p := range c.Pins {
+			if p.VT != Default06VDD/2 {
+				t.Errorf("%s pin %d default VT = %g, want VDD/2", k, i, p.VT)
+			}
+			if p.CIn <= 0 {
+				t.Errorf("%s pin %d CIn not positive", k, i)
+			}
+		}
+	}
+	if got := len(l.Kinds()); got != len(Kinds()) {
+		t.Errorf("library lists %d kinds, want %d", got, len(Kinds()))
+	}
+}
+
+func TestDefaultLibraryPinPositionEffect(t *testing.T) {
+	// Pin 0 of a NAND2 sits lower in the stack and must be slower than
+	// pin 1 under identical conditions.
+	c := Default06().Cell(NAND2)
+	d0 := c.Pins[0].Fall.Tp0(0.02, 0.3)
+	d1 := c.Pins[1].Fall.Tp0(0.02, 0.3)
+	if d0 <= d1 {
+		t.Errorf("pin0 delay %g should exceed pin1 delay %g", d0, d1)
+	}
+}
+
+func TestLibraryAddRejectsBadCell(t *testing.T) {
+	l := NewLibrary("t", 5)
+	bad := &Cell{Kind: INV, Pins: []PinParams{{VT: 6, CIn: 0.01,
+		Rise: EdgeParams{S0: 0.1}, Fall: EdgeParams{S0: 0.1}}}, Drive: 1}
+	if err := l.Add(bad); err == nil {
+		t.Error("VT above VDD accepted")
+	}
+	bad2 := &Cell{Kind: NAND2, Pins: make([]PinParams, 1), Drive: 1}
+	if err := l.Add(bad2); err == nil {
+		t.Error("wrong pin count accepted")
+	}
+	var missing *Cell = &Cell{Kind: INV, Pins: []PinParams{{VT: 2.5, CIn: 0.01,
+		Rise: EdgeParams{S0: 0.1}, Fall: EdgeParams{S0: 0.1}}}, Drive: 0}
+	if err := l.Add(missing); err == nil {
+		t.Error("zero drive accepted")
+	}
+}
+
+func TestLibraryValidateBadVDD(t *testing.T) {
+	l := NewLibrary("t", -1)
+	if err := l.Validate(); err == nil {
+		t.Error("negative VDD accepted")
+	}
+}
+
+// Property: Tp0 and Slew are monotonically nondecreasing in load and input
+// slew for every cell/pin/edge of the default library.
+func TestDelayMonotonicityProperty(t *testing.T) {
+	l := Default06()
+	f := func(clQ, tauQ, dclQ, dtauQ uint16) bool {
+		cl := float64(clQ) / 65535 * 0.2
+		tau := 0.05 + float64(tauQ)/65535*2
+		dcl := float64(dclQ) / 65535 * 0.1
+		dtau := float64(dtauQ) / 65535
+		for _, k := range l.Kinds() {
+			c := l.Cell(k)
+			for _, p := range c.Pins {
+				for _, ep := range []EdgeParams{p.Rise, p.Fall} {
+					if ep.Tp0(cl+dcl, tau) < ep.Tp0(cl, tau)-1e-12 {
+						return false
+					}
+					if ep.Tp0(cl, tau+dtau) < ep.Tp0(cl, tau)-1e-12 {
+						return false
+					}
+					if ep.Slew(cl+dcl, tau+dtau) < ep.Slew(cl, tau)-1e-12 {
+						return false
+					}
+					if ep.Tau(5, cl+dcl) < ep.Tau(5, cl)-1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

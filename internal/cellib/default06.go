@@ -1,0 +1,129 @@
+package cellib
+
+import "fmt"
+
+// Default06VDD is the supply voltage of the default library, matching the
+// 0.6 um CMOS technology and 5 V swing used in the paper's figures.
+const Default06VDD = 5.0
+
+// Default06 returns the default 0.6 um-style cell library.
+//
+// The coefficient values are hand-set to magnitudes representative of a
+// 0.6 um standard-cell process (gate delays of a few hundred ps, input
+// capacitances around 10 fF, degradation time constants below 1 ns with the
+// load and input-slope dependences of eq. 2 and eq. 3). They are not foundry
+// data — the paper's own numbers are unpublished — but internal/charlib can
+// regenerate a library with the same structure by characterizing cells
+// against the analog reference engine, mirroring how the authors fit
+// against HSPICE.
+func Default06() *Library {
+	l := NewLibrary("default-0.6um", Default06VDD)
+
+	// mk builds a cell whose pins share base coefficients, with a small
+	// per-pin position factor: later pins (closer to the output node in
+	// the stack) are slightly faster, reflecting the input-position
+	// dependence the degradation model carries (the "i" in eq. 2/3).
+	mk := func(k Kind, baseRise, baseFall EdgeParams, cin, cout, drive float64) *Cell {
+		n := k.NumInputs()
+		pins := make([]PinParams, n)
+		for i := 0; i < n; i++ {
+			f := 1 + 0.08*float64(n-1-i) // pin 0 slowest in an n-stack
+			r, fa := baseRise, baseFall
+			r.D0 *= f
+			fa.D0 *= f
+			r.A *= f
+			fa.A *= f
+			pins[i] = PinParams{
+				VT:   Default06VDD / 2,
+				CIn:  cin,
+				Rise: r,
+				Fall: fa,
+			}
+		}
+		return &Cell{Kind: k, Pins: pins, COut: cout, Drive: drive}
+	}
+
+	// edge is shorthand for the coefficient tuple.
+	edge := func(d0, d1, d2, s0, s1, s2, a, b, c float64) EdgeParams {
+		return EdgeParams{D0: d0, D1: d1, D2: d2, S0: s0, S1: s1, S2: s2, A: a, B: b, C: c}
+	}
+
+	cells := []*Cell{
+		// INV: the reference unit drive.
+		mk(INV,
+			edge(0.0480, 1.2000, 0.0400, 0.0880, 2.4000, 0.0400, 0.0480, 1.2000, 1.0000),
+			edge(0.0400, 1.0400, 0.0400, 0.0800, 2.0800, 0.0400, 0.0440, 1.1200, 1.0000),
+			0.010, 0.005, 1.0),
+		// BUF: two-stage composite.
+		mk(BUF,
+			edge(0.1040, 1.2000, 0.0320, 0.0960, 2.4000, 0.0200, 0.0520, 1.2000, 1.0000),
+			edge(0.0960, 1.0400, 0.0320, 0.0880, 2.0800, 0.0200, 0.0480, 1.1200, 1.0000),
+			0.010, 0.006, 1.0),
+		// NAND family: series NMOS stack slows the falling output edge.
+		mk(NAND2,
+			edge(0.0560, 1.2800, 0.0400, 0.0960, 2.5600, 0.0400, 0.0500, 1.3200, 1.0500),
+			edge(0.0640, 1.3600, 0.0480, 0.1040, 2.7200, 0.0480, 0.0540, 1.4400, 1.0500),
+			0.012, 0.007, 0.9),
+		mk(NAND3,
+			edge(0.0640, 1.3600, 0.0440, 0.1040, 2.7200, 0.0440, 0.0540, 1.4400, 1.0800),
+			edge(0.0840, 1.5200, 0.0560, 0.1200, 3.0400, 0.0560, 0.0600, 1.6000, 1.0800),
+			0.013, 0.009, 0.8),
+		mk(NAND4,
+			edge(0.0720, 1.4400, 0.0480, 0.1120, 2.8800, 0.0480, 0.0580, 1.5600, 1.1000),
+			edge(0.1040, 1.6800, 0.0640, 0.1400, 3.3600, 0.0640, 0.0660, 1.8000, 1.1000),
+			0.014, 0.011, 0.7),
+		// NOR family: series PMOS stack slows the rising output edge.
+		mk(NOR2,
+			edge(0.0720, 1.4400, 0.0480, 0.1120, 2.8800, 0.0480, 0.0560, 1.5200, 1.0500),
+			edge(0.0520, 1.2000, 0.0400, 0.0920, 2.4000, 0.0400, 0.0460, 1.2800, 1.0500),
+			0.012, 0.007, 0.85),
+		mk(NOR3,
+			edge(0.0960, 1.6000, 0.0600, 0.1320, 3.2000, 0.0600, 0.0620, 1.6800, 1.0800),
+			edge(0.0600, 1.2800, 0.0440, 0.1000, 2.5600, 0.0440, 0.0500, 1.4000, 1.0800),
+			0.013, 0.009, 0.75),
+		mk(NOR4,
+			edge(0.1200, 1.7600, 0.0720, 0.1520, 3.5200, 0.0720, 0.0700, 1.9200, 1.1000),
+			edge(0.0680, 1.3600, 0.0480, 0.1080, 2.7200, 0.0480, 0.0540, 1.5200, 1.1000),
+			0.014, 0.011, 0.65),
+		// Composite two-level cells.
+		mk(AND2,
+			edge(0.1200, 1.2000, 0.0320, 0.0960, 2.4000, 0.0240, 0.0580, 1.4000, 1.0500),
+			edge(0.1120, 1.1200, 0.0320, 0.0880, 2.2400, 0.0240, 0.0540, 1.3200, 1.0500),
+			0.012, 0.008, 0.9),
+		mk(AND3,
+			edge(0.1360, 1.2800, 0.0360, 0.1040, 2.5600, 0.0240, 0.0620, 1.5200, 1.0800),
+			edge(0.1280, 1.2000, 0.0360, 0.0960, 2.4000, 0.0240, 0.0580, 1.4400, 1.0800),
+			0.013, 0.009, 0.85),
+		mk(OR2,
+			edge(0.1280, 1.2800, 0.0360, 0.1040, 2.5600, 0.0240, 0.0600, 1.4400, 1.0500),
+			edge(0.1200, 1.2000, 0.0360, 0.0960, 2.4000, 0.0240, 0.0560, 1.4000, 1.0500),
+			0.012, 0.008, 0.85),
+		mk(OR3,
+			edge(0.1440, 1.3600, 0.0400, 0.1120, 2.7200, 0.0280, 0.0660, 1.5600, 1.0800),
+			edge(0.1360, 1.2800, 0.0400, 0.1040, 2.5600, 0.0280, 0.0600, 1.5200, 1.0800),
+			0.013, 0.009, 0.8),
+		mk(XOR2,
+			edge(0.1520, 1.4400, 0.0480, 0.1200, 2.8800, 0.0320, 0.0700, 1.6800, 1.1000),
+			edge(0.1440, 1.3600, 0.0480, 0.1120, 2.7200, 0.0320, 0.0660, 1.6400, 1.1000),
+			0.016, 0.010, 0.8),
+		mk(XNOR2,
+			edge(0.1520, 1.4400, 0.0480, 0.1200, 2.8800, 0.0320, 0.0700, 1.6800, 1.1000),
+			edge(0.1440, 1.3600, 0.0480, 0.1120, 2.7200, 0.0320, 0.0660, 1.6400, 1.1000),
+			0.016, 0.010, 0.8),
+		// Complex inverting cells.
+		mk(AOI21,
+			edge(0.0720, 1.4400, 0.0480, 0.1120, 2.8800, 0.0480, 0.0568, 1.5200, 1.0800),
+			edge(0.0800, 1.5200, 0.0520, 0.1200, 3.0400, 0.0520, 0.0600, 1.5600, 1.0800),
+			0.013, 0.009, 0.8),
+		mk(OAI21,
+			edge(0.0760, 1.4800, 0.0480, 0.1160, 2.9600, 0.0480, 0.0584, 1.5200, 1.0800),
+			edge(0.0760, 1.4800, 0.0520, 0.1160, 2.9600, 0.0520, 0.0584, 1.5600, 1.0800),
+			0.013, 0.009, 0.8),
+	}
+	for _, c := range cells {
+		if err := l.Add(c); err != nil {
+			panic(fmt.Sprintf("cellib: default library: %v", err))
+		}
+	}
+	return l
+}

@@ -1,0 +1,159 @@
+package cellib
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgeParams carries the timing model coefficients of one output edge
+// (rise or fall) seen from one input pin.
+//
+// The conventional delay model (CDM) is the affine macromodel the paper
+// builds on (refs [1,2]):
+//
+//	tp0 = D0 + D1*CL + D2*TauIn        (ns; CL in pF, TauIn in ns)
+//
+// The output slew follows the same shape:
+//
+//	slew = S0 + S1*CL + S2*TauIn
+//
+// A, B, C are the degradation parameters of eq. 2 and eq. 3:
+//
+//	tau = VDD * (A + B*CL)
+//	T0  = (1/2 - C/VDD) * TauIn
+type EdgeParams struct {
+	D0, D1, D2 float64
+	S0, S1, S2 float64
+	A, B, C    float64
+}
+
+// Tp0 evaluates the conventional (non-degraded) propagation delay.
+func (p EdgeParams) Tp0(cl, tauIn float64) float64 {
+	return p.D0 + p.D1*cl + p.D2*tauIn
+}
+
+// Slew evaluates the output transition time for the edge.
+func (p EdgeParams) Slew(cl, tauIn float64) float64 {
+	return p.S0 + p.S1*cl + p.S2*tauIn
+}
+
+// Tau evaluates the degradation time constant of eq. 2.
+func (p EdgeParams) Tau(vdd, cl float64) float64 {
+	return vdd * (p.A + p.B*cl)
+}
+
+// T0 evaluates the degradation dead time of eq. 3.
+func (p EdgeParams) T0(vdd, tauIn float64) float64 {
+	return (0.5 - p.C/vdd) * tauIn
+}
+
+// PinParams carries the per-input-pin cell data: the input threshold voltage
+// VT that decides whether a transition produces an event at this input, the
+// pin's input capacitance, and the timing coefficients of the output edges
+// triggered through this pin.
+type PinParams struct {
+	// VT is the default input threshold in volts; netlist instances may
+	// override it per pin (the paper's Fig. 1 relies on differing VTs).
+	VT float64
+	// CIn is the pin input capacitance in pF, contributing to the driving
+	// gate's output load.
+	CIn float64
+	// Rise holds the coefficients when the *output* edge is rising; Fall
+	// when falling.
+	Rise, Fall EdgeParams
+}
+
+// Cell bundles a kind with its per-pin parameters.
+type Cell struct {
+	Kind Kind
+	Pins []PinParams
+	// COut is the cell's intrinsic output (drain) capacitance in pF,
+	// always part of its own load.
+	COut float64
+	// Drive scales the analog macromodel output current of this cell
+	// relative to a unit inverter.
+	Drive float64
+}
+
+// Validate checks internal consistency of the cell definition.
+func (c *Cell) Validate(vdd float64) error {
+	if len(c.Pins) != c.Kind.NumInputs() {
+		return fmt.Errorf("cellib: %s has %d pin param sets, want %d", c.Kind, len(c.Pins), c.Kind.NumInputs())
+	}
+	for i, p := range c.Pins {
+		if p.VT <= 0 || p.VT >= vdd {
+			return fmt.Errorf("cellib: %s pin %d VT %.3g outside (0, %.3g)", c.Kind, i, p.VT, vdd)
+		}
+		if p.CIn < 0 {
+			return fmt.Errorf("cellib: %s pin %d negative CIn", c.Kind, i)
+		}
+		for _, ep := range []EdgeParams{p.Rise, p.Fall} {
+			if ep.D0 < 0 || ep.S0 <= 0 {
+				return fmt.Errorf("cellib: %s pin %d non-physical delay/slew intercepts", c.Kind, i)
+			}
+			if ep.A < 0 || ep.B < 0 {
+				return fmt.Errorf("cellib: %s pin %d negative degradation A/B", c.Kind, i)
+			}
+			if t0 := ep.T0(vdd, 1); math.IsNaN(t0) {
+				return fmt.Errorf("cellib: %s pin %d bad T0", c.Kind, i)
+			}
+		}
+	}
+	if c.COut < 0 {
+		return fmt.Errorf("cellib: %s negative COut", c.Kind)
+	}
+	if c.Drive <= 0 {
+		return fmt.Errorf("cellib: %s non-positive drive", c.Kind)
+	}
+	return nil
+}
+
+// Library is a complete cell library under one supply voltage.
+type Library struct {
+	// Name identifies the library (e.g. "default-0.6um").
+	Name string
+	// VDD is the supply voltage in volts.
+	VDD   float64
+	cells map[Kind]*Cell
+}
+
+// NewLibrary returns an empty library at the given supply voltage.
+func NewLibrary(name string, vdd float64) *Library {
+	return &Library{Name: name, VDD: vdd, cells: make(map[Kind]*Cell)}
+}
+
+// Add registers a cell, replacing any previous definition of the same kind.
+func (l *Library) Add(c *Cell) error {
+	if err := c.Validate(l.VDD); err != nil {
+		return err
+	}
+	l.cells[c.Kind] = c
+	return nil
+}
+
+// Cell returns the definition for a kind, or nil if absent.
+func (l *Library) Cell(k Kind) *Cell { return l.cells[k] }
+
+// Kinds returns the kinds present in the library in declaration order.
+func (l *Library) Kinds() []Kind {
+	var ks []Kind
+	for _, k := range Kinds() {
+		if _, ok := l.cells[k]; ok {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// Validate checks every cell in the library.
+func (l *Library) Validate() error {
+	if l.VDD <= 0 {
+		return fmt.Errorf("cellib: library VDD %.3g must be positive", l.VDD)
+	}
+	for _, c := range l.cells {
+		if err := c.Validate(l.VDD); err != nil {
+			return err
+		}
+	}
+	return nil
+}

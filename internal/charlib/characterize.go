@@ -1,0 +1,328 @@
+package charlib
+
+import (
+	"fmt"
+	"math"
+
+	"halotis/internal/analog"
+	"halotis/internal/cellib"
+	"halotis/internal/fit"
+)
+
+// Characterize fits delay, slew and degradation coefficients for every
+// pin/edge of the kind against the analog reference. The kind must have a
+// primitive CMOS topology. The template cell of the library supplies pin
+// thresholds and capacitances for the measurement circuits.
+func Characterize(lib *cellib.Library, kind cellib.Kind, cfg Config) (*CellFit, error) {
+	cfg.setDefaults()
+	if !kind.Inverting() {
+		return nil, fmt.Errorf("charlib: %s has no primitive topology; characterize its primitive decomposition instead", kind)
+	}
+	if lib.Cell(kind) == nil {
+		return nil, fmt.Errorf("charlib: library %q lacks a template cell for %s", lib.Name, kind)
+	}
+
+	n := kind.NumInputs()
+	cf := &CellFit{Kind: kind, Pins: make([]PinFit, n)}
+
+	// Harnesses per wire cap, shared by all pins.
+	harnesses := make([]*harness, len(cfg.WireCaps))
+	for i, wc := range cfg.WireCaps {
+		h, err := buildHarness(lib, kind, wc)
+		if err != nil {
+			return nil, err
+		}
+		harnesses[i] = h
+	}
+
+	for pin := 0; pin < n; pin++ {
+		side, outWhenLow, err := enablingAssignment(kind, pin)
+		if err != nil {
+			return nil, err
+		}
+		// Input rising drives output toward !outWhenLow... the output
+		// edge when the pin rises is outWhenHigh = !outWhenLow for
+		// inverting cells.
+		for _, outEdgeRising := range []bool{true, false} {
+			// Which input edge produces this output edge?
+			inRising := outEdgeRising == !outWhenLow
+			ef, err := characterizeEdge(harnesses, &cfg, pin, side, inRising, outEdgeRising)
+			if err != nil {
+				return nil, fmt.Errorf("charlib: %s pin %d %s: %w", kind, pin, edgeName(outEdgeRising), err)
+			}
+			cf.Runs += ef.runs
+			if outEdgeRising {
+				cf.Pins[pin].Rise = ef.EdgeFit
+			} else {
+				cf.Pins[pin].Fall = ef.EdgeFit
+			}
+		}
+	}
+	return cf, nil
+}
+
+func edgeName(rising bool) string {
+	if rising {
+		return "rise"
+	}
+	return "fall"
+}
+
+type edgeFitRuns struct {
+	EdgeFit
+	runs int
+}
+
+// characterizeEdge performs the step grid and degradation sweeps for one
+// pin and one output edge direction.
+func characterizeEdge(harnesses []*harness, cfg *Config, pin int, side []bool, inRising, outRising bool) (edgeFitRuns, error) {
+	var out edgeFitRuns
+	out.TauAtLoads = make(map[float64]float64)
+
+	// 1. Step grid: tp and slew over (CL, tauIn).
+	var rows [][]float64
+	var tps, slews []float64
+	for _, h := range harnesses {
+		for _, tauIn := range cfg.Slews {
+			m, err := measureStep(h, cfg, pin, side, inRising, tauIn)
+			if err != nil {
+				return out, err
+			}
+			out.runs++
+			if m.tp <= 0 {
+				// Ramp-start convention went non-causal (input slew
+				// much slower than the gate): skip the point.
+				continue
+			}
+			rows = append(rows, []float64{1, m.cl, m.tauIn})
+			tps = append(tps, m.tp)
+			slews = append(slews, m.slew)
+		}
+	}
+	if len(rows) < 3 {
+		return out, fmt.Errorf("only %d usable step observations", len(rows))
+	}
+	dCoef, err := fit.LeastSquares(rows, tps)
+	if err != nil {
+		return out, err
+	}
+	sCoef, err := fit.LeastSquares(rows, slews)
+	if err != nil {
+		return out, err
+	}
+	out.Params = cellib.EdgeParams{
+		D0: math.Max(dCoef[0], 0), D1: math.Max(dCoef[1], 0), D2: dCoef[2],
+		S0: math.Max(sCoef[0], 1e-3), S1: math.Max(sCoef[1], 0), S2: sCoef[2],
+	}
+	out.DelayRMS = fit.RMS(rows, tps, dCoef)
+	out.SlewRMS = fit.RMS(rows, slews, sCoef)
+
+	// 2. Degradation sweeps at the extreme loads.
+	tauIn := cfg.Slews[len(cfg.Slews)/2]
+	type degPoint struct {
+		cl, tau, t0 float64
+		points      int
+	}
+	var degs []degPoint
+	sweepLoads := []*harness{harnesses[0]}
+	if len(harnesses) > 1 {
+		sweepLoads = append(sweepLoads, harnesses[len(harnesses)-1])
+	}
+	for _, h := range sweepLoads {
+		d, pts, runs, err := degradationSweep(h, cfg, pin, side, outRising, tauIn)
+		out.runs += runs
+		if err != nil {
+			return out, err
+		}
+		degs = append(degs, degPoint{cl: h.cl, tau: d.Tau, t0: d.T0, points: pts})
+		out.TauAtLoads[h.cl] = d.Tau
+		out.DegradationPoints += pts
+	}
+
+	// 3. Invert eq. 2 (tau = VDD*(A + B*CL)) and eq. 3
+	// (T0 = (1/2 - C/VDD)*tauIn).
+	vdd := harnesses[0].ckt.Lib.VDD
+	if len(degs) >= 2 && degs[1].cl != degs[0].cl {
+		b := (degs[1].tau - degs[0].tau) / (vdd * (degs[1].cl - degs[0].cl))
+		a := degs[0].tau/vdd - b*degs[0].cl
+		out.Params.A = math.Max(a, 0)
+		out.Params.B = math.Max(b, 0)
+	} else {
+		out.Params.A = math.Max(degs[0].tau/vdd, 0)
+	}
+	t0avg := 0.0
+	for _, d := range degs {
+		t0avg += d.t0
+	}
+	t0avg /= float64(len(degs))
+	out.Params.C = (0.5 - t0avg/tauIn) * vdd
+	return out, nil
+}
+
+// degradationSweep measures trailing-edge delay versus pulse width and fits
+// the exponential law. outRising selects which output edge is the trailing
+// one: the input pulse polarity is chosen so the output ends with that
+// edge.
+func degradationSweep(h *harness, cfg *Config, pin int, side []bool, outRising bool, tauIn float64) (fit.Degradation, int, int, error) {
+	vdd := h.ckt.Lib.VDD
+	runs := 0
+
+	// Reference step measurement for tp0 and slews of both edges.
+	mTrail, err := measureStep(h, cfg, pin, side, trailingInputRising(h, pin, side, outRising), tauIn)
+	if err != nil {
+		return fit.Degradation{}, 0, runs, err
+	}
+	runs++
+	mLead, err := measureStep(h, cfg, pin, side, !trailingInputRising(h, pin, side, outRising), tauIn)
+	if err != nil {
+		return fit.Degradation{}, 0, runs, err
+	}
+	runs++
+
+	vt := h.gate.Inputs[pin].VT
+	inTrailRising := trailingInputRising(h, pin, side, outRising)
+
+	// measureWidth runs one pulse and classifies the observation:
+	// usable (0 < tp < SaturationCut*tp0), filtered (no trailing/leading
+	// output crossing or non-positive delay), or saturated.
+	type obs struct {
+		T, tp             float64
+		usable, saturated bool
+	}
+	measureWidth := func(w float64) (obs, error) {
+		startHigh := inTrailRising // pulse returns to the start level
+		t0 := 0.5
+		st := pulseStimulus(h, pin, side, startHigh, t0, w, tauIn)
+		res, err := analog.Run(h.ckt, st, t0+w+4, analog.Options{Dt: cfg.Dt, SampleEvery: 1, Device: cfg.Device})
+		if err != nil {
+			return obs{}, err
+		}
+		runs++
+		out := res.Trace("out")
+		var tevTrail float64
+		if inTrailRising {
+			tevTrail = t0 + w + tauIn*vt/vdd
+		} else {
+			tevTrail = t0 + w + tauIn*(vdd-vt)/vdd
+		}
+		t50Lead, errLead := traceCross(out, vdd/2, !outRising, t0)
+		t50Trail, errTrail := traceCross(out, vdd/2, outRising, tevTrail)
+		if errLead != nil || errTrail != nil {
+			return obs{}, nil // filtered
+		}
+		leadStart := t50Lead - mLead.slew/2
+		trailStart := t50Trail - mTrail.slew/2
+		o := obs{T: tevTrail - leadStart, tp: trailStart - tevTrail}
+		switch {
+		case o.tp <= 0:
+			// filtered
+		case o.tp >= fit.SaturationCut*mTrail.tp:
+			o.saturated = true
+		default:
+			o.usable = true
+		}
+		return o, nil
+	}
+
+	var Ts, tps []float64
+	record := func(o obs) {
+		if o.usable {
+			Ts = append(Ts, o.T)
+			tps = append(tps, o.tp)
+		}
+	}
+
+	if len(cfg.PulseWidths) > 0 {
+		for _, w := range cfg.PulseWidths {
+			o, err := measureWidth(w)
+			if err != nil {
+				return fit.Degradation{}, 0, runs, err
+			}
+			record(o)
+		}
+	} else {
+		// Phase 1: geometric scan to bracket the degradation band,
+		// which can be much narrower than the gate's nominal timing.
+		scale := math.Max(mTrail.slew, 0.005)
+		w0 := math.Max(mLead.tp*0.5, 0.05*scale)
+		wLo, wHi := w0, -1.0
+		for k := 0; k < 16; k++ {
+			w := w0 * math.Pow(1.45, float64(k))
+			o, err := measureWidth(w)
+			if err != nil {
+				return fit.Degradation{}, 0, runs, err
+			}
+			record(o)
+			if !o.usable && !o.saturated {
+				wLo = w // still filtered below this width
+			}
+			if o.saturated {
+				wHi = w
+				break
+			}
+		}
+		if wHi < 0 {
+			wHi = w0 * math.Pow(1.45, 16)
+		}
+		// Phase 2: uniform refinement inside the bracket.
+		for i := 1; i <= 12; i++ {
+			w := wLo + (wHi-wLo)*float64(i)/13
+			o, err := measureWidth(w)
+			if err != nil {
+				return fit.Degradation{}, 0, runs, err
+			}
+			record(o)
+		}
+	}
+
+	d, err := fit.FitDegradation(Ts, tps, mTrail.tp)
+	if err != nil {
+		return fit.Degradation{}, len(Ts), runs, fmt.Errorf("degradation fit (%d points): %w", len(Ts), err)
+	}
+	return d, len(Ts), runs, nil
+}
+
+// trailingInputRising returns the input edge direction whose output response
+// is the given output edge direction.
+func trailingInputRising(h *harness, pin int, side []bool, outRising bool) bool {
+	kind := h.gate.Cell.Kind
+	in := make([]bool, len(side))
+	copy(in, side)
+	in[pin] = false
+	outWhenLow := kind.Eval(in)
+	// Input rising produces output = outWhenHigh = !outWhenLow.
+	return outRising == !outWhenLow
+}
+
+// BuildLibrary characterizes every primitive kind present in the template
+// library and returns a new library; composite kinds keep their template
+// parameters. Stimulus-facing metadata (VT, CIn, COut, Drive) is inherited
+// from the template.
+func BuildLibrary(template *cellib.Library, cfg Config, kinds ...cellib.Kind) (*cellib.Library, []*CellFit, error) {
+	if len(kinds) == 0 {
+		kinds = template.Kinds()
+	}
+	out := cellib.NewLibrary(template.Name+"-characterized", template.VDD)
+	var fits []*CellFit
+	for _, k := range kinds {
+		tc := template.Cell(k)
+		if tc == nil {
+			return nil, nil, fmt.Errorf("charlib: template lacks %s", k)
+		}
+		if !k.Inverting() {
+			if err := out.Add(tc); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		cf, err := Characterize(template, k, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		fits = append(fits, cf)
+		if err := out.Add(cf.Cell(tc)); err != nil {
+			return nil, nil, fmt.Errorf("charlib: fitted %s cell invalid: %w", k, err)
+		}
+	}
+	return out, fits, nil
+}

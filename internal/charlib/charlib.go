@@ -1,0 +1,255 @@
+// Package charlib characterizes library cells against the analog reference
+// engine, the way the paper's authors fitted the IDDM parameters against
+// HSPICE: step sweeps over load and input slew yield the conventional
+// delay/slew coefficients (D0,D1,D2 / S0,S1,S2), and pulse-width sweeps
+// yield the degradation parameters (A, B, C) of eq. 2 and eq. 3.
+//
+// The measurement conventions match the simulation engine: an input event
+// is the input ramp's crossing of the pin threshold, and the propagation
+// delay is from that event to the *start* of the output ramp
+// (its half-swing crossing minus half its full-swing slew).
+package charlib
+
+import (
+	"fmt"
+
+	"halotis/internal/analog"
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+)
+
+// Config parameterizes a characterization run.
+type Config struct {
+	// Device sets the analog macromodel; zero value = DefaultDevice.
+	Device analog.DeviceParams
+	// Dt is the analog integration step; default 0.0005 ns.
+	Dt float64
+	// WireCaps are the extra output loads swept for delay fitting, pF.
+	// Default {0.01, 0.03, 0.06} — realistic fanout loads; unloaded fast
+	// cells can respond before the input ramp finishes, which breaks the
+	// ramp-start delay convention.
+	WireCaps []float64
+	// Slews are the input transition times swept, ns. Default
+	// {0.04, 0.1}. Keep them below the gate delay so the ramp-start
+	// delay convention stays positive.
+	Slews []float64
+	// PulseWidths are the input pulse widths of the degradation sweep,
+	// ns. Empty means adaptive: the sweep is placed inside the measured
+	// degradation band of the cell (from the step-response delay and
+	// slew), which varies strongly with gate speed and load.
+	PulseWidths []float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Device == (analog.DeviceParams{}) {
+		c.Device = analog.DefaultDevice()
+	}
+	if c.Dt <= 0 {
+		c.Dt = 0.0005
+	}
+	if len(c.WireCaps) == 0 {
+		c.WireCaps = []float64{0.01, 0.03, 0.06}
+	}
+	if len(c.Slews) == 0 {
+		c.Slews = []float64{0.04, 0.1}
+	}
+}
+
+// EdgeFit is the characterization outcome for one pin/edge.
+type EdgeFit struct {
+	// Params are the fitted model coefficients.
+	Params cellib.EdgeParams
+	// DelayRMS and SlewRMS are residuals of the linear fits, ns.
+	DelayRMS, SlewRMS float64
+	// DegradationPoints counts usable pulse observations.
+	DegradationPoints int
+	// TauAtLoads records the fitted tau per degradation load, for
+	// reporting.
+	TauAtLoads map[float64]float64
+}
+
+// PinFit bundles the two edges of one input pin.
+type PinFit struct {
+	Rise, Fall EdgeFit
+}
+
+// CellFit is the characterization result of one cell.
+type CellFit struct {
+	Kind cellib.Kind
+	Pins []PinFit
+	// Runs counts analog simulations performed.
+	Runs int
+}
+
+// Cell materializes a library cell from the fit, inheriting thresholds,
+// capacitances and drive from the template cell.
+func (cf *CellFit) Cell(template *cellib.Cell) *cellib.Cell {
+	out := &cellib.Cell{
+		Kind:  cf.Kind,
+		Pins:  make([]cellib.PinParams, len(cf.Pins)),
+		COut:  template.COut,
+		Drive: template.Drive,
+	}
+	for i := range cf.Pins {
+		out.Pins[i] = cellib.PinParams{
+			VT:   template.Pins[i].VT,
+			CIn:  template.Pins[i].CIn,
+			Rise: cf.Pins[i].Rise.Params,
+			Fall: cf.Pins[i].Fall.Params,
+		}
+	}
+	return out
+}
+
+// harness is the one-gate measurement circuit for one (kind, wirecap).
+type harness struct {
+	ckt  *netlist.Circuit
+	gate *netlist.Gate
+	cl   float64 // total output load
+}
+
+// buildHarness creates in0..in(n-1) -> cell -> out with the given wire cap.
+func buildHarness(lib *cellib.Library, kind cellib.Kind, wireCap float64) (*harness, error) {
+	b := netlist.NewBuilder(fmt.Sprintf("char_%s", kind), lib)
+	n := kind.NumInputs()
+	ins := make([]string, n)
+	for i := range ins {
+		ins[i] = fmt.Sprintf("in%d", i)
+		b.Input(ins[i])
+	}
+	b.AddGate("dut", kind, "out", ins...)
+	b.SetWireCap("out", wireCap)
+	b.Output("out")
+	ckt, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &harness{ckt: ckt, gate: ckt.GateByName("dut"), cl: ckt.NetByName("out").Load()}, nil
+}
+
+// enablingAssignment finds side-input values such that toggling pin i
+// toggles the output, and returns them along with the output value when
+// pin i is low.
+func enablingAssignment(kind cellib.Kind, pin int) (side []bool, outWhenLow bool, err error) {
+	n := kind.NumInputs()
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		in := make([]bool, n)
+		k := 0
+		for j := 0; j < n; j++ {
+			if j == pin {
+				continue
+			}
+			in[j] = mask>>k&1 == 1
+			k++
+		}
+		in[pin] = false
+		lo := kind.Eval(in)
+		in[pin] = true
+		hi := kind.Eval(in)
+		if lo != hi {
+			side = make([]bool, n)
+			copy(side, in)
+			side[pin] = false
+			return side, lo, nil
+		}
+	}
+	return nil, false, fmt.Errorf("charlib: pin %d of %s cannot control the output", pin, kind)
+}
+
+// measure holds one step-response observation.
+type measure struct {
+	cl, tauIn float64
+	tp, slew  float64
+}
+
+// stepStimulus drives pin i with one edge at t0 and holds side inputs.
+func stepStimulus(h *harness, pin int, side []bool, rising bool, t0, slew float64) sim.Stimulus {
+	st := sim.Stimulus{}
+	for j := range side {
+		name := fmt.Sprintf("in%d", j)
+		if j == pin {
+			st[name] = sim.InputWave{Init: !rising, Edges: []sim.InputEdge{{Time: t0, Rising: rising, Slew: slew}}}
+		} else {
+			st[name] = sim.InputWave{Init: side[j]}
+		}
+	}
+	return st
+}
+
+// pulseStimulus drives pin i with a pulse of the given width.
+func pulseStimulus(h *harness, pin int, side []bool, startHigh bool, t0, width, slew float64) sim.Stimulus {
+	st := sim.Stimulus{}
+	for j := range side {
+		name := fmt.Sprintf("in%d", j)
+		if j == pin {
+			st[name] = sim.InputWave{Init: startHigh, Edges: []sim.InputEdge{
+				{Time: t0, Rising: !startHigh, Slew: slew},
+				{Time: t0 + width, Rising: startHigh, Slew: slew},
+			}}
+		} else {
+			st[name] = sim.InputWave{Init: side[j]}
+		}
+	}
+	return st
+}
+
+// traceCross returns the interpolated time the trace crosses level v in the
+// given direction after tMin, or an error.
+func traceCross(tr *analog.Trace, v float64, rising bool, tMin float64) (float64, error) {
+	times, volts := tr.Samples()
+	for i := 1; i < len(times); i++ {
+		if times[i] < tMin {
+			continue
+		}
+		v0, v1 := volts[i-1], volts[i]
+		if rising && v0 < v && v1 >= v || !rising && v0 > v && v1 <= v {
+			frac := (v - v0) / (v1 - v0)
+			return times[i-1] + frac*(times[i]-times[i-1]), nil
+		}
+	}
+	return 0, fmt.Errorf("charlib: trace never crosses %.3g (%v) after %.3g", v, rising, tMin)
+}
+
+// measureStep runs one step and extracts (tp, slew) for the output edge.
+func measureStep(h *harness, cfg *Config, pin int, side []bool, inRising bool, tauIn float64) (measure, error) {
+	vdd := h.ckt.Lib.VDD
+	t0 := 0.5
+	tEnd := t0 + tauIn + 4
+	st := stepStimulus(h, pin, side, inRising, t0, tauIn)
+	res, err := analog.Run(h.ckt, st, tEnd, analog.Options{Dt: cfg.Dt, SampleEvery: 1, Device: cfg.Device})
+	if err != nil {
+		return measure{}, err
+	}
+	out := res.Trace("out")
+	vt := h.gate.Inputs[pin].VT
+	// Input event time: the ramp's VT crossing.
+	var tev float64
+	if inRising {
+		tev = t0 + tauIn*vt/vdd
+	} else {
+		tev = t0 + tauIn*(vdd-vt)/vdd
+	}
+	outRising := out.SettleValue() > vdd/2
+	// First and second swing-fraction crossings in the edge's direction:
+	// 20% then 80% of the swing toward the new rail.
+	firstLevel, secondLevel := 0.2*vdd, 0.8*vdd
+	if !outRising {
+		firstLevel, secondLevel = 0.8*vdd, 0.2*vdd
+	}
+	tFirst, err := traceCross(out, firstLevel, outRising, t0)
+	if err != nil {
+		return measure{}, err
+	}
+	tSecond, err := traceCross(out, secondLevel, outRising, t0)
+	if err != nil {
+		return measure{}, err
+	}
+	t50, err := traceCross(out, vdd/2, outRising, t0)
+	if err != nil {
+		return measure{}, err
+	}
+	slew := (tSecond - tFirst) / 0.6
+	tp := t50 - slew/2 - tev
+	return measure{cl: h.cl, tauIn: tauIn, tp: tp, slew: slew}, nil
+}

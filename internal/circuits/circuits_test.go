@@ -1,0 +1,343 @@
+package circuits
+
+import (
+	"fmt"
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+var lib = cellib.Default06()
+
+func TestInverterChain(t *testing.T) {
+	c, err := InverterChain(lib, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Gates); got != 5 {
+		t.Errorf("gates = %d, want 5", got)
+	}
+	if c.Depth() != 5 {
+		t.Errorf("depth = %d, want 5", c.Depth())
+	}
+	out, err := c.EvalBool(map[string]bool{"in": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != true {
+		t.Error("5 inversions of 0 should be 1")
+	}
+	if _, err := InverterChain(lib, 0); err == nil {
+		t.Error("chain of 0 accepted")
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	c, err := Figure1(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := c.GateByName("g1")
+	g2 := c.GateByName("g2")
+	if g1.Inputs[0].VT != Figure1VT1 {
+		t.Errorf("g1 VT = %g, want %g", g1.Inputs[0].VT, Figure1VT1)
+	}
+	if g2.Inputs[0].VT != Figure1VT2 {
+		t.Errorf("g2 VT = %g, want %g", g2.Inputs[0].VT, Figure1VT2)
+	}
+	// Logic check: out1c/out2c follow in with two extra inversions of out0.
+	res, err := c.EvalBool(map[string]bool{"in": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["out0"] != false || res["out1c"] != false || res["out2c"] != false {
+		t.Errorf("figure1 logic wrong: %v", res)
+	}
+}
+
+// evalAdder drives a full/half adder cluster inside a scratch circuit.
+func TestFullAdderNANDTruth(t *testing.T) {
+	b := netlist.NewBuilder("fa", lib)
+	b.Input("a")
+	b.Input("b")
+	b.Input("ci")
+	FullAdderNAND(b, "fa", "a", "b", "ci", "sum", "co")
+	b.Output("sum")
+	b.Output("co")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 8; mask++ {
+		a, bb, ci := mask&1 == 1, mask&2 == 2, mask&4 == 4
+		res, err := c.EvalBool(map[string]bool{"a": a, "b": bb, "ci": ci})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := btoi(a) + btoi(bb) + btoi(ci)
+		if res["sum"] != (n%2 == 1) || res["co"] != (n >= 2) {
+			t.Errorf("FA(%v,%v,%v): sum=%v co=%v", a, bb, ci, res["sum"], res["co"])
+		}
+	}
+}
+
+func TestHalfAdderNANDTruth(t *testing.T) {
+	b := netlist.NewBuilder("ha", lib)
+	b.Input("a")
+	b.Input("b")
+	HalfAdderNAND(b, "ha", "a", "b", "sum", "co")
+	b.Output("sum")
+	b.Output("co")
+	c := b.MustBuild()
+	for mask := 0; mask < 4; mask++ {
+		a, bb := mask&1 == 1, mask&2 == 2
+		res, err := c.EvalBool(map[string]bool{"a": a, "b": bb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res["sum"] != (a != bb) || res["co"] != (a && bb) {
+			t.Errorf("HA(%v,%v): %v", a, bb, res)
+		}
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mulInputs builds the input assignment for a*b on an n x m multiplier.
+func mulInputs(a, b, n, m int) map[string]bool {
+	in := make(map[string]bool, n+m)
+	for j := 0; j < n; j++ {
+		in[fmt.Sprintf("a%d", j)] = a>>j&1 == 1
+	}
+	for i := 0; i < m; i++ {
+		in[fmt.Sprintf("b%d", i)] = b>>i&1 == 1
+	}
+	return in
+}
+
+// mulOutput decodes the product bits.
+func mulOutput(res map[string]bool, bits int) int {
+	p := 0
+	for k := 0; k < bits; k++ {
+		if res[fmt.Sprintf("s%d", k)] {
+			p |= 1 << k
+		}
+	}
+	return p
+}
+
+// TestMultiplier4x4Exhaustive checks all 256 products against integer
+// multiplication — the structural correctness of the Fig. 5 array.
+func TestMultiplier4x4Exhaustive(t *testing.T) {
+	c, err := Multiplier4x4(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			res, err := c.EvalBool(mulInputs(a, b, 4, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mulOutput(res, 8); got != a*b {
+				t.Fatalf("%d x %d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestMultiplier4x4Structure(t *testing.T) {
+	c, err := Multiplier4x4(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Inputs != 8 || s.Outputs != 8 {
+		t.Errorf("interface = %d in / %d out, want 8/8", s.Inputs, s.Outputs)
+	}
+	// 16 partial products (NAND+INV), 8 FAs (9 gates), 4 HAs (6 gates),
+	// 8 output buffer pairs: 32 + 72 + 24 + 16 = 144 gates.
+	if s.Gates != 144 {
+		t.Errorf("gates = %d, want 144", s.Gates)
+	}
+	// Analog engine compatibility: primitives only.
+	for _, g := range c.Gates {
+		if !g.Cell.Kind.Inverting() {
+			t.Fatalf("gate %s uses non-primitive %s", g.Name, g.Cell.Kind)
+		}
+	}
+}
+
+// TestMultiplierSizesProperty exercises the generalized generator.
+func TestMultiplierSizesProperty(t *testing.T) {
+	sizes := []struct{ n, m int }{{2, 2}, {3, 2}, {2, 3}, {3, 3}, {5, 4}}
+	for _, sz := range sizes {
+		c, err := Multiplier(lib, sz.n, sz.m)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", sz.n, sz.m, err)
+		}
+		for a := 0; a < 1<<sz.n; a++ {
+			for b := 0; b < 1<<sz.m; b++ {
+				res, err := c.EvalBool(mulInputs(a, b, sz.n, sz.m))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := mulOutput(res, sz.n+sz.m); got != a*b {
+					t.Fatalf("%dx%d: %d*%d = %d, want %d", sz.n, sz.m, a, b, got, a*b)
+				}
+			}
+		}
+	}
+	if _, err := Multiplier(lib, 1, 4); err == nil {
+		t.Error("1x4 multiplier accepted")
+	}
+}
+
+func TestRippleCarryAdder(t *testing.T) {
+	width := 4
+	c, err := RippleCarryAdder(lib, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 1<<width; a++ {
+		for b := 0; b < 1<<width; b++ {
+			in := make(map[string]bool)
+			for i := 0; i < width; i++ {
+				in[fmt.Sprintf("a%d", i)] = a>>i&1 == 1
+				in[fmt.Sprintf("b%d", i)] = b>>i&1 == 1
+			}
+			res, err := c.EvalBool(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := 0
+			for i := 0; i < width; i++ {
+				if res[fmt.Sprintf("s%d", i)] {
+					got |= 1 << i
+				}
+			}
+			if res["cout"] {
+				got |= 1 << width
+			}
+			if got != a+b {
+				t.Fatalf("%d+%d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+	if _, err := RippleCarryAdder(lib, 0); err == nil {
+		t.Error("width-0 adder accepted")
+	}
+}
+
+func TestParityTree(t *testing.T) {
+	for _, width := range []int{2, 3, 5, 8} {
+		c, err := ParityTree(lib, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for mask := 0; mask < 1<<width; mask++ {
+			in := make(map[string]bool)
+			ones := 0
+			for i := 0; i < width; i++ {
+				bit := mask>>i&1 == 1
+				in[fmt.Sprintf("x%d", i)] = bit
+				if bit {
+					ones++
+				}
+			}
+			res, err := c.EvalBool(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res["parity"] != (ones%2 == 1) {
+				t.Fatalf("width %d mask %b: parity=%v", width, mask, res["parity"])
+			}
+		}
+	}
+	if _, err := ParityTree(lib, 1); err == nil {
+		t.Error("width-1 parity accepted")
+	}
+}
+
+func TestC17Truth(t *testing.T) {
+	c, err := C17(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference model of C17.
+	ref := func(i1, i2, i3, i6, i7 bool) (bool, bool) {
+		n10 := !(i1 && i3)
+		n11 := !(i3 && i6)
+		n16 := !(i2 && n11)
+		n19 := !(n11 && i7)
+		return !(n10 && n16), !(n16 && n19)
+	}
+	for mask := 0; mask < 32; mask++ {
+		bits := make([]bool, 5)
+		for i := range bits {
+			bits[i] = mask>>i&1 == 1
+		}
+		in := map[string]bool{"i1": bits[0], "i2": bits[1], "i3": bits[2], "i6": bits[3], "i7": bits[4]}
+		res, err := c.EvalBool(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w22, w23 := ref(bits[0], bits[1], bits[2], bits[3], bits[4])
+		if res["o22"] != w22 || res["o23"] != w23 {
+			t.Fatalf("mask %05b: got %v/%v want %v/%v", mask, res["o22"], res["o23"], w22, w23)
+		}
+	}
+}
+
+func TestRandomCombinational(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c, err := RandomCombinational(lib, RandomOptions{Inputs: 4, Gates: 30, Seed: seed, PrimitiveOnly: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, g := range c.Gates {
+			if !g.Cell.Kind.Inverting() {
+				t.Fatalf("seed %d: non-primitive %s", seed, g.Cell.Kind)
+			}
+		}
+		// Deterministic: same seed, same structure.
+		c2, err := RandomCombinational(lib, RandomOptions{Inputs: 4, Gates: 30, Seed: seed, PrimitiveOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Gates) != len(c2.Gates) || c.Stats().String() != c2.Stats().String() {
+			t.Fatalf("seed %d: nondeterministic structure", seed)
+		}
+	}
+	if _, err := RandomCombinational(lib, RandomOptions{Inputs: 1, Gates: 5}); err == nil {
+		t.Error("1-input random circuit accepted")
+	}
+	if _, err := RandomCombinational(lib, RandomOptions{Inputs: 3, Gates: 0}); err == nil {
+		t.Error("0-gate random circuit accepted")
+	}
+}
+
+func TestXorNANDTruth(t *testing.T) {
+	b := netlist.NewBuilder("xor", lib)
+	b.Input("x")
+	b.Input("y")
+	XorNAND(b, "x1", "x", "y", "out")
+	b.Output("out")
+	c := b.MustBuild()
+	for mask := 0; mask < 4; mask++ {
+		x, y := mask&1 == 1, mask&2 == 2
+		res, err := c.EvalBool(map[string]bool{"x": x, "y": y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res["out"] != (x != y) {
+			t.Errorf("XOR(%v,%v) = %v", x, y, res["out"])
+		}
+	}
+}

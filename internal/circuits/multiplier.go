@@ -1,0 +1,200 @@
+package circuits
+
+import (
+	"fmt"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// Multiplier returns the paper's Fig. 5 array multiplier generalized to
+// n x m bits: inputs a0..a(n-1) and b0..b(m-1), outputs s0..s(n+m-1).
+//
+// The array follows the figure: a row of AND partial products per b bit
+// (NAND2+INV), then m-1 ripple rows of adders. Adder positions whose third
+// operand is the constant 0 in the figure (row carry-ins and the top
+// column) are implemented as half adders, the standard simplification of
+// the figure's 0-fed full-adder blocks.
+func Multiplier(lib *cellib.Library, n, m int) (*netlist.Circuit, error) {
+	if n < 2 || m < 2 {
+		return nil, fmt.Errorf("circuits: multiplier size %dx%d too small (min 2x2)", n, m)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("mult%dx%d", n, m), lib)
+	for j := 0; j < n; j++ {
+		b.Input(fmt.Sprintf("a%d", j))
+	}
+	for i := 0; i < m; i++ {
+		b.Input(fmt.Sprintf("b%d", i))
+	}
+
+	// Partial products pp[i][j] = a_j AND b_i.
+	pp := make([][]string, m)
+	for i := 0; i < m; i++ {
+		pp[i] = make([]string, n)
+		for j := 0; j < n; j++ {
+			net := fmt.Sprintf("pp%d_%d", i, j)
+			AndNAND(b, fmt.Sprintf("and%d_%d", i, j), fmt.Sprintf("a%d", j), fmt.Sprintf("b%d", i), net)
+			pp[i][j] = net
+		}
+	}
+
+	// s0 is the first partial product directly.
+	b.AddGate("buf_s0_n", cellib.INV, "s0n", pp[0][0])
+	b.AddGate("buf_s0", cellib.INV, "s0", "s0n")
+	b.Output("s0")
+
+	// prevSums[j] holds the j-th addend column entering the current row:
+	// initially the b0 partial-product row shifted by one (pp[0][1..]),
+	// extended with the implicit 0 at the top handled structurally.
+	prevSums := make([]string, n-1)
+	copy(prevSums, pp[0][1:])
+	prevTop := "" // carry-out/top term propagated into the next row's last column; "" means constant 0
+
+	for i := 1; i < m; i++ {
+		rowSum := make([]string, n)
+		var carry string
+		for j := 0; j < n; j++ {
+			prefix := fmt.Sprintf("r%d_%d", i, j)
+			sum := fmt.Sprintf("sum%d_%d", i, j)
+			cout := fmt.Sprintf("c%d_%d", i, j)
+			// Addend from the previous row at column j+1.
+			var addend string
+			switch {
+			case j < n-1:
+				addend = prevSums[j]
+			default:
+				addend = prevTop
+			}
+			switch {
+			case j == 0:
+				// Row carry-in is 0: half adder.
+				HalfAdderNAND(b, prefix, addend, pp[i][j], sum, cout)
+			case addend == "":
+				// Top column with no incoming term: half adder on
+				// (pp, carry).
+				HalfAdderNAND(b, prefix, pp[i][j], carry, sum, cout)
+			default:
+				FullAdderNAND(b, prefix, addend, pp[i][j], carry, sum, cout)
+			}
+			rowSum[j] = sum
+			carry = cout
+		}
+		// The row's lowest sum is a product bit.
+		si := fmt.Sprintf("s%d", i)
+		b.AddGate("buf_"+si+"_n", cellib.INV, si+"n", rowSum[0])
+		b.AddGate("buf_"+si, cellib.INV, si, si+"n")
+		b.Output(si)
+		copy(prevSums, rowSum[1:])
+		prevTop = carry
+	}
+
+	// Final row sums become the high product bits.
+	for j := 0; j < n-1; j++ {
+		si := fmt.Sprintf("s%d", m+j)
+		b.AddGate("buf_"+si+"_n", cellib.INV, si+"n", prevSums[j])
+		b.AddGate("buf_"+si, cellib.INV, si, si+"n")
+		b.Output(si)
+	}
+	sTop := fmt.Sprintf("s%d", n+m-1)
+	b.AddGate("buf_"+sTop+"_n", cellib.INV, sTop+"n", prevTop)
+	b.AddGate("buf_"+sTop, cellib.INV, sTop, sTop+"n")
+	b.Output(sTop)
+
+	return b.Build()
+}
+
+// Multiplier4x4 returns the paper's 4x4 array multiplier (Fig. 5): inputs
+// a0..a3 and b0..b3, outputs s0..s7.
+func Multiplier4x4(lib *cellib.Library) (*netlist.Circuit, error) {
+	return Multiplier(lib, 4, 4)
+}
+
+// RippleCarryAdder returns a width-bit adder built from NAND full adders:
+// inputs a0.., b0.., output sum s0..s(width-1) and carry-out "cout". The
+// carry-in is constant 0 (half adder in position 0).
+func RippleCarryAdder(lib *cellib.Library, width int) (*netlist.Circuit, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("circuits: adder width %d < 1", width)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("rca%d", width), lib)
+	carry := ""
+	for i := 0; i < width; i++ {
+		a := fmt.Sprintf("a%d", i)
+		bb := fmt.Sprintf("b%d", i)
+		b.Input(a)
+		b.Input(bb)
+		s := fmt.Sprintf("s%d", i)
+		c := fmt.Sprintf("c%d", i)
+		prefix := fmt.Sprintf("fa%d", i)
+		if carry == "" {
+			HalfAdderNAND(b, prefix, a, bb, s, c)
+		} else {
+			FullAdderNAND(b, prefix, a, bb, carry, s, c)
+		}
+		b.Output(s)
+		carry = c
+	}
+	// Expose the final carry through a buffer pair so the net has fanout.
+	b.AddGate("buf_co_n", cellib.INV, "coutn", carry)
+	b.AddGate("buf_co", cellib.INV, "cout", "coutn")
+	b.Output("cout")
+	return b.Build()
+}
+
+// ParityTree returns a width-input XOR tree (NAND-decomposed): inputs
+// x0..x(width-1), output "parity".
+func ParityTree(lib *cellib.Library, width int) (*netlist.Circuit, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("circuits: parity width %d < 2", width)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("parity%d", width), lib)
+	var level []string
+	for i := 0; i < width; i++ {
+		name := fmt.Sprintf("x%d", i)
+		b.Input(name)
+		level = append(level, name)
+	}
+	stage := 0
+	for len(level) > 1 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			out := fmt.Sprintf("p%d_%d", stage, i/2)
+			if len(level) == 2 {
+				out = "parity"
+			}
+			XorNAND(b, fmt.Sprintf("x%d_%d", stage, i/2), level[i], level[i+1], out)
+			next = append(next, out)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		stage++
+	}
+	if level[0] != "parity" {
+		// Odd-width trees can end on a passthrough net; buffer it into
+		// the named output.
+		b.AddGate("buf_par_n", cellib.INV, "parityn", level[0])
+		b.AddGate("buf_par", cellib.INV, "parity", "parityn")
+	}
+	b.Output("parity")
+	return b.Build()
+}
+
+// C17 returns the ISCAS-85 C17 benchmark: 5 inputs (i1,i2,i3,i6,i7),
+// 6 NAND2 gates, outputs o22 and o23.
+func C17(lib *cellib.Library) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder("c17", lib)
+	for _, in := range []string{"i1", "i2", "i3", "i6", "i7"} {
+		b.Input(in)
+	}
+	b.AddGate("g10", cellib.NAND2, "n10", "i1", "i3")
+	b.AddGate("g11", cellib.NAND2, "n11", "i3", "i6")
+	b.AddGate("g16", cellib.NAND2, "n16", "i2", "n11")
+	b.AddGate("g19", cellib.NAND2, "n19", "n11", "i7")
+	b.AddGate("g22", cellib.NAND2, "o22", "n10", "n16")
+	b.AddGate("g23", cellib.NAND2, "o23", "n16", "n19")
+	b.Output("o22")
+	b.Output("o23")
+	return b.Build()
+}

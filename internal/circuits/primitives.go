@@ -1,0 +1,120 @@
+// Package circuits generates the benchmark circuits of the HALOTIS paper
+// and supporting structures: inverter chains, the Fig. 1 two-threshold
+// circuit, NAND-only adders, the Fig. 5 4x4 array multiplier and its NxM
+// generalization, ripple-carry adders, parity trees, ISCAS-85 C17 and
+// random combinational networks.
+//
+// Every generator emits only primitive inverting cells (INV/NAND/NOR), so
+// all circuits can be cross-simulated by the analog reference engine.
+package circuits
+
+import (
+	"fmt"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// AndNAND wires out = x AND y as NAND2 + INV, the decomposition the paper's
+// multiplier uses for its partial products. Gate names are derived from the
+// prefix.
+func AndNAND(b *netlist.Builder, prefix, x, y, out string) {
+	n := prefix + "_n"
+	b.AddGate(prefix+"_nand", cellib.NAND2, n, x, y)
+	b.AddGate(prefix+"_inv", cellib.INV, out, n)
+}
+
+// XorNAND wires out = x XOR y with the classic 4-NAND2 network.
+func XorNAND(b *netlist.Builder, prefix, x, y, out string) {
+	n1 := prefix + "_n1"
+	n2 := prefix + "_n2"
+	n3 := prefix + "_n3"
+	b.AddGate(prefix+"_g1", cellib.NAND2, n1, x, y)
+	b.AddGate(prefix+"_g2", cellib.NAND2, n2, x, n1)
+	b.AddGate(prefix+"_g3", cellib.NAND2, n3, y, n1)
+	b.AddGate(prefix+"_g4", cellib.NAND2, out, n2, n3)
+}
+
+// HalfAdderNAND wires sum = x XOR y and carry = x AND y (6 NAND2/INV
+// gates). It implements the full-adder positions of the paper's multiplier
+// array whose third input is the constant 0.
+func HalfAdderNAND(b *netlist.Builder, prefix, x, y, sum, carry string) {
+	XorNAND(b, prefix+"_x", x, y, sum)
+	AndNAND(b, prefix+"_c", x, y, carry)
+}
+
+// FullAdderNAND wires the classic 9-gate NAND2 full adder:
+//
+//	sum = a XOR b XOR ci,  co = ab + ci(a XOR b)
+func FullAdderNAND(b *netlist.Builder, prefix, a, bb, ci, sum, co string) {
+	n1 := prefix + "_n1"
+	n2 := prefix + "_n2"
+	n3 := prefix + "_n3"
+	hs := prefix + "_hs"
+	n4 := prefix + "_n4"
+	n5 := prefix + "_n5"
+	n6 := prefix + "_n6"
+	b.AddGate(prefix+"_g1", cellib.NAND2, n1, a, bb)
+	b.AddGate(prefix+"_g2", cellib.NAND2, n2, a, n1)
+	b.AddGate(prefix+"_g3", cellib.NAND2, n3, bb, n1)
+	b.AddGate(prefix+"_g4", cellib.NAND2, hs, n2, n3)
+	b.AddGate(prefix+"_g5", cellib.NAND2, n4, hs, ci)
+	b.AddGate(prefix+"_g6", cellib.NAND2, n5, hs, n4)
+	b.AddGate(prefix+"_g7", cellib.NAND2, n6, ci, n4)
+	b.AddGate(prefix+"_g8", cellib.NAND2, sum, n5, n6)
+	b.AddGate(prefix+"_g9", cellib.NAND2, co, n4, n1)
+}
+
+// InverterChain returns a chain of n inverters from input "in" to output
+// "out"; intermediate nets are named w1..w(n-1).
+func InverterChain(lib *cellib.Library, n int) (*netlist.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: chain length %d < 1", n)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("invchain%d", n), lib)
+	b.Input("in")
+	prev := "in"
+	for i := 1; i <= n; i++ {
+		out := fmt.Sprintf("w%d", i)
+		if i == n {
+			out = "out"
+		}
+		b.AddGate(fmt.Sprintf("inv%d", i), cellib.INV, out, prev)
+		prev = out
+	}
+	b.Output("out")
+	return b.Build()
+}
+
+// Figure1VT1 and Figure1VT2 are the two receiver thresholds of the Fig. 1
+// circuit: g1 switches low (sees partial pulses late in their fall), g2
+// switches high.
+const (
+	Figure1VT1 = 1.7
+	Figure1VT2 = 3.3
+)
+
+// Figure1 builds the paper's Fig. 1 circuit: an input inverter g0 whose
+// output out0 feeds two inverter chains with different input thresholds —
+// g1 (VT1) into g1c, and g2 (VT2) into g2c. A degraded pulse on out0 can
+// trigger one receiver and not the other, which a classical inertial delay
+// model cannot express.
+//
+// Nets: in, out0, out1, out1c, out2, out2c (as labelled in the paper).
+func Figure1(lib *cellib.Library) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder("figure1", lib)
+	b.Input("in")
+	b.AddGate("g0", cellib.INV, "out0", "in")
+	b.AddGate("g1", cellib.INV, "out1", "out0")
+	b.AddGate("g1c", cellib.INV, "out1c", "out1")
+	b.AddGate("g2", cellib.INV, "out2", "out0")
+	b.AddGate("g2c", cellib.INV, "out2c", "out2")
+	b.SetPinVT("g1", 0, Figure1VT1)
+	b.SetPinVT("g2", 0, Figure1VT2)
+	b.Output("out1c")
+	b.Output("out2c")
+	b.Output("out0")
+	b.Output("out1")
+	b.Output("out2")
+	return b.Build()
+}

@@ -1,0 +1,79 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// RandomOptions parameterizes RandomCombinational.
+type RandomOptions struct {
+	// Inputs is the number of primary inputs (>= 2).
+	Inputs int
+	// Gates is the number of gates to place (>= 1).
+	Gates int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// PrimitiveOnly restricts the cell mix to INV/NAND/NOR so the result
+	// can also run on the analog engine.
+	PrimitiveOnly bool
+}
+
+// RandomCombinational generates a random acyclic circuit for fuzz and
+// cross-model testing. Every gate draws its inputs from earlier nets, so
+// the result is combinational by construction; nets that end up with no
+// fanout are exposed as primary outputs.
+func RandomCombinational(lib *cellib.Library, opt RandomOptions) (*netlist.Circuit, error) {
+	if opt.Inputs < 2 {
+		return nil, fmt.Errorf("circuits: random circuit needs >= 2 inputs, got %d", opt.Inputs)
+	}
+	if opt.Gates < 1 {
+		return nil, fmt.Errorf("circuits: random circuit needs >= 1 gates, got %d", opt.Gates)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	b := netlist.NewBuilder(fmt.Sprintf("rand_i%d_g%d_s%d", opt.Inputs, opt.Gates, opt.Seed), lib)
+
+	var nets []string
+	for i := 0; i < opt.Inputs; i++ {
+		name := fmt.Sprintf("in%d", i)
+		b.Input(name)
+		nets = append(nets, name)
+	}
+
+	kinds := []cellib.Kind{
+		cellib.INV, cellib.NAND2, cellib.NAND2, cellib.NOR2,
+		cellib.NAND3, cellib.NOR3, cellib.AOI21, cellib.OAI21,
+	}
+	if !opt.PrimitiveOnly {
+		kinds = append(kinds, cellib.AND2, cellib.OR2, cellib.XOR2, cellib.XNOR2, cellib.BUF)
+	}
+
+	used := make(map[string]bool)
+	for g := 0; g < opt.Gates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		ins := make([]string, k.NumInputs())
+		for i := range ins {
+			pick := nets[rng.Intn(len(nets))]
+			ins[i] = pick
+			used[pick] = true
+		}
+		out := fmt.Sprintf("n%d", g)
+		b.AddGate(fmt.Sprintf("g%d", g), k, out, ins...)
+		nets = append(nets, out)
+	}
+	// Expose every sink net (and any unused input's sibling nets) so the
+	// circuit validates: nets without fanout become outputs.
+	outputs := 0
+	for _, n := range nets {
+		if !used[n] {
+			b.Output(n)
+			outputs++
+		}
+	}
+	if outputs == 0 {
+		b.Output(nets[len(nets)-1])
+	}
+	return b.Build()
+}

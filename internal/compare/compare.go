@@ -1,0 +1,178 @@
+// Package compare quantifies the agreement between HALOTIS logic waveforms
+// and the analog reference traces — the paper's Figs. 6/7 claim that
+// HALOTIS-DDM results are "very similar" to electrical simulation while the
+// conventional model shows many extra transitions.
+package compare
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"halotis/internal/analog"
+	"halotis/internal/sim"
+	"halotis/internal/wave"
+)
+
+// Edge is a direction-tagged logic transition time used for matching.
+type Edge struct {
+	Time   float64
+	Rising bool
+}
+
+// LogicEdges extracts half-swing full transitions from a simulated logic
+// waveform.
+func LogicEdges(wf *wave.Waveform, vdd float64) []Edge {
+	var out []Edge
+	for _, c := range wf.Crossings(vdd / 2) {
+		out = append(out, Edge{Time: c.Time, Rising: c.Rising})
+	}
+	return out
+}
+
+// AnalogEdges extracts hysteresis-filtered transitions from an analog trace.
+func AnalogEdges(tr *analog.Trace, vdd float64) []Edge {
+	var out []Edge
+	for _, e := range tr.Edges(0.4*vdd, 0.6*vdd) {
+		out = append(out, Edge{Time: e.Time, Rising: e.Rising})
+	}
+	return out
+}
+
+// NetComparison reports edge agreement on one net.
+type NetComparison struct {
+	Net string
+	// LogicCount and AnalogCount are the full-transition counts of each
+	// simulator on the net.
+	LogicCount, AnalogCount int
+	// Matched counts edges paired within the matching window.
+	Matched int
+	// RMSError and MaxError are the time differences over matched pairs,
+	// ns.
+	RMSError, MaxError float64
+	// SettleAgree reports whether both simulators end at the same logic
+	// level.
+	SettleAgree bool
+}
+
+// MatchWindow is the maximum time distance (ns) between paired edges.
+const MatchWindow = 1.5
+
+// MatchEdges greedily pairs same-direction edges of two time-ordered edge
+// lists within MatchWindow and returns the pairs' index sets and time
+// errors.
+func MatchEdges(a, b []Edge) (pairs [][2]int, errs []float64) {
+	j := 0
+	for i := 0; i < len(a); i++ {
+		for j < len(b) {
+			if b[j].Time < a[i].Time-MatchWindow {
+				j++
+				continue
+			}
+			break
+		}
+		k := j
+		for k < len(b) && b[k].Time <= a[i].Time+MatchWindow {
+			if b[k].Rising == a[i].Rising {
+				pairs = append(pairs, [2]int{i, k})
+				errs = append(errs, b[k].Time-a[i].Time)
+				j = k + 1
+				break
+			}
+			k++
+		}
+	}
+	return pairs, errs
+}
+
+// CompareNet matches logic waveform edges against analog trace edges.
+func CompareNet(name string, wf *wave.Waveform, tr *analog.Trace, vdd, tEnd float64) NetComparison {
+	le := LogicEdges(wf, vdd)
+	ae := AnalogEdges(tr, vdd)
+	pairs, errs := MatchEdges(le, ae)
+	nc := NetComparison{
+		Net:         name,
+		LogicCount:  len(le),
+		AnalogCount: len(ae),
+		Matched:     len(pairs),
+		SettleAgree: wf.LogicAt(tEnd, vdd/2) == tr.LogicAt(tEnd, vdd/2),
+	}
+	var sum2, maxAbs float64
+	for _, e := range errs {
+		sum2 += e * e
+		if a := math.Abs(e); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if len(errs) > 0 {
+		nc.RMSError = math.Sqrt(sum2 / float64(len(errs)))
+		nc.MaxError = maxAbs
+	}
+	return nc
+}
+
+// Summary aggregates net comparisons.
+type Summary struct {
+	Nets        []NetComparison
+	TotalLogic  int
+	TotalAnalog int
+	TotalMatch  int
+	RMSError    float64
+	SettleAll   bool
+}
+
+// CompareOutputs compares every primary output of a logic run against the
+// analog reference.
+func CompareOutputs(lr *sim.Result, ar *analog.Result, tEnd float64) Summary {
+	ckt := lr.Circuit()
+	vdd := ckt.Lib.VDD
+	s := Summary{SettleAll: true}
+	var sum2 float64
+	var n int
+	for _, o := range ckt.Outputs {
+		nc := CompareNet(o.Name, lr.Waveform(o.Name), ar.Trace(o.Name), vdd, tEnd)
+		s.Nets = append(s.Nets, nc)
+		s.TotalLogic += nc.LogicCount
+		s.TotalAnalog += nc.AnalogCount
+		s.TotalMatch += nc.Matched
+		sum2 += nc.RMSError * nc.RMSError * float64(nc.Matched)
+		n += nc.Matched
+		if !nc.SettleAgree {
+			s.SettleAll = false
+		}
+	}
+	if n > 0 {
+		s.RMSError = math.Sqrt(sum2 / float64(n))
+	}
+	return s
+}
+
+// MatchFraction is matched pairs over the larger of the two edge totals.
+func (s Summary) MatchFraction() float64 {
+	den := s.TotalLogic
+	if s.TotalAnalog > den {
+		den = s.TotalAnalog
+	}
+	if den == 0 {
+		return 1
+	}
+	return float64(s.TotalMatch) / float64(den)
+}
+
+// Format renders the summary as a table.
+func (s Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %10s %10s %8s\n",
+		"Net", "Logic", "Analog", "Match", "RMS(ns)", "Max(ns)", "Settle")
+	for _, nc := range s.Nets {
+		settle := "ok"
+		if !nc.SettleAgree {
+			settle = "DIFF"
+		}
+		fmt.Fprintf(&b, "%-8s %8d %8d %8d %10.3f %10.3f %8s\n",
+			nc.Net, nc.LogicCount, nc.AnalogCount, nc.Matched, nc.RMSError, nc.MaxError, settle)
+	}
+	fmt.Fprintf(&b, "total: logic=%d analog=%d matched=%d (%.0f%%), rms=%.3f ns, settle=%v\n",
+		s.TotalLogic, s.TotalAnalog, s.TotalMatch, 100*s.MatchFraction(), s.RMSError, s.SettleAll)
+	return b.String()
+}

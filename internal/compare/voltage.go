@@ -1,0 +1,42 @@
+package compare
+
+import (
+	"math"
+
+	"halotis/internal/analog"
+	"halotis/internal/wave"
+)
+
+// VoltageRMS samples a logic waveform and an analog trace on a uniform grid
+// over [t0, t1] and returns the RMS voltage difference in volts. It is the
+// voltage-domain counterpart of the edge-matching metrics: small values
+// mean the piecewise-linear logic abstraction tracks the electrical
+// waveform closely, including during partial-swing runts.
+func VoltageRMS(wf *wave.Waveform, tr *analog.Trace, t0, t1 float64, samples int) float64 {
+	if samples < 1 || t1 <= t0 {
+		return 0
+	}
+	var sum2 float64
+	dt := (t1 - t0) / float64(samples)
+	for i := 0; i <= samples; i++ {
+		t := t0 + float64(i)*dt
+		d := wf.V(t) - tr.V(t)
+		sum2 += d * d
+	}
+	return math.Sqrt(sum2 / float64(samples+1))
+}
+
+// VoltageRMSOutputs averages VoltageRMS across a result's primary outputs,
+// normalized by VDD (0 = identical, 1 = rail-to-rail disagreement).
+func VoltageRMSOutputs(lr interface {
+	Waveform(string) *wave.Waveform
+}, ar *analog.Result, names []string, vdd, t0, t1 float64, samples int) float64 {
+	if len(names) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range names {
+		sum += VoltageRMS(lr.Waveform(n), ar.Trace(n), t0, t1, samples) / vdd
+	}
+	return sum / float64(len(names))
+}

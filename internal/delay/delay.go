@@ -1,0 +1,90 @@
+// Package delay evaluates the timing models of the HALOTIS simulator: the
+// conventional delay model (CDM) and the degradation delay model (DDM) of
+// eq. 1–3 in the DATE 2001 paper.
+package delay
+
+import (
+	"math"
+
+	"halotis/internal/cellib"
+)
+
+// Result is the outcome of a delay-model evaluation for one output edge.
+type Result struct {
+	// Tp is the propagation delay in ns. Under full degradation Tp can be
+	// zero or negative, meaning the output pulse is completely eliminated.
+	Tp float64
+	// Tp0 is the conventional (undegraded) delay the model started from.
+	Tp0 float64
+	// Slew is the output transition time in ns.
+	Slew float64
+	// Degraded reports Tp < Tp0 by more than rounding: the gate's recent
+	// output activity shortened the delay.
+	Degraded bool
+	// Filtered reports full degradation (T <= T0): the output pulse must
+	// be eliminated.
+	Filtered bool
+}
+
+// degradedEps is the relative delay reduction below which an evaluation is
+// not counted as degraded.
+const degradedEps = 1e-9
+
+// Conventional evaluates the CDM: tp0 and output slew from the affine
+// macromodel, with no internal-state dependence.
+func Conventional(p cellib.EdgeParams, cl, tauIn float64) Result {
+	tp0 := p.Tp0(cl, tauIn)
+	return Result{Tp: tp0, Tp0: tp0, Slew: p.Slew(cl, tauIn)}
+}
+
+// Degraded evaluates the DDM (eq. 1):
+//
+//	tp = tp0 * (1 - exp(-(T - T0)/tau))
+//
+// where T is the time elapsed since the gate's last output transition,
+// tau = VDD*(A + B*CL) (eq. 2) and T0 = (1/2 - C/VDD)*tauIn (eq. 3).
+// T = +Inf (no previous output transition) yields the conventional delay.
+// T <= T0 yields a non-positive delay and Filtered = true: the pulse is so
+// narrow the gate output cannot respond at all.
+func Degraded(p cellib.EdgeParams, vdd, cl, tauIn, T float64) Result {
+	r := Conventional(p, cl, tauIn)
+	if math.IsInf(T, 1) {
+		return r
+	}
+	tau := p.Tau(vdd, cl)
+	t0 := p.T0(vdd, tauIn)
+	if tau <= 0 {
+		// Degenerate parameters: step response, no degradation range.
+		if T <= t0 {
+			r.Tp = 0
+			r.Filtered = true
+			r.Degraded = true
+		}
+		return r
+	}
+	factor := 1 - math.Exp(-(T-t0)/tau)
+	r.Tp = r.Tp0 * factor
+	if factor <= 0 {
+		r.Filtered = true
+	}
+	if r.Tp < r.Tp0*(1-degradedEps) {
+		r.Degraded = true
+	}
+	return r
+}
+
+// PulseWidthOut predicts the output pulse width for an input pulse of width
+// win into a quiet gate, using the DDM for the trailing edge: the leading
+// edge propagates with tpLead = tp0(lead); the trailing edge sees
+// T = win - tpLead and propagates with the degraded delay. A negative
+// result means the pulse is filtered. This closed-form helper backs the
+// characterization sweeps and analytical tests.
+func PulseWidthOut(lead, trail cellib.EdgeParams, vdd, cl, tauIn, win float64) float64 {
+	tpLead := Conventional(lead, cl, tauIn).Tp
+	T := win - tpLead
+	r := Degraded(trail, vdd, cl, tauIn, T)
+	if r.Filtered {
+		return -1
+	}
+	return win + r.Tp - tpLead
+}

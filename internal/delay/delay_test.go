@@ -1,0 +1,180 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"halotis/internal/cellib"
+)
+
+var ep = cellib.EdgeParams{
+	D0: 0.12, D1: 3.0, D2: 0.10,
+	S0: 0.22, S1: 6.0, S2: 0.10,
+	A: 0.05, B: 2.0, C: 1.0,
+}
+
+const (
+	vdd   = 5.0
+	cl    = 0.03
+	tauIn = 0.4
+)
+
+func TestConventional(t *testing.T) {
+	r := Conventional(ep, cl, tauIn)
+	wantTp := 0.12 + 3.0*cl + 0.10*tauIn
+	wantSlew := 0.22 + 6.0*cl + 0.10*tauIn
+	if math.Abs(r.Tp-wantTp) > 1e-12 {
+		t.Errorf("Tp = %g, want %g", r.Tp, wantTp)
+	}
+	if math.Abs(r.Slew-wantSlew) > 1e-12 {
+		t.Errorf("Slew = %g, want %g", r.Slew, wantSlew)
+	}
+	if r.Degraded || r.Filtered {
+		t.Error("conventional result must not be degraded or filtered")
+	}
+	if r.Tp != r.Tp0 {
+		t.Error("conventional Tp must equal Tp0")
+	}
+}
+
+func TestDegradedQuietGate(t *testing.T) {
+	r := Degraded(ep, vdd, cl, tauIn, math.Inf(1))
+	if r.Tp != r.Tp0 || r.Degraded || r.Filtered {
+		t.Errorf("quiet gate should see conventional delay: %+v", r)
+	}
+}
+
+func TestDegradedLongT(t *testing.T) {
+	// T many time constants after T0: essentially no degradation.
+	tau := ep.Tau(vdd, cl)
+	t0 := ep.T0(vdd, tauIn)
+	r := Degraded(ep, vdd, cl, tauIn, t0+30*tau)
+	if math.Abs(r.Tp-r.Tp0) > 1e-9*r.Tp0 {
+		t.Errorf("Tp = %g, want ~tp0 %g", r.Tp, r.Tp0)
+	}
+}
+
+func TestDegradedAtT0(t *testing.T) {
+	t0 := ep.T0(vdd, tauIn)
+	r := Degraded(ep, vdd, cl, tauIn, t0)
+	if !r.Filtered {
+		t.Error("T == T0 must be filtered")
+	}
+	if math.Abs(r.Tp) > 1e-12 {
+		t.Errorf("Tp at T0 = %g, want 0", r.Tp)
+	}
+}
+
+func TestDegradedBelowT0(t *testing.T) {
+	t0 := ep.T0(vdd, tauIn)
+	r := Degraded(ep, vdd, cl, tauIn, t0/2)
+	if !r.Filtered || r.Tp > 0 {
+		t.Errorf("T < T0 must filter: %+v", r)
+	}
+	// Even negative T (input arrives before the pending output transition)
+	// must filter rather than blow up.
+	r2 := Degraded(ep, vdd, cl, tauIn, -1)
+	if !r2.Filtered {
+		t.Error("negative T must filter")
+	}
+}
+
+func TestDegradedHalfLife(t *testing.T) {
+	// At T = T0 + tau*ln(2), the delay is exactly half of tp0.
+	tau := ep.Tau(vdd, cl)
+	t0 := ep.T0(vdd, tauIn)
+	r := Degraded(ep, vdd, cl, tauIn, t0+tau*math.Ln2)
+	if math.Abs(r.Tp-r.Tp0/2) > 1e-9 {
+		t.Errorf("Tp = %g, want tp0/2 = %g", r.Tp, r.Tp0/2)
+	}
+	if !r.Degraded || r.Filtered {
+		t.Errorf("half-life point should be degraded, not filtered: %+v", r)
+	}
+}
+
+func TestDegradedZeroTau(t *testing.T) {
+	p := ep
+	p.A, p.B = 0, 0
+	rLate := Degraded(p, vdd, cl, tauIn, 10)
+	if rLate.Tp != rLate.Tp0 || rLate.Filtered {
+		t.Errorf("zero-tau late: %+v", rLate)
+	}
+	rEarly := Degraded(p, vdd, cl, tauIn, 0)
+	if !rEarly.Filtered {
+		t.Errorf("zero-tau early (T<=T0) should filter: %+v", rEarly)
+	}
+}
+
+// Property: Tp is monotonically nondecreasing in T and never exceeds Tp0.
+func TestDegradationMonotonicProperty(t *testing.T) {
+	f := func(tQ, dtQ uint16) bool {
+		T := float64(tQ) / 65535 * 5
+		dT := float64(dtQ) / 65535
+		r1 := Degraded(ep, vdd, cl, tauIn, T)
+		r2 := Degraded(ep, vdd, cl, tauIn, T+dT)
+		if r2.Tp < r1.Tp-1e-12 {
+			return false
+		}
+		return r1.Tp <= r1.Tp0+1e-12 && r2.Tp <= r2.Tp0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: filtered exactly when T <= T0.
+func TestFilterThresholdProperty(t *testing.T) {
+	f := func(tQ uint16) bool {
+		T := -1 + float64(tQ)/65535*4
+		t0 := ep.T0(vdd, tauIn)
+		r := Degraded(ep, vdd, cl, tauIn, T)
+		return r.Filtered == (T <= t0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPulseWidthOutShrinksNarrowPulses(t *testing.T) {
+	lead, trail := ep, ep
+	// Wide pulse: output width close to input width.
+	wide := PulseWidthOut(lead, trail, vdd, cl, tauIn, 10)
+	if math.Abs(wide-10) > 0.01 {
+		t.Errorf("wide pulse out = %g, want ~10", wide)
+	}
+	// Medium pulse: degraded (narrower than input).
+	tpLead := Conventional(lead, cl, tauIn).Tp
+	med := PulseWidthOut(lead, trail, vdd, cl, tauIn, tpLead+0.5)
+	if med <= 0 || med >= tpLead+0.5 {
+		t.Errorf("medium pulse out = %g, want in (0, %g)", med, tpLead+0.5)
+	}
+	// Narrow pulse: filtered.
+	t0 := trail.T0(vdd, tauIn)
+	narrow := PulseWidthOut(lead, trail, vdd, cl, tauIn, tpLead+t0*0.5)
+	if narrow >= 0 {
+		t.Errorf("narrow pulse out = %g, want filtered (<0)", narrow)
+	}
+}
+
+// Property: output width is monotonic in input width and never wider than
+// the input by more than trailing-edge jitter (tp_trail <= tp_lead here
+// since lead == trail params).
+func TestPulseWidthMonotonicProperty(t *testing.T) {
+	f := func(wQ, dwQ uint16) bool {
+		w := 0.1 + float64(wQ)/65535*5
+		dw := float64(dwQ) / 65535
+		a := PulseWidthOut(ep, ep, vdd, cl, tauIn, w)
+		b := PulseWidthOut(ep, ep, vdd, cl, tauIn, w+dw)
+		if a < 0 {
+			return true // filtered region: b may be anything >= filtered
+		}
+		if b < a-1e-12 {
+			return false
+		}
+		return a <= w+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

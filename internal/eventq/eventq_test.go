@@ -1,0 +1,239 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := New[int]()
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	if q.Pop() != nil {
+		t.Error("Pop on empty queue should return nil")
+	}
+	if q.Peek() != nil {
+		t.Error("Peek on empty queue should return nil")
+	}
+	if q.Remove(nil) {
+		t.Error("Remove(nil) should return false")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[string]()
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	var got []string
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Payload)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(5.0, i)
+	}
+	for i := 0; i < 10; i++ {
+		it := q.Pop()
+		if it.Payload != i {
+			t.Fatalf("tie-break violated: got %d at position %d", it.Payload, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New[int]()
+	q.Push(1, 42)
+	if q.Peek().Payload != 42 || q.Len() != 1 {
+		t.Error("Peek should not remove")
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	q := New[int]()
+	var items []*Item[int]
+	for i := 0; i < 20; i++ {
+		items = append(items, q.Push(float64(i), i))
+	}
+	if !q.Remove(items[7]) {
+		t.Fatal("Remove failed")
+	}
+	if items[7].Pending() {
+		t.Error("removed item still pending")
+	}
+	if err := q.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Payload)
+	}
+	if len(got) != 19 {
+		t.Fatalf("got %d items, want 19", len(got))
+	}
+	for _, v := range got {
+		if v == 7 {
+			t.Error("removed item was popped")
+		}
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("pop order not sorted: %v", got)
+	}
+}
+
+func TestRemoveTwiceFails(t *testing.T) {
+	q := New[int]()
+	it := q.Push(1, 1)
+	if !q.Remove(it) {
+		t.Fatal("first Remove failed")
+	}
+	if q.Remove(it) {
+		t.Error("second Remove should fail")
+	}
+}
+
+func TestRemovePoppedFails(t *testing.T) {
+	q := New[int]()
+	it := q.Push(1, 1)
+	q.Pop()
+	if q.Remove(it) {
+		t.Error("Remove after Pop should fail")
+	}
+}
+
+func TestRemoveForeignItemFails(t *testing.T) {
+	q1 := New[int]()
+	q2 := New[int]()
+	it1 := q1.Push(1, 1)
+	q2.Push(2, 2)
+	// it1 has index 0 in q1; q2 also has an item at index 0, but it is not it1.
+	if q2.Remove(it1) {
+		t.Error("Remove of foreign item should fail")
+	}
+	if q2.Len() != 1 || q1.Len() != 1 {
+		t.Error("foreign Remove corrupted a queue")
+	}
+}
+
+func TestStats(t *testing.T) {
+	q := New[int]()
+	a := q.Push(1, 1)
+	q.Push(2, 2)
+	q.Pop()
+	q.Remove(a) // already popped -> no-op
+	b := q.Push(3, 3)
+	q.Remove(b)
+	pushed, popped, removed := q.Stats()
+	if pushed != 3 || popped != 1 || removed != 1 {
+		t.Errorf("stats = %d,%d,%d want 3,1,1", pushed, popped, removed)
+	}
+}
+
+func TestPendingLifecycle(t *testing.T) {
+	q := New[int]()
+	it := q.Push(1, 1)
+	if !it.Pending() {
+		t.Error("pushed item not pending")
+	}
+	q.Pop()
+	if it.Pending() {
+		t.Error("popped item still pending")
+	}
+}
+
+// Property: for any interleaving of pushes and removals, pops come out in
+// nondecreasing time order and equal the set of non-removed pushes.
+func TestQueueSequenceProperty(t *testing.T) {
+	f := func(seed int64, nQ uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nQ)%60 + 1
+		q := New[int]()
+		var live []*Item[int]
+		expect := map[int]bool{}
+		for i := 0; i < n; i++ {
+			switch {
+			case len(live) > 0 && rng.Intn(3) == 0:
+				k := rng.Intn(len(live))
+				it := live[k]
+				if !q.Remove(it) {
+					return false
+				}
+				delete(expect, it.Payload)
+				live = append(live[:k], live[k+1:]...)
+			default:
+				it := q.Push(rng.Float64()*100, i)
+				live = append(live, it)
+				expect[i] = true
+			}
+			if err := q.validate(); err != nil {
+				t.Logf("heap invariant: %v", err)
+				return false
+			}
+		}
+		prev := -1.0
+		seen := map[int]bool{}
+		for q.Len() > 0 {
+			it := q.Pop()
+			if it.Time < prev {
+				return false
+			}
+			prev = it.Time
+			seen[it.Payload] = true
+		}
+		if len(seen) != len(expect) {
+			return false
+		}
+		for k := range expect {
+			if !seen[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = rng.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := New[int]()
+		for j, tm := range times {
+			q.Push(tm, j)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkRemove(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := New[int]()
+		items := make([]*Item[int], 1024)
+		for j := range items {
+			items[j] = q.Push(float64(j%97), j)
+		}
+		for _, it := range items {
+			q.Remove(it)
+		}
+	}
+}

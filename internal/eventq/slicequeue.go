@@ -1,0 +1,92 @@
+package eventq
+
+// SliceQueue is a reference implementation of the event queue with O(n)
+// operations: a flat slice scanned for the minimum. It exists for
+// differential testing of the binary heap and as the baseline of the
+// queue-structure ablation benchmark (DESIGN.md): the paper's algorithm
+// needs both pop-min and arbitrary deletion, and the indexed heap provides
+// both in O(log n).
+//
+// SliceQueue intentionally mirrors Queue's semantics, including tie-breaking
+// by insertion order.
+type SliceQueue[T any] struct {
+	items []*Item[T]
+	seq   uint64
+
+	pushed  uint64
+	popped  uint64
+	removed uint64
+}
+
+// NewSlice returns an empty reference queue.
+func NewSlice[T any]() *SliceQueue[T] {
+	return &SliceQueue[T]{}
+}
+
+// Len returns the number of pending events.
+func (q *SliceQueue[T]) Len() int { return len(q.items) }
+
+// Stats mirrors Queue.Stats.
+func (q *SliceQueue[T]) Stats() (pushed, popped, removed uint64) {
+	return q.pushed, q.popped, q.removed
+}
+
+// Push schedules an event. The returned item's Pending method reports
+// membership, like the heap's.
+func (q *SliceQueue[T]) Push(t float64, payload T) *Item[T] {
+	q.seq++
+	q.pushed++
+	it := &Item[T]{Time: t, Payload: payload, seq: q.seq, index: 0}
+	q.items = append(q.items, it)
+	return it
+}
+
+// minIndex returns the position of the earliest item, or -1.
+func (q *SliceQueue[T]) minIndex() int {
+	best := -1
+	for i, it := range q.items {
+		if best < 0 || it.Time < q.items[best].Time ||
+			(it.Time == q.items[best].Time && it.seq < q.items[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Peek returns the earliest pending event without removing it.
+func (q *SliceQueue[T]) Peek() *Item[T] {
+	i := q.minIndex()
+	if i < 0 {
+		return nil
+	}
+	return q.items[i]
+}
+
+// Pop removes and returns the earliest pending event.
+func (q *SliceQueue[T]) Pop() *Item[T] {
+	i := q.minIndex()
+	if i < 0 {
+		return nil
+	}
+	it := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	it.index = -1
+	q.popped++
+	return it
+}
+
+// Remove deletes a pending event; false if it already left the queue.
+func (q *SliceQueue[T]) Remove(it *Item[T]) bool {
+	if it == nil || it.index < 0 {
+		return false
+	}
+	for i, cand := range q.items {
+		if cand == it {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			it.index = -1
+			q.removed++
+			return true
+		}
+	}
+	return false
+}

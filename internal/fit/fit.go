@@ -1,0 +1,144 @@
+// Package fit provides the small numeric fitting toolbox used to
+// characterize cells against the analog reference: ordinary least squares
+// and the log-linearized fit of the degradation law
+// tp = tp0*(1 - exp(-(T - T0)/tau)).
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min ||X b - y||_2 by normal equations with Gaussian
+// elimination and partial pivoting. X is row-major, one row per
+// observation. It returns the coefficient vector of length len(X[0]).
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("fit: %d rows vs %d targets", len(x), len(y))
+	}
+	p := len(x[0])
+	if p == 0 || len(x) < p {
+		return nil, fmt.Errorf("fit: %d observations for %d parameters", len(x), p)
+	}
+	// Normal equations: (X'X) b = X'y.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p+1)
+	}
+	for r, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("fit: row %d has %d columns, want %d", r, len(row), p)
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][p] += row[i] * y[r]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < p; col++ {
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("fit: singular system at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= p; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	b := make([]float64, p)
+	for i := 0; i < p; i++ {
+		b[i] = a[i][p] / a[i][i]
+	}
+	return b, nil
+}
+
+// RMS returns the root-mean-square residual of the linear model b over the
+// observations.
+func RMS(x [][]float64, y, b []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum2 float64
+	for r, row := range x {
+		pred := 0.0
+		for i, v := range row {
+			pred += v * b[i]
+		}
+		d := pred - y[r]
+		sum2 += d * d
+	}
+	return math.Sqrt(sum2 / float64(len(x)))
+}
+
+// Degradation is the result of a degradation-law fit.
+type Degradation struct {
+	// Tau is the exponential time constant, ns.
+	Tau float64
+	// T0 is the dead time below which pulses are fully filtered, ns.
+	T0 float64
+	// Points is the number of usable observations.
+	Points int
+	// RMSLog is the residual of the log-linearized fit.
+	RMSLog float64
+}
+
+// SaturationCut excludes observations with tp/tp0 above this fraction from
+// the log-linearized fit: so close to saturation, measurement noise in tp
+// maps to unbounded noise in log(1 - tp/tp0) and would dominate the fit.
+// Sweep planners use the same threshold to decide when a pulse width has
+// left the degradation band.
+const SaturationCut = 0.95
+
+// FitDegradation fits tau and T0 of
+//
+//	tp(T) = tp0 * (1 - exp(-(T - T0)/tau))
+//
+// from observations (T_i, tp_i) with known tp0, by log-linearization:
+// ln(1 - tp/tp0) = -(T - T0)/tau is linear in T. Observations with
+// tp <= 0 (filtered) or tp/tp0 >= SaturationCut (no measurable
+// degradation) are skipped.
+func FitDegradation(T, tp []float64, tp0 float64) (Degradation, error) {
+	if len(T) != len(tp) {
+		return Degradation{}, fmt.Errorf("fit: %d T values vs %d tp values", len(T), len(tp))
+	}
+	if tp0 <= 0 {
+		return Degradation{}, fmt.Errorf("fit: non-positive tp0 %g", tp0)
+	}
+	var x [][]float64
+	var y []float64
+	for i := range T {
+		frac := tp[i] / tp0
+		if frac <= 0 || frac >= SaturationCut {
+			continue
+		}
+		x = append(x, []float64{1, T[i]})
+		y = append(y, math.Log(1-frac))
+	}
+	if len(x) < 2 {
+		return Degradation{}, fmt.Errorf("fit: only %d usable degradation points", len(x))
+	}
+	b, err := LeastSquares(x, y)
+	if err != nil {
+		return Degradation{}, err
+	}
+	slope := b[1]
+	if slope >= 0 {
+		return Degradation{}, fmt.Errorf("fit: non-decaying degradation (slope %g)", slope)
+	}
+	tau := -1 / slope
+	t0 := b[0] * tau
+	return Degradation{Tau: tau, T0: t0, Points: len(x), RMSLog: RMS(x, y, b)}, nil
+}

@@ -1,0 +1,165 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 + 3x, exact.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	b, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-2) > 1e-9 || math.Abs(b[1]-3) > 1e-9 {
+		t.Errorf("b = %v, want [2 3]", b)
+	}
+	if r := RMS(x, y, b); r > 1e-9 {
+		t.Errorf("RMS = %g", r)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy plane z = 1 + 2a - b.
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a := rng.Float64() * 10
+		c := rng.Float64() * 10
+		x = append(x, []float64{1, a, c})
+		y = append(y, 1+2*a-c+rng.NormFloat64()*0.01)
+	}
+	b, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 0.02 {
+			t.Errorf("b[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Singular: duplicate column.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := LeastSquares(x, []float64{1, 2, 3}); err == nil {
+		t.Error("singular system accepted")
+	}
+	// Underdetermined.
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	// Ragged row.
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestFitDegradationRecovers(t *testing.T) {
+	tp0, tau, t0 := 0.15, 0.4, 0.05
+	var T, tp []float64
+	for w := 0.1; w < 3; w += 0.08 {
+		T = append(T, w)
+		tp = append(tp, tp0*(1-math.Exp(-(w-t0)/tau)))
+	}
+	d, err := FitDegradation(T, tp, tp0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Tau-tau) > 1e-6 {
+		t.Errorf("tau = %g, want %g", d.Tau, tau)
+	}
+	if math.Abs(d.T0-t0) > 1e-6 {
+		t.Errorf("t0 = %g, want %g", d.T0, t0)
+	}
+	if d.RMSLog > 1e-9 {
+		t.Errorf("RMSLog = %g", d.RMSLog)
+	}
+}
+
+func TestFitDegradationNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tp0, tau, t0 := 0.2, 0.6, 0.08
+	var T, tp []float64
+	for w := 0.15; w < 4; w += 0.05 {
+		T = append(T, w)
+		v := tp0 * (1 - math.Exp(-(w-t0)/tau))
+		tp = append(tp, v*(1+rng.NormFloat64()*0.005))
+	}
+	d, err := FitDegradation(T, tp, tp0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Tau-tau)/tau > 0.1 {
+		t.Errorf("tau = %g, want ~%g", d.Tau, tau)
+	}
+	if math.Abs(d.T0-t0) > 0.05 {
+		t.Errorf("t0 = %g, want ~%g", d.T0, t0)
+	}
+}
+
+func TestFitDegradationSkipsUnusable(t *testing.T) {
+	// Points at tp0 (no degradation) and <= 0 (filtered) are excluded.
+	T := []float64{0.1, 0.5, 1.0, 2.0, 10, 12}
+	tp := []float64{-0.1, 0.05, 0.09, 0.11, 0.12, 0.12}
+	d, err := FitDegradation(T, tp, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Points != 3 {
+		t.Errorf("points = %d, want 3", d.Points)
+	}
+}
+
+func TestFitDegradationErrors(t *testing.T) {
+	if _, err := FitDegradation([]float64{1}, []float64{1, 2}, 0.1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitDegradation([]float64{1, 2}, []float64{0.05, 0.06}, 0); err == nil {
+		t.Error("zero tp0 accepted")
+	}
+	if _, err := FitDegradation([]float64{1, 2}, []float64{0.2, 0.2}, 0.1); err == nil {
+		t.Error("saturated-only data accepted")
+	}
+	// Increasing log-residual (non-decaying): slope >= 0.
+	if _, err := FitDegradation([]float64{1, 2}, []float64{0.09, 0.05}, 0.1); err == nil {
+		t.Error("non-decaying data accepted")
+	}
+}
+
+// Property: fitting exact synthetic data recovers parameters for random
+// (tp0, tau, t0) in physical ranges.
+func TestFitDegradationProperty(t *testing.T) {
+	f := func(tp0Q, tauQ, t0Q uint16) bool {
+		tp0 := 0.05 + float64(tp0Q)/65535*0.5
+		tau := 0.1 + float64(tauQ)/65535*2
+		t0 := float64(t0Q) / 65535 * 0.2
+		var T, tp []float64
+		for i := 0; i < 30; i++ {
+			w := t0 + tau*(0.1+float64(i)*0.15)
+			T = append(T, w)
+			tp = append(tp, tp0*(1-math.Exp(-(w-t0)/tau)))
+		}
+		d, err := FitDegradation(T, tp, tp0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.Tau-tau)/tau < 1e-3 && math.Abs(d.T0-t0) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package netfmt
+
+import (
+	"strings"
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/circuits"
+	"halotis/internal/sim"
+)
+
+var lib = cellib.Default06()
+
+const sample = `
+# a NAND latch-free sample
+circuit demo
+input a b
+output y
+gate g1 NAND2 n1 a b
+gate g2 INV y n1
+wirecap n1 0.02
+vt g2 0 2.2
+`
+
+func TestParseCircuit(t *testing.T) {
+	ckt, err := ParseCircuit(strings.NewReader(sample), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Name != "demo" {
+		t.Errorf("name = %q", ckt.Name)
+	}
+	if len(ckt.Gates) != 2 || len(ckt.Inputs) != 2 {
+		t.Errorf("structure: %v", ckt.Stats())
+	}
+	if got := ckt.NetByName("n1").WireCap; got != 0.02 {
+		t.Errorf("wirecap = %g", got)
+	}
+	if got := ckt.GateByName("g2").Inputs[0].VT; got != 2.2 {
+		t.Errorf("vt = %g", got)
+	}
+	// Logic sanity: y = a AND b.
+	res, err := ckt.EvalBool(map[string]bool{"a": true, "b": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res["y"] {
+		t.Error("y should be 1 for a=b=1")
+	}
+}
+
+func TestParseCircuitErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"frob x", "unknown directive"},
+		{"circuit a\ncircuit b", "duplicate circuit"},
+		{"circuit", "exactly one name"},
+		{"input", "at least one"},
+		{"output", "at least one"},
+		{"gate g1 NAND2 out", "gate needs"},
+		{"gate g1 FROB2 out a b", "unknown cell kind"},
+		{"wirecap n x", "bad capacitance"},
+		{"wirecap n", "wirecap needs"},
+		{"vt g x 2", "bad pin index"},
+		{"vt g 0 x", "bad threshold"},
+		{"vt g 0", "vt needs"},
+	}
+	for _, c := range cases {
+		_, err := ParseCircuit(strings.NewReader(c.src), lib)
+		if err == nil {
+			t.Errorf("source %q accepted", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("source %q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	src := "circuit ok\ninput a\nfrob\n"
+	_, err := ParseCircuit(strings.NewReader(src), lib)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v should mention line 3", err)
+	}
+}
+
+func TestCircuitRoundTrip(t *testing.T) {
+	orig, err := circuits.Multiplier4x4(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCircuit(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCircuit(strings.NewReader(buf.String()), lib)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, buf.String()[:400])
+	}
+	if back.Name != orig.Name || len(back.Gates) != len(orig.Gates) || len(back.Nets) != len(orig.Nets) {
+		t.Errorf("structure mismatch: %v vs %v", back.Stats(), orig.Stats())
+	}
+	// Functional equivalence on a few vectors.
+	for _, pair := range [][2]int{{3, 5}, {15, 15}, {9, 12}} {
+		in := map[string]bool{}
+		for i := 0; i < 4; i++ {
+			in["a"+string(rune('0'+i))] = pair[0]>>i&1 == 1
+			in["b"+string(rune('0'+i))] = pair[1]>>i&1 == 1
+		}
+		r1, err1 := orig.EvalBool(in)
+		r2, err2 := back.EvalBool(in)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for k, v := range r1 {
+			if r2[k] != v {
+				t.Errorf("output %s differs after round trip", k)
+			}
+		}
+	}
+}
+
+func TestCircuitRoundTripVTOverride(t *testing.T) {
+	ckt, err := circuits.Figure1(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCircuit(&buf, ckt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vt g1 0 1.7") {
+		t.Errorf("vt override not serialized:\n%s", buf.String())
+	}
+	back, err := ParseCircuit(strings.NewReader(buf.String()), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.GateByName("g2").Inputs[0].VT; got != circuits.Figure1VT2 {
+		t.Errorf("vt after round trip = %g", got)
+	}
+}
+
+const stimSample = `
+init a 1
+edge a 5 fall 0.2
+edge a 9 rise
+edge b 2.5 rise 0.4
+`
+
+func TestParseStimulus(t *testing.T) {
+	st, err := ParseStimulus(strings.NewReader(stimSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st["a"]
+	if !a.Init || len(a.Edges) != 2 {
+		t.Fatalf("a = %+v", a)
+	}
+	if a.Edges[0].Rising || a.Edges[0].Time != 5 || a.Edges[0].Slew != 0.2 {
+		t.Errorf("a edge 0 = %+v", a.Edges[0])
+	}
+	if a.Edges[1].Slew != 0.3 { // default slew
+		t.Errorf("default slew = %g", a.Edges[1].Slew)
+	}
+	if len(st["b"].Edges) != 1 {
+		t.Errorf("b = %+v", st["b"])
+	}
+}
+
+func TestParseStimulusSortsEdges(t *testing.T) {
+	src := "edge a 9 rise\nedge a 2 fall\n"
+	st, err := ParseStimulus(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["a"].Edges[0].Time != 2 {
+		t.Error("edges not sorted")
+	}
+}
+
+func TestParseStimulusErrors(t *testing.T) {
+	cases := []string{
+		"bogus a",
+		"init a 2",
+		"init a",
+		"edge a x rise",
+		"edge a 2 sideways",
+		"edge a 2 rise x",
+		"edge a",
+	}
+	for _, src := range cases {
+		if _, err := ParseStimulus(strings.NewReader(src)); err == nil {
+			t.Errorf("source %q accepted", src)
+		}
+	}
+}
+
+func TestStimulusRoundTrip(t *testing.T) {
+	st := sim.Stimulus{
+		"x": sim.InputWave{Init: true, Edges: []sim.InputEdge{
+			{Time: 1, Rising: false, Slew: 0.25},
+			{Time: 4.5, Rising: true, Slew: 0.5},
+		}},
+		"y": sim.InputWave{},
+	}
+	var buf strings.Builder
+	if err := WriteStimulus(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseStimulus(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := back["x"]
+	if !x.Init || len(x.Edges) != 2 || x.Edges[1].Slew != 0.5 {
+		t.Errorf("x after round trip = %+v", x)
+	}
+}

@@ -1,0 +1,226 @@
+package netlist
+
+import (
+	"fmt"
+
+	"halotis/internal/cellib"
+)
+
+// Builder assembles a Circuit incrementally and validates it on Build.
+// Nets are created on first reference, so gates may be added in any order.
+type Builder struct {
+	name string
+	lib  *cellib.Library
+
+	nets    []*Net
+	gates   []*Gate
+	inputs  []*Net
+	outputs []*Net
+
+	netByName  map[string]*Net
+	gateByName map[string]*Gate
+
+	errs []error
+}
+
+// NewBuilder starts a circuit with the given name over the given library.
+func NewBuilder(name string, lib *cellib.Library) *Builder {
+	return &Builder{
+		name:       name,
+		lib:        lib,
+		netByName:  make(map[string]*Net),
+		gateByName: make(map[string]*Gate),
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("netlist: "+format, args...))
+}
+
+// Net returns the named net, creating it if needed.
+func (b *Builder) Net(name string) *Net {
+	if n, ok := b.netByName[name]; ok {
+		return n
+	}
+	if name == "" {
+		b.errf("empty net name")
+	}
+	n := &Net{ID: len(b.nets), Name: name}
+	b.nets = append(b.nets, n)
+	b.netByName[name] = n
+	return n
+}
+
+// Input declares a primary input net and returns it.
+func (b *Builder) Input(name string) *Net {
+	n := b.Net(name)
+	for _, in := range b.inputs {
+		if in == n {
+			return n // already declared; idempotent
+		}
+	}
+	b.inputs = append(b.inputs, n)
+	return n
+}
+
+// Output marks a net as a primary output.
+func (b *Builder) Output(name string) *Net {
+	n := b.Net(name)
+	if !n.IsOutput {
+		n.IsOutput = true
+		b.outputs = append(b.outputs, n)
+	}
+	return n
+}
+
+// SetWireCap adds interconnect capacitance (pF) to a net.
+func (b *Builder) SetWireCap(net string, cap float64) {
+	if cap < 0 {
+		b.errf("negative wire capacitance %g on %q", cap, net)
+		return
+	}
+	b.Net(net).WireCap = cap
+}
+
+// AddGate instantiates a cell. The output net and each input net are
+// created on demand. It returns the new gate (possibly with recorded
+// errors deferred to Build).
+func (b *Builder) AddGate(name string, kind cellib.Kind, output string, inputs ...string) *Gate {
+	cell := b.lib.Cell(kind)
+	if cell == nil {
+		b.errf("gate %q: library %q has no cell %s", name, b.lib.Name, kind)
+		return nil
+	}
+	if len(inputs) != kind.NumInputs() {
+		b.errf("gate %q: %s takes %d inputs, got %d", name, kind, kind.NumInputs(), len(inputs))
+		return nil
+	}
+	if _, dup := b.gateByName[name]; dup {
+		b.errf("duplicate gate name %q", name)
+		return nil
+	}
+	g := &Gate{ID: len(b.gates), Name: name, Cell: cell}
+	out := b.Net(output)
+	if out.Driver != nil {
+		b.errf("net %q driven by both %q and %q", output, out.Driver.Name, name)
+		return nil
+	}
+	out.Driver = g
+	g.Output = out
+	for i, in := range inputs {
+		net := b.Net(in)
+		pin := &Pin{Gate: g, Index: i, Net: net, VT: cell.Pins[i].VT, CIn: cell.Pins[i].CIn}
+		g.Inputs = append(g.Inputs, pin)
+		net.Fanout = append(net.Fanout, pin)
+	}
+	b.gates = append(b.gates, g)
+	b.gateByName[name] = g
+	return g
+}
+
+// SetPinVT overrides the input threshold of one gate pin, in volts. The
+// paper's Fig. 1 scenario needs per-instance thresholds.
+func (b *Builder) SetPinVT(gate string, pin int, vt float64) {
+	g, ok := b.gateByName[gate]
+	if !ok {
+		b.errf("SetPinVT: unknown gate %q", gate)
+		return
+	}
+	if pin < 0 || pin >= len(g.Inputs) {
+		b.errf("SetPinVT: gate %q has no pin %d", gate, pin)
+		return
+	}
+	if vt <= 0 || vt >= b.lib.VDD {
+		b.errf("SetPinVT: VT %g outside (0, %g)", vt, b.lib.VDD)
+		return
+	}
+	g.Inputs[pin].VT = vt
+}
+
+// Build validates the circuit and returns it: every net must be driven or a
+// declared primary input, primary inputs must not be driven, the gate graph
+// must be acyclic (combinational), and every gate output should go
+// somewhere (fanout or primary output) — dangling outputs are an error to
+// catch netlist typos.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	isInput := make(map[*Net]bool, len(b.inputs))
+	for _, n := range b.inputs {
+		isInput[n] = true
+	}
+	for _, n := range b.nets {
+		switch {
+		case n.Driver == nil && !isInput[n]:
+			return nil, fmt.Errorf("netlist: net %q has no driver and is not a primary input", n.Name)
+		case n.Driver != nil && isInput[n]:
+			return nil, fmt.Errorf("netlist: primary input %q is driven by gate %q", n.Name, n.Driver.Name)
+		case len(n.Fanout) == 0 && !n.IsOutput:
+			return nil, fmt.Errorf("netlist: net %q is dangling (no fanout, not an output)", n.Name)
+		}
+	}
+	// Levelize with Kahn's algorithm; leftovers indicate a cycle.
+	indeg := make(map[*Gate]int, len(b.gates))
+	for _, g := range b.gates {
+		for _, p := range g.Inputs {
+			if p.Net.Driver != nil {
+				indeg[g]++
+			}
+		}
+	}
+	var queue []*Gate
+	for _, g := range b.gates {
+		if indeg[g] == 0 {
+			g.Level = 0
+			queue = append(queue, g)
+		}
+	}
+	levels := 0
+	processed := 0
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		processed++
+		if g.Level+1 > levels {
+			levels = g.Level + 1
+		}
+		for _, p := range g.Output.Fanout {
+			succ := p.Gate
+			indeg[succ]--
+			if succ.Level < g.Level+1 {
+				succ.Level = g.Level + 1
+			}
+			if indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if processed != len(b.gates) {
+		for _, g := range b.gates {
+			if indeg[g] > 0 {
+				return nil, fmt.Errorf("netlist: combinational cycle through gate %q", g.Name)
+			}
+		}
+	}
+	return &Circuit{
+		Name:       b.name,
+		Lib:        b.lib,
+		Nets:       b.nets,
+		Gates:      b.gates,
+		Inputs:     b.inputs,
+		Outputs:    b.outputs,
+		netByName:  b.netByName,
+		gateByName: b.gateByName,
+		levels:     levels,
+	}, nil
+}
+
+// MustBuild is Build for tests and generators of known-good circuits.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,324 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"halotis/internal/cellib"
+)
+
+func lib() *cellib.Library { return cellib.Default06() }
+
+// buildInvChain builds in -> inv0 -> n0 -> inv1 -> n1 ... -> out.
+func buildInvChain(t *testing.T, n int) *Circuit {
+	t.Helper()
+	b := NewBuilder("chain", lib())
+	b.Input("in")
+	prev := "in"
+	for i := 0; i < n; i++ {
+		out := "n" + string(rune('0'+i))
+		if i == n-1 {
+			out = "out"
+		}
+		b.AddGate("inv"+string(rune('0'+i)), cellib.INV, out, prev)
+		prev = out
+	}
+	b.Output("out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuildChain(t *testing.T) {
+	c := buildInvChain(t, 3)
+	if got := len(c.Gates); got != 3 {
+		t.Errorf("gates = %d, want 3", got)
+	}
+	if got := len(c.Nets); got != 4 {
+		t.Errorf("nets = %d, want 4", got)
+	}
+	if c.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", c.Depth())
+	}
+	if n := c.NetByName("out"); n == nil || !n.IsOutput {
+		t.Error("out net missing or not marked output")
+	}
+	if g := c.GateByName("inv1"); g == nil || g.Level != 1 {
+		t.Errorf("inv1 level wrong: %+v", g)
+	}
+	if c.NetByName("in").IsPrimaryInput() == false {
+		t.Error("in should be a primary input")
+	}
+}
+
+func TestLoadComputation(t *testing.T) {
+	b := NewBuilder("load", lib())
+	b.Input("a")
+	b.AddGate("g1", cellib.INV, "n1", "a")
+	b.AddGate("g2", cellib.INV, "o1", "n1")
+	b.AddGate("g3", cellib.INV, "o2", "n1")
+	b.SetWireCap("n1", 0.005)
+	b.Output("o1")
+	b.Output("o2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	inv := lib().Cell(cellib.INV)
+	n1 := c.NetByName("n1")
+	want := 2*inv.Pins[0].CIn + inv.COut + 0.005
+	if got := n1.Load(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Load(n1) = %g, want %g", got, want)
+	}
+	// Primary input load: one pin, no driver COut.
+	a := c.NetByName("a")
+	if got := a.Load(); math.Abs(got-inv.Pins[0].CIn) > 1e-12 {
+		t.Errorf("Load(a) = %g, want %g", got, inv.Pins[0].CIn)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"undriven", func(b *Builder) {
+			b.AddGate("g", cellib.INV, "out", "ghost")
+			b.Output("out")
+		}, "no driver"},
+		{"double-drive", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.AddGate("g2", cellib.INV, "x", "a")
+			b.Output("x")
+		}, "driven by both"},
+		{"driven-input", func(b *Builder) {
+			b.Input("a")
+			b.Input("x")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.Output("x")
+		}, "is driven"},
+		{"dangling", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.AddGate("g2", cellib.INV, "y", "a")
+			b.Output("x")
+		}, "dangling"},
+		{"arity", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.NAND2, "x", "a")
+			b.Output("x")
+		}, "takes 2 inputs"},
+		{"dup-gate", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.AddGate("g1", cellib.INV, "y", "a")
+			b.Output("x")
+			b.Output("y")
+		}, "duplicate gate"},
+		{"cycle", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.NAND2, "x", "a", "y")
+			b.AddGate("g2", cellib.INV, "y", "x")
+			b.Output("x")
+			b.Output("y")
+		}, "cycle"},
+		{"bad-vt", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.SetPinVT("g1", 0, 7)
+			b.Output("x")
+		}, "VT"},
+		{"vt-unknown-gate", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.SetPinVT("nope", 0, 2)
+			b.Output("x")
+		}, "unknown gate"},
+		{"vt-bad-pin", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.SetPinVT("g1", 3, 2)
+			b.Output("x")
+		}, "no pin"},
+		{"neg-wirecap", func(b *Builder) {
+			b.Input("a")
+			b.AddGate("g1", cellib.INV, "x", "a")
+			b.SetWireCap("x", -1)
+			b.Output("x")
+		}, "negative wire"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder(c.name, lib())
+			c.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatalf("Build accepted bad circuit %q", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSetPinVT(t *testing.T) {
+	b := NewBuilder("vt", lib())
+	b.Input("a")
+	b.AddGate("g1", cellib.INV, "x", "a")
+	b.SetPinVT("g1", 0, 1.2)
+	b.Output("x")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := c.GateByName("g1").Inputs[0].VT; got != 1.2 {
+		t.Errorf("VT = %g, want 1.2", got)
+	}
+}
+
+func TestInputIdempotent(t *testing.T) {
+	b := NewBuilder("i", lib())
+	b.Input("a")
+	b.Input("a")
+	b.AddGate("g1", cellib.INV, "x", "a")
+	b.Output("x")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(c.Inputs) != 1 {
+		t.Errorf("inputs = %d, want 1", len(c.Inputs))
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	// Full-adder truth table via direct AND/OR/XOR gates.
+	b := NewBuilder("fa", lib())
+	b.Input("a")
+	b.Input("b")
+	b.Input("ci")
+	b.AddGate("x1", cellib.XOR2, "axb", "a", "b")
+	b.AddGate("x2", cellib.XOR2, "s", "axb", "ci")
+	b.AddGate("a1", cellib.AND2, "ab", "a", "b")
+	b.AddGate("a2", cellib.AND2, "cx", "axb", "ci")
+	b.AddGate("o1", cellib.OR2, "co", "ab", "cx")
+	b.Output("s")
+	b.Output("co")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for mask := 0; mask < 8; mask++ {
+		a, bb, ci := mask&1 == 1, mask&2 == 2, mask&4 == 4
+		got, err := c.EvalBool(map[string]bool{"a": a, "b": bb, "ci": ci})
+		if err != nil {
+			t.Fatalf("EvalBool: %v", err)
+		}
+		sum := boolToInt(a) + boolToInt(bb) + boolToInt(ci)
+		if got["s"] != (sum%2 == 1) {
+			t.Errorf("mask %d: s = %v, want %v", mask, got["s"], sum%2 == 1)
+		}
+		if got["co"] != (sum >= 2) {
+			t.Errorf("mask %d: co = %v, want %v", mask, got["co"], sum >= 2)
+		}
+	}
+	// Missing input is an error.
+	if _, err := c.EvalBool(map[string]bool{"a": true}); err == nil {
+		t.Error("EvalBool with missing inputs should fail")
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestGatesByLevelOrdering(t *testing.T) {
+	c := buildInvChain(t, 5)
+	prev := -1
+	for _, g := range c.GatesByLevel() {
+		if g.Level < prev {
+			t.Fatalf("GatesByLevel not sorted: %d after %d", g.Level, prev)
+		}
+		prev = g.Level
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildInvChain(t, 4)
+	s := c.Stats()
+	if s.Gates != 4 || s.Inputs != 1 || s.Outputs != 1 || s.Depth != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByKind[cellib.INV] != 4 {
+		t.Errorf("ByKind[INV] = %d, want 4", s.ByKind[cellib.INV])
+	}
+	if s.TotalLoad <= 0 {
+		t.Error("TotalLoad should be positive")
+	}
+	if str := s.String(); !strings.Contains(str, "4 gates") {
+		t.Errorf("Stats.String = %q", str)
+	}
+}
+
+func TestPinString(t *testing.T) {
+	c := buildInvChain(t, 1)
+	p := c.GateByName("inv0").Inputs[0]
+	if s := p.String(); !strings.Contains(s, "inv0") {
+		t.Errorf("Pin.String = %q", s)
+	}
+}
+
+func TestReconvergentFanout(t *testing.T) {
+	// a -> inv -> n; n feeds both NAND inputs: classic glitch structure.
+	b := NewBuilder("reconv", lib())
+	b.Input("a")
+	b.AddGate("i1", cellib.INV, "n", "a")
+	b.AddGate("n1", cellib.NAND2, "out", "n", "a")
+	b.Output("out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := len(c.NetByName("a").Fanout); got != 2 {
+		t.Errorf("fanout of a = %d, want 2", got)
+	}
+	res, err := c.EvalBool(map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["out"] != true { // !(0 & 1) = 1
+		t.Errorf("out = %v, want true", res["out"])
+	}
+}
+
+func TestUnknownCellKind(t *testing.T) {
+	empty := cellib.NewLibrary("empty", 5)
+	b := NewBuilder("x", empty)
+	b.Input("a")
+	b.AddGate("g", cellib.INV, "out", "a")
+	b.Output("out")
+	if _, err := b.Build(); err == nil {
+		t.Error("gate from missing cell accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid circuit")
+		}
+	}()
+	b := NewBuilder("bad", lib())
+	b.AddGate("g", cellib.INV, "out", "ghost")
+	b.Output("out")
+	b.MustBuild()
+}

@@ -1,0 +1,90 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDDMCurve(t *testing.T) {
+	r, err := DDMCurve(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 10 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Shape 1: the narrowest pulses are filtered by both DDM and analog.
+	if r.Points[0].OutDDM >= 0 || r.Points[0].OutAnalog >= 0 {
+		t.Error("narrowest pulse should be filtered")
+	}
+	// Shape 2: the widest pulses propagate nearly unchanged under DDM.
+	last := r.Points[len(r.Points)-1]
+	if last.OutDDM < 0 || last.OutAnalog < 0 {
+		t.Fatal("widest pulse filtered")
+	}
+	// Allow slight widening from rise/fall delay asymmetry.
+	if d := last.WIn - last.OutDDM; d < -0.02 || d > 0.1 {
+		t.Errorf("wide pulse DDM shrinkage %g out of band", d)
+	}
+	// Shape 3: in the degradation band the DDM output is narrower than
+	// the input (monotone recovery toward it).
+	sawDegraded := false
+	for _, p := range r.Points {
+		if p.OutDDM >= 0 && p.OutDDM < p.WIn-0.02 {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Error("no degradation band observed")
+	}
+	// Shape 4: DDM and the analog reference filter at similar widths.
+	if diff := r.FilterEdgeDDM - r.FilterEdgeAnalog; diff < -0.06 || diff > 0.06 {
+		t.Errorf("filtering edges differ too much: DDM %.2f vs analog %.2f",
+			r.FilterEdgeDDM, r.FilterEdgeAnalog)
+	}
+	if !strings.Contains(r.Text, "transfer curve") {
+		t.Error("report title missing")
+	}
+}
+
+func TestPowerExperiment(t *testing.T) {
+	r, err := PowerExperiment(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reports) != 2 {
+		t.Fatalf("reports = %d", len(r.Reports))
+	}
+	for i, pair := range r.Reports {
+		ddm, cdm := pair[0], pair[1]
+		if cdm.TotalEnergy <= ddm.TotalEnergy {
+			t.Errorf("workload %d: CDM energy %g should exceed DDM %g",
+				i, cdm.TotalEnergy, ddm.TotalEnergy)
+		}
+		if ddm.TotalEnergy <= 0 {
+			t.Errorf("workload %d: zero DDM energy", i)
+		}
+		if len(ddm.PerNet) == 0 {
+			t.Errorf("workload %d: no per-net breakdown", i)
+		}
+	}
+	if !strings.Contains(r.Text, "Glitch power") {
+		t.Error("report title missing")
+	}
+}
+
+func TestFigWaveVoltageRMS(t *testing.T) {
+	r, err := Fig6(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DDM should track the analog voltage at least as well as CDM, and
+	// both should be a small fraction of the swing.
+	if r.VoltageRMSDDM <= 0 || r.VoltageRMSDDM > 0.35 {
+		t.Errorf("DDM voltage RMS %g out of band", r.VoltageRMSDDM)
+	}
+	if r.VoltageRMSDDM > r.VoltageRMSCDM+0.02 {
+		t.Errorf("DDM voltage RMS %g should not exceed CDM %g",
+			r.VoltageRMSDDM, r.VoltageRMSCDM)
+	}
+}

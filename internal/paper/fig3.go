@@ -1,0 +1,97 @@
+package paper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+)
+
+// Fig3Event is one row of the paper's Fig. 3 table: a single transition on
+// a signal produces one event per receiving gate input, each at the time
+// the ramp crosses that input's threshold.
+type Fig3Event struct {
+	// Event label (E1, E2, ...), ordered by time.
+	Label string
+	// Time of the threshold crossing, ns.
+	Time float64
+	// Gate and Input identify the receiving pin.
+	Gate  string
+	Input int
+	// VT is the receiving pin's threshold, V.
+	VT float64
+}
+
+// Fig3Result reproduces Fig. 3: the transition/event distinction.
+type Fig3Result struct {
+	// TransitionStart and Slew describe the driving ramp.
+	TransitionStart, Slew float64
+	// Events lists the per-input events in time order.
+	Events []Fig3Event
+	// Text is the formatted report.
+	Text string
+}
+
+// Fig3 drives one falling transition into three receivers with distinct
+// thresholds (the paper's VT22, VT31, VT13 ordering) and reports the event
+// each receiver observes.
+func Fig3(lib *cellib.Library) (Fig3Result, error) {
+	// Thresholds chosen like the figure: G2 switches first (highest VT on
+	// a falling ramp), then G3, then G1.
+	thresholds := map[string]float64{"G1": 1.3, "G2": 3.8, "G3": 2.6}
+	b := netlist.NewBuilder("fig3", lib)
+	b.Input("out") // the figure's signal name
+	for _, g := range []string{"G1", "G2", "G3"} {
+		b.AddGate(g, cellib.INV, "y"+g, "out")
+		b.SetPinVT(g, 0, thresholds[g])
+		b.Output("y" + g)
+	}
+	ckt, err := b.Build()
+	if err != nil {
+		return Fig3Result{}, err
+	}
+
+	const (
+		start = 1.0
+		slew  = 1.0 // slow ramp so the crossing spread is visible
+	)
+	st := sim.Stimulus{"out": sim.InputWave{Init: true, Edges: []sim.InputEdge{
+		{Time: start, Rising: false, Slew: slew},
+	}}}
+	res, err := runLogic(ckt, st, sim.DDM)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+
+	r := Fig3Result{TransitionStart: start, Slew: slew}
+	wf := res.Waveform("out")
+	for _, g := range []string{"G1", "G2", "G3"} {
+		vt := thresholds[g]
+		cs := wf.Crossings(vt)
+		if len(cs) != 1 {
+			return Fig3Result{}, fmt.Errorf("paper: expected one crossing at %s, got %d", g, len(cs))
+		}
+		r.Events = append(r.Events, Fig3Event{
+			Time: cs[0].Time, Gate: g, Input: 0, VT: vt,
+		})
+	}
+	sort.Slice(r.Events, func(i, j int) bool { return r.Events[i].Time < r.Events[j].Time })
+	for i := range r.Events {
+		r.Events[i].Label = fmt.Sprintf("E%d", i+1)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(sectionHeader("Figure 3 — one transition, one event per gate input"))
+	fmt.Fprintf(&sb, "falling transition on signal \"out\": t0=%.2f ns, slew=%.2f ns\n\n", start, slew)
+	fmt.Fprintf(&sb, "%-6s %-8s %-6s %-6s %-8s\n", "Event", "Time(ns)", "Gate", "Input", "VT(V)")
+	for _, e := range r.Events {
+		fmt.Fprintf(&sb, "%-6s %-8.3f %-6s %-6d %-8.2f\n", e.Label, e.Time, e.Gate, e.Input, e.VT)
+	}
+	sb.WriteString("\nEach receiving input sees the same transition at a different time —\n")
+	sb.WriteString("the simulation runs on these per-input events, not on the transition itself.\n")
+	r.Text = sb.String()
+	return r, nil
+}

@@ -1,0 +1,108 @@
+package paper
+
+import (
+	"fmt"
+	"strings"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// Fig5Result reproduces Fig. 5: the 4x4 array multiplier structure, with a
+// functional verification over all 256 operand pairs.
+type Fig5Result struct {
+	// Stats summarizes the generated netlist.
+	Stats netlist.Stats
+	// AdderBlocks counts full-adder and half-adder clusters.
+	FullAdders, HalfAdders int
+	// PartialProducts counts AND clusters.
+	PartialProducts int
+	// Verified reports the exhaustive product check passed.
+	Verified bool
+	// Text is the formatted report.
+	Text string
+}
+
+// Fig5 builds and verifies the multiplier.
+func Fig5(lib *cellib.Library) (Fig5Result, error) {
+	ckt, err := buildMultiplier(lib)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	r := Fig5Result{Stats: ckt.Stats()}
+
+	// Count structural clusters from generator naming.
+	seenFA := map[string]bool{}
+	seenHA := map[string]bool{}
+	seenPP := map[string]bool{}
+	for _, g := range ckt.Gates {
+		switch {
+		case strings.HasPrefix(g.Name, "and"):
+			seenPP[strings.TrimSuffix(strings.TrimSuffix(g.Name, "_nand"), "_inv")] = true
+		case strings.HasPrefix(g.Name, "r"):
+			// r<i>_<j>_g<k> for FAs; r<i>_<j>_x*/_c* for HAs.
+			parts := strings.SplitN(g.Name, "_", 3)
+			if len(parts) == 3 {
+				block := parts[0] + "_" + parts[1]
+				if strings.HasPrefix(parts[2], "g") {
+					seenFA[block] = true
+				} else {
+					seenHA[block] = true
+				}
+			}
+		}
+	}
+	r.FullAdders = len(seenFA)
+	r.HalfAdders = len(seenHA)
+	r.PartialProducts = len(seenPP)
+
+	// Exhaustive functional verification.
+	r.Verified = true
+	for a := 0; a < 16 && r.Verified; a++ {
+		for bb := 0; bb < 16; bb++ {
+			in := map[string]bool{}
+			for i := 0; i < 4; i++ {
+				in[fmt.Sprintf("a%d", i)] = a>>i&1 == 1
+				in[fmt.Sprintf("b%d", i)] = bb>>i&1 == 1
+			}
+			out, err := ckt.EvalBool(in)
+			if err != nil {
+				return Fig5Result{}, err
+			}
+			if decodeProduct(out) != a*bb {
+				r.Verified = false
+				break
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(sectionHeader("Figure 5 — 4x4 array multiplier"))
+	fmt.Fprintf(&b, "structure: %s\n", r.Stats)
+	fmt.Fprintf(&b, "blocks: %d AND partial products, %d full adders, %d half adders\n",
+		r.PartialProducts, r.FullAdders, r.HalfAdders)
+	fmt.Fprintf(&b, "cells: ")
+	first := true
+	for _, k := range cellKindsSorted(r.Stats) {
+		if !first {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%dx %s", r.Stats.ByKind[k], k)
+		first = false
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "exhaustive 256-product verification: %v\n", r.Verified)
+	b.WriteString("\n(the paper's 12 F.A. blocks with constant-0 inputs appear here as\n 8 full adders + 4 half adders, the standard simplification)\n")
+	r.Text = b.String()
+	return r, nil
+}
+
+func cellKindsSorted(s netlist.Stats) []cellib.Kind {
+	var ks []cellib.Kind
+	for _, k := range cellib.Kinds() {
+		if s.ByKind[k] > 0 {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}

@@ -1,0 +1,141 @@
+package paper
+
+import (
+	"fmt"
+	"strings"
+
+	"halotis/internal/analog"
+	"halotis/internal/cellib"
+	"halotis/internal/compare"
+	"halotis/internal/sim"
+	"halotis/internal/waveview"
+)
+
+// WaveResult reproduces Fig. 6 or Fig. 7: the multiplier output waveforms
+// s7..s0 for one input sequence under the analog reference, HALOTIS-DDM and
+// HALOTIS-CDM, plus quantitative agreement summaries.
+type WaveResult struct {
+	Workload Workload
+	// WantProduct is the integer product of the final operand pair.
+	WantProduct int
+	// ProductAnalog, ProductDDM, ProductCDM are the settled products.
+	ProductAnalog, ProductDDM, ProductCDM int
+	// DDMvsAnalog and CDMvsAnalog summarize output-edge agreement.
+	DDMvsAnalog, CDMvsAnalog compare.Summary
+	// VoltageRMSDDM and VoltageRMSCDM are VDD-normalized voltage-domain
+	// RMS errors against the analog traces, averaged over the outputs.
+	VoltageRMSDDM, VoltageRMSCDM float64
+	// OutputTransitions counts per-engine full transitions across s0..s7.
+	OutputTransitionsAnalog, OutputTransitionsDDM, OutputTransitionsCDM int
+	// Views are the ASCII waveform renderings (analog, DDM, CDM).
+	ViewAnalog, ViewDDM, ViewCDM string
+	// Text is the full formatted report.
+	Text string
+}
+
+// figWave runs the three engines on one workload.
+func figWave(lib *cellib.Library, w Workload, title string) (WaveResult, error) {
+	ckt, err := buildMultiplier(lib)
+	if err != nil {
+		return WaveResult{}, err
+	}
+	st, err := multiplierStimulus(w)
+	if err != nil {
+		return WaveResult{}, err
+	}
+	ddm, err := runLogic(ckt, st, sim.DDM)
+	if err != nil {
+		return WaveResult{}, err
+	}
+	cdm, err := runLogic(ckt, st, sim.CDM)
+	if err != nil {
+		return WaveResult{}, err
+	}
+	ar, err := runAnalog(ckt, st, 0.002)
+	if err != nil {
+		return WaveResult{}, err
+	}
+
+	last := w.Pairs[len(w.Pairs)-1]
+	r := WaveResult{
+		Workload:      w,
+		WantProduct:   int(last.A) * int(last.B),
+		ProductAnalog: decodeProduct(ar.OutputLogic(SimHorizon)),
+		ProductDDM:    decodeProduct(ddm.OutputLogic(SimHorizon, lib.VDD/2)),
+		ProductCDM:    decodeProduct(cdm.OutputLogic(SimHorizon, lib.VDD/2)),
+		DDMvsAnalog:   compare.CompareOutputs(ddm, ar, SimHorizon),
+		CDMvsAnalog:   compare.CompareOutputs(cdm, ar, SimHorizon),
+	}
+	r.VoltageRMSDDM = compare.VoltageRMSOutputs(ddm, ar, outputNames(), lib.VDD, 0, SimHorizon, 2000)
+	r.VoltageRMSCDM = compare.VoltageRMSOutputs(cdm, ar, outputNames(), lib.VDD, 0, SimHorizon, 2000)
+	for _, o := range ckt.Outputs {
+		r.OutputTransitionsAnalog += ar.Trace(o.Name).TransitionCount()
+		r.OutputTransitionsDDM += len(compare.LogicEdges(ddm.Waveform(o.Name), lib.VDD))
+		r.OutputTransitionsCDM += len(compare.LogicEdges(cdm.Waveform(o.Name), lib.VDD))
+	}
+
+	r.ViewAnalog = renderAnalog(ar, lib.VDD)
+	r.ViewDDM = renderLogic(ddm, lib.VDD)
+	r.ViewCDM = renderLogic(cdm, lib.VDD)
+
+	var b strings.Builder
+	b.WriteString(sectionHeader(title))
+	fmt.Fprintf(&b, "sequence AxB: %s (vector period %g ns, window 0..%g ns)\n\n",
+		w.Name, 5.0, Window)
+	fmt.Fprintf(&b, "a) analog reference\n%s\n", r.ViewAnalog)
+	fmt.Fprintf(&b, "b) HALOTIS-DDM\n%s\n", r.ViewDDM)
+	fmt.Fprintf(&b, "c) HALOTIS-CDM\n%s\n", r.ViewCDM)
+	fmt.Fprintf(&b, "settled product: analog=%d  DDM=%d  CDM=%d  (expected %d)\n\n",
+		r.ProductAnalog, r.ProductDDM, r.ProductCDM, r.WantProduct)
+	fmt.Fprintf(&b, "output transitions: analog=%d  DDM=%d  CDM=%d\n",
+		r.OutputTransitionsAnalog, r.OutputTransitionsDDM, r.OutputTransitionsCDM)
+	fmt.Fprintf(&b, "DDM vs analog: matched %d/%d edges (%.0f%%), RMS %.3f ns\n",
+		r.DDMvsAnalog.TotalMatch, maxInt(r.DDMvsAnalog.TotalLogic, r.DDMvsAnalog.TotalAnalog),
+		100*r.DDMvsAnalog.MatchFraction(), r.DDMvsAnalog.RMSError)
+	fmt.Fprintf(&b, "CDM vs analog: matched %d/%d edges (%.0f%%), RMS %.3f ns\n",
+		r.CDMvsAnalog.TotalMatch, maxInt(r.CDMvsAnalog.TotalLogic, r.CDMvsAnalog.TotalAnalog),
+		100*r.CDMvsAnalog.MatchFraction(), r.CDMvsAnalog.RMSError)
+	fmt.Fprintf(&b, "voltage-domain RMS vs analog (normalized): DDM %.3f, CDM %.3f\n",
+		r.VoltageRMSDDM, r.VoltageRMSCDM)
+	b.WriteString("\nHALOTIS-CDM shows extra output transitions (unfiltered glitches);\nHALOTIS-DDM tracks the electrical reference.\n")
+	r.Text = b.String()
+	return r, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// renderLogic draws s7..s0 from a logic run.
+func renderLogic(res *sim.Result, vdd float64) string {
+	v := waveview.View{T0: 0, T1: Window, Width: 100}
+	for _, name := range outputNames() {
+		wf := res.Waveform(name)
+		n := name
+		v.Add(n, func(t float64) bool { return wf.LogicAt(t, vdd/2) })
+	}
+	return v.Render()
+}
+
+// renderAnalog draws s7..s0 from an analog run.
+func renderAnalog(res *analog.Result, vdd float64) string {
+	v := waveview.View{T0: 0, T1: Window, Width: 100}
+	for _, name := range outputNames() {
+		tr := res.Trace(name)
+		v.Add(name, func(t float64) bool { return tr.LogicAt(t, vdd/2) })
+	}
+	return v.Render()
+}
+
+// Fig6 reproduces the first multiplication-sequence waveforms.
+func Fig6(lib *cellib.Library) (WaveResult, error) {
+	return figWave(lib, Workloads()[0], "Figure 6 — waveforms, sequence 0x0, 7x7, 5xA, Ex6, FxF")
+}
+
+// Fig7 reproduces the second multiplication-sequence waveforms.
+func Fig7(lib *cellib.Library) (WaveResult, error) {
+	return figWave(lib, Workloads()[1], "Figure 7 — waveforms, sequence 0x0, FxF, 0x0, FxF, 0x0")
+}

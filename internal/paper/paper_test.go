@@ -1,0 +1,163 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+
+	"halotis/internal/cellib"
+)
+
+var lib = cellib.Default06()
+
+func TestFig1(t *testing.T) {
+	r, err := Fig1(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Selective() {
+		t.Errorf("DDM did not differentiate receivers: out1=%d out2=%d", r.DDMOut1, r.DDMOut2)
+	}
+	if !r.ClassicUniform() {
+		t.Errorf("classic baseline differentiated receivers: %d vs %d", r.ClassicOut1, r.ClassicOut2)
+	}
+	if !r.AnalogAgreesWithDDM() {
+		t.Errorf("analog disagrees with DDM: analog %d/%d vs ddm %d/%d",
+			r.AnalogOut1, r.AnalogOut2, r.DDMOut1, r.DDMOut2)
+	}
+	if !strings.Contains(r.Text, "Figure 1") {
+		t.Error("report missing title")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	r, err := Fig3(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(r.Events))
+	}
+	// Falling ramp: highest threshold crossed first.
+	if r.Events[0].Gate != "G2" || r.Events[2].Gate != "G1" {
+		t.Errorf("event order wrong: %+v", r.Events)
+	}
+	prev := 0.0
+	for _, e := range r.Events {
+		if e.Time <= prev {
+			t.Errorf("events not strictly ordered: %+v", r.Events)
+		}
+		prev = e.Time
+	}
+	if r.Events[0].Label != "E1" {
+		t.Errorf("labels wrong: %+v", r.Events[0])
+	}
+}
+
+func TestFig5(t *testing.T) {
+	r, err := Fig5(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Error("multiplier failed exhaustive verification")
+	}
+	if r.FullAdders != 8 || r.HalfAdders != 4 {
+		t.Errorf("adders = %d FA + %d HA, want 8 + 4", r.FullAdders, r.HalfAdders)
+	}
+	if r.PartialProducts != 16 {
+		t.Errorf("partial products = %d, want 16", r.PartialProducts)
+	}
+	if r.Stats.Gates != 144 {
+		t.Errorf("gates = %d, want 144", r.Stats.Gates)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProductDDM != r.WantProduct {
+		t.Errorf("DDM product = %d, want %d", r.ProductDDM, r.WantProduct)
+	}
+	if r.ProductAnalog != r.WantProduct {
+		t.Errorf("analog product = %d, want %d", r.ProductAnalog, r.WantProduct)
+	}
+	// The paper's qualitative claim: CDM shows more output transitions
+	// than DDM; DDM is close to the analog reference.
+	if r.OutputTransitionsCDM <= r.OutputTransitionsDDM {
+		t.Errorf("CDM output transitions %d should exceed DDM %d",
+			r.OutputTransitionsCDM, r.OutputTransitionsDDM)
+	}
+	if r.DDMvsAnalog.MatchFraction() < 0.7 {
+		t.Errorf("DDM/analog match fraction %.2f too low", r.DDMvsAnalog.MatchFraction())
+	}
+	if !r.DDMvsAnalog.SettleAll {
+		t.Error("DDM and analog disagree on settled outputs")
+	}
+	for _, view := range []string{r.ViewAnalog, r.ViewDDM, r.ViewCDM} {
+		if !strings.Contains(view, "s7") || !strings.Contains(view, "s0") {
+			t.Error("waveform view missing rows")
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r, err := Fig7(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WantProduct != 0 {
+		t.Fatalf("want product = %d, expected 0 (final vector 0x0)", r.WantProduct)
+	}
+	if r.ProductDDM != 0 || r.ProductAnalog != 0 {
+		t.Errorf("products = ddm %d analog %d, want 0", r.ProductDDM, r.ProductAnalog)
+	}
+	if !r.DDMvsAnalog.SettleAll {
+		t.Error("settle disagreement")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if row.EventsCDM <= row.EventsDDM {
+			t.Errorf("row %d: CDM events %d should exceed DDM %d", i, row.EventsCDM, row.EventsDDM)
+		}
+		if row.OverestPct <= 0 {
+			t.Errorf("row %d: overestimation %g should be positive", i, row.OverestPct)
+		}
+		if row.FilteredDDM <= row.FilteredCDM {
+			t.Errorf("row %d: DDM filtered %d should exceed CDM %d", i, row.FilteredDDM, row.FilteredCDM)
+		}
+		if r.Activity[i].TransOverestPct() <= 0 {
+			t.Errorf("row %d: activity overestimation should be positive", i)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	// Coarse analog step keeps the test fast; the shape assertions
+	// (orders of magnitude) are unaffected.
+	r, err := Table2(lib, Table2Config{AnalogDt: 0.01, LogicRepeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range r.Rows {
+		if row.Analog < 10*row.DDM {
+			t.Errorf("row %d: analog %v should dwarf DDM %v", i, row.Analog, row.DDM)
+		}
+		if row.DDM <= 0 || row.CDM <= 0 {
+			t.Errorf("row %d: zero logic time", i)
+		}
+	}
+	if !strings.Contains(r.Text, "Table 2") {
+		t.Error("report missing title")
+	}
+}

@@ -1,0 +1,71 @@
+package paper
+
+import (
+	"fmt"
+	"strings"
+
+	"halotis/internal/cellib"
+	"halotis/internal/sim"
+	"halotis/internal/stats"
+)
+
+// PowerResult is the glitch-power experiment the paper motivates the IDDM
+// with: dynamic switching energy of the multiplier workloads under DDM and
+// CDM. The conventional model's unfiltered glitches overestimate power.
+type PowerResult struct {
+	// Reports per workload: [workload][0]=DDM, [1]=CDM.
+	Reports [][2]stats.PowerReport
+	Text    string
+}
+
+// PowerExperiment measures switching energy for both workloads and models.
+func PowerExperiment(lib *cellib.Library) (PowerResult, error) {
+	ckt, err := buildMultiplier(lib)
+	if err != nil {
+		return PowerResult{}, err
+	}
+	var r PowerResult
+	var b strings.Builder
+	b.WriteString(sectionHeader("Glitch power — DDM vs CDM switching energy"))
+	for _, w := range Workloads() {
+		st, err := multiplierStimulus(w)
+		if err != nil {
+			return PowerResult{}, err
+		}
+		ddm, err := runLogic(ckt, st, sim.DDM)
+		if err != nil {
+			return PowerResult{}, err
+		}
+		cdm, err := runLogic(ckt, st, sim.CDM)
+		if err != nil {
+			return PowerResult{}, err
+		}
+		pd := stats.Power(ddm, SimHorizon)
+		pc := stats.Power(cdm, SimHorizon)
+		r.Reports = append(r.Reports, [2]stats.PowerReport{pd, pc})
+
+		fmt.Fprintf(&b, "sequence %s\n", w.Name)
+		fmt.Fprintf(&b, "  DDM: %.1f fJ (%.3f mW avg), glitch share %.0f%%\n",
+			pd.TotalEnergy, pd.AveragePowerMW(), 100*pd.GlitchFraction())
+		fmt.Fprintf(&b, "  CDM: %.1f fJ (%.3f mW avg), glitch share %.0f%%\n",
+			pc.TotalEnergy, pc.AveragePowerMW(), 100*pc.GlitchFraction())
+		over := 0.0
+		if pd.TotalEnergy > 0 {
+			over = 100 * (pc.TotalEnergy - pd.TotalEnergy) / pd.TotalEnergy
+		}
+		fmt.Fprintf(&b, "  CDM energy overestimation: +%.0f%%\n", over)
+		fmt.Fprintf(&b, "  top DDM consumers:\n")
+		top := pd.PerNet
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for _, np := range top {
+			fmt.Fprintf(&b, "    %-10s %8.2f fJ (%d transitions)\n", np.Net, np.Energy, np.Transitions)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("conventional delay models overestimate glitch power by tens of percent\n")
+	b.WriteString("(the paper's up-to-40% claim), because unfiltered glitches keep switching.\n")
+	r.Text = b.String()
+	return r, nil
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/delay"
+	"halotis/internal/netlist"
+)
+
+func runClassic(t testing.TB, ckt *netlist.Circuit, st Stimulus, tEnd float64) *ClassicResult {
+	t.Helper()
+	res, err := RunClassic(ckt, st, tEnd, ClassicOptions{})
+	if err != nil {
+		t.Fatalf("classic run: %v", err)
+	}
+	return res
+}
+
+func TestClassicStepResponse(t *testing.T) {
+	ckt := invChain(t, 1)
+	st := Stimulus{"in": InputWave{Edges: []InputEdge{{Time: 2, Rising: true, Slew: 0.4}}}}
+	res := runClassic(t, ckt, st, 50)
+	out := res.Waveform("out")
+	if out.Len() != 1 {
+		t.Fatalf("out transitions = %d, want 1", out.Len())
+	}
+	if out.Transitions()[0].Rising {
+		t.Error("inverter output should fall")
+	}
+	if res.OutputLogic(50)["out"] {
+		t.Error("settled output should be 0")
+	}
+}
+
+func TestClassicSettlesToBooleanSolution(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		ckt := invChain(t, n)
+		st := Stimulus{"in": InputWave{Edges: []InputEdge{{Time: 1, Rising: true, Slew: 0.3}}}}
+		res := runClassic(t, ckt, st, 200)
+		want := n%2 == 0
+		if got := res.OutputLogic(200)["out"]; got != want {
+			t.Errorf("n=%d: out = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestClassicInertialFiltering(t *testing.T) {
+	ckt := invChain(t, 1)
+	cl := ckt.NetByName("out").Load()
+	pp := lib.Cell(cellib.INV).Pins[0]
+	tp := delay.Conventional(pp.Fall, cl, 0.5).Tp
+
+	// Pulse narrower than the gate delay: the scheduled output change is
+	// cancelled before it fires — classic inertial rejection.
+	narrow := pulse("in", 2, tp*0.8, 0.3)
+	res := runClassic(t, ckt, narrow, 50)
+	if got := res.Waveform("out").Len(); got != 0 {
+		t.Errorf("narrow pulse: out transitions = %d, want 0", got)
+	}
+	if res.Stats.EventsFiltered == 0 {
+		t.Error("narrow pulse should record a filtered event")
+	}
+
+	// Pulse wider than the gate delay propagates at full swing.
+	wide := pulse("in", 2, tp*3, 0.3)
+	res2 := runClassic(t, ckt, wide, 50)
+	if got := res2.Waveform("out").Len(); got != 2 {
+		t.Errorf("wide pulse: out transitions = %d, want 2", got)
+	}
+}
+
+func TestClassicFiltersAllFanoutsAlike(t *testing.T) {
+	// The Fig. 1 point: classic inertial filtering happens at the gate
+	// output, so both receivers see the same thing regardless of their
+	// threshold — thresholds do not even exist in the boolean engine.
+	b := netlist.NewBuilder("fig1c", lib)
+	b.Input("in")
+	b.AddGate("g0", cellib.INV, "n", "in")
+	b.AddGate("g1", cellib.INV, "out1", "n")
+	b.AddGate("g2", cellib.INV, "out2", "n")
+	b.SetPinVT("g1", 0, 1.0)
+	b.SetPinVT("g2", 0, 4.0)
+	b.Output("out1")
+	b.Output("out2")
+	ckt := b.MustBuild()
+	// The same 0.40 ns pulse that HALOTIS-DDM propagates selectively
+	// (TestPerInputThresholdSelectiveFiltering).
+	res := runClassic(t, ckt, pulse("in", 2, 0.16, 0.12), 60)
+	n1 := res.Waveform("out1").Len()
+	n2 := res.Waveform("out2").Len()
+	if (n1 == 0) != (n2 == 0) {
+		t.Errorf("classic engine differentiated fanouts: out1=%d out2=%d", n1, n2)
+	}
+}
+
+func TestClassicRedundantStimulusIgnored(t *testing.T) {
+	// Driving an input to the level it already has is a no-op.
+	ckt := invChain(t, 1)
+	st := Stimulus{"in": InputWave{Init: true, Edges: []InputEdge{{Time: 1, Rising: true, Slew: 0.3}}}}
+	res := runClassic(t, ckt, st, 50)
+	if got := res.Waveform("in").Len(); got != 0 {
+		t.Errorf("redundant edge produced %d transitions", got)
+	}
+}
+
+func TestClassicValidatesStimulus(t *testing.T) {
+	ckt := invChain(t, 1)
+	if _, err := RunClassic(ckt, Stimulus{"ghost": {}}, 10, ClassicOptions{}); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestClassicWaveformsValid(t *testing.T) {
+	ckt := invChain(t, 5)
+	st := Stimulus{"in": InputWave{Edges: []InputEdge{
+		{Time: 1, Rising: true, Slew: 0.3},
+		{Time: 3, Rising: false, Slew: 0.3},
+		{Time: 5, Rising: true, Slew: 0.3},
+	}}}
+	res := runClassic(t, ckt, st, 100)
+	for _, n := range ckt.Nets {
+		if err := res.Waveform(n.Name).Validate(); err != nil {
+			t.Errorf("net %s: %v", n.Name, err)
+		}
+	}
+	if res.Waveform("ghost") != nil {
+		t.Error("unknown net should be nil")
+	}
+}
+
+func TestClassicVsHalotisAgreeOnCleanSignals(t *testing.T) {
+	// For wide, clean transitions all three engines settle identically.
+	ckt := invChain(t, 4)
+	st := Stimulus{"in": InputWave{Edges: []InputEdge{
+		{Time: 2, Rising: true, Slew: 0.3},
+		{Time: 12, Rising: false, Slew: 0.3},
+	}}}
+	cl := runClassic(t, ckt, st, 100)
+	dd := run(t, ckt, st, 100, DDM)
+	cd := run(t, ckt, st, 100, CDM)
+	a := cl.OutputLogic(100)["out"]
+	b := dd.OutputLogic(100, vdd/2)["out"]
+	c := cd.OutputLogic(100, vdd/2)["out"]
+	if a != b || b != c {
+		t.Errorf("engines disagree on settled output: classic=%v ddm=%v cdm=%v", a, b, c)
+	}
+	// And the transition counts match: 2 per net.
+	for _, n := range ckt.Nets {
+		if got := cl.Waveform(n.Name).Len(); got != 2 {
+			t.Errorf("classic net %s transitions = %d, want 2", n.Name, got)
+		}
+	}
+}

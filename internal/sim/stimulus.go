@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InputEdge is one externally driven transition on a primary input.
+type InputEdge struct {
+	// Time the ramp begins, ns.
+	Time float64
+	// Rising direction of the ramp.
+	Rising bool
+	// Slew is the full-swing transition time of the driving ramp, ns.
+	Slew float64
+}
+
+// InputWave is the complete drive for one primary input: an initial level
+// and a time-ordered list of edges.
+type InputWave struct {
+	// Init is the input's logic level before the first edge.
+	Init bool
+	// Edges in nondecreasing time order.
+	Edges []InputEdge
+}
+
+// Stimulus maps primary input names to their drives. Inputs missing from
+// the map are held at logic 0.
+type Stimulus map[string]InputWave
+
+// Validate checks edge ordering and slews; inputNames lists the circuit's
+// primary inputs for membership checking.
+func (st Stimulus) Validate(inputNames map[string]bool) error {
+	for name, w := range st {
+		if !inputNames[name] {
+			return fmt.Errorf("sim: stimulus drives %q, which is not a primary input", name)
+		}
+		prev := 0.0
+		for i, e := range w.Edges {
+			if e.Slew <= 0 {
+				return fmt.Errorf("sim: stimulus %q edge %d has non-positive slew %g", name, i, e.Slew)
+			}
+			if e.Time < 0 {
+				return fmt.Errorf("sim: stimulus %q edge %d at negative time %g", name, i, e.Time)
+			}
+			if i > 0 && e.Time < prev {
+				return fmt.Errorf("sim: stimulus %q edges out of order at %d (%g < %g)", name, i, e.Time, prev)
+			}
+			prev = e.Time
+		}
+	}
+	return nil
+}
+
+// LastEdgeTime returns the time of the latest edge across all inputs, or 0.
+func (st Stimulus) LastEdgeTime() float64 {
+	last := 0.0
+	for _, w := range st {
+		if n := len(w.Edges); n > 0 && w.Edges[n-1].Time > last {
+			last = w.Edges[n-1].Time
+		}
+	}
+	return last
+}
+
+// sortedNames returns the driven input names in deterministic order.
+func (st Stimulus) sortedNames() []string {
+	names := make([]string, 0, len(st))
+	for n := range st {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"halotis/internal/sim"
+)
+
+// PowerReport estimates dynamic switching power from a simulation result —
+// the application the paper motivates the IDDM with ("truly power
+// consumption due to glitches"). Dynamic energy per transition is
+// CL·VDD·ΔV (charge transferred times supply), so partial-swing runts
+// contribute proportionally less than full transitions.
+type PowerReport struct {
+	// TotalEnergy is the total switching energy in femtojoules
+	// (pF · V²).
+	TotalEnergy float64
+	// GlitchEnergy is the energy of transitions that did not settle to a
+	// rail (partial swings), i.e. degraded glitches.
+	GlitchEnergy float64
+	// Window is the simulated interval used for average power, ns.
+	Window float64
+	// PerNet ranks nets by energy, descending.
+	PerNet []NetPower
+}
+
+// NetPower is one net's switching-energy contribution.
+type NetPower struct {
+	Net         string
+	Energy      float64 // fJ
+	Transitions int
+	FullSwing   int
+}
+
+// AveragePowerMW returns the average dynamic power in milliwatts
+// (fJ / ns = µW; scaled to mW).
+func (p PowerReport) AveragePowerMW() float64 {
+	if p.Window <= 0 {
+		return 0
+	}
+	return p.TotalEnergy / p.Window / 1000
+}
+
+// GlitchFraction is the share of total energy dissipated in partial-swing
+// transitions.
+func (p PowerReport) GlitchFraction() float64 {
+	if p.TotalEnergy == 0 {
+		return 0
+	}
+	return p.GlitchEnergy / p.TotalEnergy
+}
+
+// Power derives the report from a simulation result.
+func Power(res *sim.Result, window float64) PowerReport {
+	ckt := res.Circuit()
+	vdd := ckt.Lib.VDD
+	rep := PowerReport{Window: window}
+	for _, n := range ckt.Nets {
+		wf := res.Waveform(n.Name)
+		cl := n.Load()
+		var e float64
+		full := 0
+		for _, tr := range wf.Transitions() {
+			de := cl * vdd * tr.Swing()
+			e += de
+			if tr.FullSwing() {
+				full++
+			} else {
+				rep.GlitchEnergy += de
+			}
+		}
+		rep.TotalEnergy += e
+		if wf.Len() > 0 {
+			rep.PerNet = append(rep.PerNet, NetPower{
+				Net: n.Name, Energy: e, Transitions: wf.Len(), FullSwing: full,
+			})
+		}
+	}
+	sort.Slice(rep.PerNet, func(i, j int) bool {
+		if rep.PerNet[i].Energy != rep.PerNet[j].Energy {
+			return rep.PerNet[i].Energy > rep.PerNet[j].Energy
+		}
+		return rep.PerNet[i].Net < rep.PerNet[j].Net
+	})
+	return rep
+}
+
+// Format renders the report with the top-n nets.
+func (p PowerReport) Format(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total switching energy: %.1f fJ over %g ns (avg %.3f mW)\n",
+		p.TotalEnergy, p.Window, p.AveragePowerMW())
+	fmt.Fprintf(&b, "partial-swing (glitch) energy: %.1f fJ (%.0f%%)\n",
+		p.GlitchEnergy, 100*p.GlitchFraction())
+	fmt.Fprintf(&b, "%-12s %10s %8s %8s\n", "net", "energy(fJ)", "trans", "full")
+	for i, np := range p.PerNet {
+		if topN > 0 && i >= topN {
+			fmt.Fprintf(&b, "... and %d more nets\n", len(p.PerNet)-topN)
+			break
+		}
+		fmt.Fprintf(&b, "%-12s %10.2f %8d %8d\n", np.Net, np.Energy, np.Transitions, np.FullSwing)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+// Package stats aggregates simulation results into the paper's evaluation
+// quantities: the event/filtered-event counts of Table 1, the CPU times of
+// Table 2, and switching-activity/glitch-power summaries.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"halotis/internal/sim"
+)
+
+// Table1Row reproduces one row of the paper's Table 1: event counts under
+// DDM and CDM, the relative CDM overestimation, and the filtered (deleted)
+// event counts.
+type Table1Row struct {
+	Sequence    string
+	EventsDDM   uint64
+	EventsCDM   uint64
+	OverestPct  float64
+	FilteredDDM uint64
+	FilteredCDM uint64
+}
+
+// NewTable1Row derives the row from two runs of the same workload.
+func NewTable1Row(sequence string, ddm, cdm sim.Stats) Table1Row {
+	r := Table1Row{
+		Sequence:    sequence,
+		EventsDDM:   ddm.EventsProcessed,
+		EventsCDM:   cdm.EventsProcessed,
+		FilteredDDM: ddm.EventsFiltered,
+		FilteredCDM: cdm.EventsFiltered,
+	}
+	if ddm.EventsProcessed > 0 {
+		r.OverestPct = 100 * (float64(cdm.EventsProcessed) - float64(ddm.EventsProcessed)) / float64(ddm.EventsProcessed)
+	}
+	return r
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s %12s %12s\n",
+		"Sequence", "Ev(DDM)", "Ev(CDM)", "Overst.%", "Filt(DDM)", "Filt(CDM)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %10d %10d %10.0f %12d %12d\n",
+			r.Sequence, r.EventsDDM, r.EventsCDM, r.OverestPct, r.FilteredDDM, r.FilteredCDM)
+	}
+	return b.String()
+}
+
+// Table2Row reproduces one row of the paper's Table 2: CPU time per
+// simulator for one workload.
+type Table2Row struct {
+	Sequence string
+	Analog   time.Duration // the HSPICE column
+	DDM      time.Duration
+	CDM      time.Duration
+}
+
+// SpeedupDDM returns how many times faster HALOTIS-DDM is than the analog
+// reference.
+func (r Table2Row) SpeedupDDM() float64 {
+	if r.DDM <= 0 {
+		return 0
+	}
+	return float64(r.Analog) / float64(r.DDM)
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %14s %12s\n",
+		"Sequence", "Analog(ref)", "HALOTIS-DDM", "HALOTIS-CDM", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %14s %14s %14s %11.0fx\n",
+			r.Sequence, fmtDur(r.Analog), fmtDur(r.DDM), fmtDur(r.CDM), r.SpeedupDDM())
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/1e3)
+	}
+}
+
+// ActivityComparison summarizes switching activity of the same workload
+// under DDM and CDM — the glitch-power overestimation the paper motivates
+// with (conventional models overestimate activity by up to ~40-50%).
+type ActivityComparison struct {
+	TransitionsDDM int
+	TransitionsCDM int
+	// EnergyDDM/CDM are normalized switching energies (sum over nets of
+	// (swing/VDD)^2 per transition), proportional to dynamic power.
+	EnergyDDM float64
+	EnergyCDM float64
+}
+
+// TransOverestPct is the CDM transition-count overestimation in percent.
+func (a ActivityComparison) TransOverestPct() float64 {
+	if a.TransitionsDDM == 0 {
+		return 0
+	}
+	return 100 * float64(a.TransitionsCDM-a.TransitionsDDM) / float64(a.TransitionsDDM)
+}
+
+// EnergyOverestPct is the CDM switching-energy overestimation in percent.
+func (a ActivityComparison) EnergyOverestPct() float64 {
+	if a.EnergyDDM == 0 {
+		return 0
+	}
+	return 100 * (a.EnergyCDM - a.EnergyDDM) / a.EnergyDDM
+}
+
+// CompareActivity derives the comparison from two runs.
+func CompareActivity(ddm, cdm *sim.Result) ActivityComparison {
+	td, ed := ddm.TotalActivity()
+	tc, ec := cdm.TotalActivity()
+	return ActivityComparison{
+		TransitionsDDM: td, TransitionsCDM: tc,
+		EnergyDDM: ed, EnergyCDM: ec,
+	}
+}
+
+// String renders the comparison for reports.
+func (a ActivityComparison) String() string {
+	return fmt.Sprintf("transitions DDM=%d CDM=%d (+%.0f%%); energy DDM=%.1f CDM=%.1f (+%.0f%%)",
+		a.TransitionsDDM, a.TransitionsCDM, a.TransOverestPct(),
+		a.EnergyDDM, a.EnergyCDM, a.EnergyOverestPct())
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"halotis/internal/sim"
+)
+
+func TestTable1Row(t *testing.T) {
+	ddm := sim.Stats{EventsProcessed: 959, EventsFiltered: 27}
+	cdm := sim.Stats{EventsProcessed: 1411, EventsFiltered: 1}
+	r := NewTable1Row("seq1", ddm, cdm)
+	if r.EventsDDM != 959 || r.EventsCDM != 1411 {
+		t.Errorf("events = %d/%d", r.EventsDDM, r.EventsCDM)
+	}
+	// The paper reports 47% for these counts.
+	if r.OverestPct < 47 || r.OverestPct > 47.2 {
+		t.Errorf("overestimation = %g, want ~47", r.OverestPct)
+	}
+	if r.FilteredDDM != 27 || r.FilteredCDM != 1 {
+		t.Errorf("filtered = %d/%d", r.FilteredDDM, r.FilteredCDM)
+	}
+}
+
+func TestTable1RowZeroSafe(t *testing.T) {
+	r := NewTable1Row("empty", sim.Stats{}, sim.Stats{})
+	if r.OverestPct != 0 {
+		t.Errorf("zero-event overestimation = %g", r.OverestPct)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows := []Table1Row{NewTable1Row("0x0, 7x7, 5xA, Ex6, FxF",
+		sim.Stats{EventsProcessed: 959, EventsFiltered: 27},
+		sim.Stats{EventsProcessed: 1411, EventsFiltered: 1})}
+	out := FormatTable1(rows)
+	for _, want := range []string{"Sequence", "959", "1411", "47", "27"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Speedup(t *testing.T) {
+	r := Table2Row{Analog: 1129 * time.Millisecond, DDM: 3900 * time.Microsecond}
+	if s := r.SpeedupDDM(); s < 289 || s > 290 {
+		t.Errorf("speedup = %g, want ~289.5", s)
+	}
+	zero := Table2Row{}
+	if zero.SpeedupDDM() != 0 {
+		t.Error("zero row speedup should be 0")
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	rows := []Table2Row{{
+		Sequence: "seq",
+		Analog:   2 * time.Second,
+		DDM:      500 * time.Microsecond,
+		CDM:      2 * time.Millisecond,
+	}}
+	out := FormatTable2(rows)
+	for _, want := range []string{"2.00s", "500µs", "2.00ms", "4000x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestActivityOverestimation(t *testing.T) {
+	a := ActivityComparison{
+		TransitionsDDM: 100, TransitionsCDM: 150,
+		EnergyDDM: 80, EnergyCDM: 120,
+	}
+	if got := a.TransOverestPct(); got != 50 {
+		t.Errorf("transition overestimation = %g, want 50", got)
+	}
+	if got := a.EnergyOverestPct(); got != 50 {
+		t.Errorf("energy overestimation = %g, want 50", got)
+	}
+	if s := a.String(); !strings.Contains(s, "+50%") {
+		t.Errorf("String = %q", s)
+	}
+	var zero ActivityComparison
+	if zero.TransOverestPct() != 0 || zero.EnergyOverestPct() != 0 {
+		t.Error("zero comparison should report 0%")
+	}
+}

@@ -1,0 +1,151 @@
+// Package stimuli builds input drive patterns for the simulators: vector
+// sequences (including the two multiplication sequences of the paper's
+// evaluation), pulse trains, and random vectors.
+package stimuli
+
+import (
+	"fmt"
+	"math/rand"
+
+	"halotis/internal/sim"
+)
+
+// Vector assigns one logic level per primary input.
+type Vector map[string]bool
+
+// DefaultSlew is the input transition time used when none is specified,
+// ns.
+const DefaultSlew = 0.3
+
+// Sequence converts a list of vectors applied at a fixed period into a
+// stimulus: vectors[0] sets the initial levels; each later vector toggles
+// the inputs whose value changes at time k*period. Bits absent from a
+// vector hold their previous level.
+func Sequence(vectors []Vector, period, slew float64) (sim.Stimulus, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("stimuli: empty vector sequence")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("stimuli: non-positive period %g", period)
+	}
+	if slew <= 0 {
+		slew = DefaultSlew
+	}
+	st := sim.Stimulus{}
+	state := map[string]bool{}
+	for name, v := range vectors[0] {
+		st[name] = sim.InputWave{Init: v}
+		state[name] = v
+	}
+	for k := 1; k < len(vectors); k++ {
+		t := float64(k) * period
+		for name, v := range vectors[k] {
+			cur, seen := state[name]
+			if !seen {
+				// Input appearing mid-sequence starts at 0.
+				cur = false
+				st[name] = sim.InputWave{}
+			}
+			if v == cur {
+				continue
+			}
+			w := st[name]
+			w.Edges = append(w.Edges, sim.InputEdge{Time: t, Rising: v, Slew: slew})
+			st[name] = w
+			state[name] = v
+		}
+	}
+	return st, nil
+}
+
+// BitVector expands an integer into named single-bit inputs prefix0..
+// prefix(width-1), LSB first.
+func BitVector(prefix string, value uint64, width int) Vector {
+	v := Vector{}
+	for i := 0; i < width; i++ {
+		v[fmt.Sprintf("%s%d", prefix, i)] = value>>i&1 == 1
+	}
+	return v
+}
+
+// Merge combines vectors; later arguments win on conflicts.
+func Merge(vs ...Vector) Vector {
+	out := Vector{}
+	for _, v := range vs {
+		for k, b := range v {
+			out[k] = b
+		}
+	}
+	return out
+}
+
+// MultiplierPair is one AxB operand pair of a multiplication sequence.
+type MultiplierPair struct {
+	A, B uint64
+}
+
+// MultiplierSequence builds the stimulus applying the operand pairs to an
+// n x m multiplier (inputs a0.., b0..) at the given period.
+func MultiplierSequence(pairs []MultiplierPair, n, m int, period, slew float64) (sim.Stimulus, error) {
+	vectors := make([]Vector, len(pairs))
+	for i, p := range pairs {
+		vectors[i] = Merge(BitVector("a", p.A, n), BitVector("b", p.B, m))
+	}
+	return Sequence(vectors, period, slew)
+}
+
+// PaperSequence1 is the paper's Fig. 6 / Table 1 first input sequence:
+// 0x0, 7x7, 5xA, Ex6, FxF.
+func PaperSequence1() []MultiplierPair {
+	return []MultiplierPair{
+		{0x0, 0x0}, {0x7, 0x7}, {0x5, 0xA}, {0xE, 0x6}, {0xF, 0xF},
+	}
+}
+
+// PaperSequence2 is the paper's Fig. 7 / Table 1 second input sequence:
+// 0x0, FxF, 0x0, FxF, 0x0.
+func PaperSequence2() []MultiplierPair {
+	return []MultiplierPair{
+		{0x0, 0x0}, {0xF, 0xF}, {0x0, 0x0}, {0xF, 0xF}, {0x0, 0x0},
+	}
+}
+
+// PaperPeriod is the vector period of the paper's figures (5 ns per vector
+// over a 25 ns window).
+const PaperPeriod = 5.0
+
+// PulseTrain drives one input with count pulses of the given width,
+// separated by gap, starting at t0.
+func PulseTrain(input string, t0, width, gap float64, count int, slew float64) (sim.Stimulus, error) {
+	if width <= 0 || gap < 0 || count < 1 {
+		return nil, fmt.Errorf("stimuli: bad pulse train (width %g, gap %g, count %d)", width, gap, count)
+	}
+	if slew <= 0 {
+		slew = DefaultSlew
+	}
+	var edges []sim.InputEdge
+	t := t0
+	for i := 0; i < count; i++ {
+		edges = append(edges,
+			sim.InputEdge{Time: t, Rising: true, Slew: slew},
+			sim.InputEdge{Time: t + width, Rising: false, Slew: slew},
+		)
+		t += width + gap
+	}
+	return sim.Stimulus{input: sim.InputWave{Edges: edges}}, nil
+}
+
+// RandomVectors produces a deterministic random vector sequence over the
+// given input names.
+func RandomVectors(names []string, count int, seed int64) []Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Vector, count)
+	for i := range out {
+		v := Vector{}
+		for _, n := range names {
+			v[n] = rng.Intn(2) == 1
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package stimuli
+
+import (
+	"testing"
+
+	"halotis/internal/sim"
+)
+
+func TestSequenceBasic(t *testing.T) {
+	vs := []Vector{
+		{"a": false, "b": true},
+		{"a": true, "b": true},  // only a toggles
+		{"a": true, "b": false}, // only b toggles
+	}
+	st, err := Sequence(vs, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st["a"]
+	if a.Init != false || len(a.Edges) != 1 {
+		t.Fatalf("a = %+v", a)
+	}
+	if a.Edges[0].Time != 5 || !a.Edges[0].Rising {
+		t.Errorf("a edge = %+v", a.Edges[0])
+	}
+	b := st["b"]
+	if b.Init != true || len(b.Edges) != 1 {
+		t.Fatalf("b = %+v", b)
+	}
+	if b.Edges[0].Time != 10 || b.Edges[0].Rising {
+		t.Errorf("b edge = %+v", b.Edges[0])
+	}
+}
+
+func TestSequenceHoldsMissingBits(t *testing.T) {
+	vs := []Vector{
+		{"a": true},
+		{},          // nothing changes
+		{"a": true}, // same value: no edge
+	}
+	st, err := Sequence(vs, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st["a"].Edges) != 0 {
+		t.Errorf("expected no edges, got %+v", st["a"].Edges)
+	}
+}
+
+func TestSequenceMidAppearingInput(t *testing.T) {
+	vs := []Vector{
+		{"a": false},
+		{"b": true}, // b appears at k=1, rising from implicit 0
+	}
+	st, err := Sequence(vs, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := st["b"]
+	if b.Init != false || len(b.Edges) != 1 || b.Edges[0].Time != 3 {
+		t.Errorf("b = %+v", b)
+	}
+}
+
+func TestSequenceErrors(t *testing.T) {
+	if _, err := Sequence(nil, 5, 0.3); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := Sequence([]Vector{{}}, 0, 0.3); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestBitVector(t *testing.T) {
+	v := BitVector("a", 0b1010, 4)
+	want := Vector{"a0": false, "a1": true, "a2": false, "a3": true}
+	for k, b := range want {
+		if v[k] != b {
+			t.Errorf("%s = %v, want %v", k, v[k], b)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	v := Merge(Vector{"x": true, "y": false}, Vector{"y": true})
+	if !v["x"] || !v["y"] {
+		t.Errorf("merge = %v", v)
+	}
+}
+
+func TestMultiplierSequencePaper1(t *testing.T) {
+	st, err := MultiplierSequence(PaperSequence1(), 4, 4, PaperPeriod, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence: A = 0,7,5,E,F. a0: 0,1,1,0,1 -> edges at 5 (rise),
+	// 15 (fall), 20 (rise).
+	a0 := st["a0"]
+	if a0.Init {
+		t.Error("a0 init should be 0")
+	}
+	wantTimes := []float64{5, 15, 20}
+	if len(a0.Edges) != len(wantTimes) {
+		t.Fatalf("a0 edges = %+v", a0.Edges)
+	}
+	for i, w := range wantTimes {
+		if a0.Edges[i].Time != w {
+			t.Errorf("a0 edge %d at %g, want %g", i, a0.Edges[i].Time, w)
+		}
+	}
+	// Validate against a synthetic circuit's input set.
+	names := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		names["a"+string(rune('0'+i))] = true
+		names["b"+string(rune('0'+i))] = true
+	}
+	if err := sim.Stimulus(st).Validate(names); err != nil {
+		t.Errorf("stimulus invalid: %v", err)
+	}
+}
+
+func TestMultiplierSequencePaper2(t *testing.T) {
+	st, err := MultiplierSequence(PaperSequence2(), 4, 4, PaperPeriod, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every a/b bit toggles at 5, 10, 15, 20.
+	for _, name := range []string{"a0", "a3", "b1"} {
+		w := st[name]
+		if len(w.Edges) != 4 {
+			t.Fatalf("%s edges = %d, want 4 (%+v)", name, len(w.Edges), w.Edges)
+		}
+	}
+	if st.LastEdgeTime() != 20 {
+		t.Errorf("last edge = %g, want 20", st.LastEdgeTime())
+	}
+}
+
+func TestPulseTrain(t *testing.T) {
+	st, err := PulseTrain("in", 1, 0.5, 1.5, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := st["in"].Edges
+	if len(edges) != 6 {
+		t.Fatalf("edges = %d, want 6", len(edges))
+	}
+	if edges[2].Time != 3 || !edges[2].Rising {
+		t.Errorf("second pulse start = %+v", edges[2])
+	}
+	if _, err := PulseTrain("in", 0, 0, 1, 1, 0.3); err == nil {
+		t.Error("zero-width pulse train accepted")
+	}
+}
+
+func TestRandomVectorsDeterministic(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	v1 := RandomVectors(names, 10, 42)
+	v2 := RandomVectors(names, 10, 42)
+	for i := range v1 {
+		for _, n := range names {
+			if v1[i][n] != v2[i][n] {
+				t.Fatalf("vector %d input %s differs", i, n)
+			}
+		}
+	}
+	v3 := RandomVectors(names, 10, 43)
+	same := true
+	for i := range v1 {
+		for _, n := range names {
+			if v1[i][n] != v3[i][n] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical vectors")
+	}
+}
+
+func TestSequenceDefaultSlew(t *testing.T) {
+	st, err := Sequence([]Vector{{"a": false}, {"a": true}}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["a"].Edges[0].Slew != DefaultSlew {
+		t.Errorf("slew = %g, want default %g", st["a"].Edges[0].Slew, DefaultSlew)
+	}
+}

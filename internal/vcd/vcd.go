@@ -1,0 +1,120 @@
+// Package vcd writes IEEE-1364-style Value Change Dump files from HALOTIS
+// logic waveforms or analog traces, for inspection in standard waveform
+// viewers (GTKWave etc.).
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Signal is one dumped signal: a name and its logic change list.
+type Signal struct {
+	// Name as shown in the viewer.
+	Name string
+	// Init is the level before the first change.
+	Init bool
+	// Changes are (time ns, new level) pairs in ascending time order.
+	Changes []Change
+}
+
+// Change is one value change.
+type Change struct {
+	Time  float64
+	Value bool
+}
+
+// Writer accumulates signals and renders the VCD file.
+type Writer struct {
+	// Module is the scope name; default "halotis".
+	Module string
+	// Timescale in ps per time unit; times are in ns and converted.
+	// Default 1 ps resolution.
+	signals []Signal
+}
+
+// Add registers one signal.
+func (w *Writer) Add(s Signal) {
+	w.signals = append(w.signals, s)
+}
+
+// idCode produces the short VCD identifier for signal index i.
+func idCode(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var b strings.Builder
+	for {
+		b.WriteByte(alphabet[i%len(alphabet)])
+		i /= len(alphabet)
+		if i == 0 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// Write renders the dump. Times are converted to integer picoseconds.
+func (w *Writer) Write(out io.Writer) error {
+	module := w.Module
+	if module == "" {
+		module = "halotis"
+	}
+	var b strings.Builder
+	b.WriteString("$date\n  (halotis reproduction)\n$end\n")
+	b.WriteString("$version\n  halotis vcd writer\n$end\n")
+	b.WriteString("$timescale 1ps $end\n")
+	fmt.Fprintf(&b, "$scope module %s $end\n", module)
+	for i, s := range w.signals {
+		fmt.Fprintf(&b, "$var wire 1 %s %s $end\n", idCode(i), s.Name)
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Initial values.
+	b.WriteString("#0\n$dumpvars\n")
+	for i, s := range w.signals {
+		fmt.Fprintf(&b, "%s%s\n", bit(s.Init), idCode(i))
+	}
+	b.WriteString("$end\n")
+
+	// Merge all changes in time order.
+	type ev struct {
+		ps  int64
+		sig int
+		val bool
+	}
+	var evs []ev
+	for i, s := range w.signals {
+		for _, c := range s.Changes {
+			evs = append(evs, ev{ps: int64(c.Time*1000 + 0.5), sig: i, val: c.Value})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].ps < evs[j].ps })
+	lastPS := int64(-1)
+	for _, e := range evs {
+		if e.ps != lastPS {
+			fmt.Fprintf(&b, "#%d\n", e.ps)
+			lastPS = e.ps
+		}
+		fmt.Fprintf(&b, "%s%s\n", bit(e.val), idCode(e.sig))
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+func bit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+// FromCrossings builds a Signal from (time, rising) crossing pairs, as
+// produced by wave.Waveform.Crossings or analog edge extraction.
+func FromCrossings(name string, init bool, times []float64, rising []bool) Signal {
+	s := Signal{Name: name, Init: init}
+	for i := range times {
+		s.Changes = append(s.Changes, Change{Time: times[i], Value: rising[i]})
+	}
+	return s
+}

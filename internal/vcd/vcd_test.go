@@ -1,0 +1,83 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriterBasic(t *testing.T) {
+	var w Writer
+	w.Add(Signal{Name: "a", Init: false, Changes: []Change{{Time: 1.5, Value: true}, {Time: 3, Value: false}}})
+	w.Add(Signal{Name: "b", Init: true, Changes: []Change{{Time: 1.5, Value: false}}})
+	var out strings.Builder
+	if err := w.Write(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$var wire 1 ! a $end",
+		"$var wire 1 \" b $end",
+		"$dumpvars",
+		"#1500",
+		"#3000",
+		"$enddefinitions $end",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	// Initial values dumped at #0.
+	if !strings.Contains(s, "0!") || !strings.Contains(s, "1\"") {
+		t.Error("initial values missing")
+	}
+}
+
+func TestIDCodeUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate id %q at %d", c, i)
+		}
+		seen[c] = true
+	}
+}
+
+func TestChangesSortedAcrossSignals(t *testing.T) {
+	var w Writer
+	w.Add(Signal{Name: "x", Changes: []Change{{Time: 5, Value: true}}})
+	w.Add(Signal{Name: "y", Changes: []Change{{Time: 2, Value: true}}})
+	var out strings.Builder
+	if err := w.Write(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	i2 := strings.Index(s, "#2000")
+	i5 := strings.Index(s, "#5000")
+	if i2 < 0 || i5 < 0 || i2 > i5 {
+		t.Errorf("timestamps out of order: %d %d", i2, i5)
+	}
+}
+
+func TestFromCrossings(t *testing.T) {
+	s := FromCrossings("n", true, []float64{1, 2}, []bool{false, true})
+	if s.Name != "n" || !s.Init || len(s.Changes) != 2 {
+		t.Errorf("signal = %+v", s)
+	}
+	if s.Changes[0].Value || !s.Changes[1].Value {
+		t.Error("change values wrong")
+	}
+}
+
+func TestDefaultModuleName(t *testing.T) {
+	var w Writer
+	w.Add(Signal{Name: "a"})
+	var out strings.Builder
+	if err := w.Write(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "$scope module halotis $end") {
+		t.Error("default module name missing")
+	}
+}

@@ -1,0 +1,166 @@
+// Package wave models signals as piecewise-linear voltage waveforms built
+// from linear ramp transitions, following the stimulus treatment of the
+// HALOTIS simulator (Ruiz de Clavijo et al., DATE 2001).
+//
+// A Transition is a linear ramp that starts at a voltage V0 at time Start
+// and heads toward 0 or VDD with a full-swing transition time Slew (the time
+// a ramp takes to traverse the whole 0..VDD swing). A later transition on
+// the same signal truncates the ramp before it completes, which is how
+// partial-swing "runt" pulses — the central object of the degradation delay
+// model — arise.
+//
+// Times are in nanoseconds, voltages in volts.
+package wave
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transition is one linear ramp of a signal waveform.
+type Transition struct {
+	// Start is the time (ns) the ramp begins.
+	Start float64
+	// Slew is the full-swing (0 -> VDD) transition time in ns. The ramp
+	// slope magnitude is VDD/Slew regardless of the starting voltage.
+	Slew float64
+	// V0 is the voltage at Start. Partial-swing pulses make V0 take
+	// intermediate values; clean transitions start at 0 or VDD.
+	V0 float64
+	// Rising reports the ramp direction: toward VDD when true, toward 0
+	// when false.
+	Rising bool
+	// VDD is the supply rail the ramp saturates at.
+	VDD float64
+	// End is the time the ramp was truncated by a successor transition.
+	// +Inf while the transition is the last one on its signal.
+	End float64
+	// Seq is a per-signal sequence number assigned by the Waveform; it
+	// identifies the transition when reconciling scheduled events.
+	Seq int
+}
+
+// Target returns the rail the ramp heads toward: VDD when rising, 0 when
+// falling.
+func (tr *Transition) Target() float64 {
+	if tr.Rising {
+		return tr.VDD
+	}
+	return 0
+}
+
+// slope returns the signed dV/dt of the ramp in V/ns.
+func (tr *Transition) slope() float64 {
+	s := tr.VDD / tr.Slew
+	if !tr.Rising {
+		return -s
+	}
+	return s
+}
+
+// settleTime returns the time at which the untruncated ramp reaches its
+// target rail.
+func (tr *Transition) settleTime() float64 {
+	return tr.Start + math.Abs(tr.Target()-tr.V0)/math.Abs(tr.slope())
+}
+
+// V returns the ramp voltage at time t, honoring both rail saturation and
+// truncation at End. For t < Start it returns V0.
+func (tr *Transition) V(t float64) float64 {
+	if t < tr.Start {
+		return tr.V0
+	}
+	if t > tr.End {
+		t = tr.End
+	}
+	v := tr.V0 + tr.slope()*(t-tr.Start)
+	if tr.Rising {
+		return math.Min(v, tr.VDD)
+	}
+	return math.Max(v, 0)
+}
+
+// VEnd returns the voltage the ramp has reached when it ends (by truncation
+// or by settling at the rail).
+func (tr *Transition) VEnd() float64 {
+	if math.IsInf(tr.End, 1) {
+		return tr.Target()
+	}
+	return tr.V(tr.End)
+}
+
+// Swing returns the absolute voltage excursion the (possibly truncated)
+// ramp achieves.
+func (tr *Transition) Swing() float64 {
+	return math.Abs(tr.VEnd() - tr.V0)
+}
+
+// FullSwing reports whether the ramp reaches its target rail before being
+// truncated.
+func (tr *Transition) FullSwing() bool {
+	return tr.settleTime() <= tr.End
+}
+
+// Crossing returns the time at which the ramp crosses the threshold vt in
+// its own direction (upward for rising ramps, downward for falling ones),
+// ignoring any future truncation. The boolean reports whether the
+// untruncated ramp crosses at all: a rising ramp starting at or above vt, or
+// a falling ramp starting at or below vt, never does.
+//
+// The HALOTIS engine schedules receiver events from this time and cancels
+// them if a later transition truncates the ramp first.
+func (tr *Transition) Crossing(vt float64) (float64, bool) {
+	if tr.Rising {
+		if tr.V0 >= vt || vt > tr.VDD {
+			return 0, false
+		}
+		return tr.Start + (vt-tr.V0)*tr.Slew/tr.VDD, true
+	}
+	if tr.V0 <= vt || vt < 0 {
+		return 0, false
+	}
+	return tr.Start + (tr.V0-vt)*tr.Slew/tr.VDD, true
+}
+
+// CrossingTruncated is like Crossing but returns false if the ramp is
+// truncated (or saturates) before reaching vt.
+func (tr *Transition) CrossingTruncated(vt float64) (float64, bool) {
+	t, ok := tr.Crossing(vt)
+	if !ok {
+		return 0, false
+	}
+	if t > tr.End || t > tr.settleTime() {
+		return 0, false
+	}
+	return t, true
+}
+
+// Validate reports whether the transition is internally consistent.
+func (tr *Transition) Validate() error {
+	switch {
+	case tr.VDD <= 0:
+		return fmt.Errorf("wave: transition VDD %.3g must be positive", tr.VDD)
+	case tr.Slew <= 0:
+		return fmt.Errorf("wave: transition slew %.3g must be positive", tr.Slew)
+	case tr.V0 < 0 || tr.V0 > tr.VDD:
+		return fmt.Errorf("wave: transition V0 %.3g outside rails [0, %.3g]", tr.V0, tr.VDD)
+	case math.IsNaN(tr.Start) || math.IsInf(tr.Start, 0):
+		return fmt.Errorf("wave: transition start %v not finite", tr.Start)
+	case tr.End < tr.Start:
+		return fmt.Errorf("wave: transition end %.4g before start %.4g", tr.End, tr.Start)
+	}
+	return nil
+}
+
+// String renders the transition compactly for debugging and test failures.
+func (tr *Transition) String() string {
+	dir := "fall"
+	if tr.Rising {
+		dir = "rise"
+	}
+	end := "…"
+	if !math.IsInf(tr.End, 1) {
+		end = fmt.Sprintf("%.4g", tr.End)
+	}
+	return fmt.Sprintf("%s@%.4gns slew=%.4g V0=%.3g end=%s #%d", dir, tr.Start, tr.Slew, tr.V0, end, tr.Seq)
+}

@@ -1,0 +1,93 @@
+// Package waveview renders logic waveforms as ASCII rows, one signal per
+// line, in the style of the paper's Fig. 6 and Fig. 7 (s7..s0 over a 25 ns
+// window). It is the terminal-friendly figure regeneration used by
+// cmd/halobench.
+package waveview
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one signal to render: a name plus a sampled logic function.
+type Row struct {
+	Name string
+	// LogicAt returns the signal's boolean level at time t.
+	LogicAt func(t float64) bool
+}
+
+// View renders rows over a time window.
+type View struct {
+	// T0, T1 delimit the window in ns.
+	T0, T1 float64
+	// Width is the number of character columns; default 100.
+	Width int
+	Rows  []Row
+}
+
+// Add appends a row.
+func (v *View) Add(name string, logicAt func(t float64) bool) {
+	v.Rows = append(v.Rows, Row{Name: name, LogicAt: logicAt})
+}
+
+// glyphs for low/high levels and edges.
+const (
+	glyphLow  = '_'
+	glyphHigh = '#'
+)
+
+// Render draws all rows plus a time axis.
+func (v *View) Render() string {
+	width := v.Width
+	if width <= 0 {
+		width = 100
+	}
+	if v.T1 <= v.T0 || len(v.Rows) == 0 {
+		return ""
+	}
+	nameW := 0
+	for _, r := range v.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	var b strings.Builder
+	dt := (v.T1 - v.T0) / float64(width)
+	for _, r := range v.Rows {
+		fmt.Fprintf(&b, "%-*s |", nameW, r.Name)
+		for c := 0; c < width; c++ {
+			t := v.T0 + (float64(c)+0.5)*dt
+			if r.LogicAt(t) {
+				b.WriteRune(glyphHigh)
+			} else {
+				b.WriteRune(glyphLow)
+			}
+		}
+		b.WriteString("|\n")
+	}
+	// Time axis with ticks every ~5 ns.
+	fmt.Fprintf(&b, "%-*s +", nameW, "")
+	tick := 5.0
+	next := v.T0
+	for c := 0; c < width; c++ {
+		t := v.T0 + float64(c)*dt
+		if t+dt > next {
+			b.WriteByte('+')
+			next += tick
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	b.WriteString("+\n")
+	fmt.Fprintf(&b, "%-*s  %-8s", nameW, "", fmt.Sprintf("%gns", v.T0))
+	b.WriteString(strings.Repeat(" ", max(0, width-16)))
+	fmt.Fprintf(&b, "%8s\n", fmt.Sprintf("%gns", v.T1))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

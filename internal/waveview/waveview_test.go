@@ -1,0 +1,65 @@
+package waveview
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	v := View{T0: 0, T1: 10, Width: 20}
+	v.Add("s0", func(t float64) bool { return t >= 5 })
+	v.Add("s1", func(t float64) bool { return true })
+	out := v.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // two rows + axis + labels
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "s0 |") {
+		t.Errorf("row header wrong: %q", lines[0])
+	}
+	// First half low, second half high.
+	row := lines[0][4 : 4+20]
+	if row[0] != '_' || row[19] != '#' {
+		t.Errorf("row content wrong: %q", row)
+	}
+	if !strings.Contains(lines[1], "####################") {
+		t.Errorf("constant-high row wrong: %q", lines[1])
+	}
+	if !strings.Contains(out, "0ns") || !strings.Contains(out, "10ns") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	v := View{T0: 0, T1: 10}
+	if out := v.Render(); out != "" {
+		t.Errorf("empty view rendered %q", out)
+	}
+	v2 := View{T0: 5, T1: 5}
+	v2.Add("x", func(float64) bool { return false })
+	if out := v2.Render(); out != "" {
+		t.Errorf("zero-width window rendered %q", out)
+	}
+}
+
+func TestNameAlignment(t *testing.T) {
+	v := View{T0: 0, T1: 1, Width: 10}
+	v.Add("s", func(float64) bool { return false })
+	v.Add("longname", func(float64) bool { return false })
+	out := v.Render()
+	lines := strings.Split(out, "\n")
+	if strings.Index(lines[0], "|") != strings.Index(lines[1], "|") {
+		t.Error("rows not aligned")
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	v := View{T0: 0, T1: 25}
+	v.Add("s", func(float64) bool { return false })
+	out := v.Render()
+	line := strings.Split(out, "\n")[0]
+	inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+	if len(inner) != 100 {
+		t.Errorf("default width = %d, want 100", len(inner))
+	}
+}

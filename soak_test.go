@@ -1,0 +1,127 @@
+package halotis_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"halotis"
+)
+
+// TestMultiplierSoak runs long random multiplication sequences through the
+// 4x4 multiplier under both models and checks every settled vector against
+// integer multiplication — the strongest end-to-end functional property of
+// the engine (timing plus logic over many vectors with realistic glitching
+// in between).
+func TestMultiplierSoak(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.Multiplier4x4(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2026))
+	const (
+		vectors = 12
+		period  = 6.0 // extra settle room per vector
+	)
+	pairs := make([]halotis.MultiplierPair, vectors)
+	for i := range pairs {
+		pairs[i] = halotis.MultiplierPair{A: uint64(rng.Intn(16)), B: uint64(rng.Intn(16))}
+	}
+	st, err := halotis.MultiplierSequence(pairs, 4, 4, period, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := period * float64(vectors)
+	for _, m := range []halotis.Model{halotis.DDM, halotis.CDM} {
+		res, err := halotis.Simulate(ckt, st, horizon, halotis.WithModel(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// Check the product just before each next vector is applied.
+		for k, p := range pairs {
+			tCheck := float64(k+1)*period - 0.05
+			out := res.OutputLogic(tCheck, lib.VDD/2)
+			got := 0
+			for i := 0; i < 8; i++ {
+				if out[fmt.Sprintf("s%d", i)] {
+					got |= 1 << i
+				}
+			}
+			want := int(p.A) * int(p.B)
+			if got != want {
+				t.Errorf("%v vector %d: %dx%d = %d, want %d", m, k, p.A, p.B, got, want)
+			}
+		}
+		// Waveform invariants across the whole run.
+		for _, n := range ckt.Nets {
+			if err := res.Waveform(n.Name).Validate(); err != nil {
+				t.Fatalf("%v: net %s: %v", m, n.Name, err)
+			}
+		}
+	}
+}
+
+// TestLargerMultiplierSettles scales the array up (8x8 = 16-bit products)
+// and spot-checks products, exercising the kernel on a ~600-gate netlist.
+func TestLargerMultiplierSettles(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.Multiplier(lib, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Stats().Gates < 500 {
+		t.Fatalf("8x8 multiplier suspiciously small: %v", ckt.Stats())
+	}
+	cases := [][2]uint64{{0, 0}, {255, 255}, {171, 205}, {1, 254}, {100, 99}}
+	for _, c := range cases {
+		pairs := []halotis.MultiplierPair{{A: 0, B: 0}, {A: c[0], B: c[1]}}
+		st, err := halotis.MultiplierSequence(pairs, 8, 8, 5, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := halotis.Simulate(ckt, st, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := res.OutputLogic(25, lib.VDD/2)
+		got := 0
+		for i := 0; i < 16; i++ {
+			if out[fmt.Sprintf("s%d", i)] {
+				got |= 1 << i
+			}
+		}
+		if got != int(c[0]*c[1]) {
+			t.Errorf("%dx%d = %d, want %d", c[0], c[1], got, c[0]*c[1])
+		}
+	}
+}
+
+// BenchmarkScaling measures kernel throughput as the multiplier grows —
+// the "bigger circuitry" requirement from the paper's introduction.
+func benchScaling(b *testing.B, n, m int, model halotis.Model) {
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.Multiplier(lib, n, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := uint64(1)<<n - 1
+	pairs := []halotis.MultiplierPair{{A: 0, B: 0}, {A: all, B: all}, {A: 0, B: 0}, {A: all, B: all}}
+	st, err := halotis.MultiplierSequence(pairs, n, m, 5, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := halotis.Simulate(ckt, st, 25, halotis.WithModel(model))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Stats.EventsProcessed
+	}
+}
+
+func BenchmarkScaling4x4DDM(b *testing.B)   { benchScaling(b, 4, 4, halotis.DDM) }
+func BenchmarkScaling8x8DDM(b *testing.B)   { benchScaling(b, 8, 8, halotis.DDM) }
+func BenchmarkScaling12x12DDM(b *testing.B) { benchScaling(b, 12, 12, halotis.DDM) }
+func BenchmarkScaling8x8CDM(b *testing.B)   { benchScaling(b, 8, 8, halotis.CDM) }
