@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-smoke paper
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench regenerates the kernel perf record for this PR. Bump the file name
+# when a new PR lands so the trajectory (BENCH_PR1.json, BENCH_PR2.json, ...)
+# stays comparable.
+BENCH_OUT ?= BENCH_PR1.json
+bench: build
+	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
+
+# bench-smoke is the quick CI variant: few iterations, no JSON artifact.
+bench-smoke:
+	$(GO) test -run=NONE -bench='Table2Seq1DDM|EngineReuseSeq1DDM' -benchmem -benchtime=100x .
+
+# paper regenerates every table and figure of the paper's evaluation.
+paper:
+	$(GO) run ./cmd/halobench -exp all -fast

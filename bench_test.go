@@ -39,10 +39,12 @@ func mulCircuit(b *testing.B) *halotis.Circuit {
 	return ckt
 }
 
-// benchLogic times one logic-model run of the multiplier workload.
+// benchLogic times one logic-model run of the multiplier workload through
+// the one-shot Simulate path (fresh engine per iteration).
 func benchLogic(b *testing.B, pairs []halotis.MultiplierPair, m halotis.Model) {
 	ckt := mulCircuit(b)
 	st := mulStimulus(b, pairs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := halotis.Simulate(ckt, st, 28, halotis.WithModel(m))
@@ -51,6 +53,53 @@ func benchLogic(b *testing.B, pairs []halotis.MultiplierPair, m halotis.Model) {
 		}
 		_ = res.Stats.EventsProcessed
 	}
+}
+
+// benchEngineReuse times the same workload through a reused Engine: after
+// the warm-up run, iterations must report 0 allocs/op — the steady-state
+// event loop is allocation-free.
+func benchEngineReuse(b *testing.B, pairs []halotis.MultiplierPair, m halotis.Model) {
+	ckt := mulCircuit(b)
+	st := mulStimulus(b, pairs)
+	eng := halotis.NewEngine(ckt, halotis.WithModel(m))
+	if _, err := eng.Run(st, 28); err != nil { // warm-up grows all buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(st, 28)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Stats.EventsProcessed
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	}
+}
+
+// benchBatch times SimulateBatch over n copies of the paper sequence,
+// reporting per-stimulus throughput.
+func benchBatch(b *testing.B, pairs []halotis.MultiplierPair, m halotis.Model, n, workers int) {
+	ckt := mulCircuit(b)
+	st := mulStimulus(b, pairs)
+	stimuli := make([]halotis.Stimulus, n)
+	for i := range stimuli {
+		stimuli[i] = st
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := halotis.SimulateBatch(ckt, stimuli, 28,
+			halotis.WithModel(m), halotis.WithWorkers(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/stimulus")
 }
 
 // benchAnalog times the electrical reference on the same workload. The
@@ -75,6 +124,30 @@ func BenchmarkTable2Seq1Analog(b *testing.B) { benchAnalog(b, halotis.PaperSeque
 func BenchmarkTable2Seq2DDM(b *testing.B)    { benchLogic(b, halotis.PaperSequence2(), halotis.DDM) }
 func BenchmarkTable2Seq2CDM(b *testing.B)    { benchLogic(b, halotis.PaperSequence2(), halotis.CDM) }
 func BenchmarkTable2Seq2Analog(b *testing.B) { benchAnalog(b, halotis.PaperSequence2()) }
+
+// --- Engine reuse: Table 2 workloads without per-run setup ---
+
+func BenchmarkEngineReuseSeq1DDM(b *testing.B) {
+	benchEngineReuse(b, halotis.PaperSequence1(), halotis.DDM)
+}
+func BenchmarkEngineReuseSeq1CDM(b *testing.B) {
+	benchEngineReuse(b, halotis.PaperSequence1(), halotis.CDM)
+}
+func BenchmarkEngineReuseSeq2DDM(b *testing.B) {
+	benchEngineReuse(b, halotis.PaperSequence2(), halotis.DDM)
+}
+func BenchmarkEngineReuseSeq2CDM(b *testing.B) {
+	benchEngineReuse(b, halotis.PaperSequence2(), halotis.CDM)
+}
+
+// --- Batch runner: 64-stimulus sweeps, sequential vs parallel ---
+
+func BenchmarkBatch64Seq1Workers1(b *testing.B) {
+	benchBatch(b, halotis.PaperSequence1(), halotis.DDM, 64, 1)
+}
+func BenchmarkBatch64Seq1WorkersMax(b *testing.B) {
+	benchBatch(b, halotis.PaperSequence1(), halotis.DDM, 64, 0)
+}
 
 // --- Table 1: one iteration = the DDM+CDM pair a table row derives from ---
 

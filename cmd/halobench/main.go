@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2] [-fast]
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench]
+//	          [-fast] [-benchruns N] [-benchjson PATH]
 //
 // -fast uses a coarser analog integration step for Table 2 (the shape of
-// the comparison — orders of magnitude — is unaffected).
+// the comparison — orders of magnitude — is unaffected). -exp bench
+// measures the kernel (one-shot, engine-reuse and batch paths); -benchruns
+// sets its iteration count and -benchjson also writes the JSON perf record
+// (the BENCH_PR*.json trajectory).
 package main
 
 import (
@@ -19,8 +23,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
+	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
+	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
 	flag.Parse()
 
 	lib := cellib.Default06()
@@ -84,6 +90,12 @@ func main() {
 				return err
 			}
 			fmt.Println(r.Text)
+		case "bench":
+			text, err := perfExperiment(lib, *benchJSON, *benchRuns)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

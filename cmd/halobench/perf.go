@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"halotis"
+	"halotis/internal/cellib"
+)
+
+// KernelBench is one measured kernel configuration, serialized into the
+// PR-over-PR perf trajectory file (BENCH_PR*.json).
+type KernelBench struct {
+	Name        string  `json:"name"`
+	Model       string  `json:"model"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerEvent  float64 `json:"ns_per_event"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Events      uint64  `json:"events_per_run"`
+}
+
+// BatchBench reports the batch-runner throughput for one worker count.
+type BatchBench struct {
+	Name         string  `json:"name"`
+	Stimuli      int     `json:"stimuli"`
+	Workers      int     `json:"workers"`
+	NsPerStim    float64 `json:"ns_per_stimulus"`
+	TotalNs      float64 `json:"total_ns"`
+	StimPerSec   float64 `json:"stimuli_per_sec"`
+	SpeedupVsOne float64 `json:"speedup_vs_workers1"`
+}
+
+// PerfReport is the full JSON document emitted by -exp bench.
+type PerfReport struct {
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	SeedBaseline []KernelBench `json:"seed_baseline"`
+	Kernel       []KernelBench `json:"kernel"`
+	Batch        []BatchBench  `json:"batch"`
+}
+
+// seedBaseline records the pre-refactor kernel (commit 43050bc, the seed
+// with only go.mod added: pointer-heap event queue, per-run state rebuild,
+// one-shot Simulator) on the Table 2 workloads, measured with
+// `go test -bench=Table2 -benchmem -benchtime=1000x` on the reference
+// container. It anchors the perf trajectory the BENCH_PR*.json files trace:
+// later PRs compare their `kernel` numbers against it.
+var seedBaseline = []KernelBench{
+	{Name: "simulate/seq1", Model: "HALOTIS-DDM", Runs: 1000, NsPerOp: 250000, AllocsPerOp: 1952},
+	{Name: "simulate/seq1", Model: "HALOTIS-CDM", Runs: 1000, NsPerOp: 294000, AllocsPerOp: 2209},
+	{Name: "simulate/seq2", Model: "HALOTIS-DDM", Runs: 1000, NsPerOp: 424000, AllocsPerOp: 2548},
+	{Name: "simulate/seq2", Model: "HALOTIS-CDM", Runs: 1000, NsPerOp: 457000, AllocsPerOp: 2848},
+}
+
+// measureKernel times fn (one full simulation returning its processed-event
+// count) over runs iterations, tracking allocations.
+func measureKernel(runs int, fn func() (uint64, error)) (KernelBench, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var events uint64
+	for i := 0; i < runs; i++ {
+		ev, err := fn()
+		if err != nil {
+			return KernelBench{}, err
+		}
+		events = ev
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	kb := KernelBench{
+		Runs:        runs,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(runs),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(runs),
+		Events:      events,
+	}
+	if events > 0 {
+		kb.NsPerEvent = kb.NsPerOp / float64(events)
+	}
+	return kb, nil
+}
+
+// perfExperiment measures the simulation kernel the three ways this
+// repository cares about — one-shot Simulate, reused Engine, parallel
+// SimulateBatch — over the paper's Table 2 multiplier workloads, renders a
+// table, and optionally writes the JSON perf record.
+func perfExperiment(lib *cellib.Library, jsonPath string, runs int) (string, error) {
+	if runs < 1 {
+		return "", fmt.Errorf("-benchruns must be >= 1, got %d", runs)
+	}
+	ckt, err := halotis.Multiplier4x4(lib)
+	if err != nil {
+		return "", err
+	}
+	seqs := []struct {
+		name  string
+		pairs []halotis.MultiplierPair
+	}{
+		{"seq1", halotis.PaperSequence1()},
+		{"seq2", halotis.PaperSequence2()},
+	}
+	models := []halotis.Model{halotis.DDM, halotis.CDM}
+
+	rep := PerfReport{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		SeedBaseline: seedBaseline,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel benchmarks (%d runs each, %s, GOMAXPROCS=%d)\n",
+		runs, rep.GoVersion, rep.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s\n", "configuration", "ns/op", "ns/event", "allocs/op")
+
+	for _, seq := range seqs {
+		st, err := halotis.MultiplierSequence(seq.pairs, 4, 4, halotis.PaperPeriod, 0.2)
+		if err != nil {
+			return "", err
+		}
+		for _, m := range models {
+			kb, err := measureKernel(runs, func() (uint64, error) {
+				res, err := halotis.Simulate(ckt, st, 28, halotis.WithModel(m))
+				if err != nil {
+					return 0, err
+				}
+				return res.Stats.EventsProcessed, nil
+			})
+			if err != nil {
+				return "", err
+			}
+			kb.Name = "simulate/" + seq.name
+			kb.Model = m.String()
+			rep.Kernel = append(rep.Kernel, kb)
+			fmt.Fprintf(&b, "%-28s %12.0f %12.1f %12.1f\n",
+				kb.Name+"/"+shortModel(m), kb.NsPerOp, kb.NsPerEvent, kb.AllocsPerOp)
+
+			eng := halotis.NewEngine(ckt, halotis.WithModel(m))
+			if _, err := eng.Run(st, 28); err != nil { // warm-up
+				return "", err
+			}
+			kb, err = measureKernel(runs, func() (uint64, error) {
+				res, err := eng.Run(st, 28)
+				if err != nil {
+					return 0, err
+				}
+				return res.Stats.EventsProcessed, nil
+			})
+			if err != nil {
+				return "", err
+			}
+			kb.Name = "engine-reuse/" + seq.name
+			kb.Model = m.String()
+			rep.Kernel = append(rep.Kernel, kb)
+			fmt.Fprintf(&b, "%-28s %12.0f %12.1f %12.1f\n",
+				kb.Name+"/"+shortModel(m), kb.NsPerOp, kb.NsPerEvent, kb.AllocsPerOp)
+		}
+	}
+
+	// Batch throughput: 64 copies of seq1 under DDM, 1 worker vs all CPUs.
+	st1, err := halotis.MultiplierSequence(halotis.PaperSequence1(), 4, 4, halotis.PaperPeriod, 0.2)
+	if err != nil {
+		return "", err
+	}
+	stimuli := make([]halotis.Stimulus, 64)
+	for i := range stimuli {
+		stimuli[i] = st1
+	}
+	var oneWorkerNs float64
+	fmt.Fprintf(&b, "\nBatch (64 x seq1 DDM)\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s\n", "workers", "ns/stimulus", "stimuli/s", "speedup")
+	workerCounts := []int{1}
+	if rep.GOMAXPROCS > 1 {
+		workerCounts = append(workerCounts, rep.GOMAXPROCS)
+	}
+	for _, workers := range workerCounts {
+		start := time.Now()
+		if _, err := halotis.SimulateBatch(ckt, stimuli, 28,
+			halotis.WithModel(halotis.DDM), halotis.WithWorkers(workers)); err != nil {
+			return "", err
+		}
+		total := float64(time.Since(start).Nanoseconds())
+		bb := BatchBench{
+			Name:       "batch64/seq1/DDM",
+			Stimuli:    len(stimuli),
+			Workers:    workers,
+			TotalNs:    total,
+			NsPerStim:  total / float64(len(stimuli)),
+			StimPerSec: float64(len(stimuli)) / (total / 1e9),
+		}
+		if workers == 1 {
+			oneWorkerNs = total
+			bb.SpeedupVsOne = 1
+		} else if total > 0 {
+			bb.SpeedupVsOne = oneWorkerNs / total
+		}
+		rep.Batch = append(rep.Batch, bb)
+		fmt.Fprintf(&b, "%-12d %14.0f %14.1f %9.2fx\n", workers, bb.NsPerStim, bb.StimPerSec, bb.SpeedupVsOne)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\nwrote %s\n", jsonPath)
+	}
+	return b.String(), nil
+}
+
+func shortModel(m halotis.Model) string {
+	if m == halotis.DDM {
+		return "DDM"
+	}
+	return "CDM"
+}

@@ -1,0 +1,136 @@
+// Crosschecks of the reusable-engine and parallel-batch paths against the
+// one-shot Simulate reference: same circuit, same stimulus, bit-identical
+// waveforms, for both delay models, on the paper's Fig. 1 circuit and the
+// Fig. 5 4x4 multiplier workloads.
+package halotis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"halotis"
+)
+
+// engineWorkload is one (circuit, stimulus, horizon) crosscheck case.
+type engineWorkload struct {
+	name string
+	ckt  *halotis.Circuit
+	st   halotis.Stimulus
+	tEnd float64
+}
+
+func engineWorkloads(t *testing.T) []engineWorkload {
+	t.Helper()
+	lib := halotis.DefaultLibrary()
+
+	fig1, err := halotis.Figure1(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig1St, err := halotis.PulseTrain("in", 2, 0.14, 1, 3, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mul, err := halotis.Multiplier4x4(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq1, err := halotis.MultiplierSequence(halotis.PaperSequence1(), 4, 4, halotis.PaperPeriod, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := halotis.MultiplierSequence(halotis.PaperSequence2(), 4, 4, halotis.PaperPeriod, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return []engineWorkload{
+		{"fig1", fig1, fig1St, 15},
+		{"mul4x4/seq1", mul, seq1, 28},
+		{"mul4x4/seq2", mul, seq2, 28},
+	}
+}
+
+// requireIdentical fails unless both results have bit-identical waveforms on
+// every net of the circuit, plus equal kernel stats.
+func requireIdentical(t *testing.T, label string, ckt *halotis.Circuit, got, want *halotis.Result) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats differ:\n got  %+v\n want %+v", label, got.Stats, want.Stats)
+	}
+	for _, n := range ckt.Nets {
+		gt := got.Waveform(n.Name).Transitions()
+		wt := want.Waveform(n.Name).Transitions()
+		if len(gt) != len(wt) {
+			t.Fatalf("%s: net %s transition count %d != %d", label, n.Name, len(gt), len(wt))
+		}
+		for i := range gt {
+			if gt[i] != wt[i] {
+				t.Fatalf("%s: net %s transition %d differs:\n got  %v\n want %v",
+					label, n.Name, i, &gt[i], &wt[i])
+			}
+		}
+	}
+}
+
+// TestEngineReuseCrosscheck runs each workload three times through one
+// engine and compares every run against a fresh single-shot Simulate.
+func TestEngineReuseCrosscheck(t *testing.T) {
+	for _, wl := range engineWorkloads(t) {
+		for _, m := range []halotis.Model{halotis.DDM, halotis.CDM} {
+			label := fmt.Sprintf("%s/%v", wl.name, m)
+			want, err := halotis.Simulate(wl.ckt, wl.st, wl.tEnd, halotis.WithModel(m))
+			if err != nil {
+				t.Fatalf("%s: simulate: %v", label, err)
+			}
+			eng := halotis.NewEngine(wl.ckt, halotis.WithModel(m))
+			for run := 0; run < 3; run++ {
+				got, err := eng.Run(wl.st, wl.tEnd)
+				if err != nil {
+					t.Fatalf("%s run %d: %v", label, run, err)
+				}
+				requireIdentical(t, fmt.Sprintf("%s run %d", label, run), wl.ckt, got, want)
+			}
+		}
+	}
+}
+
+// TestSimulateBatchCrosscheck fans 64 stimuli (with per-index variations so
+// results differ between indices) through SimulateBatch and checks each
+// detached result against single-shot Simulate.
+func TestSimulateBatchCrosscheck(t *testing.T) {
+	lib := halotis.DefaultLibrary()
+	mul, err := halotis.Multiplier4x4(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][]halotis.MultiplierPair{halotis.PaperSequence1(), halotis.PaperSequence2()}
+	stimuli := make([]halotis.Stimulus, 64)
+	for i := range stimuli {
+		// Alternate sequences and perturb the slew so every stimulus is a
+		// distinct workload.
+		slew := 0.15 + 0.01*float64(i%8)
+		st, err := halotis.MultiplierSequence(pairs[i%2], 4, 4, halotis.PaperPeriod, slew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stimuli[i] = st
+	}
+	for _, m := range []halotis.Model{halotis.DDM, halotis.CDM} {
+		results, err := halotis.SimulateBatch(mul, stimuli, 28, halotis.WithModel(m))
+		if err != nil {
+			t.Fatalf("%v: batch: %v", m, err)
+		}
+		if len(results) != len(stimuli) {
+			t.Fatalf("%v: %d results for %d stimuli", m, len(results), len(stimuli))
+		}
+		for i, st := range stimuli {
+			want, err := halotis.Simulate(mul, st, 28, halotis.WithModel(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, fmt.Sprintf("batch[%d]/%v", i, m), mul, results[i], want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module halotis
+
+go 1.24

@@ -115,13 +115,50 @@ func WithMaxEvents(n uint64) Option { return func(o *sim.Options) { o.MaxEvents 
 // WithMinPulse overrides the minimum emitted pulse separation, ns.
 func WithMinPulse(p float64) Option { return func(o *sim.Options) { o.MinPulse = p } }
 
-// Simulate runs the HALOTIS engine on the circuit until tEnd ns.
-func Simulate(ckt *Circuit, st Stimulus, tEnd float64, opts ...Option) (*Result, error) {
+// WithWorkers bounds the parallelism of SimulateBatch (default: one worker
+// per available CPU). Single runs ignore it.
+func WithWorkers(n int) Option { return func(o *sim.Options) { o.Workers = n } }
+
+func buildOptions(opts []Option) sim.Options {
 	var o sim.Options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return sim.New(ckt, o).Run(st, tEnd)
+	return o
+}
+
+// Simulate runs the HALOTIS engine on the circuit until tEnd ns.
+func Simulate(ckt *Circuit, st Stimulus, tEnd float64, opts ...Option) (*Result, error) {
+	return sim.New(ckt, buildOptions(opts)).Run(st, tEnd)
+}
+
+// Engine is the reusable simulation kernel: one circuit, any number of runs.
+// Each Run resets the engine's state in place, so repeated runs over the
+// same circuit allocate nothing in steady state — the setup cost of Simulate
+// is paid once instead of per run. Engines are not safe for concurrent use;
+// run one per goroutine (or use SimulateBatch, which does so for you).
+//
+// The Result returned by Engine.Run aliases the engine's reusable storage
+// and is valid only until the next Run or Reset; call Result.Detach to keep
+// it. Results from the one-shot Simulate never need detaching.
+type Engine = sim.Engine
+
+// NewEngine prepares a reusable engine for the circuit. The circuit's
+// flattened simulation tables are memoized on the circuit itself, so engines
+// over the same circuit share them.
+func NewEngine(ckt *Circuit, opts ...Option) *Engine {
+	return sim.NewEngine(ckt, buildOptions(opts))
+}
+
+// SimulateBatch runs every stimulus against the circuit until tEnd ns,
+// fanning the work across parallel workers (one reusable engine per worker;
+// WithWorkers bounds the count, default GOMAXPROCS). Results are detached,
+// in stimulus order, and bit-identical to running Simulate on each stimulus
+// — parallelism changes only the wall-clock time. This is the entry point
+// for Monte Carlo and vector-sweep workloads: N stimuli cost N event loops
+// but only one circuit flattening and one engine warm-up per worker.
+func SimulateBatch(ckt *Circuit, stimuli []Stimulus, tEnd float64, opts ...Option) ([]*Result, error) {
+	return sim.RunBatch(ckt, stimuli, tEnd, buildOptions(opts))
 }
 
 // SimulateClassic runs the conventional inertial-delay baseline (the

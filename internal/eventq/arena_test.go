@@ -1,0 +1,227 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trackedEvent mirrors one logical event across the three queue
+// implementations so the differential test can remove "the same" event from
+// each.
+type trackedEvent struct {
+	heapItem  *Item[int]
+	sliceItem *Item[int]
+	handle    Handle
+	live      bool
+}
+
+// TestArenaDifferential drives the arena queue, the pointer heap and the
+// O(n) reference slice queue through identical randomized interleavings of
+// Push, Remove and Pop (with heavy time ties to stress the seq tie-breaker)
+// and asserts they agree on every pop and on their lifetime counters.
+func TestArenaDifferential(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		heapQ := New[int]()
+		sliceQ := NewSlice[int]()
+		arenaQ := NewArena[int]()
+		var tracked []*trackedEvent
+		payload := 0
+
+		step := func() {
+			switch op := rng.Intn(10); {
+			case op < 5: // push
+				// Coarse times force frequent ties.
+				tm := float64(rng.Intn(8))
+				payload++
+				ev := &trackedEvent{
+					heapItem:  heapQ.Push(tm, payload),
+					sliceItem: sliceQ.Push(tm, payload),
+					handle:    arenaQ.Push(tm, payload),
+					live:      true,
+				}
+				tracked = append(tracked, ev)
+			case op < 7: // remove a random tracked event (possibly stale)
+				if len(tracked) == 0 {
+					return
+				}
+				ev := tracked[rng.Intn(len(tracked))]
+				a := heapQ.Remove(ev.heapItem)
+				b := sliceQ.Remove(ev.sliceItem)
+				c := arenaQ.Remove(ev.handle)
+				if a != b || a != c {
+					t.Fatalf("trial %d: Remove disagreement: heap=%v slice=%v arena=%v", trial, a, b, c)
+				}
+				if a {
+					ev.live = false
+				}
+			default: // pop
+				hi := heapQ.Pop()
+				si := sliceQ.Pop()
+				_, at, ap, ok := arenaQ.Pop()
+				if (hi == nil) != !ok || (si == nil) != !ok {
+					t.Fatalf("trial %d: Pop emptiness disagreement", trial)
+				}
+				if hi == nil {
+					return
+				}
+				if hi.Time != si.Time || hi.Time != at ||
+					hi.Payload != si.Payload || hi.Payload != ap {
+					t.Fatalf("trial %d: Pop disagreement: heap=(%g,%d) slice=(%g,%d) arena=(%g,%d)",
+						trial, hi.Time, hi.Payload, si.Time, si.Payload, at, ap)
+				}
+			}
+		}
+
+		for i := 0; i < 400; i++ {
+			step()
+		}
+		// Drain: the remaining pop order must match exactly.
+		for {
+			hi := heapQ.Pop()
+			_, at, ap, ok := arenaQ.Pop()
+			si := sliceQ.Pop()
+			if hi == nil {
+				if ok || si != nil {
+					t.Fatalf("trial %d: drain emptiness disagreement", trial)
+				}
+				break
+			}
+			if !ok || hi.Time != at || hi.Payload != ap || hi.Payload != si.Payload {
+				t.Fatalf("trial %d: drain disagreement heap=(%g,%d) arena=(%g,%d)", trial, hi.Time, hi.Payload, at, ap)
+			}
+		}
+		hp, ho, hr := heapQ.Stats()
+		ap2, ao, ar := arenaQ.Stats()
+		sp, so, sr := sliceQ.Stats()
+		if hp != ap2 || ho != ao || hr != ar || hp != sp || ho != so || hr != sr {
+			t.Fatalf("trial %d: stats disagree: heap=(%d,%d,%d) arena=(%d,%d,%d) slice=(%d,%d,%d)",
+				trial, hp, ho, hr, ap2, ao, ar, sp, so, sr)
+		}
+	}
+}
+
+// TestArenaStaleHandles checks that handles kept past their event's lifetime
+// can never affect the queue, even after their slot is recycled.
+func TestArenaStaleHandles(t *testing.T) {
+	q := NewArena[string]()
+	h1 := q.Push(1, "a")
+	if !q.Pending(h1) {
+		t.Fatal("fresh handle should be pending")
+	}
+	if _, _, _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if q.Pending(h1) {
+		t.Error("popped handle still pending")
+	}
+	if q.Remove(h1) {
+		t.Error("popped handle removable")
+	}
+	// Recycle the slot: the stale handle must not alias the new event.
+	h2 := q.Push(2, "b")
+	if h2.idx != h1.idx {
+		t.Fatalf("expected slot recycling, got idx %d vs %d", h2.idx, h1.idx)
+	}
+	if q.Pending(h1) {
+		t.Error("stale handle aliases recycled slot")
+	}
+	if q.Remove(h1) {
+		t.Error("stale handle removed recycled slot's event")
+	}
+	if !q.Pending(h2) {
+		t.Error("live handle lost")
+	}
+	var zero Handle
+	if q.Pending(zero) || q.Remove(zero) {
+		t.Error("zero handle must be invalid")
+	}
+	if _, ok := q.TimeOf(h2); !ok {
+		t.Error("TimeOf on live handle failed")
+	}
+	if _, ok := q.TimeOf(h1); ok {
+		t.Error("TimeOf on stale handle succeeded")
+	}
+}
+
+// TestArenaReset checks Reset retains capacity, invalidates handles, and
+// restarts the deterministic sequence numbering.
+func TestArenaReset(t *testing.T) {
+	q := NewArena[int]()
+	var handles []Handle
+	for i := 0; i < 32; i++ {
+		handles = append(handles, q.Push(float64(i%4), i))
+	}
+	capBefore := q.Cap()
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	if q.Cap() != capBefore {
+		t.Errorf("Cap after Reset = %d, want %d (capacity retained)", q.Cap(), capBefore)
+	}
+	for i, h := range handles {
+		if q.Pending(h) {
+			t.Fatalf("handle %d survives Reset", i)
+		}
+	}
+	if p, o, r := q.Stats(); p != 0 || o != 0 || r != 0 {
+		t.Errorf("stats after Reset = (%d,%d,%d), want zeros", p, o, r)
+	}
+	// Two identical runs after Reset must pop identically (seq restarted).
+	runOrder := func() []int {
+		var out []int
+		for i := 0; i < 16; i++ {
+			q.Push(float64(i%3), i)
+		}
+		for {
+			_, _, p, ok := q.Pop()
+			if !ok {
+				break
+			}
+			out = append(out, p)
+		}
+		q.Reset()
+		return out
+	}
+	a, b := runOrder(), runOrder()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pop order differs across Reset at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestArenaSteadyStateAllocs verifies the headline property: once warm, the
+// push/pop/remove cycle does not allocate.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	q := NewArena[int]()
+	warm := func() {
+		var hs []Handle
+		for i := 0; i < 64; i++ {
+			hs = append(hs, q.Push(float64(i%7), i))
+		}
+		for i := 0; i < 16; i++ {
+			q.Remove(hs[i*3])
+		}
+		for {
+			if _, _, _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(float64(i%7), i)
+		}
+		for {
+			if _, _, _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state allocs/cycle = %g, want 0", allocs)
+	}
+}

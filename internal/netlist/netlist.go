@@ -7,6 +7,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"halotis/internal/cellib"
 )
@@ -106,6 +107,24 @@ type Circuit struct {
 	netByName  map[string]*Net
 	gateByName map[string]*Gate
 	levels     int
+
+	aux atomic.Value // derived-structure cache, see Aux
+}
+
+// Aux returns the circuit's cached derived acceleration structure, building
+// it with build on first use. Circuits are immutable once Build returns, so
+// structures derived from them (the simulation engine's flattened layout)
+// can be memoized here and shared by every consumer of the circuit; their
+// lifetime is tied to the circuit's own. The cache holds a single slot: all
+// callers must agree on what is stored (the simulator owns it today).
+// Concurrent first calls may build twice; one result wins, both are valid.
+func (c *Circuit) Aux(build func() any) any {
+	if v := c.aux.Load(); v != nil {
+		return v
+	}
+	v := build()
+	c.aux.Store(v)
+	return v
 }
 
 // NetByName returns the named net, or nil.

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"time"
+
+	"halotis/internal/cellib"
+	"halotis/internal/delay"
+	"halotis/internal/eventq"
+	"halotis/internal/netlist"
+	"halotis/internal/wave"
+)
+
+// event is the queue payload: a threshold crossing at one gate input pin,
+// identified by its flat global pin id. The payload is a small value type so
+// the arena queue stores it inline with no per-event allocation.
+type event struct {
+	pin    int32
+	rising bool
+	// slew of the transition that caused the crossing; it becomes the
+	// tau_in of the receiving gate's delay evaluation.
+	slew float64
+}
+
+// Engine is the reusable HALOTIS simulation kernel. Unlike the one-shot
+// Simulator, an Engine may run any number of stimuli over its circuit: each
+// Run (or explicit Reset) reinitializes the mutable state — waveforms, gate
+// slabs, the event queue — in place, retaining all storage capacity. After a
+// warm-up run has grown the buffers to a workload's high-water mark,
+// subsequent runs of comparable workloads perform zero heap allocations.
+//
+// An Engine is not safe for concurrent use; for parallel workloads run one
+// engine per goroutine over a shared circuit (see RunBatch).
+//
+// The Result returned by Run aliases the engine's waveform storage and is
+// valid only until the next Run or Reset; call Result.Detach to keep it.
+type Engine struct {
+	lay *layout
+	opt Options
+
+	q      eventq.ArenaQueue[event]
+	wfs    []*wave.Waveform // by net ID, pointing into wfSlab, reset in place
+	wfSlab []wave.Waveform  // contiguous waveform storage, one entry per net
+
+	// Mutable per-pin slabs, indexed by global pin id (see layout).
+	inVals  []bool          // current logic value at each gate input pin
+	pending []eventq.Handle // scheduled-but-unfired crossing per pin
+
+	// Mutable per-gate slabs, indexed by gate ID.
+	outTarget    []bool    // logic value the output is at or heading toward
+	lastOutStart []float64 // start of the most recent output transition; -Inf before it
+
+	netVals []bool   // scratch for the settled initial-state evaluation
+	names   []string // scratch for deterministic stimulus ordering
+
+	now float64
+	st  Stats
+	res Result // reused result storage returned by Run
+}
+
+// NewEngine prepares a reusable engine for the circuit.
+func NewEngine(ckt *netlist.Circuit, opt Options) *Engine {
+	opt.setDefaults()
+	return newEngineFromLayout(layoutFor(ckt), opt)
+}
+
+func newEngineFromLayout(lay *layout, opt Options) *Engine {
+	numPins := lay.numPins()
+	e := &Engine{
+		lay:          lay,
+		opt:          opt,
+		wfs:          make([]*wave.Waveform, len(lay.load)),
+		wfSlab:       make([]wave.Waveform, len(lay.load)),
+		inVals:       make([]bool, numPins),
+		pending:      make([]eventq.Handle, numPins),
+		outTarget:    make([]bool, len(lay.gateKind)),
+		lastOutStart: make([]float64, len(lay.gateKind)),
+		netVals:      make([]bool, len(lay.load)),
+	}
+	return e
+}
+
+// Circuit returns the circuit the engine simulates.
+func (e *Engine) Circuit() *netlist.Circuit { return e.lay.ckt }
+
+// Reset reinitializes the engine for a new run of the given stimulus without
+// reallocating: waveforms are rewound to the settled boolean solution of the
+// stimulus's initial input levels, gate slabs are refilled, the event queue
+// is emptied with its arena intact, and all counters restart.
+func (e *Engine) Reset(st Stimulus) {
+	lay := e.lay
+
+	// Settled boolean solution of the initial input levels. Filling the
+	// per-pin inVals slab here doubles as the gate-state initialization.
+	for _, in := range lay.ckt.Inputs {
+		e.netVals[in.ID] = st[in.Name].Init
+	}
+	for _, gid := range lay.levelOrder {
+		a, b := lay.pinStart[gid], lay.pinStart[gid+1]
+		for p := a; p < b; p++ {
+			e.inVals[p] = e.netVals[lay.pinNet[p]]
+		}
+		e.netVals[lay.gateOut[gid]] = lay.gateKind[gid].Eval(e.inVals[a:b])
+	}
+
+	for i := range e.wfs {
+		v0 := 0.0
+		if e.netVals[i] {
+			v0 = lay.vdd
+		}
+		if e.wfs[i] == nil {
+			e.wfSlab[i] = wave.Waveform{VDD: lay.vdd, VInit: v0}
+			e.wfs[i] = &e.wfSlab[i]
+		} else {
+			e.wfs[i].Reset(v0)
+		}
+	}
+
+	for g := range e.outTarget {
+		e.outTarget[g] = e.netVals[lay.gateOut[g]]
+		e.lastOutStart[g] = math.Inf(-1)
+	}
+	for p := range e.pending {
+		e.pending[p] = eventq.NoHandle
+	}
+
+	e.q.Reset()
+	e.now = 0
+	e.st = Stats{}
+}
+
+// Run validates and simulates one stimulus until no event at or before tEnd
+// remains. It may be called repeatedly; each call resets the engine state in
+// place first. The returned Result aliases engine storage and is invalidated
+// by the next Run or Reset — Detach it to keep it.
+func (e *Engine) Run(st Stimulus, tEnd float64) (*Result, error) {
+	if err := st.Validate(e.lay.inputNames); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e.Reset(st)
+	e.applyStimulus(st)
+
+	for {
+		tNext, ok := e.q.PeekTime()
+		if !ok || tNext > tEnd {
+			break
+		}
+		h, t, ev, _ := e.q.Pop()
+		if t < e.now {
+			return nil, fmt.Errorf("sim: causality violation: event at %g before now %g", t, e.now)
+		}
+		e.now = t
+		e.st.EventsProcessed++
+		if e.st.EventsProcessed > e.opt.MaxEvents {
+			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%g ns (oscillation?)", e.opt.MaxEvents, e.now)
+		}
+		e.fire(h, ev)
+	}
+
+	elapsed := time.Since(start)
+	queued, _, removed := e.q.Stats()
+	e.st.EventsQueued = queued
+	if e.st.EventsFiltered != removed {
+		// The two counters track the same deletions through different
+		// paths; disagreement means an engine bug.
+		return nil, fmt.Errorf("sim: filtered-event accounting mismatch: %d vs %d", e.st.EventsFiltered, removed)
+	}
+	e.res = Result{
+		Model:   e.opt.Model,
+		Stats:   e.st,
+		Elapsed: elapsed,
+		EndTime: tEnd,
+		ckt:     e.lay.ckt,
+		wfs:     e.wfs,
+	}
+	return &e.res, nil
+}
+
+// applyStimulus emits the externally driven transitions onto the primary
+// input nets in deterministic (sorted-name) order, scheduling receiver
+// events through the same reconciliation path gate outputs use.
+func (e *Engine) applyStimulus(st Stimulus) {
+	e.names = e.names[:0]
+	for name := range st {
+		e.names = append(e.names, name)
+	}
+	slices.Sort(e.names)
+	for _, name := range e.names {
+		w := st[name]
+		net := int32(e.lay.ckt.NetByName(name).ID)
+		for _, edge := range w.Edges {
+			slew := edge.Slew
+			if slew <= 0 {
+				slew = e.opt.DefaultSlew
+			}
+			e.emit(net, edge.Time, slew, edge.Rising)
+		}
+	}
+}
+
+// emit appends a transition to a net's waveform and reconciles every fanout
+// pin's pending event, implementing the insertion/deletion rule of the
+// paper's Fig. 4 algorithm.
+func (e *Engine) emit(net int32, start, slew float64, rising bool) {
+	lay := e.lay
+	wf := e.wfs[net]
+	tr := wf.Add(start, slew, rising)
+	e.st.Transitions++
+	for _, pin := range lay.fanPins[lay.fanStart[net]:lay.fanStart[net+1]] {
+		// Rule 1: a pending crossing pre-empted by this truncation
+		// (its crossing time is at or after the new ramp's start)
+		// never happens; delete it from the queue.
+		if h := e.pending[pin]; h != eventq.NoHandle {
+			if pt, live := e.q.TimeOf(h); !live {
+				e.pending[pin] = eventq.NoHandle
+			} else if pt >= start {
+				e.q.Remove(h)
+				e.st.EventsFiltered++
+				e.pending[pin] = eventq.NoHandle
+			}
+		}
+		// Rule 2: schedule the new ramp's crossing of this pin's VT,
+		// if the ramp crosses at all. A ramp that starts on the far
+		// side of VT (a runt that never reached it) schedules
+		// nothing — the pulse is filtered at this input.
+		ct, ok := tr.Crossing(lay.pinVT[pin])
+		if !ok {
+			continue
+		}
+		if h := e.pending[pin]; h != eventq.NoHandle {
+			if pt, live := e.q.TimeOf(h); live && ct <= pt {
+				// Paper rule Ej <= Ej-1: delete Ej-1, do not insert Ej.
+				// Geometrically unreachable after rule 1 (kept for
+				// engine robustness).
+				e.q.Remove(h)
+				e.st.EventsFiltered++
+				e.pending[pin] = eventq.NoHandle
+				continue
+			}
+		}
+		e.pending[pin] = e.q.Push(ct, event{pin: pin, rising: rising, slew: slew})
+	}
+}
+
+// fire consumes one event: updates the pin's logic value, re-evaluates the
+// gate, and emits a delayed output transition when the output target flips.
+// h is the popped event's (stale) handle, used to reconcile the per-pin
+// pending record.
+func (e *Engine) fire(h eventq.Handle, ev event) {
+	lay := e.lay
+	pin := ev.pin
+	g := lay.pinGate[pin]
+	if e.pending[pin] == h {
+		e.pending[pin] = eventq.NoHandle
+	}
+	e.inVals[pin] = ev.rising
+
+	e.st.Evaluations++
+	a, b := lay.pinStart[g], lay.pinStart[g+1]
+	newTarget := lay.gateKind[g].Eval(e.inVals[a:b])
+	if newTarget == e.outTarget[g] {
+		return
+	}
+
+	out := lay.gateOut[g]
+	cl := lay.load[out]
+	var ep cellib.EdgeParams
+	if newTarget {
+		ep = lay.pinRise[pin]
+	} else {
+		ep = lay.pinFall[pin]
+	}
+
+	var res delay.Result
+	switch e.opt.Model {
+	case DDM:
+		T := e.now - e.lastOutStart[g] // +Inf before the first transition
+		res = delay.Degraded(ep, lay.vdd, cl, ev.slew, T)
+	default:
+		res = delay.Conventional(ep, cl, ev.slew)
+	}
+	if res.Filtered {
+		e.st.FullyDegraded++
+	} else if res.Degraded {
+		e.st.DegradedTransitions++
+	}
+
+	// Clamp to a causal, per-net monotonic start time. Full degradation
+	// (tp <= 0) collapses the pulse to a MinPulse sliver right after the
+	// previous output transition; receivers then cancel its crossings.
+	tp := math.Max(res.Tp, e.opt.MinPulse)
+	start := e.now + tp
+	if min := e.lastOutStart[g] + e.opt.MinPulse; start < min {
+		start = min
+	}
+
+	e.outTarget[g] = newTarget
+	e.lastOutStart[g] = start
+	e.emit(out, start, res.Slew, newTarget)
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// layout is the immutable, flat, precomputed view of one circuit that the
+// simulation engine's hot loop runs against. Everything the kernel needs per
+// event — the receiving gate, the pin threshold, the delay-model edge
+// parameters, the output net load — is hoisted out of the pointer-rich
+// netlist graph into dense index-addressed arrays at construction time, so
+// the event loop performs no map lookups, no interface calls and no pointer
+// chasing beyond a handful of slab reads.
+//
+// A layout is read-only after newLayout returns and is therefore safe to
+// share between engines, which is how the parallel batch runner amortizes
+// precomputation across workers.
+//
+// Pin addressing: every gate input pin gets a dense global id
+//
+//	pid = pinStart[gateID] + pinIndex
+//
+// and all per-pin arrays (pinVT, pinRise, ...) as well as the engine's
+// mutable per-pin slabs (input values, pending handles) are indexed by pid.
+type layout struct {
+	ckt *netlist.Circuit
+	vdd float64
+
+	// Per-gate, indexed by gate ID. pinStart has len(gates)+1 entries so
+	// pinStart[g] : pinStart[g+1] spans gate g's pins in every pin slab.
+	pinStart []int32
+	gateKind []cellib.Kind
+	gateOut  []int32 // output net ID
+
+	// Per-pin, indexed by global pin id.
+	pinGate []int32 // owning gate ID
+	pinNet  []int32 // listened net ID
+	pinVT   []float64
+	pinRise []cellib.EdgeParams
+	pinFall []cellib.EdgeParams
+
+	// Per-net, indexed by net ID. fanStart/fanPins is the flattened fanout:
+	// fanPins[fanStart[n]:fanStart[n+1]] are the global pin ids listening to
+	// net n, in netlist fanout order (which fixes the deterministic event
+	// insertion order on simultaneous crossings).
+	load     []float64
+	fanStart []int32
+	fanPins  []int32
+
+	// levelOrder lists gate IDs in topological level order for the settled
+	// initial-state evaluation, hoisted here because GatesByLevel sorts.
+	levelOrder []int32
+
+	// inputNames supports stimulus validation without per-run map builds.
+	inputNames map[string]bool
+}
+
+// layoutFor returns the circuit's flattened layout, memoized on the circuit
+// itself: every engine over the same circuit — across Simulate calls, batch
+// workers and sessions — shares one read-only layout.
+func layoutFor(ckt *netlist.Circuit) *layout {
+	return ckt.Aux(func() any { return newLayout(ckt) }).(*layout)
+}
+
+// newLayout flattens the circuit. Cost is O(gates + pins + nets) and is paid
+// once per circuit (see layoutFor), not per run.
+func newLayout(ckt *netlist.Circuit) *layout {
+	numPins := 0
+	for _, g := range ckt.Gates {
+		numPins += len(g.Inputs)
+	}
+	lay := &layout{
+		ckt:      ckt,
+		vdd:      ckt.Lib.VDD,
+		pinStart: make([]int32, len(ckt.Gates)+1),
+		gateKind: make([]cellib.Kind, len(ckt.Gates)),
+		gateOut:  make([]int32, len(ckt.Gates)),
+		pinGate:  make([]int32, numPins),
+		pinNet:   make([]int32, numPins),
+		pinVT:    make([]float64, numPins),
+		pinRise:  make([]cellib.EdgeParams, numPins),
+		pinFall:  make([]cellib.EdgeParams, numPins),
+		load:     make([]float64, len(ckt.Nets)),
+		fanStart: make([]int32, len(ckt.Nets)+1),
+		fanPins:  make([]int32, 0, numPins),
+
+		levelOrder: make([]int32, 0, len(ckt.Gates)),
+		inputNames: make(map[string]bool, len(ckt.Inputs)),
+	}
+
+	pid := int32(0)
+	for _, g := range ckt.Gates {
+		lay.pinStart[g.ID] = pid
+		lay.gateKind[g.ID] = g.Cell.Kind
+		lay.gateOut[g.ID] = int32(g.Output.ID)
+		for i, p := range g.Inputs {
+			lay.pinGate[pid] = int32(g.ID)
+			lay.pinNet[pid] = int32(p.Net.ID)
+			lay.pinVT[pid] = p.VT
+			pp := g.Cell.Pins[i]
+			lay.pinRise[pid] = pp.Rise
+			lay.pinFall[pid] = pp.Fall
+			pid++
+		}
+	}
+	lay.pinStart[len(ckt.Gates)] = pid
+
+	for _, n := range ckt.Nets {
+		lay.load[n.ID] = n.Load()
+		lay.fanStart[n.ID] = int32(len(lay.fanPins))
+		for _, p := range n.Fanout {
+			lay.fanPins = append(lay.fanPins, lay.pinStart[p.Gate.ID]+int32(p.Index))
+		}
+	}
+	lay.fanStart[len(ckt.Nets)] = int32(len(lay.fanPins))
+
+	for _, g := range ckt.GatesByLevel() {
+		lay.levelOrder = append(lay.levelOrder, int32(g.ID))
+	}
+	for _, in := range ckt.Inputs {
+		lay.inputNames[in.Name] = true
+	}
+	return lay
+}
+
+// numPins returns the total gate-input pin count.
+func (lay *layout) numPins() int { return int(lay.pinStart[len(lay.gateKind)]) }

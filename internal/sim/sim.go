@@ -5,16 +5,17 @@
 // either the conventional delay model (CDM) or the inertial and degradation
 // delay model (IDDM/DDM), and performs the Fig. 4 scheduling algorithm with
 // event deletion for inertial pulse filtering.
+//
+// Two front doors exist over the same kernel: the one-shot Simulator
+// (New + Run, one run per value) and the reusable Engine (NewEngine, any
+// number of Run calls with zero steady-state allocations; see engine.go and
+// the parallel batch runner in batch.go).
 package sim
 
 import (
 	"fmt"
-	"math"
 	"time"
 
-	"halotis/internal/cellib"
-	"halotis/internal/delay"
-	"halotis/internal/eventq"
 	"halotis/internal/netlist"
 	"halotis/internal/wave"
 )
@@ -56,6 +57,9 @@ type Options struct {
 	// DefaultSlew is the input slew assumed for stimulus edges that do
 	// not specify one. Default 0.5 ns.
 	DefaultSlew float64
+	// Workers bounds the parallelism of RunBatch: <= 0 means one worker
+	// per available CPU. Single runs ignore it.
+	Workers int
 }
 
 func (o *Options) setDefaults() {
@@ -92,51 +96,36 @@ type Stats struct {
 	FullyDegraded uint64
 }
 
-// event is the queue payload: a threshold crossing at one gate input pin.
-type event struct {
-	pin    *netlist.Pin
-	rising bool
-	// slew of the transition that caused the crossing; it becomes the
-	// tau_in of the receiving gate's delay evaluation.
-	slew float64
-}
-
-// gateState holds the mutable per-gate simulation state.
-type gateState struct {
-	vals []bool // current logic value at each input pin
-	// pending[i] is the scheduled-but-unfired crossing event at pin i,
-	// nil if none. At most one crossing can be pending per pin because
-	// per-net transitions are emitted in time order.
-	pending []*eventq.Item[event]
-	// outTarget is the logic value the output is at or heading toward.
-	outTarget bool
-	// lastOutStart is the start time of the gate's most recent output
-	// transition; -Inf before the first one. The DDM internal state T is
-	// measured from it.
-	lastOutStart float64
-}
-
 // Simulator runs one simulation of one circuit. Create with New, run once
-// with Run.
+// with Run. It is a thin one-shot wrapper over the reusable Engine; batch
+// and repeated-run workloads should use NewEngine directly.
 type Simulator struct {
-	ckt  *netlist.Circuit
-	opt  Options
-	q    *eventq.Queue[event]
-	wfs  []*wave.Waveform // by net ID
-	load []float64        // cached net load, by net ID
-	gs   []*gateState     // by gate ID
-	now  float64
-	st   Stats
-	ran  bool
+	eng *Engine
+	ran bool
 }
 
 // New prepares a simulator for the circuit.
 func New(ckt *netlist.Circuit, opt Options) *Simulator {
-	opt.setDefaults()
-	return &Simulator{ckt: ckt, opt: opt}
+	return &Simulator{eng: NewEngine(ckt, opt)}
+}
+
+// Run simulates the stimulus until no event at or before tEnd remains. It
+// may be called once per Simulator.
+func (s *Simulator) Run(st Stimulus, tEnd float64) (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("sim: Simulator.Run called twice; create a new Simulator per run")
+	}
+	s.ran = true
+	return s.eng.Run(st, tEnd)
 }
 
 // Result carries the outcome of a run.
+//
+// A Result returned by Engine.Run aliases the engine's reusable waveform
+// storage: it is valid until the engine's next Run or Reset. Detach returns
+// an independent deep copy. Results from the one-shot Simulator (and the
+// package-level Simulate helpers built on it) never get invalidated, since
+// their engine is used exactly once.
 type Result struct {
 	// Model that produced the result.
 	Model Model
@@ -149,6 +138,17 @@ type Result struct {
 
 	ckt *netlist.Circuit
 	wfs []*wave.Waveform
+}
+
+// Detach returns a deep copy of the result whose waveforms no longer alias
+// engine storage, safe to hold across further runs of the producing engine.
+func (r *Result) Detach() *Result {
+	c := *r
+	c.wfs = make([]*wave.Waveform, len(r.wfs))
+	for i, wf := range r.wfs {
+		c.wfs[i] = wf.Clone()
+	}
+	return &c
 }
 
 // Waveform returns the simulated waveform of the named net, or nil.
@@ -197,224 +197,12 @@ func (r *Result) Activity() []NetActivity {
 	return out
 }
 
-// TotalActivity sums transition counts and switching energy across nets.
+// TotalActivity sums transition counts and switching energy across nets,
+// reading the waveforms directly rather than materializing Activity.
 func (r *Result) TotalActivity() (transitions int, energy float64) {
-	for _, a := range r.Activity() {
-		transitions += a.Transitions
-		energy += a.EnergyNorm
+	for _, wf := range r.wfs {
+		transitions += wf.Len()
+		energy += wf.SwitchingEnergyNorm()
 	}
 	return transitions, energy
-}
-
-// Run simulates the stimulus until no event at or before tEnd remains. It
-// may be called once per Simulator.
-func (s *Simulator) Run(st Stimulus, tEnd float64) (*Result, error) {
-	if s.ran {
-		return nil, fmt.Errorf("sim: Simulator.Run called twice; create a new Simulator per run")
-	}
-	s.ran = true
-	inputNames := make(map[string]bool, len(s.ckt.Inputs))
-	for _, in := range s.ckt.Inputs {
-		inputNames[in.Name] = true
-	}
-	if err := st.Validate(inputNames); err != nil {
-		return nil, err
-	}
-
-	start := time.Now()
-	s.init(st)
-	s.applyStimulus(st)
-
-	for {
-		it := s.q.Peek()
-		if it == nil || it.Time > tEnd {
-			break
-		}
-		s.q.Pop()
-		if it.Time < s.now {
-			return nil, fmt.Errorf("sim: causality violation: event at %g before now %g", it.Time, s.now)
-		}
-		s.now = it.Time
-		s.st.EventsProcessed++
-		if s.st.EventsProcessed > s.opt.MaxEvents {
-			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%g ns (oscillation?)", s.opt.MaxEvents, s.now)
-		}
-		s.fire(it)
-	}
-
-	elapsed := time.Since(start)
-	queued, _, removed := s.q.Stats()
-	s.st.EventsQueued = queued
-	if s.st.EventsFiltered != removed {
-		// The two counters track the same deletions through different
-		// paths; disagreement means an engine bug.
-		return nil, fmt.Errorf("sim: filtered-event accounting mismatch: %d vs %d", s.st.EventsFiltered, removed)
-	}
-	return &Result{
-		Model:   s.opt.Model,
-		Stats:   s.st,
-		Elapsed: elapsed,
-		EndTime: tEnd,
-		ckt:     s.ckt,
-		wfs:     s.wfs,
-	}, nil
-}
-
-// init seeds waveforms and gate states from the settled boolean solution of
-// the initial input levels.
-func (s *Simulator) init(st Stimulus) {
-	vdd := s.ckt.Lib.VDD
-	vals := make([]bool, len(s.ckt.Nets))
-	for _, in := range s.ckt.Inputs {
-		vals[in.ID] = st[in.Name].Init
-	}
-	for _, g := range s.ckt.GatesByLevel() {
-		args := make([]bool, len(g.Inputs))
-		for i, p := range g.Inputs {
-			args[i] = vals[p.Net.ID]
-		}
-		vals[g.Output.ID] = g.Eval(args)
-	}
-
-	s.wfs = make([]*wave.Waveform, len(s.ckt.Nets))
-	s.load = make([]float64, len(s.ckt.Nets))
-	for _, n := range s.ckt.Nets {
-		v0 := 0.0
-		if vals[n.ID] {
-			v0 = vdd
-		}
-		s.wfs[n.ID] = wave.NewWaveform(vdd, v0)
-		s.load[n.ID] = n.Load()
-	}
-
-	s.gs = make([]*gateState, len(s.ckt.Gates))
-	for _, g := range s.ckt.Gates {
-		gst := &gateState{
-			vals:         make([]bool, len(g.Inputs)),
-			pending:      make([]*eventq.Item[event], len(g.Inputs)),
-			outTarget:    vals[g.Output.ID],
-			lastOutStart: math.Inf(-1),
-		}
-		for i, p := range g.Inputs {
-			gst.vals[i] = vals[p.Net.ID]
-		}
-		s.gs[g.ID] = gst
-	}
-	s.q = eventq.New[event]()
-	s.now = 0
-}
-
-// applyStimulus emits the externally driven transitions onto the primary
-// input nets, scheduling receiver events through the same reconciliation
-// path gate outputs use.
-func (s *Simulator) applyStimulus(st Stimulus) {
-	for _, name := range st.sortedNames() {
-		w := st[name]
-		net := s.ckt.NetByName(name)
-		for _, e := range w.Edges {
-			slew := e.Slew
-			if slew <= 0 {
-				slew = s.opt.DefaultSlew
-			}
-			s.emit(net, e.Time, slew, e.Rising)
-		}
-	}
-}
-
-// emit appends a transition to a net's waveform and reconciles every fanout
-// pin's pending event, implementing the insertion/deletion rule of the
-// paper's Fig. 4 algorithm.
-func (s *Simulator) emit(net *netlist.Net, start, slew float64, rising bool) {
-	wf := s.wfs[net.ID]
-	tr := wf.Add(start, slew, rising)
-	s.st.Transitions++
-	for _, pin := range net.Fanout {
-		gst := s.gs[pin.Gate.ID]
-		// Rule 1: a pending crossing pre-empted by this truncation
-		// (its crossing time is at or after the new ramp's start)
-		// never happens; delete it from the queue.
-		if p := gst.pending[pin.Index]; p != nil {
-			if !p.Pending() {
-				gst.pending[pin.Index] = nil
-			} else if p.Time >= start {
-				s.q.Remove(p)
-				s.st.EventsFiltered++
-				gst.pending[pin.Index] = nil
-			}
-		}
-		// Rule 2: schedule the new ramp's crossing of this pin's VT,
-		// if the ramp crosses at all. A ramp that starts on the far
-		// side of VT (a runt that never reached it) schedules
-		// nothing — the pulse is filtered at this input.
-		ct, ok := tr.Crossing(pin.VT)
-		if !ok {
-			continue
-		}
-		if p := gst.pending[pin.Index]; p != nil && p.Pending() && ct <= p.Time {
-			// Paper rule Ej <= Ej-1: delete Ej-1, do not insert Ej.
-			// Geometrically unreachable after rule 1 (kept for
-			// engine robustness).
-			s.q.Remove(p)
-			s.st.EventsFiltered++
-			gst.pending[pin.Index] = nil
-			continue
-		}
-		item := s.q.Push(ct, event{pin: pin, rising: rising, slew: slew})
-		gst.pending[pin.Index] = item
-	}
-}
-
-// fire consumes one event: updates the pin's logic value, re-evaluates the
-// gate, and emits a delayed output transition when the output target flips.
-func (s *Simulator) fire(it *eventq.Item[event]) {
-	ev := it.Payload
-	pin := ev.pin
-	g := pin.Gate
-	gst := s.gs[g.ID]
-	if gst.pending[pin.Index] == it {
-		gst.pending[pin.Index] = nil
-	}
-	gst.vals[pin.Index] = ev.rising
-
-	s.st.Evaluations++
-	newTarget := g.Cell.Kind.Eval(gst.vals)
-	if newTarget == gst.outTarget {
-		return
-	}
-
-	cl := s.load[g.Output.ID]
-	pp := g.Cell.Pins[pin.Index]
-	var ep cellib.EdgeParams
-	if newTarget {
-		ep = pp.Rise
-	} else {
-		ep = pp.Fall
-	}
-
-	var res delay.Result
-	switch s.opt.Model {
-	case DDM:
-		T := s.now - gst.lastOutStart // +Inf before the first transition
-		res = delay.Degraded(ep, s.ckt.Lib.VDD, cl, ev.slew, T)
-	default:
-		res = delay.Conventional(ep, cl, ev.slew)
-	}
-	if res.Filtered {
-		s.st.FullyDegraded++
-	} else if res.Degraded {
-		s.st.DegradedTransitions++
-	}
-
-	// Clamp to a causal, per-net monotonic start time. Full degradation
-	// (tp <= 0) collapses the pulse to a MinPulse sliver right after the
-	// previous output transition; receivers then cancel its crossings.
-	tp := math.Max(res.Tp, s.opt.MinPulse)
-	start := s.now + tp
-	if min := gst.lastOutStart + s.opt.MinPulse; start < min {
-		start = min
-	}
-
-	gst.outTarget = newTarget
-	gst.lastOutStart = start
-	s.emit(g.Output, start, res.Slew, newTarget)
 }

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // InputEdge is one externally driven transition on a primary input.
@@ -52,6 +52,16 @@ func (st Stimulus) Validate(inputNames map[string]bool) error {
 	return nil
 }
 
+// sortedNames returns the driven input names in deterministic order.
+func (st Stimulus) sortedNames() []string {
+	names := make([]string, 0, len(st))
+	for n := range st {
+		names = append(names, n)
+	}
+	slices.Sort(names)
+	return names
+}
+
 // LastEdgeTime returns the time of the latest edge across all inputs, or 0.
 func (st Stimulus) LastEdgeTime() float64 {
 	last := 0.0
@@ -61,14 +71,4 @@ func (st Stimulus) LastEdgeTime() float64 {
 		}
 	}
 	return last
-}
-
-// sortedNames returns the driven input names in deterministic order.
-func (st Stimulus) sortedNames() []string {
-	names := make([]string, 0, len(st))
-	for n := range st {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

@@ -34,6 +34,30 @@ func clamp(v, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, v))
 }
 
+// Reset re-arms the waveform at a new initial level, discarding all recorded
+// transitions while retaining the transition storage capacity. It is the
+// reuse path of the simulation engine: a waveform reset between runs appends
+// transitions without reallocating once it has grown to a run's high-water
+// mark. Any Transitions slice previously obtained from the waveform aliases
+// storage that Reset will overwrite; detach (Clone) results that must
+// survive.
+func (w *Waveform) Reset(vinit float64) {
+	w.VInit = clamp(vinit, 0, w.VDD)
+	w.ts = w.ts[:0]
+	w.seq = 0
+}
+
+// Clone returns a deep copy of the waveform with independent transition
+// storage, safe to hold across a Reset of the original.
+func (w *Waveform) Clone() *Waveform {
+	c := &Waveform{VDD: w.VDD, VInit: w.VInit, seq: w.seq}
+	if len(w.ts) > 0 {
+		c.ts = make([]Transition, len(w.ts))
+		copy(c.ts, w.ts)
+	}
+	return c
+}
+
 // Len returns the number of transitions recorded.
 func (w *Waveform) Len() int { return len(w.ts) }
 
@@ -78,6 +102,10 @@ func (w *Waveform) Add(start, slew float64, rising bool) *Transition {
 		}
 		last.End = start
 		v0 = last.V(start)
+	} else if w.ts == nil {
+		// First transition ever: reserve a batch up front so active nets
+		// do not pay the doubling-growth allocations one by one.
+		w.ts = make([]Transition, 0, 16)
 	}
 	w.seq++
 	w.ts = append(w.ts, Transition{

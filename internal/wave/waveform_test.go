@@ -282,3 +282,59 @@ func TestLogicSettlesProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestResetRetainsCapacityAndClonesDetach(t *testing.T) {
+	w := NewWaveform(5, 0)
+	for i := 0; i < 8; i++ {
+		w.Add(float64(i), 0.5, i%2 == 0)
+	}
+	snap := w.Clone()
+	if snap.Len() != 8 {
+		t.Fatalf("clone Len = %d, want 8", snap.Len())
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+
+	capBefore := cap(w.ts)
+	w.Reset(5)
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	if w.VInit != 5 {
+		t.Errorf("VInit after Reset = %g, want 5", w.VInit)
+	}
+	if cap(w.ts) != capBefore {
+		t.Errorf("capacity after Reset = %d, want %d", cap(w.ts), capBefore)
+	}
+	// Refill the original: the clone must be unaffected.
+	for i := 0; i < 4; i++ {
+		w.Add(float64(i)+10, 0.25, i%2 == 1)
+	}
+	if snap.Len() != 8 || snap.ts[0].Start != 0 || snap.ts[0].Slew != 0.5 {
+		t.Error("clone mutated by Reset+Add on the original")
+	}
+	// Seq numbering restarts so reruns are bit-identical.
+	if w.ts[0].Seq != 1 {
+		t.Errorf("first Seq after Reset = %d, want 1", w.ts[0].Seq)
+	}
+	// Reset clamps the new initial level to the rails.
+	w.Reset(9)
+	if w.VInit != 5 {
+		t.Errorf("VInit after out-of-rail Reset = %g, want clamped 5", w.VInit)
+	}
+}
+
+func TestResetSteadyStateAllocs(t *testing.T) {
+	w := NewWaveform(5, 0)
+	fill := func() {
+		w.Reset(0)
+		for i := 0; i < 32; i++ {
+			w.Add(float64(i), 0.5, i%2 == 0)
+		}
+	}
+	fill()
+	if allocs := testing.AllocsPerRun(50, fill); allocs != 0 {
+		t.Errorf("steady-state Reset+Add allocs = %g, want 0", allocs)
+	}
+}
