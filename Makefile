@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke paper
+.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke paper
 
-all: build vet test
+all: build vet fmt-check test
 
 build:
 	$(GO) build ./...
@@ -10,19 +10,36 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
-# bench regenerates the kernel perf record for this PR. Bump the file name
-# when a new PR lands so the trajectory (BENCH_PR1.json, BENCH_PR2.json, ...)
-# stays comparable.
+test-race:
+	$(GO) test -race ./...
+
+# bench regenerates the kernel perf records for this PR: the Table 2 kernel
+# trajectory (BENCH_PR1.json, carried since PR 1) and the size-scaling
+# curves over the scalable circuit families (BENCH_PR2.json). Bump SCALE_OUT
+# when a new PR adds a new perf record so the trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
+SCALE_OUT ?= BENCH_PR2.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
+	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
 
 # bench-smoke is the quick CI variant: few iterations, no JSON artifact.
 bench-smoke:
 	$(GO) test -run=NONE -bench='Table2Seq1DDM|EngineReuseSeq1DDM' -benchmem -benchtime=100x .
+	$(GO) run ./cmd/halobench -exp scale -scaleruns 1 -scalesizes 500
+
+# fuzz-smoke runs each parser fuzz target briefly (also wired into CI).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/netfmt -run=NONE -fuzz=FuzzParseCircuit -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/netfmt -run=NONE -fuzz=FuzzParseStimulus -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/netfmt -run=NONE -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME)
 
 # paper regenerates every table and figure of the paper's evaluation.
 paper:

@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench]
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale]
 //	          [-fast] [-benchruns N] [-benchjson PATH]
+//	          [-scaleruns N] [-scalesizes 1000,3000,10000] [-scalejson PATH]
 //
 // -fast uses a coarser analog integration step for Table 2 (the shape of
 // the comparison — orders of magnitude — is unaffected). -exp bench
 // measures the kernel (one-shot, engine-reuse and batch paths); -benchruns
 // sets its iteration count and -benchjson also writes the JSON perf record
-// (the BENCH_PR*.json trajectory).
+// (the BENCH_PR*.json trajectory). -exp scale sweeps circuit size across
+// the scalable families (adder chains, CSA trees, multipliers, random
+// DAGs) under random stimulus and records ns/event scaling curves for DDM
+// vs CDM; -scalejson writes them (BENCH_PR2.json).
 package main
 
 import (
@@ -23,10 +27,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
 	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
 	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
+	scaleJSON := flag.String("scalejson", "", "scale: also write the JSON scaling record to this path")
+	scaleRuns := flag.Int("scaleruns", 3, "scale: iterations per (family, size, model) point")
+	scaleSizes := flag.String("scalesizes", "1000,3000,10000", "scale: comma-separated target gate counts")
 	flag.Parse()
 
 	lib := cellib.Default06()
@@ -92,6 +99,12 @@ func main() {
 			fmt.Println(r.Text)
 		case "bench":
 			text, err := perfExperiment(lib, *benchJSON, *benchRuns)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "scale":
+			text, err := scaleExperiment(lib, *scaleJSON, *scaleSizes, *scaleRuns)
 			if err != nil {
 				return err
 			}

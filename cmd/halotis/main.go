@@ -1,12 +1,14 @@
 // Command halotis is the logic-timing simulator CLI: it reads a netlist
-// and a stimulus in the text formats of internal/netfmt, simulates with the
+// (native format or ISCAS85 .bench, auto-detected by extension) and a
+// stimulus in the text formats of internal/netfmt, simulates with the
 // selected delay model, and writes statistics plus optional VCD or ASCII
 // waveforms.
 //
 // Usage:
 //
-//	halotis -net circuit.net -stim drive.stim [-model ddm|cdm|classic]
-//	        [-t 30] [-vcd out.vcd] [-view] [-nets s0,s1,...]
+//	halotis -net circuit.net -stim drive.stim [-format auto|net|bench]
+//	        [-model ddm|cdm|classic] [-t 30] [-vcd out.vcd] [-view]
+//	        [-nets s0,s1,...]
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 func main() {
 	netPath := flag.String("net", "", "netlist file (required)")
+	format := flag.String("format", "auto", "netlist format: auto (by extension), net or bench")
 	stimPath := flag.String("stim", "", "stimulus file (optional: quiescent inputs)")
 	model := flag.String("model", "ddm", "delay model: ddm, cdm or classic")
 	tEnd := flag.Float64("t", 30, "simulation horizon, ns")
@@ -39,34 +42,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*netPath, *stimPath, *model, *tEnd, *vcdPath, *view, *netsFlag); err != nil {
+	if err := run(*netPath, *format, *stimPath, *model, *tEnd, *vcdPath, *view, *netsFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "halotis: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(netPath, stimPath, model string, tEnd float64, vcdPath string, view bool, netsFlag string) error {
+func run(netPath, format, stimPath, model string, tEnd float64, vcdPath string, view bool, netsFlag string) error {
 	lib := cellib.Default06()
-	nf, err := os.Open(netPath)
-	if err != nil {
-		return err
+	f, ok := netfmt.FormatByName(format)
+	if !ok {
+		return fmt.Errorf("unknown netlist format %q (want auto, net or bench)", format)
 	}
-	defer nf.Close()
-	ckt, err := netfmt.ParseCircuit(nf, lib)
+	ckt, err := netfmt.ParseCircuitFile(netPath, f, lib)
 	if err != nil {
-		return fmt.Errorf("parse %s: %w", netPath, err)
+		return fmt.Errorf("parse netlist: %w", err)
 	}
 
 	st := sim.Stimulus{}
 	if stimPath != "" {
-		sf, err := os.Open(stimPath)
+		st, err = netfmt.ParseStimulusFile(stimPath)
 		if err != nil {
-			return err
-		}
-		defer sf.Close()
-		st, err = netfmt.ParseStimulus(sf)
-		if err != nil {
-			return fmt.Errorf("parse %s: %w", stimPath, err)
+			return fmt.Errorf("parse stimulus: %w", err)
 		}
 	}
 

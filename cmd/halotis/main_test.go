@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"halotis/internal/netfmt"
 )
 
 const testNet = `
@@ -34,11 +36,11 @@ func TestRunEndToEnd(t *testing.T) {
 	stim := writeTemp(t, "demo.stim", testStim)
 	vcdOut := filepath.Join(t.TempDir(), "out.vcd")
 	for _, model := range []string{"ddm", "cdm", "classic"} {
-		if err := run(net, stim, model, 20, "", false, ""); err != nil {
+		if err := run(net, "auto", stim, model, 20, "", false, ""); err != nil {
 			t.Errorf("model %s: %v", model, err)
 		}
 	}
-	if err := run(net, stim, "ddm", 20, vcdOut, true, "y,n1"); err != nil {
+	if err := run(net, "auto", stim, "ddm", 20, vcdOut, true, "y,n1"); err != nil {
 		t.Fatalf("vcd/view run: %v", err)
 	}
 	data, err := os.ReadFile(vcdOut)
@@ -50,27 +52,67 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunBenchFormat simulates an ISCAS85 .bench netlist end to end, both
+// by extension auto-detection and via the explicit -format flag.
+func TestRunBenchFormat(t *testing.T) {
+	bench := writeTemp(t, "c17.bench", netfmt.C17Bench())
+	stim := writeTemp(t, "c17.stim", "init 3 1\nedge 1 1 rise 0.2\n")
+	if err := run(bench, "auto", stim, "ddm", 20, "", false, ""); err != nil {
+		t.Errorf("auto-detected .bench run: %v", err)
+	}
+	if err := run(bench, "bench", stim, "cdm", 20, "", false, ""); err != nil {
+		t.Errorf("explicit -format bench run: %v", err)
+	}
+	// Forcing the wrong parser onto a .bench file must fail.
+	if err := run(bench, "net", stim, "ddm", 20, "", false, ""); err == nil {
+		t.Error("-format net accepted a .bench file")
+	}
+	// A .bench file under a neutral extension works with the explicit flag.
+	plain := writeTemp(t, "c17.txt", netfmt.C17Bench())
+	if err := run(plain, "bench", stim, "ddm", 20, "", false, ""); err != nil {
+		t.Errorf("-format bench on .txt: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	net := writeTemp(t, "demo.net", testNet)
 	stim := writeTemp(t, "demo.stim", testStim)
-	if err := run("missing.net", stim, "ddm", 20, "", false, ""); err == nil {
+	if err := run("missing.net", "auto", stim, "ddm", 20, "", false, ""); err == nil {
 		t.Error("missing netlist accepted")
 	}
-	if err := run(net, "missing.stim", "ddm", 20, "", false, ""); err == nil {
+	if err := run(net, "auto", "missing.stim", "ddm", 20, "", false, ""); err == nil {
 		t.Error("missing stimulus accepted")
 	}
-	if err := run(net, stim, "frob", 20, "", false, ""); err == nil {
+	if err := run(net, "auto", stim, "frob", 20, "", false, ""); err == nil {
 		t.Error("bad model accepted")
 	}
+	if err := run(net, "frob", stim, "ddm", 20, "", false, ""); err == nil {
+		t.Error("bad format accepted")
+	}
 	bad := writeTemp(t, "bad.net", "gate g1 FROB2 x a\n")
-	if err := run(bad, stim, "ddm", 20, "", false, ""); err == nil {
-		t.Error("bad netlist accepted")
+	err := run(bad, "auto", stim, "ddm", 20, "", false, "")
+	if err == nil {
+		t.Fatal("bad netlist accepted")
+	}
+	// Parse diagnostics must name the offending file now that several
+	// formats/files can be in play.
+	if !strings.Contains(err.Error(), "bad.net") {
+		t.Errorf("parse error %q does not carry the file name", err)
+	}
+	// Builder validation errors (not ParseErrors) must carry the file too.
+	dup := writeTemp(t, "dup.net", "input a\noutput y\ngate g1 INV y a\ngate g2 INV y a\n")
+	if err := run(dup, "auto", stim, "ddm", 20, "", false, ""); err == nil || !strings.Contains(err.Error(), "dup.net") {
+		t.Errorf("builder error %v does not carry the file name", err)
+	}
+	badStim := writeTemp(t, "bad.stim", "edge a frob rise\n")
+	if err := run(net, "auto", badStim, "ddm", 20, "", false, ""); err == nil || !strings.Contains(err.Error(), "bad.stim") {
+		t.Errorf("stimulus parse error %v does not carry the file name", err)
 	}
 }
 
 func TestRunQuiescent(t *testing.T) {
 	net := writeTemp(t, "demo.net", testNet)
-	if err := run(net, "", "ddm", 10, "", false, ""); err != nil {
+	if err := run(net, "auto", "", "ddm", 10, "", false, ""); err != nil {
 		t.Errorf("quiescent run: %v", err)
 	}
 }

@@ -18,11 +18,15 @@
 package halotis
 
 import (
+	"io"
+
 	"halotis/internal/analog"
 	"halotis/internal/cellib"
 	"halotis/internal/charlib"
+	"halotis/internal/circ"
 	"halotis/internal/circuits"
 	"halotis/internal/compare"
+	"halotis/internal/netfmt"
 	"halotis/internal/netlist"
 	"halotis/internal/sim"
 	"halotis/internal/stats"
@@ -67,6 +71,11 @@ type (
 	ComparisonSummary = compare.Summary
 	// ActivityComparison summarizes DDM-vs-CDM switching activity.
 	ActivityComparison = stats.ActivityComparison
+	// CompiledCircuit is the flat compiled IR every performance path runs
+	// against (see internal/circ); Compile memoizes it per circuit.
+	CompiledCircuit = circ.Compiled
+	// CircuitFamily is one parameterized scalable benchmark family.
+	CircuitFamily = circuits.Family
 )
 
 // Delay model selectors.
@@ -218,6 +227,41 @@ func ParityTree(lib *Library, width int) (*Circuit, error) { return circuits.Par
 // C17 builds the ISCAS-85 C17 benchmark.
 func C17(lib *Library) (*Circuit, error) { return circuits.C17(lib) }
 
+// AdderChain builds stages cascaded width-bit ripple-carry adders — the
+// deep-carry-chain scalable family.
+func AdderChain(lib *Library, width, stages int) (*Circuit, error) {
+	return circuits.AdderChain(lib, width, stages)
+}
+
+// CarrySaveAdderTree builds a CSA (3:2 compressor) reduction tree summing
+// the given number of width-bit operands — the shallow, wide scalable
+// family.
+func CarrySaveAdderTree(lib *Library, operands, width int) (*Circuit, error) {
+	return circuits.CarrySaveAdderTree(lib, operands, width)
+}
+
+// ScalableFamilies returns the parameterized circuit families the
+// size-scaling benchmarks sweep (adder chains, CSA trees, multipliers,
+// random DAGs), each buildable at an approximate target gate count.
+func ScalableFamilies() []CircuitFamily { return circuits.ScalableFamilies() }
+
+// Compile returns the circuit's compiled IR (dense slabs, CSR fanout,
+// precomputed loads), memoized on the circuit; engines, batch workers and
+// statistics passes over the same circuit share it.
+func Compile(ckt *Circuit) *CompiledCircuit { return circ.Compile(ckt) }
+
+// Netlist I/O.
+
+// ParseBench reads an ISCAS85 .bench netlist (AND/NAND/OR/NOR/NOT/BUFF/
+// XOR/XNOR, arbitrary fan-in) onto the library's cells.
+func ParseBench(r io.Reader, lib *Library) (*Circuit, error) { return netfmt.ParseBench(r, lib) }
+
+// WriteBench serializes a circuit in ISCAS85 .bench format.
+func WriteBench(w io.Writer, ckt *Circuit) error { return netfmt.WriteBench(w, ckt) }
+
+// C17BenchText returns the embedded ISCAS85 c17 benchmark in .bench format.
+func C17BenchText() string { return netfmt.C17Bench() }
+
 // Stimulus builders.
 
 // Sequence converts period-spaced vectors into a stimulus.
@@ -242,4 +286,10 @@ const PaperPeriod = stimuli.PaperPeriod
 // PulseTrain drives one input with count pulses of the given width.
 func PulseTrain(input string, t0, width, gap float64, count int, slew float64) (Stimulus, error) {
 	return stimuli.PulseTrain(input, t0, width, gap, count, slew)
+}
+
+// RandomStimulus builds a deterministic random vector stimulus over the
+// circuit's primary inputs: count vectors at the given period.
+func RandomStimulus(ckt *Circuit, count int, period, slew float64, seed int64) (Stimulus, error) {
+	return stimuli.RandomStimulusFor(ckt, count, period, slew, seed)
 }

@@ -1,0 +1,176 @@
+// Package circ is the compiled circuit intermediate representation: the
+// immutable, flat, index-addressed view of a netlist that every performance
+// path in the repository — the simulation kernel, the batch runner, the
+// statistics aggregators, waveform name lookups — runs against. Everything a
+// hot loop needs per event (the receiving gate, the pin threshold, the
+// delay-model edge parameters, the output net load) is hoisted out of the
+// pointer-rich netlist graph into dense slabs at compile time, so consumers
+// perform no map lookups, no interface calls and no pointer chasing beyond a
+// handful of slab reads.
+//
+// A Compiled is read-only after Compile returns and is therefore safe to
+// share between goroutines; Compile memoizes it on the circuit itself (via
+// netlist.Circuit.Aux), so every consumer of the same circuit — engines,
+// batch workers, stats — shares one copy whose lifetime is the circuit's.
+//
+// Pin addressing: every gate input pin gets a dense global id
+//
+//	pid = PinStart[gateID] + pinIndex
+//
+// and all per-pin slabs (PinVT, PinRise, ...) as well as any consumer-side
+// mutable per-pin state (the engine's input values and pending handles) are
+// indexed by pid. Net fanout is stored in CSR form: FanPins[FanStart[n]:
+// FanStart[n+1]] are the global pin ids listening to net n, in netlist
+// fanout order, which fixes the deterministic event insertion order on
+// simultaneous crossings.
+package circ
+
+import (
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// Compiled is the flat compiled form of one circuit.
+type Compiled struct {
+	// Circuit is the source netlist the IR was compiled from.
+	Circuit *netlist.Circuit
+	// VDD is the library supply voltage, V.
+	VDD float64
+
+	// Per-gate slabs, indexed by gate ID. PinStart has len(gates)+1
+	// entries so PinStart[g] : PinStart[g+1] spans gate g's pins in every
+	// per-pin slab.
+	PinStart []int32
+	GateKind []cellib.Kind
+	GateOut  []int32 // driven net ID
+
+	// Per-pin slabs, indexed by global pin id.
+	PinGate []int32 // owning gate ID
+	PinNet  []int32 // listened net ID
+	PinVT   []float64
+	PinRise []cellib.EdgeParams
+	PinFall []cellib.EdgeParams
+
+	// Per-net slabs, indexed by net ID. Load is the precomputed total
+	// capacitive load (the CL of eq. 2), pF. FanStart/FanPins is the CSR
+	// fanout described in the package comment. NetName supports reverse
+	// lookups without touching the netlist graph.
+	Load     []float64
+	NetName  []string
+	FanStart []int32
+	FanPins  []int32
+
+	// Inputs and Outputs are the primary interface net IDs in declaration
+	// order.
+	Inputs  []int32
+	Outputs []int32
+
+	// LevelOrder lists gate IDs in topological level order for settled
+	// initial-state evaluation, hoisted here because GatesByLevel sorts.
+	LevelOrder []int32
+
+	// InputSet supports stimulus validation without per-run map builds.
+	InputSet map[string]bool
+
+	netID map[string]int32
+}
+
+// Compile returns the circuit's compiled IR, memoized on the circuit itself:
+// every consumer of the same circuit — across simulation runs, batch workers
+// and statistics passes — shares one read-only copy. Cost on first use is
+// O(gates + pins + nets).
+func Compile(ckt *netlist.Circuit) *Compiled {
+	return ckt.Aux(func() any { return compile(ckt) }).(*Compiled)
+}
+
+func compile(ckt *netlist.Circuit) *Compiled {
+	numPins := 0
+	for _, g := range ckt.Gates {
+		numPins += len(g.Inputs)
+	}
+	c := &Compiled{
+		Circuit:  ckt,
+		VDD:      ckt.Lib.VDD,
+		PinStart: make([]int32, len(ckt.Gates)+1),
+		GateKind: make([]cellib.Kind, len(ckt.Gates)),
+		GateOut:  make([]int32, len(ckt.Gates)),
+		PinGate:  make([]int32, numPins),
+		PinNet:   make([]int32, numPins),
+		PinVT:    make([]float64, numPins),
+		PinRise:  make([]cellib.EdgeParams, numPins),
+		PinFall:  make([]cellib.EdgeParams, numPins),
+		Load:     make([]float64, len(ckt.Nets)),
+		NetName:  make([]string, len(ckt.Nets)),
+		FanStart: make([]int32, len(ckt.Nets)+1),
+		FanPins:  make([]int32, 0, numPins),
+		Inputs:   make([]int32, len(ckt.Inputs)),
+		Outputs:  make([]int32, len(ckt.Outputs)),
+
+		LevelOrder: make([]int32, 0, len(ckt.Gates)),
+		InputSet:   make(map[string]bool, len(ckt.Inputs)),
+		netID:      make(map[string]int32, len(ckt.Nets)),
+	}
+
+	pid := int32(0)
+	for _, g := range ckt.Gates {
+		c.PinStart[g.ID] = pid
+		c.GateKind[g.ID] = g.Cell.Kind
+		c.GateOut[g.ID] = int32(g.Output.ID)
+		for i, p := range g.Inputs {
+			c.PinGate[pid] = int32(g.ID)
+			c.PinNet[pid] = int32(p.Net.ID)
+			c.PinVT[pid] = p.VT
+			pp := g.Cell.Pins[i]
+			c.PinRise[pid] = pp.Rise
+			c.PinFall[pid] = pp.Fall
+			pid++
+		}
+	}
+	c.PinStart[len(ckt.Gates)] = pid
+
+	for _, n := range ckt.Nets {
+		c.Load[n.ID] = n.Load()
+		c.NetName[n.ID] = n.Name
+		c.netID[n.Name] = int32(n.ID)
+		c.FanStart[n.ID] = int32(len(c.FanPins))
+		for _, p := range n.Fanout {
+			c.FanPins = append(c.FanPins, c.PinStart[p.Gate.ID]+int32(p.Index))
+		}
+	}
+	c.FanStart[len(ckt.Nets)] = int32(len(c.FanPins))
+
+	for i, in := range ckt.Inputs {
+		c.Inputs[i] = int32(in.ID)
+		c.InputSet[in.Name] = true
+	}
+	for i, o := range ckt.Outputs {
+		c.Outputs[i] = int32(o.ID)
+	}
+	for _, g := range ckt.GatesByLevel() {
+		c.LevelOrder = append(c.LevelOrder, int32(g.ID))
+	}
+	return c
+}
+
+// NumPins returns the total gate-input pin count.
+func (c *Compiled) NumPins() int { return int(c.PinStart[len(c.GateKind)]) }
+
+// NumGates returns the gate count.
+func (c *Compiled) NumGates() int { return len(c.GateKind) }
+
+// NumNets returns the net count.
+func (c *Compiled) NumNets() int { return len(c.Load) }
+
+// NetID resolves a net name to its dense ID, or -1 if the name is unknown.
+func (c *Compiled) NetID(name string) int32 {
+	if id, ok := c.netID[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Fanout returns the global pin ids listening to net n.
+func (c *Compiled) Fanout(n int32) []int32 { return c.FanPins[c.FanStart[n]:c.FanStart[n+1]] }
+
+// GatePins returns the half-open [lo, hi) global pin id range of gate g.
+func (c *Compiled) GatePins(g int32) (int32, int32) { return c.PinStart[g], c.PinStart[g+1] }

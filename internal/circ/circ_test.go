@@ -1,0 +1,160 @@
+package circ
+
+import (
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// testCircuit builds a small two-level circuit with a threshold override and
+// wire capacitance, exercising every slab the compiler fills.
+func testCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	lib := cellib.Default06()
+	b := netlist.NewBuilder("irtest", lib)
+	b.Input("a")
+	b.Input("b")
+	b.Input("c")
+	b.AddGate("g1", cellib.NAND2, "n1", "a", "b")
+	b.AddGate("g2", cellib.NOR2, "n2", "n1", "c")
+	b.AddGate("g3", cellib.INV, "y", "n2")
+	b.SetPinVT("g2", 1, 2.2)
+	b.SetWireCap("n1", 0.05)
+	b.Output("y")
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckt
+}
+
+func TestCompileMemoized(t *testing.T) {
+	ckt := testCircuit(t)
+	c1 := Compile(ckt)
+	c2 := Compile(ckt)
+	if c1 != c2 {
+		t.Error("Compile did not memoize: two calls returned distinct IRs")
+	}
+	if c1.Circuit != ckt {
+		t.Error("IR does not point back at its source circuit")
+	}
+}
+
+func TestCompiledSlabs(t *testing.T) {
+	ckt := testCircuit(t)
+	c := Compile(ckt)
+
+	if got, want := c.NumGates(), len(ckt.Gates); got != want {
+		t.Fatalf("NumGates = %d, want %d", got, want)
+	}
+	if got, want := c.NumNets(), len(ckt.Nets); got != want {
+		t.Fatalf("NumNets = %d, want %d", got, want)
+	}
+	wantPins := 0
+	for _, g := range ckt.Gates {
+		wantPins += len(g.Inputs)
+	}
+	if got := c.NumPins(); got != wantPins {
+		t.Fatalf("NumPins = %d, want %d", got, wantPins)
+	}
+	if c.VDD != ckt.Lib.VDD {
+		t.Errorf("VDD = %g, want %g", c.VDD, ckt.Lib.VDD)
+	}
+
+	// Every gate's slab row mirrors the netlist gate.
+	for _, g := range ckt.Gates {
+		gid := int32(g.ID)
+		if c.GateKind[gid] != g.Cell.Kind {
+			t.Errorf("gate %s kind %v != %v", g.Name, c.GateKind[gid], g.Cell.Kind)
+		}
+		if c.GateOut[gid] != int32(g.Output.ID) {
+			t.Errorf("gate %s out %d != %d", g.Name, c.GateOut[gid], g.Output.ID)
+		}
+		lo, hi := c.GatePins(gid)
+		if int(hi-lo) != len(g.Inputs) {
+			t.Fatalf("gate %s pin span %d != %d inputs", g.Name, hi-lo, len(g.Inputs))
+		}
+		for i, p := range g.Inputs {
+			pid := lo + int32(i)
+			if c.PinGate[pid] != gid || c.PinNet[pid] != int32(p.Net.ID) {
+				t.Errorf("pin %s: gate/net slab mismatch", p)
+			}
+			if c.PinVT[pid] != p.VT {
+				t.Errorf("pin %s: VT %g != %g", p, c.PinVT[pid], p.VT)
+			}
+			if c.PinRise[pid] != g.Cell.Pins[i].Rise || c.PinFall[pid] != g.Cell.Pins[i].Fall {
+				t.Errorf("pin %s: edge params differ from cell", p)
+			}
+		}
+	}
+
+	// Per-net: load, names, CSR fanout in netlist order.
+	for _, n := range ckt.Nets {
+		id := int32(n.ID)
+		if c.Load[id] != n.Load() {
+			t.Errorf("net %s load %g != %g", n.Name, c.Load[id], n.Load())
+		}
+		if c.NetName[id] != n.Name {
+			t.Errorf("net %d name %q != %q", id, c.NetName[id], n.Name)
+		}
+		if c.NetID(n.Name) != id {
+			t.Errorf("NetID(%q) = %d, want %d", n.Name, c.NetID(n.Name), id)
+		}
+		fan := c.Fanout(id)
+		if len(fan) != len(n.Fanout) {
+			t.Fatalf("net %s fanout count %d != %d", n.Name, len(fan), len(n.Fanout))
+		}
+		for i, p := range n.Fanout {
+			want := c.PinStart[p.Gate.ID] + int32(p.Index)
+			if fan[i] != want {
+				t.Errorf("net %s fanout[%d] = %d, want %d", n.Name, i, fan[i], want)
+			}
+		}
+	}
+
+	if c.NetID("no-such-net") != -1 {
+		t.Error("NetID of unknown name should be -1")
+	}
+}
+
+func TestCompiledInterfaceAndLevels(t *testing.T) {
+	ckt := testCircuit(t)
+	c := Compile(ckt)
+
+	if len(c.Inputs) != len(ckt.Inputs) || len(c.Outputs) != len(ckt.Outputs) {
+		t.Fatalf("interface sizes %d/%d, want %d/%d",
+			len(c.Inputs), len(c.Outputs), len(ckt.Inputs), len(ckt.Outputs))
+	}
+	for i, in := range ckt.Inputs {
+		if c.Inputs[i] != int32(in.ID) {
+			t.Errorf("Inputs[%d] = %d, want %d", i, c.Inputs[i], in.ID)
+		}
+		if !c.InputSet[in.Name] {
+			t.Errorf("InputSet missing %q", in.Name)
+		}
+	}
+	for i, o := range ckt.Outputs {
+		if c.Outputs[i] != int32(o.ID) {
+			t.Errorf("Outputs[%d] = %d, want %d", i, c.Outputs[i], o.ID)
+		}
+	}
+
+	// LevelOrder must list every gate exactly once, in nondecreasing level.
+	if len(c.LevelOrder) != len(ckt.Gates) {
+		t.Fatalf("LevelOrder length %d != %d", len(c.LevelOrder), len(ckt.Gates))
+	}
+	seen := make(map[int32]bool)
+	prev := -1
+	for _, gid := range c.LevelOrder {
+		if seen[gid] {
+			t.Fatalf("gate %d appears twice in LevelOrder", gid)
+		}
+		seen[gid] = true
+		lvl := ckt.Gates[gid].Level
+		if lvl < prev {
+			t.Fatalf("LevelOrder not sorted: level %d after %d", lvl, prev)
+		}
+		prev = lvl
+	}
+}

@@ -1,0 +1,192 @@
+package circuits
+
+import (
+	"fmt"
+	"math"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netlist"
+)
+
+// This file provides the parameterized scalable circuit families used by
+// the size-scaling benchmarks: adder chains, carry-save adder trees and the
+// Family registry that targets an approximate gate count, so halobench can
+// sweep circuit size from hundreds to tens of thousands of gates.
+
+// AdderChain returns stages cascaded width-bit ripple-carry adders: the
+// accumulator starts at inputs a0..a(width-1) and each stage s adds inputs
+// b<s>_0..b<s>_(width-1). Outputs are the final accumulator s0..s(width-1)
+// plus each stage's carry-out co0..co(stages-1) (each stage sums modulo
+// 2^width, its carry buffered straight to an output). Gate count grows as
+// ~9*width*stages, and the carry chains make the critical path deep — the
+// worst case for glitch propagation, which is what makes the family
+// interesting under DDM.
+func AdderChain(lib *cellib.Library, width, stages int) (*netlist.Circuit, error) {
+	if width < 1 || stages < 1 {
+		return nil, fmt.Errorf("circuits: adder chain %dx%d too small (min 1x1)", width, stages)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("addchain%dx%d", width, stages), lib)
+	acc := make([]string, width)
+	for i := range acc {
+		acc[i] = fmt.Sprintf("a%d", i)
+		b.Input(acc[i])
+	}
+	for s := 0; s < stages; s++ {
+		carry := ""
+		next := make([]string, width)
+		for i := 0; i < width; i++ {
+			bin := fmt.Sprintf("b%d_%d", s, i)
+			b.Input(bin)
+			sum := fmt.Sprintf("t%d_%d", s, i)
+			co := fmt.Sprintf("c%d_%d", s, i)
+			prefix := fmt.Sprintf("st%d_fa%d", s, i)
+			if carry == "" {
+				HalfAdderNAND(b, prefix, acc[i], bin, sum, co)
+			} else {
+				FullAdderNAND(b, prefix, acc[i], bin, carry, sum, co)
+			}
+			next[i] = sum
+			carry = co
+		}
+		acc = next
+		cs := fmt.Sprintf("co%d", s)
+		b.AddGate("buf_"+cs+"_n", cellib.INV, cs+"n", carry)
+		b.AddGate("buf_"+cs, cellib.INV, cs, cs+"n")
+		b.Output(cs)
+	}
+	for i, n := range acc {
+		si := fmt.Sprintf("s%d", i)
+		b.AddGate("buf_"+si+"_n", cellib.INV, si+"n", n)
+		b.AddGate("buf_"+si, cellib.INV, si, si+"n")
+		b.Output(si)
+	}
+	return b.Build()
+}
+
+// CarrySaveAdderTree returns a circuit summing `operands` unsigned width-bit
+// inputs op<i>_<j> with a carry-save (3:2 compressor) reduction tree
+// followed by a ripple-carry final adder — the shallow, highly parallel
+// counterpart to AdderChain. Outputs are the sum bits s0..s(k-1). All logic
+// is NAND2/INV full and half adders.
+func CarrySaveAdderTree(lib *cellib.Library, operands, width int) (*netlist.Circuit, error) {
+	if operands < 3 || width < 1 {
+		return nil, fmt.Errorf("circuits: CSA tree %dx%d too small (min 3 operands, width 1)", operands, width)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("csa%dx%d", operands, width), lib)
+
+	// cols[c] lists the nets of weight 2^c awaiting reduction.
+	cols := make([][]string, width)
+	for i := 0; i < operands; i++ {
+		for j := 0; j < width; j++ {
+			in := fmt.Sprintf("op%d_%d", i, j)
+			b.Input(in)
+			cols[j] = append(cols[j], in)
+		}
+	}
+
+	// Carry-save reduction, LSB to MSB: full adders compress any three nets
+	// of one weight into one of the same weight plus one of the next, so a
+	// single pass leaves every column at most two high (carries only flow
+	// upward into columns not yet processed).
+	aux := 0
+	for c := 0; c < len(cols); c++ {
+		for len(cols[c]) >= 3 {
+			x, y, z := cols[c][0], cols[c][1], cols[c][2]
+			cols[c] = cols[c][3:]
+			sum := fmt.Sprintf("r%d_s", aux)
+			co := fmt.Sprintf("r%d_c", aux)
+			FullAdderNAND(b, fmt.Sprintf("csa%d", aux), x, y, z, sum, co)
+			aux++
+			cols[c] = append(cols[c], sum)
+			if c+1 == len(cols) {
+				cols = append(cols, nil)
+			}
+			cols[c+1] = append(cols[c+1], co)
+		}
+	}
+
+	// Final ripple-carry adder over the remaining two rows.
+	carry := ""
+	for c := 0; c < len(cols); c++ {
+		nets := cols[c]
+		if carry != "" {
+			nets = append(nets, carry)
+			carry = ""
+		}
+		si := fmt.Sprintf("s%d", c)
+		prefix := fmt.Sprintf("fin%d", c)
+		switch len(nets) {
+		case 0:
+			continue
+		case 1:
+			b.AddGate("buf_"+si+"_n", cellib.INV, si+"n", nets[0])
+			b.AddGate("buf_"+si, cellib.INV, si, si+"n")
+		case 2:
+			co := fmt.Sprintf("finc%d", c)
+			HalfAdderNAND(b, prefix, nets[0], nets[1], si, co)
+			carry = co
+		default:
+			co := fmt.Sprintf("finc%d", c)
+			FullAdderNAND(b, prefix, nets[0], nets[1], nets[2], si, co)
+			carry = co
+		}
+		b.Output(si)
+	}
+	if carry != "" {
+		top := fmt.Sprintf("s%d", len(cols))
+		b.AddGate("buf_"+top+"_n", cellib.INV, top+"n", carry)
+		b.AddGate("buf_"+top, cellib.INV, top, top+"n")
+		b.Output(top)
+	}
+	return b.Build()
+}
+
+// Family is one parameterized scalable circuit family: Build returns an
+// instance with approximately targetGates gates (the generators quantize, so
+// the realized size is within a family-dependent factor of the target).
+type Family struct {
+	Name  string
+	Build func(lib *cellib.Library, targetGates int) (*netlist.Circuit, error)
+}
+
+// ScalableFamilies returns the circuit families the size-scaling benchmarks
+// sweep: ripple adder chains (deep carry chains), carry-save adder trees
+// (shallow and wide), NxN array multipliers (the paper's Fig. 5 workload
+// scaled up) and random DAGs (irregular structure).
+func ScalableFamilies() []Family {
+	return []Family{
+		{Name: "adder-chain", Build: func(lib *cellib.Library, target int) (*netlist.Circuit, error) {
+			const width = 16
+			stages := max(1, target/(9*width))
+			return AdderChain(lib, width, stages)
+		}},
+		{Name: "csa-tree", Build: func(lib *cellib.Library, target int) (*netlist.Circuit, error) {
+			// Each operand bit costs roughly one full adder (~9 gates).
+			const width = 16
+			operands := max(3, target/(9*width))
+			return CarrySaveAdderTree(lib, operands, width)
+		}},
+		{Name: "multiplier", Build: func(lib *cellib.Library, target int) (*netlist.Circuit, error) {
+			// An n x n array runs ~11 gates per partial-product position.
+			n := max(2, int(math.Round(math.Sqrt(float64(target)/11))))
+			return Multiplier(lib, n, n)
+		}},
+		{Name: "random-dag", Build: func(lib *cellib.Library, target int) (*netlist.Circuit, error) {
+			return RandomCombinational(lib, RandomOptions{
+				Inputs: max(2, target/64),
+				Gates:  max(1, target),
+				Seed:   1,
+			})
+		}},
+	}
+}
+
+// FamilyByName resolves a scalable family, or nil.
+func FamilyByName(name string) *Family {
+	for _, f := range ScalableFamilies() {
+		if f.Name == name {
+			return &f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/stimuli"
+)
+
+// TestAdderChainTruth checks the cascade against integer arithmetic: the
+// settled outputs of a + b0 + b1 + ... must equal the modular sum.
+func TestAdderChainTruth(t *testing.T) {
+	lib := cellib.Default06()
+	const width, stages = 4, 3
+	ckt, err := AdderChain(lib, width, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := rng.Uint64() & (1<<width - 1)
+		want := a
+		in := map[string]bool{}
+		for i := 0; i < width; i++ {
+			in[fmt.Sprintf("a%d", i)] = a>>i&1 == 1
+		}
+		for s := 0; s < stages; s++ {
+			bv := rng.Uint64() & (1<<width - 1)
+			want += bv
+			for i := 0; i < width; i++ {
+				in[fmt.Sprintf("b%d_%d", s, i)] = bv>>i&1 == 1
+			}
+		}
+		out, err := ckt.EvalBool(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := uint64(0)
+		for i := 0; i < width; i++ {
+			if out[fmt.Sprintf("s%d", i)] {
+				got |= 1 << i
+			}
+		}
+		// Each stage sums modulo 2^width (its carry goes to the co<s>
+		// output), so the accumulator must equal the modular total.
+		if wantLow := want % (1 << width); got != wantLow {
+			t.Fatalf("trial %d: sum low bits = %d, want %d", trial, got, wantLow)
+		}
+	}
+}
+
+// TestCarrySaveAdderTreeTruth checks the CSA reducer + final adder against
+// integer arithmetic on random operand sets.
+func TestCarrySaveAdderTreeTruth(t *testing.T) {
+	lib := cellib.Default06()
+	for _, cfg := range []struct{ operands, width int }{{3, 4}, {4, 3}, {5, 5}, {7, 2}} {
+		ckt, err := CarrySaveAdderTree(lib, cfg.operands, cfg.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(cfg.operands*100 + cfg.width)))
+		for trial := 0; trial < 30; trial++ {
+			in := map[string]bool{}
+			want := uint64(0)
+			for i := 0; i < cfg.operands; i++ {
+				v := rng.Uint64() & (1<<cfg.width - 1)
+				want += v
+				for j := 0; j < cfg.width; j++ {
+					in[fmt.Sprintf("op%d_%d", i, j)] = v>>j&1 == 1
+				}
+			}
+			out, err := ckt.EvalBool(in)
+			if err != nil {
+				t.Fatalf("%dx%d: %v", cfg.operands, cfg.width, err)
+			}
+			got := uint64(0)
+			for name, v := range out {
+				if !v {
+					continue
+				}
+				var bit int
+				if _, err := fmt.Sscanf(name, "s%d", &bit); err == nil {
+					got |= 1 << bit
+				}
+			}
+			if got != want {
+				t.Fatalf("%dx%d trial %d: tree sum = %d, want %d", cfg.operands, cfg.width, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestScalableFamiliesHitTargets builds each family at several sizes and
+// checks the realized gate counts track the target within a factor of two,
+// which is what the size sweep needs for meaningful scaling curves.
+func TestScalableFamiliesHitTargets(t *testing.T) {
+	lib := cellib.Default06()
+	for _, fam := range ScalableFamilies() {
+		for _, target := range []int{300, 1000, 5000} {
+			ckt, err := fam.Build(lib, target)
+			if err != nil {
+				t.Fatalf("%s @ %d: %v", fam.Name, target, err)
+			}
+			got := len(ckt.Gates)
+			if got < target/2 || got > target*2 {
+				t.Errorf("%s @ %d: realized %d gates, outside [%d, %d]",
+					fam.Name, target, got, target/2, target*2)
+			}
+		}
+	}
+	if FamilyByName("csa-tree") == nil || FamilyByName("nope") != nil {
+		t.Error("FamilyByName lookup broken")
+	}
+}
+
+// TestRandomStimulusFor drives a family instance with the random-stimulus
+// helper and checks determinism across calls with one seed.
+func TestRandomStimulusFor(t *testing.T) {
+	lib := cellib.Default06()
+	ckt, err := AdderChain(lib, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := stimuli.RandomStimulusFor(ckt, 6, 5.0, 0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := stimuli.RandomStimulusFor(ckt, 6, 5.0, 0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st1) == 0 {
+		t.Fatal("empty random stimulus")
+	}
+	for name, w1 := range st1 {
+		w2, ok := st2[name]
+		if !ok || len(w1.Edges) != len(w2.Edges) || w1.Init != w2.Init {
+			t.Fatalf("random stimulus not deterministic for %s", name)
+		}
+		for i := range w1.Edges {
+			if w1.Edges[i] != w2.Edges[i] {
+				t.Fatalf("edge %d of %s differs across same-seed calls", i, name)
+			}
+		}
+	}
+	if _, err := stimuli.RandomStimulus(nil, 3, 5, 0.2, 1); err == nil {
+		t.Error("RandomStimulus accepted empty input list")
+	}
+	if _, err := stimuli.RandomStimulus([]string{"a"}, 0, 5, 0.2, 1); err == nil {
+		t.Error("RandomStimulus accepted zero vectors")
+	}
+}

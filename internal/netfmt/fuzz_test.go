@@ -1,0 +1,107 @@
+package netfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"halotis/internal/cellib"
+)
+
+// The fuzz targets assert two properties on every parser: no input crashes
+// it, and any input it accepts survives a serialize -> reparse round trip
+// with identical structure (circuits) or identical drive (stimuli).
+
+func FuzzParseCircuit(f *testing.F) {
+	f.Add("circuit demo\ninput a b\noutput y\ngate g1 NAND2 n1 a b\ngate g2 INV y n1\n")
+	f.Add("input a\noutput y\ngate g INV y a\nwirecap y 0.5\nvt g 0 2.5\n")
+	f.Add("# only a comment\n")
+	f.Add("gate g1 FROB2 x a\n")
+	f.Add("circuit x\ncircuit y\n")
+	f.Add("input a\noutput a\n")
+	lib := cellib.Default06()
+	f.Fuzz(func(t *testing.T, src string) {
+		ckt, err := ParseCircuit(strings.NewReader(src), lib)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCircuit(&out, ckt); err != nil {
+			t.Fatalf("serialize accepted circuit: %v", err)
+		}
+		back, err := ParseCircuit(bytes.NewReader(out.Bytes()), lib)
+		if err != nil {
+			t.Fatalf("reparse of serialized circuit failed: %v\n%s", err, out.String())
+		}
+		if got, want := back.Stats().String(), ckt.Stats().String(); got != want {
+			t.Fatalf("round trip changed structure: %s -> %s", want, got)
+		}
+	})
+}
+
+func FuzzParseStimulus(f *testing.F) {
+	f.Add("init a 1\nedge a 5.0 rise 0.2\nedge a 7 fall\n")
+	f.Add("edge b 1 r\nedge b 2 f 0.5\n")
+	f.Add("init x 2\n")
+	f.Add("edge a -1 rise\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := ParseStimulus(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteStimulus(&out, st); err != nil {
+			t.Fatalf("serialize accepted stimulus: %v", err)
+		}
+		back, err := ParseStimulus(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of serialized stimulus failed: %v\n%s", err, out.String())
+		}
+		if len(back) != len(st) {
+			t.Fatalf("round trip changed input count: %d -> %d", len(st), len(back))
+		}
+		for name, w := range st {
+			bw, ok := back[name]
+			if !ok || bw.Init != w.Init || len(bw.Edges) != len(w.Edges) {
+				t.Fatalf("round trip changed wave for %q", name)
+			}
+			for i := range w.Edges {
+				if bw.Edges[i] != w.Edges[i] {
+					t.Fatalf("round trip changed edge %d of %q: %+v -> %+v",
+						i, name, w.Edges[i], bw.Edges[i])
+				}
+			}
+		}
+	})
+}
+
+func FuzzParseBench(f *testing.F) {
+	f.Add(c17Bench)
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\ny = NAND(a, b, c,\n d, e)\n")
+	f.Add("q = DFF(a)\n")
+	f.Add("INPUT(a)\ny = AND(a,\n")
+	lib := cellib.Default06()
+	f.Fuzz(func(t *testing.T, src string) {
+		ckt, err := ParseBench(strings.NewReader(src), lib)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBench(&out, ckt); err != nil {
+			// Accepted .bench input lowers only onto kinds WriteBench can
+			// express, so serialization must succeed.
+			t.Fatalf("serialize accepted bench circuit: %v", err)
+		}
+		back, err := ParseBench(bytes.NewReader(out.Bytes()), lib)
+		if err != nil {
+			t.Fatalf("reparse of serialized bench failed: %v\n%s", err, out.String())
+		}
+		// Reparsing re-runs the fan-in lowering on already-lowered gates,
+		// which is idempotent: cell mix and interface must be unchanged.
+		if got, want := back.Stats().String(), ckt.Stats().String(); got != want {
+			t.Fatalf("bench round trip changed structure: %s -> %s", want, got)
+		}
+	})
+}

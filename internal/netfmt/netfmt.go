@@ -1,7 +1,8 @@
 // Package netfmt implements the text formats of the halotis CLI: a
-// line-oriented gate-level netlist format and a stimulus (input drive)
-// format, with parsers that report file/line diagnostics and serializers
-// that round-trip circuits built with the netlist package.
+// line-oriented gate-level netlist format, the ISCAS85 ".bench" benchmark
+// format (see bench.go) and a stimulus (input drive) format, with parsers
+// that report file/line diagnostics and serializers that round-trip
+// circuits built with the netlist package.
 //
 // Netlist format:
 //
@@ -23,6 +24,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,18 +34,37 @@ import (
 	"halotis/internal/sim"
 )
 
-// ParseError reports a diagnostic with its line number.
+// ParseError reports a diagnostic with its line number and, when parsing
+// came from a named file (the ParseXxxFile entry points), the file name.
 type ParseError struct {
+	File string
 	Line int
 	Msg  string
 }
 
 func (e *ParseError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
 	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
 }
 
 func errAt(line int, format string, args ...any) error {
 	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseFinite parses a float and rejects NaN and infinities, which every
+// numeric field of these formats (times, slews, capacitances, thresholds)
+// would silently corrupt downstream.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }
 
 // ParseCircuit reads the netlist format and builds a circuit over the
@@ -104,7 +125,7 @@ func ParseCircuit(r io.Reader, lib *cellib.Library) (*netlist.Circuit, error) {
 			if len(fields) != 3 {
 				return nil, errAt(lineNo, "wirecap needs: wirecap <net> <pF>")
 			}
-			c, err := strconv.ParseFloat(fields[2], 64)
+			c, err := parseFinite(fields[2])
 			if err != nil {
 				return nil, errAt(lineNo, "bad capacitance %q", fields[2])
 			}
@@ -117,7 +138,7 @@ func ParseCircuit(r io.Reader, lib *cellib.Library) (*netlist.Circuit, error) {
 			if err != nil {
 				return nil, errAt(lineNo, "bad pin index %q", fields[2])
 			}
-			v, err := strconv.ParseFloat(fields[3], 64)
+			v, err := parseFinite(fields[3])
 			if err != nil {
 				return nil, errAt(lineNo, "bad threshold %q", fields[3])
 			}
@@ -211,7 +232,7 @@ func ParseStimulus(r io.Reader) (sim.Stimulus, error) {
 			if len(fields) != 4 && len(fields) != 5 {
 				return nil, errAt(lineNo, "edge needs: edge <input> <ns> <rise|fall> [slew]")
 			}
-			t, err := strconv.ParseFloat(fields[2], 64)
+			t, err := parseFinite(fields[2])
 			if err != nil {
 				return nil, errAt(lineNo, "bad time %q", fields[2])
 			}
@@ -226,7 +247,7 @@ func ParseStimulus(r io.Reader) (sim.Stimulus, error) {
 			}
 			slew := 0.0
 			if len(fields) == 5 {
-				slew, err = strconv.ParseFloat(fields[4], 64)
+				slew, err = parseFinite(fields[4])
 				if err != nil {
 					return nil, errAt(lineNo, "bad slew %q", fields[4])
 				}
@@ -273,9 +294,14 @@ func WriteStimulus(w io.Writer, st sim.Stimulus) error {
 	var b strings.Builder
 	for _, n := range names {
 		wave := st[n]
+		// Always write the init line, even for the default 0: an edge-less
+		// held-low input would otherwise serialize to nothing and vanish on
+		// reparse.
+		init := 0
 		if wave.Init {
-			fmt.Fprintf(&b, "init %s 1\n", n)
+			init = 1
 		}
+		fmt.Fprintf(&b, "init %s %d\n", n, init)
 		for _, e := range wave.Edges {
 			dir := "fall"
 			if e.Rising {

@@ -113,11 +113,11 @@ type Circuit struct {
 
 // Aux returns the circuit's cached derived acceleration structure, building
 // it with build on first use. Circuits are immutable once Build returns, so
-// structures derived from them (the simulation engine's flattened layout)
-// can be memoized here and shared by every consumer of the circuit; their
-// lifetime is tied to the circuit's own. The cache holds a single slot: all
-// callers must agree on what is stored (the simulator owns it today).
-// Concurrent first calls may build twice; one result wins, both are valid.
+// structures derived from them (the compiled IR of the circ package) can be
+// memoized here and shared by every consumer of the circuit; their lifetime
+// is tied to the circuit's own. The cache holds a single slot: all callers
+// must agree on what is stored (circ.Compile owns it today). Concurrent
+// first calls may build twice; one result wins, both are valid.
 func (c *Circuit) Aux(build func() any) any {
 	if v := c.aux.Load(); v != nil {
 		return v

@@ -6,14 +6,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"halotis/internal/circ"
 	"halotis/internal/netlist"
 )
 
 // RunBatch simulates every stimulus against the same circuit until tEnd and
 // returns one detached Result per stimulus, in stimulus order.
 //
-// The circuit is flattened once; each worker goroutine owns one reusable
-// Engine over the shared read-only layout, so the per-run cost is the
+// The circuit is compiled once (see circ.Compile); each worker goroutine
+// owns one reusable Engine over the shared read-only IR, so the per-run cost is the
 // kernel's event loop alone. Because every run starts from a full Reset,
 // results are bit-identical to single-shot Simulate of the same stimulus
 // regardless of worker count or scheduling — parallelism changes only the
@@ -36,7 +37,7 @@ func RunBatch(ckt *netlist.Circuit, stimuli []Stimulus, tEnd float64, opt Option
 		workers = len(stimuli)
 	}
 
-	lay := layoutFor(ckt)
+	ir := circ.Compile(ckt)
 	errs := make([]error, len(stimuli))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -44,7 +45,7 @@ func RunBatch(ckt *netlist.Circuit, stimuli []Stimulus, tEnd float64, opt Option
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := newEngineFromLayout(lay, opt)
+			eng := newEngineFromIR(ir, opt)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(stimuli) {

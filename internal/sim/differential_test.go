@@ -1,0 +1,86 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/circuits"
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+	"halotis/internal/stimuli"
+)
+
+// TestFamiliesMatchReference is the refactor's differential guard: every
+// scalable circuit family, simulated through the compiled-IR engine, must
+// be bit-identical — waveforms and kernel counters — to the pointer-chasing
+// reference kernel for both delay models.
+func TestFamiliesMatchReference(t *testing.T) {
+	lib := cellib.Default06()
+	type workload struct {
+		name string
+		ckt  *netlist.Circuit
+	}
+	var wls []workload
+	for _, fam := range circuits.ScalableFamilies() {
+		ckt, err := fam.Build(lib, 250)
+		if err != nil {
+			t.Fatalf("%s: %v", fam.Name, err)
+		}
+		wls = append(wls, workload{fam.Name, ckt})
+	}
+	// Also pin the threshold-override path (Fig. 1) and an ISCAS85 import.
+	fig1, err := circuits.Figure1(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls = append(wls, workload{"figure1", fig1})
+	c17, err := circuits.C17(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls = append(wls, workload{"c17", c17})
+
+	const (
+		vectors = 6
+		period  = 5.0
+		slew    = 0.2
+		tEnd    = period * (vectors + 1)
+	)
+	for _, wl := range wls {
+		st, err := stimuli.RandomStimulusFor(wl.ckt, vectors, period, slew, 99)
+		if err != nil {
+			t.Fatalf("%s: stimulus: %v", wl.name, err)
+		}
+		for _, m := range []sim.Model{sim.DDM, sim.CDM} {
+			label := fmt.Sprintf("%s/%v", wl.name, m)
+			got, err := sim.New(wl.ckt, sim.Options{Model: m}).Run(st, tEnd)
+			if err != nil {
+				t.Fatalf("%s: engine: %v", label, err)
+			}
+			want, err := referenceRun(wl.ckt, st, tEnd, m)
+			if err != nil {
+				t.Fatalf("%s: reference: %v", label, err)
+			}
+			if got.Stats != want.stats {
+				t.Fatalf("%s: stats differ:\n engine    %+v\n reference %+v", label, got.Stats, want.stats)
+			}
+			if got.Stats.EventsProcessed == 0 {
+				t.Fatalf("%s: degenerate workload, nothing simulated", label)
+			}
+			for _, n := range wl.ckt.Nets {
+				gt := got.Waveform(n.Name).Transitions()
+				wt := want.wfs[n.Name].Transitions()
+				if len(gt) != len(wt) {
+					t.Fatalf("%s: net %s transition count %d != %d", label, n.Name, len(gt), len(wt))
+				}
+				for i := range gt {
+					if gt[i] != wt[i] {
+						t.Fatalf("%s: net %s transition %d differs:\n engine    %v\n reference %v",
+							label, n.Name, i, &gt[i], &wt[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"halotis/internal/cellib"
+	"halotis/internal/circ"
 	"halotis/internal/delay"
 	"halotis/internal/eventq"
 	"halotis/internal/netlist"
@@ -37,14 +38,14 @@ type event struct {
 // The Result returned by Run aliases the engine's waveform storage and is
 // valid only until the next Run or Reset; call Result.Detach to keep it.
 type Engine struct {
-	lay *layout
+	ir  *circ.Compiled
 	opt Options
 
 	q      eventq.ArenaQueue[event]
 	wfs    []*wave.Waveform // by net ID, pointing into wfSlab, reset in place
 	wfSlab []wave.Waveform  // contiguous waveform storage, one entry per net
 
-	// Mutable per-pin slabs, indexed by global pin id (see layout).
+	// Mutable per-pin slabs, indexed by global pin id (see circ.Compiled).
 	inVals  []bool          // current logic value at each gate input pin
 	pending []eventq.Handle // scheduled-but-unfired crossing per pin
 
@@ -63,55 +64,58 @@ type Engine struct {
 // NewEngine prepares a reusable engine for the circuit.
 func NewEngine(ckt *netlist.Circuit, opt Options) *Engine {
 	opt.setDefaults()
-	return newEngineFromLayout(layoutFor(ckt), opt)
+	return newEngineFromIR(circ.Compile(ckt), opt)
 }
 
-func newEngineFromLayout(lay *layout, opt Options) *Engine {
-	numPins := lay.numPins()
+func newEngineFromIR(ir *circ.Compiled, opt Options) *Engine {
+	numPins := ir.NumPins()
 	e := &Engine{
-		lay:          lay,
+		ir:           ir,
 		opt:          opt,
-		wfs:          make([]*wave.Waveform, len(lay.load)),
-		wfSlab:       make([]wave.Waveform, len(lay.load)),
+		wfs:          make([]*wave.Waveform, ir.NumNets()),
+		wfSlab:       make([]wave.Waveform, ir.NumNets()),
 		inVals:       make([]bool, numPins),
 		pending:      make([]eventq.Handle, numPins),
-		outTarget:    make([]bool, len(lay.gateKind)),
-		lastOutStart: make([]float64, len(lay.gateKind)),
-		netVals:      make([]bool, len(lay.load)),
+		outTarget:    make([]bool, ir.NumGates()),
+		lastOutStart: make([]float64, ir.NumGates()),
+		netVals:      make([]bool, ir.NumNets()),
 	}
 	return e
 }
 
 // Circuit returns the circuit the engine simulates.
-func (e *Engine) Circuit() *netlist.Circuit { return e.lay.ckt }
+func (e *Engine) Circuit() *netlist.Circuit { return e.ir.Circuit }
+
+// IR returns the compiled circuit representation the engine runs against.
+func (e *Engine) IR() *circ.Compiled { return e.ir }
 
 // Reset reinitializes the engine for a new run of the given stimulus without
 // reallocating: waveforms are rewound to the settled boolean solution of the
 // stimulus's initial input levels, gate slabs are refilled, the event queue
 // is emptied with its arena intact, and all counters restart.
 func (e *Engine) Reset(st Stimulus) {
-	lay := e.lay
+	ir := e.ir
 
 	// Settled boolean solution of the initial input levels. Filling the
 	// per-pin inVals slab here doubles as the gate-state initialization.
-	for _, in := range lay.ckt.Inputs {
-		e.netVals[in.ID] = st[in.Name].Init
+	for _, in := range ir.Inputs {
+		e.netVals[in] = st[ir.NetName[in]].Init
 	}
-	for _, gid := range lay.levelOrder {
-		a, b := lay.pinStart[gid], lay.pinStart[gid+1]
+	for _, gid := range ir.LevelOrder {
+		a, b := ir.PinStart[gid], ir.PinStart[gid+1]
 		for p := a; p < b; p++ {
-			e.inVals[p] = e.netVals[lay.pinNet[p]]
+			e.inVals[p] = e.netVals[ir.PinNet[p]]
 		}
-		e.netVals[lay.gateOut[gid]] = lay.gateKind[gid].Eval(e.inVals[a:b])
+		e.netVals[ir.GateOut[gid]] = ir.GateKind[gid].Eval(e.inVals[a:b])
 	}
 
 	for i := range e.wfs {
 		v0 := 0.0
 		if e.netVals[i] {
-			v0 = lay.vdd
+			v0 = ir.VDD
 		}
 		if e.wfs[i] == nil {
-			e.wfSlab[i] = wave.Waveform{VDD: lay.vdd, VInit: v0}
+			e.wfSlab[i] = wave.Waveform{VDD: ir.VDD, VInit: v0}
 			e.wfs[i] = &e.wfSlab[i]
 		} else {
 			e.wfs[i].Reset(v0)
@@ -119,7 +123,7 @@ func (e *Engine) Reset(st Stimulus) {
 	}
 
 	for g := range e.outTarget {
-		e.outTarget[g] = e.netVals[lay.gateOut[g]]
+		e.outTarget[g] = e.netVals[ir.GateOut[g]]
 		e.lastOutStart[g] = math.Inf(-1)
 	}
 	for p := range e.pending {
@@ -136,7 +140,7 @@ func (e *Engine) Reset(st Stimulus) {
 // place first. The returned Result aliases engine storage and is invalidated
 // by the next Run or Reset — Detach it to keep it.
 func (e *Engine) Run(st Stimulus, tEnd float64) (*Result, error) {
-	if err := st.Validate(e.lay.inputNames); err != nil {
+	if err := st.Validate(e.ir.InputSet); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -173,7 +177,7 @@ func (e *Engine) Run(st Stimulus, tEnd float64) (*Result, error) {
 		Stats:   e.st,
 		Elapsed: elapsed,
 		EndTime: tEnd,
-		ckt:     e.lay.ckt,
+		ir:      e.ir,
 		wfs:     e.wfs,
 	}
 	return &e.res, nil
@@ -190,7 +194,7 @@ func (e *Engine) applyStimulus(st Stimulus) {
 	slices.Sort(e.names)
 	for _, name := range e.names {
 		w := st[name]
-		net := int32(e.lay.ckt.NetByName(name).ID)
+		net := e.ir.NetID(name)
 		for _, edge := range w.Edges {
 			slew := edge.Slew
 			if slew <= 0 {
@@ -205,11 +209,11 @@ func (e *Engine) applyStimulus(st Stimulus) {
 // pin's pending event, implementing the insertion/deletion rule of the
 // paper's Fig. 4 algorithm.
 func (e *Engine) emit(net int32, start, slew float64, rising bool) {
-	lay := e.lay
+	ir := e.ir
 	wf := e.wfs[net]
 	tr := wf.Add(start, slew, rising)
 	e.st.Transitions++
-	for _, pin := range lay.fanPins[lay.fanStart[net]:lay.fanStart[net+1]] {
+	for _, pin := range ir.FanPins[ir.FanStart[net]:ir.FanStart[net+1]] {
 		// Rule 1: a pending crossing pre-empted by this truncation
 		// (its crossing time is at or after the new ramp's start)
 		// never happens; delete it from the queue.
@@ -226,7 +230,7 @@ func (e *Engine) emit(net int32, start, slew float64, rising bool) {
 		// if the ramp crosses at all. A ramp that starts on the far
 		// side of VT (a runt that never reached it) schedules
 		// nothing — the pulse is filtered at this input.
-		ct, ok := tr.Crossing(lay.pinVT[pin])
+		ct, ok := tr.Crossing(ir.PinVT[pin])
 		if !ok {
 			continue
 		}
@@ -250,35 +254,35 @@ func (e *Engine) emit(net int32, start, slew float64, rising bool) {
 // h is the popped event's (stale) handle, used to reconcile the per-pin
 // pending record.
 func (e *Engine) fire(h eventq.Handle, ev event) {
-	lay := e.lay
+	ir := e.ir
 	pin := ev.pin
-	g := lay.pinGate[pin]
+	g := ir.PinGate[pin]
 	if e.pending[pin] == h {
 		e.pending[pin] = eventq.NoHandle
 	}
 	e.inVals[pin] = ev.rising
 
 	e.st.Evaluations++
-	a, b := lay.pinStart[g], lay.pinStart[g+1]
-	newTarget := lay.gateKind[g].Eval(e.inVals[a:b])
+	a, b := ir.PinStart[g], ir.PinStart[g+1]
+	newTarget := ir.GateKind[g].Eval(e.inVals[a:b])
 	if newTarget == e.outTarget[g] {
 		return
 	}
 
-	out := lay.gateOut[g]
-	cl := lay.load[out]
+	out := ir.GateOut[g]
+	cl := ir.Load[out]
 	var ep cellib.EdgeParams
 	if newTarget {
-		ep = lay.pinRise[pin]
+		ep = ir.PinRise[pin]
 	} else {
-		ep = lay.pinFall[pin]
+		ep = ir.PinFall[pin]
 	}
 
 	var res delay.Result
 	switch e.opt.Model {
 	case DDM:
 		T := e.now - e.lastOutStart[g] // +Inf before the first transition
-		res = delay.Degraded(ep, lay.vdd, cl, ev.slew, T)
+		res = delay.Degraded(ep, ir.VDD, cl, ev.slew, T)
 	default:
 		res = delay.Conventional(ep, cl, ev.slew)
 	}

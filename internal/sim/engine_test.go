@@ -16,7 +16,7 @@ func chainStim() Stimulus {
 // transitions on every net.
 func sameWaveforms(t *testing.T, label string, a, b *Result) {
 	t.Helper()
-	for _, n := range a.ckt.Nets {
+	for _, n := range a.Circuit().Nets {
 		wa := a.Waveform(n.Name).Transitions()
 		wb := b.Waveform(n.Name).Transitions()
 		if len(wa) != len(wb) {

@@ -1,0 +1,224 @@
+// The differential reference kernel: a deliberately naive, pointer-chasing
+// implementation of the HALOTIS Fig. 4 algorithm that walks the netlist
+// graph directly — maps keyed by *Pin/*Gate, per-event fanout traversal,
+// loads recomputed on the fly — exactly the access pattern the compiled IR
+// (internal/circ) replaced. It exists so refactors of the production engine
+// can be checked bit-identical against the pre-refactor evaluation order:
+// both kernels share the delay functions and the deterministic (time, seq)
+// event queue, so any divergence in waveforms or counters is an engine bug,
+// not float noise.
+package sim_test
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"halotis/internal/cellib"
+	"halotis/internal/delay"
+	"halotis/internal/eventq"
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+	"halotis/internal/wave"
+)
+
+// Defaults mirroring sim.Options.setDefaults; the differential tests run
+// both kernels at these settings.
+const (
+	refMinPulse    = 1e-6
+	refMaxEvents   = 50_000_000
+	refDefaultSlew = 0.5
+)
+
+type refEvent struct {
+	pin    *netlist.Pin
+	rising bool
+	slew   float64
+}
+
+// refResult carries the reference kernel's outcome for comparison.
+type refResult struct {
+	stats sim.Stats
+	wfs   map[string]*wave.Waveform
+}
+
+type refKernel struct {
+	ckt *netlist.Circuit
+	mdl sim.Model
+	vdd float64
+
+	q            eventq.ArenaQueue[refEvent]
+	wfs          map[*netlist.Net]*wave.Waveform
+	inVals       map[*netlist.Pin]bool
+	pending      map[*netlist.Pin]eventq.Handle
+	outTarget    map[*netlist.Gate]bool
+	lastOutStart map[*netlist.Gate]float64
+
+	now float64
+	st  sim.Stats
+}
+
+// referenceRun simulates the stimulus with the reference kernel.
+func referenceRun(ckt *netlist.Circuit, st sim.Stimulus, tEnd float64, mdl sim.Model) (*refResult, error) {
+	k := &refKernel{
+		ckt: ckt, mdl: mdl, vdd: ckt.Lib.VDD,
+		wfs:          make(map[*netlist.Net]*wave.Waveform),
+		inVals:       make(map[*netlist.Pin]bool),
+		pending:      make(map[*netlist.Pin]eventq.Handle),
+		outTarget:    make(map[*netlist.Gate]bool),
+		lastOutStart: make(map[*netlist.Gate]float64),
+	}
+
+	// Settled boolean solution of the initial input levels.
+	vals := make(map[*netlist.Net]bool)
+	for _, in := range ckt.Inputs {
+		vals[in] = st[in.Name].Init
+	}
+	for _, g := range ckt.GatesByLevel() {
+		args := make([]bool, len(g.Inputs))
+		for i, p := range g.Inputs {
+			k.inVals[p] = vals[p.Net]
+			args[i] = vals[p.Net]
+		}
+		vals[g.Output] = g.Eval(args)
+	}
+	for _, n := range ckt.Nets {
+		v0 := 0.0
+		if vals[n] {
+			v0 = k.vdd
+		}
+		k.wfs[n] = wave.NewWaveform(k.vdd, v0)
+	}
+	for _, g := range ckt.Gates {
+		k.outTarget[g] = vals[g.Output]
+		k.lastOutStart[g] = math.Inf(-1)
+	}
+
+	// Stimulus edges in deterministic sorted-name order.
+	names := make([]string, 0, len(st))
+	for name := range st {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		net := ckt.NetByName(name)
+		if net == nil {
+			return nil, fmt.Errorf("ref: unknown input %q", name)
+		}
+		for _, edge := range st[name].Edges {
+			slew := edge.Slew
+			if slew <= 0 {
+				slew = refDefaultSlew
+			}
+			k.emit(net, edge.Time, slew, edge.Rising)
+		}
+	}
+
+	for {
+		tNext, ok := k.q.PeekTime()
+		if !ok || tNext > tEnd {
+			break
+		}
+		h, t, ev, _ := k.q.Pop()
+		if t < k.now {
+			return nil, fmt.Errorf("ref: causality violation at %g", t)
+		}
+		k.now = t
+		k.st.EventsProcessed++
+		if k.st.EventsProcessed > refMaxEvents {
+			return nil, fmt.Errorf("ref: event limit exceeded")
+		}
+		k.fire(h, ev)
+	}
+
+	queued, _, removed := k.q.Stats()
+	k.st.EventsQueued = queued
+	if k.st.EventsFiltered != removed {
+		return nil, fmt.Errorf("ref: filtered accounting mismatch: %d vs %d", k.st.EventsFiltered, removed)
+	}
+	out := &refResult{stats: k.st, wfs: make(map[string]*wave.Waveform, len(k.wfs))}
+	for n, wf := range k.wfs {
+		out.wfs[n.Name] = wf
+	}
+	return out, nil
+}
+
+func (k *refKernel) emit(net *netlist.Net, start, slew float64, rising bool) {
+	tr := k.wfs[net].Add(start, slew, rising)
+	k.st.Transitions++
+	for _, pin := range net.Fanout {
+		if h, ok := k.pending[pin]; ok {
+			if pt, live := k.q.TimeOf(h); !live {
+				delete(k.pending, pin)
+			} else if pt >= start {
+				k.q.Remove(h)
+				k.st.EventsFiltered++
+				delete(k.pending, pin)
+			}
+		}
+		ct, ok := tr.Crossing(pin.VT)
+		if !ok {
+			continue
+		}
+		if h, ok := k.pending[pin]; ok {
+			if pt, live := k.q.TimeOf(h); live && ct <= pt {
+				k.q.Remove(h)
+				k.st.EventsFiltered++
+				delete(k.pending, pin)
+				continue
+			}
+		}
+		k.pending[pin] = k.q.Push(ct, refEvent{pin: pin, rising: rising, slew: slew})
+	}
+}
+
+func (k *refKernel) fire(h eventq.Handle, ev refEvent) {
+	pin := ev.pin
+	g := pin.Gate
+	if ph, ok := k.pending[pin]; ok && ph == h {
+		delete(k.pending, pin)
+	}
+	k.inVals[pin] = ev.rising
+
+	k.st.Evaluations++
+	args := make([]bool, len(g.Inputs))
+	for i, p := range g.Inputs {
+		args[i] = k.inVals[p]
+	}
+	newTarget := g.Eval(args)
+	if newTarget == k.outTarget[g] {
+		return
+	}
+
+	cl := g.Output.Load()
+	var ep cellib.EdgeParams
+	if newTarget {
+		ep = g.Cell.Pins[pin.Index].Rise
+	} else {
+		ep = g.Cell.Pins[pin.Index].Fall
+	}
+
+	var res delay.Result
+	switch k.mdl {
+	case sim.DDM:
+		T := k.now - k.lastOutStart[g]
+		res = delay.Degraded(ep, k.vdd, cl, ev.slew, T)
+	default:
+		res = delay.Conventional(ep, cl, ev.slew)
+	}
+	if res.Filtered {
+		k.st.FullyDegraded++
+	} else if res.Degraded {
+		k.st.DegradedTransitions++
+	}
+
+	tp := math.Max(res.Tp, refMinPulse)
+	start := k.now + tp
+	if min := k.lastOutStart[g] + refMinPulse; start < min {
+		start = min
+	}
+
+	k.outTarget[g] = newTarget
+	k.lastOutStart[g] = start
+	k.emit(g.Output, start, res.Slew, newTarget)
+}

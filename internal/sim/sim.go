@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"halotis/internal/circ"
 	"halotis/internal/netlist"
 	"halotis/internal/wave"
 )
@@ -136,7 +137,7 @@ type Result struct {
 	// EndTime is the simulated horizon in ns.
 	EndTime float64
 
-	ckt *netlist.Circuit
+	ir  *circ.Compiled
 	wfs []*wave.Waveform
 }
 
@@ -151,24 +152,33 @@ func (r *Result) Detach() *Result {
 	return &c
 }
 
-// Waveform returns the simulated waveform of the named net, or nil.
+// Waveform returns the simulated waveform of the named net, or nil. The
+// lookup goes through the compiled IR's name index, not the netlist graph.
 func (r *Result) Waveform(net string) *wave.Waveform {
-	n := r.ckt.NetByName(net)
-	if n == nil {
+	id := r.ir.NetID(net)
+	if id < 0 {
 		return nil
 	}
-	return r.wfs[n.ID]
+	return r.wfs[id]
 }
 
+// WaveformAt returns the waveform of the net with the given dense ID (see
+// circ.Compiled.NetID); the allocation-free variant of Waveform for callers
+// that already hold IR net IDs.
+func (r *Result) WaveformAt(id int32) *wave.Waveform { return r.wfs[id] }
+
 // Circuit returns the simulated circuit.
-func (r *Result) Circuit() *netlist.Circuit { return r.ckt }
+func (r *Result) Circuit() *netlist.Circuit { return r.ir.Circuit }
+
+// IR returns the compiled representation the run executed against.
+func (r *Result) IR() *circ.Compiled { return r.ir }
 
 // OutputLogic samples every primary output at time t with threshold vt and
 // returns name -> level.
 func (r *Result) OutputLogic(t, vt float64) map[string]bool {
-	out := make(map[string]bool, len(r.ckt.Outputs))
-	for _, o := range r.ckt.Outputs {
-		out[o.Name] = r.wfs[o.ID].LogicAt(t, vt)
+	out := make(map[string]bool, len(r.ir.Outputs))
+	for _, o := range r.ir.Outputs {
+		out[r.ir.NetName[o]] = r.wfs[o].LogicAt(t, vt)
 	}
 	return out
 }
@@ -184,11 +194,11 @@ type NetActivity struct {
 
 // Activity returns activity for every net in ID order.
 func (r *Result) Activity() []NetActivity {
-	out := make([]NetActivity, len(r.ckt.Nets))
-	for i, n := range r.ckt.Nets {
+	out := make([]NetActivity, len(r.wfs))
+	for i := range r.wfs {
 		wf := r.wfs[i]
 		out[i] = NetActivity{
-			Net:         n.Name,
+			Net:         r.ir.NetName[i],
 			Transitions: wf.Len(),
 			FullSwing:   wf.FullSwingCount(),
 			EnergyNorm:  wf.SwitchingEnergyNorm(),

@@ -52,14 +52,17 @@ func (p PowerReport) GlitchFraction() float64 {
 	return p.GlitchEnergy / p.TotalEnergy
 }
 
-// Power derives the report from a simulation result.
+// Power derives the report from a simulation result. It reads the run's
+// compiled IR directly: net loads are the precomputed Load slab and name
+// lookups go through the IR's dense net table, so no netlist pointers are
+// chased and no per-net load is recomputed.
 func Power(res *sim.Result, window float64) PowerReport {
-	ckt := res.Circuit()
-	vdd := ckt.Lib.VDD
+	ir := res.IR()
+	vdd := ir.VDD
 	rep := PowerReport{Window: window}
-	for _, n := range ckt.Nets {
-		wf := res.Waveform(n.Name)
-		cl := n.Load()
+	for id := int32(0); id < int32(ir.NumNets()); id++ {
+		wf := res.WaveformAt(id)
+		cl := ir.Load[id]
 		var e float64
 		full := 0
 		for _, tr := range wf.Transitions() {
@@ -74,7 +77,7 @@ func Power(res *sim.Result, window float64) PowerReport {
 		rep.TotalEnergy += e
 		if wf.Len() > 0 {
 			rep.PerNet = append(rep.PerNet, NetPower{
-				Net: n.Name, Energy: e, Transitions: wf.Len(), FullSwing: full,
+				Net: ir.NetName[id], Energy: e, Transitions: wf.Len(), FullSwing: full,
 			})
 		}
 	}

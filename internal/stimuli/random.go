@@ -1,0 +1,33 @@
+package stimuli
+
+import (
+	"fmt"
+
+	"halotis/internal/netlist"
+	"halotis/internal/sim"
+)
+
+// RandomStimulus builds a deterministic random vector stimulus over the
+// given input names: count vectors applied at the given period, toggling
+// each input with independent fair coin flips per vector. It is the drive
+// the size-scaling benchmarks use, where hand-written stimuli cannot cover
+// thousands of inputs.
+func RandomStimulus(inputs []string, count int, period, slew float64, seed int64) (sim.Stimulus, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("stimuli: random stimulus over no inputs")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("stimuli: random stimulus needs >= 1 vectors, got %d", count)
+	}
+	return Sequence(RandomVectors(inputs, count, seed), period, slew)
+}
+
+// RandomStimulusFor is RandomStimulus applied to a circuit's primary inputs
+// in declaration order.
+func RandomStimulusFor(ckt *netlist.Circuit, count int, period, slew float64, seed int64) (sim.Stimulus, error) {
+	names := make([]string, len(ckt.Inputs))
+	for i, in := range ckt.Inputs {
+		names[i] = in.Name
+	}
+	return RandomStimulus(names, count, period, slew, seed)
+}
