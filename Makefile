@@ -19,27 +19,49 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# bench regenerates the kernel perf records for this PR: the Table 2 kernel
-# trajectory (BENCH_PR1.json, carried since PR 1) and the size-scaling
-# curves over the scalable circuit families (BENCH_PR2.json). Bump SCALE_OUT
+# bench regenerates the perf records for this PR: the Table 2 kernel
+# trajectory (BENCH_PR1.json, carried since PR 1), the size-scaling curves
+# over the scalable circuit families (BENCH_PR2.json), and the service load
+# test against an in-process halotisd (BENCH_PR3.json). Bump the *_OUT vars
 # when a new PR adds a new perf record so the trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
 SCALE_OUT ?= BENCH_PR2.json
+SERVE_OUT ?= BENCH_PR3.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
+	$(GO) run ./cmd/halobench -exp serve -serveruns 300 -servejson $(SERVE_OUT)
 
 # bench-smoke is the quick CI variant: few iterations, no JSON artifact.
 bench-smoke:
 	$(GO) test -run=NONE -bench='Table2Seq1DDM|EngineReuseSeq1DDM' -benchmem -benchtime=100x .
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 1 -scalesizes 500
+	$(GO) run ./cmd/halobench -exp serve -serveruns 20 -serveconc 1,4
 
-# fuzz-smoke runs each parser fuzz target briefly (also wired into CI).
+# fuzz-smoke runs each parser/decoder fuzz target briefly (also in CI).
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/netfmt -run=NONE -fuzz=FuzzParseCircuit -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/netfmt -run=NONE -fuzz=FuzzParseStimulus -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/netfmt -run=NONE -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/service -run=NONE -fuzz=FuzzDecodeSimRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/service -run=NONE -fuzz=FuzzDecodeUploadRequest -fuzztime=$(FUZZTIME)
+
+# service-smoke builds the daemon, starts it, and drives the client round
+# trip the CI smoke job uses: upload c17.bench, simulate, check /healthz.
+# The trap kills the daemon on every exit path, success or failure.
+service-smoke: build
+	$(GO) build -o /tmp/halotisd-smoke ./cmd/halotisd
+	/tmp/halotisd-smoke -addr 127.0.0.1:8971 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:8971/healthz >/dev/null && break; \
+		sleep 0.2; \
+	done; \
+	$(GO) run ./examples/service -addr http://127.0.0.1:8971 && \
+	curl -sf http://127.0.0.1:8971/healthz >/dev/null && \
+	curl -sf http://127.0.0.1:8971/metrics | grep -q '^halotisd_sim_runs_total 5$$'
 
 # paper regenerates every table and figure of the paper's evaluation.
 paper:

@@ -1,0 +1,210 @@
+// Package client is the typed Go client of the halotisd simulation
+// service: upload circuits once, run simulations against their
+// content-hash IDs, and read service health and metrics. The wire types
+// are shared with the server (internal/service), so a round trip is
+// lossless by construction.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	up, _ := c.UploadCircuit(ctx, client.UploadRequest{Netlist: benchText, Format: "bench"})
+//	res, _ := c.Simulate(ctx, client.SimRequest{
+//	    Circuit: up.ID,
+//	    RunSpec: client.RunSpec{TEnd: 30},
+//	    Stimulus: client.Stimulus{"a": {Edges: []client.Edge{{T: 5, Rising: true, Slew: 0.2}}}},
+//	})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"halotis/internal/service"
+)
+
+// Re-exported wire types: the client speaks exactly the server's API.
+type (
+	UploadRequest   = service.UploadRequest
+	UploadResponse  = service.UploadResponse
+	CircuitInfo     = service.CircuitInfo
+	Edge            = service.Edge
+	InputWave       = service.InputWave
+	Stimulus        = service.Stimulus
+	RunSpec         = service.RunSpec
+	SimRequest      = service.SimRequest
+	BatchRequest    = service.BatchRequest
+	SimResponse     = service.SimResponse
+	BatchResponse   = service.BatchResponse
+	HealthResponse  = service.HealthResponse
+	ErrorResponse   = service.ErrorResponse
+	Stats           = service.Stats
+	Crossing        = service.Crossing
+	ActivitySummary = service.ActivitySummary
+	PowerSummary    = service.PowerSummary
+)
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("halotisd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Client talks to one halotisd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// New builds a client for the service at base (e.g. "http://host:8080").
+// The default transport keeps enough idle connections per host for highly
+// concurrent callers (the DefaultTransport's 2 would re-dial TCP per
+// request under fan-out); replace it with WithHTTPClient if needed.
+func New(base string, opts ...Option) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 64
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 5 * time.Minute, Transport: tr},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr ErrorResponse
+		msg := ""
+		if data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+			if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+				msg = apiErr.Error
+			} else {
+				msg = strings.TrimSpace(string(data))
+			}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// UploadCircuit registers a netlist with the service and returns its
+// content-hash ID (idempotent: re-uploads of equivalent content return the
+// same ID with Cached set).
+func (c *Client) UploadCircuit(ctx context.Context, req UploadRequest) (*UploadResponse, error) {
+	var resp UploadResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/circuits", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Simulate runs one stimulus.
+func (c *Client) Simulate(ctx context.Context, req SimRequest) (*SimResponse, error) {
+	var resp SimResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SimulateBatch runs many stimuli against one circuit.
+func (c *Client) SimulateBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/simulate/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Circuits lists the cached circuits in most-recently-used order.
+func (c *Client) Circuits(ctx context.Context) ([]CircuitInfo, error) {
+	var resp []CircuitInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/circuits", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Circuit fetches one cached circuit's description by ID.
+func (c *Client) Circuit(ctx context.Context, id string) (*CircuitInfo, error) {
+	var resp CircuitInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/circuits/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Evict removes a cached circuit by ID.
+func (c *Client) Evict(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/circuits/"+url.PathEscape(id), nil, nil)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var resp HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 400 {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale]
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|serve]
 //	          [-fast] [-benchruns N] [-benchjson PATH]
 //	          [-scaleruns N] [-scalesizes 1000,3000,10000] [-scalejson PATH]
+//	          [-serveruns N] [-serveconc 1,2,4,8] [-servejson PATH] [-version]
 //
 // -fast uses a coarser analog integration step for Table 2 (the shape of
 // the comparison — orders of magnitude — is unaffected). -exp bench
@@ -14,7 +15,10 @@
 // (the BENCH_PR*.json trajectory). -exp scale sweeps circuit size across
 // the scalable families (adder chains, CSA trees, multipliers, random
 // DAGs) under random stimulus and records ns/event scaling curves for DDM
-// vs CDM; -scalejson writes them (BENCH_PR2.json).
+// vs CDM; -scalejson writes them (BENCH_PR2.json). -exp serve stands up an
+// in-process halotisd and sweeps concurrent clients against it, recording
+// requests/sec, p50/p99 latency and cache hit rate; -servejson writes them
+// (BENCH_PR3.json).
 package main
 
 import (
@@ -22,19 +26,29 @@ import (
 	"fmt"
 	"os"
 
+	"halotis/internal/buildinfo"
 	"halotis/internal/cellib"
 	"halotis/internal/paper"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, serve")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
 	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
 	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
 	scaleJSON := flag.String("scalejson", "", "scale: also write the JSON scaling record to this path")
 	scaleRuns := flag.Int("scaleruns", 3, "scale: iterations per (family, size, model) point")
 	scaleSizes := flag.String("scalesizes", "1000,3000,10000", "scale: comma-separated target gate counts")
+	serveJSON := flag.String("servejson", "", "serve: also write the JSON load-test record to this path")
+	serveRuns := flag.Int("serveruns", 200, "serve: requests per concurrent client")
+	serveConc := flag.String("serveconc", "1,2,4,8", "serve: comma-separated concurrent client counts")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String("halobench"))
+		return
+	}
 
 	lib := cellib.Default06()
 	run := func(name string) error {
@@ -105,6 +119,12 @@ func main() {
 			fmt.Println(text)
 		case "scale":
 			text, err := scaleExperiment(lib, *scaleJSON, *scaleSizes, *scaleRuns)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "serve":
+			text, err := serveExperiment(lib, *serveJSON, *serveConc, *serveRuns)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"halotis/client"
+	"halotis/internal/cellib"
+	"halotis/internal/circuits"
+	"halotis/internal/netfmt"
+	"halotis/internal/service"
+)
+
+// ServePoint is one measured (workload, concurrency) configuration of the
+// service load test, serialized into BENCH_PR3.json.
+type ServePoint struct {
+	Circuit      string  `json:"circuit"`
+	Gates        int     `json:"gates"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	ReqPerSec    float64 `json:"req_per_sec"`
+	P50Us        float64 `json:"p50_us"`
+	P99Us        float64 `json:"p99_us"`
+	EventsPerReq uint64  `json:"events_per_req"`
+}
+
+// ServeReport is the JSON document emitted by -exp serve.
+type ServeReport struct {
+	GoVersion    string             `json:"go_version"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	RunsPerConc  int                `json:"requests_per_client"`
+	Points       []ServePoint       `json:"points"`
+	Cache        service.CacheStats `json:"cache"`
+	CacheHitRate float64            `json:"cache_hit_rate"`
+}
+
+func parseConcList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q in -serveconc", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-serveconc lists no client counts")
+	}
+	return out, nil
+}
+
+// toggleStimulus drives every listed input with a staggered rise/fall pair.
+func toggleStimulus(inputs []string) client.Stimulus {
+	st := client.Stimulus{}
+	for i, in := range inputs {
+		st[in] = client.InputWave{Edges: []client.Edge{
+			{T: 2 + 0.37*float64(i%16), Rising: true, Slew: 0.2},
+			{T: 12 + 0.37*float64(i%16), Rising: false, Slew: 0.2},
+		}}
+	}
+	return st
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}
+
+// serveExperiment stands up an in-process halotisd (the production handler
+// over httptest's real TCP listener), uploads each workload circuit once,
+// then sweeps concurrent clients firing simulate-by-ID requests — the
+// steady-state path every request after the first is supposed to serve
+// from the compiled-circuit cache and warm engine pools. It records
+// requests/sec, p50/p99 latency and the final cache hit rate.
+func serveExperiment(lib *cellib.Library, jsonPath, concFlag string, runs int) (string, error) {
+	if runs < 1 {
+		return "", fmt.Errorf("-serveruns must be >= 1, got %d", runs)
+	}
+	concs, err := parseConcList(concFlag)
+	if err != nil {
+		return "", err
+	}
+
+	// Size the queue for the largest client burst: on a low-CPU machine the
+	// default depth (4x workers) could 503 a full-concurrency volley, and
+	// the experiment measures latency, not admission control.
+	maxConc := 0
+	for _, c := range concs {
+		if c > maxConc {
+			maxConc = c
+		}
+	}
+	svc := service.New(service.Config{QueueDepth: 2 * maxConc})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Workloads: the tiny c17 (per-request overhead dominated) and the 4x4
+	// array multiplier (kernel work dominated).
+	type workload struct {
+		name string
+		text string
+		fmt  string
+	}
+	mult, err := circuits.Multiplier(lib, 4, 4)
+	if err != nil {
+		return "", err
+	}
+	var multText strings.Builder
+	if err := netfmt.WriteCircuit(&multText, mult); err != nil {
+		return "", err
+	}
+	workloads := []workload{
+		{"c17", netfmt.C17Bench(), "bench"},
+		{"mult4x4", multText.String(), "net"},
+	}
+
+	rep := ServeReport{
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		RunsPerConc: runs,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Service load test (%d requests/client, %s, %d workers)\n",
+		runs, rep.GoVersion, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s %12s %10s %10s\n",
+		"circuit", "gates", "clients", "requests", "req/s", "p50(us)", "p99(us)")
+
+	for _, wl := range workloads {
+		up, err := cl.UploadCircuit(ctx, client.UploadRequest{Name: wl.name, Format: wl.fmt, Netlist: wl.text})
+		if err != nil {
+			return "", fmt.Errorf("upload %s: %w", wl.name, err)
+		}
+		st := toggleStimulus(up.Inputs)
+		req := client.SimRequest{Circuit: up.ID, RunSpec: client.RunSpec{TEnd: 30}, Stimulus: st}
+
+		// One warm-up request per workload primes the engine pools.
+		warm, err := cl.Simulate(ctx, req)
+		if err != nil {
+			return "", fmt.Errorf("warm-up %s: %w", wl.name, err)
+		}
+
+		for _, conc := range concs {
+			latencies := make([][]time.Duration, conc)
+			errs := make([]error, conc)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					lat := make([]time.Duration, 0, runs)
+					for i := 0; i < runs; i++ {
+						t0 := time.Now()
+						if _, err := cl.Simulate(ctx, req); err != nil {
+							errs[g] = err
+							return
+						}
+						lat = append(lat, time.Since(t0))
+					}
+					latencies[g] = lat
+				}(g)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			for _, err := range errs {
+				if err != nil {
+					return "", fmt.Errorf("%s @ %d clients: %w", wl.name, conc, err)
+				}
+			}
+
+			var all []time.Duration
+			for _, lat := range latencies {
+				all = append(all, lat...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			p := ServePoint{
+				Circuit:      wl.name,
+				Gates:        up.Gates,
+				Clients:      conc,
+				Requests:     len(all),
+				ReqPerSec:    float64(len(all)) / wall.Seconds(),
+				P50Us:        percentile(all, 0.50),
+				P99Us:        percentile(all, 0.99),
+				EventsPerReq: warm.Stats.EventsProcessed,
+			}
+			rep.Points = append(rep.Points, p)
+			fmt.Fprintf(&b, "%-10s %8d %8d %10d %12.0f %10.0f %10.0f\n",
+				p.Circuit, p.Gates, p.Clients, p.Requests, p.ReqPerSec, p.P50Us, p.P99Us)
+		}
+	}
+
+	rep.Cache = svc.CacheStats()
+	rep.CacheHitRate = rep.Cache.HitRate()
+	fmt.Fprintf(&b, "cache: %d compiles, %d hits, %d misses (hit rate %.4f), %d engines created\n",
+		rep.Cache.Compiles, rep.Cache.Hits, rep.Cache.Misses, rep.CacheHitRate, rep.Cache.EnginesCreated)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\nwrote %s\n", jsonPath)
+	}
+	return b.String(), nil
+}

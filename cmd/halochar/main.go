@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"halotis/internal/buildinfo"
 	"halotis/internal/cellib"
 	"halotis/internal/charlib"
 )
@@ -21,7 +22,13 @@ import (
 func main() {
 	cells := flag.String("cells", "INV,NAND2,NOR2", "comma-separated cell kinds (primitive inverting kinds only)")
 	dt := flag.Float64("dt", 0.0005, "analog integration step, ns")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String("halochar"))
+		return
+	}
 
 	lib := cellib.Default06()
 	cfg := charlib.Config{Dt: *dt}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"halotis/internal/buildinfo"
 	"halotis/internal/cellib"
 	"halotis/internal/netfmt"
 	"halotis/internal/netlist"
@@ -35,8 +36,13 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write VCD waveforms to this file")
 	view := flag.Bool("view", false, "print ASCII waveforms of the primary outputs")
 	netsFlag := flag.String("nets", "", "comma-separated nets for -vcd/-view (default: primary outputs)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(buildinfo.String("halotis"))
+		return
+	}
 	if *netPath == "" {
 		fmt.Fprintln(os.Stderr, "halotis: -net is required")
 		flag.Usage()

@@ -1,0 +1,112 @@
+// Command halotisd is the HALOTIS simulation daemon: a long-running
+// HTTP/JSON service over the compiled-IR simulation kernel, with a
+// content-addressed compiled-circuit cache, per-circuit engine pools, and a
+// bounded worker queue (see internal/service).
+//
+// Usage:
+//
+//	halotisd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	         [-pool N] [-max-body BYTES] [-max-timeout DUR] [-version]
+//
+// Endpoints: POST /v1/circuits, GET /v1/circuits[/{id}], DELETE
+// /v1/circuits/{id}, POST /v1/simulate, POST /v1/simulate/batch,
+// GET /healthz, GET /metrics.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// connections, waits for in-flight requests (bounded by -drain-timeout),
+// and drains the job queue before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"halotis/internal/buildinfo"
+	"halotis/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+	cacheSize := flag.Int("cache", 64, "compiled-circuit cache capacity")
+	poolSize := flag.Int("pool", 0, "free engines retained per circuit and options (0 = workers)")
+	maxBody := flag.Int64("max-body", 8<<20, "maximum request body, bytes")
+	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on per-request run time, capping timeout_ms and applying when it is omitted (0 = uncapped)")
+	maxEvents := flag.Uint64("max-events", 0, "cap on per-request max_events (0 = engine default only)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight requests")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String("halotisd"))
+		return
+	}
+	if err := run(*addr, *drainTimeout, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		EnginePoolSize: *poolSize,
+		MaxBodyBytes:   *maxBody,
+		MaxTimeout:     *maxTimeout,
+		MaxEvents:      *maxEvents,
+	}); err != nil {
+		log.Fatalf("halotisd: %v", err)
+	}
+}
+
+func run(addr string, drainTimeout time.Duration, cfg service.Config) error {
+	svc := service.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("halotisd: listening on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("halotisd: shutting down, draining in-flight jobs")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Shutdown stops accepting and waits for in-flight HTTP requests —
+	// which themselves wait on their queued jobs — then Close drains any
+	// jobs still queued. If the polite drain exceeds -drain-timeout,
+	// force-close the remaining connections: that cancels their request
+	// contexts, the kernel aborts at the next event-pop check, and the
+	// queue drain below finishes promptly instead of running simulations
+	// to completion.
+	err := srv.Shutdown(shutdownCtx)
+	if err != nil {
+		log.Printf("halotisd: drain timeout exceeded, aborting in-flight requests: %v", err)
+		srv.Close()
+	}
+	svc.Close()
+	if serveErr := <-errCh; serveErr != nil && err == nil {
+		err = serveErr
+	}
+	log.Printf("halotisd: drained, exiting")
+	return err
+}

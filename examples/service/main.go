@@ -1,0 +1,66 @@
+// Command service demonstrates the halotisd client round trip — the same
+// sequence the CI smoke job drives against a live daemon: upload the
+// embedded ISCAS85 c17 benchmark once, run several simulations against its
+// content-hash ID, and read back health.
+//
+// Start a daemon first:
+//
+//	go run ./cmd/halotisd -addr 127.0.0.1:8080
+//	go run ./examples/service -addr http://127.0.0.1:8080
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"flag"
+
+	"halotis"
+	"halotis/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	runs := flag.Int("runs", 5, "simulations to run against the cached circuit")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := client.New(*addr)
+
+	up, err := c.UploadCircuit(ctx, client.UploadRequest{
+		Name: "c17", Format: "bench", Netlist: halotis.C17BenchText(),
+	})
+	if err != nil {
+		log.Fatalf("upload: %v", err)
+	}
+	fmt.Printf("uploaded %s: id=%s gates=%d cached=%v\n", up.Name, up.ID[:12], up.Gates, up.Cached)
+
+	st := client.Stimulus{}
+	for i, in := range up.Inputs {
+		st[in] = client.InputWave{Edges: []client.Edge{
+			{T: 2 + float64(i), Rising: true, Slew: 0.2},
+			{T: 12 + float64(i), Rising: false, Slew: 0.2},
+		}}
+	}
+	for i := 0; i < *runs; i++ {
+		res, err := c.Simulate(ctx, client.SimRequest{
+			Circuit:  up.ID,
+			RunSpec:  client.RunSpec{TEnd: 30, Model: "ddm"},
+			Stimulus: st,
+		})
+		if err != nil {
+			log.Fatalf("simulate %d: %v", i, err)
+		}
+		fmt.Printf("run %d: %d events, %d transitions, outputs=%v\n",
+			i, res.Stats.EventsProcessed, res.Stats.Transitions, res.Outputs)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		log.Fatalf("health: %v", err)
+	}
+	fmt.Printf("healthz: %s, %d circuit(s) cached, uptime %.1fs\n", h.Status, h.Circuits, h.UptimeSeconds)
+}

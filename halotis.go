@@ -18,6 +18,7 @@
 package halotis
 
 import (
+	"context"
 	"io"
 
 	"halotis/internal/analog"
@@ -127,6 +128,12 @@ func WithMinPulse(p float64) Option { return func(o *sim.Options) { o.MinPulse =
 // WithWorkers bounds the parallelism of SimulateBatch (default: one worker
 // per available CPU). Single runs ignore it.
 func WithWorkers(n int) Option { return func(o *sim.Options) { o.Workers = n } }
+
+// WithContext attaches a cancellation context to the run: Simulate,
+// SimulateBatch and engines built with NewEngine abort at event-pop
+// granularity once ctx is done, returning an error that wraps ctx.Err().
+// Engine.RunContext takes a context explicitly and overrides this option.
+func WithContext(ctx context.Context) Option { return func(o *sim.Options) { o.Ctx = ctx } }
 
 func buildOptions(opts []Option) sim.Options {
 	var o sim.Options

@@ -1,0 +1,53 @@
+// Package buildinfo renders the version banner the -version flag of every
+// command prints: module version plus VCS revision and build date, read
+// from the binary's embedded build information (runtime/debug).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the one-line version banner for the named command, e.g.
+//
+//	halotisd (devel) rev 1a2b3c4d (2026-07-28) go1.24.0
+func String(cmd string) string {
+	version, rev, date, goVersion := "(devel)", "", "", ""
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			version = info.Main.Version
+		}
+		goVersion = info.GoVersion
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.time":
+				date = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					rev += "+dirty"
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", cmd, version)
+	if rev != "" {
+		short := rev
+		if i := strings.IndexByte(short, '+'); i > 12 {
+			short = short[:12] + short[i:]
+		} else if len(short) > 12 && i < 0 {
+			short = short[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", short)
+	}
+	if date != "" {
+		fmt.Fprintf(&b, " (%s)", date)
+	}
+	if goVersion != "" {
+		fmt.Fprintf(&b, " %s", goVersion)
+	}
+	return b.String()
+}

@@ -26,6 +26,10 @@
 package circ
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+
 	"halotis/internal/cellib"
 	"halotis/internal/netlist"
 )
@@ -36,6 +40,8 @@ type Compiled struct {
 	Circuit *netlist.Circuit
 	// VDD is the library supply voltage, V.
 	VDD float64
+	// Hash is the circuit's stable content hash (see ContentHash).
+	Hash string
 
 	// Per-gate slabs, indexed by gate ID. PinStart has len(gates)+1
 	// entries so PinStart[g] : PinStart[g+1] spans gate g's pins in every
@@ -149,7 +155,60 @@ func compile(ckt *netlist.Circuit) *Compiled {
 	for _, g := range ckt.GatesByLevel() {
 		c.LevelOrder = append(c.LevelOrder, int32(g.ID))
 	}
+	c.Hash = contentHash(ckt)
 	return c
+}
+
+// ContentHash returns the circuit's stable content hash: a hex SHA-256 over
+// a canonical rendering of the library identity (name and supply voltage)
+// and the circuit structure (interface nets, gates with kinds, connectivity
+// and per-pin thresholds, wire capacitances). Two circuits parsed from
+// textually different but structurally equivalent netlists — e.g. the same
+// .bench file with reflowed whitespace or comments — hash identically, while
+// any change to topology, thresholds, loading or library identity changes
+// the hash. Gate and net naming is part of the content — names are how
+// stimuli and result lookups address the circuit — but the circuit's display
+// name is cosmetic metadata and deliberately excluded.
+//
+// The hash is computed during Compile and memoized with the IR, so repeated
+// calls cost one memoized-pointer load.
+func ContentHash(ckt *netlist.Circuit) string { return Compile(ckt).Hash }
+
+func contentHash(ckt *netlist.Circuit) string {
+	h := sha256.New()
+	buf := make([]byte, 0, 64)
+	str := func(parts ...string) {
+		buf = buf[:0]
+		for _, p := range parts {
+			buf = append(buf, p...)
+			buf = append(buf, 0)
+		}
+		buf = append(buf, '\n')
+		h.Write(buf)
+	}
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	str("halotis/circ content v1")
+	str("lib", ckt.Lib.Name, num(ckt.Lib.VDD))
+	for _, in := range ckt.Inputs {
+		str("input", in.Name)
+	}
+	for _, o := range ckt.Outputs {
+		str("output", o.Name)
+	}
+	for _, g := range ckt.Gates {
+		parts := []string{"gate", g.Name, g.Cell.Kind.String(), g.Output.Name}
+		for _, p := range g.Inputs {
+			parts = append(parts, p.Net.Name, num(p.VT))
+		}
+		str(parts...)
+	}
+	for _, n := range ckt.Nets {
+		if n.WireCap != 0 {
+			str("wirecap", n.Name, num(n.WireCap))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // NumPins returns the total gate-input pin count.

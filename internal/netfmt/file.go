@@ -49,6 +49,25 @@ func DetectFormat(path string, f Format) Format {
 	return FormatNative
 }
 
+// SniffFormat resolves FormatAuto from netlist text itself, for sources
+// with no file name (service uploads): the ISCAS85 .bench format is the
+// one whose first significant line has parenthesized directives
+// (INPUT(n)) or '=' assignments, neither of which the native format's
+// directive words use. Keep this in sync with the two formats' grammars.
+func SniffFormat(text string) Format {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.ContainsAny(line, "=(") {
+			return FormatBench
+		}
+		return FormatNative
+	}
+	return FormatNative
+}
+
 // inFile stamps the named file onto an error produced while reading it, so
 // multi-file diagnostics say which file went wrong: ParseErrors get their
 // File field set (rendered as file:line), anything else (netlist builder

@@ -1,0 +1,22 @@
+package netfmt
+
+import "testing"
+
+func TestSniffFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want Format
+	}{
+		{"bench", C17Bench(), FormatBench},
+		{"bench assignment first", "# c\n\nG1 = NAND(a, b)\n", FormatBench},
+		{"native", "circuit x\ninput a b\noutput y\ngate g1 NAND2 y a b\n", FormatNative},
+		{"comments only", "# nothing here\n\n", FormatNative},
+		{"empty", "", FormatNative},
+	}
+	for _, c := range cases {
+		if got := SniffFormat(c.text); got != c.want {
+			t.Errorf("%s: SniffFormat = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"halotis/internal/cellib"
+	"halotis/internal/circ"
+	"halotis/internal/netfmt"
+	"halotis/internal/netlist"
+)
+
+// CacheStats is the compiled-circuit cache's counter snapshot.
+type CacheStats struct {
+	// Entries is the current number of cached circuits.
+	Entries int `json:"entries"`
+	// Hits counts lookups (by ID or by content) that found a cached
+	// compilation; Misses counts well-formed content that had to be
+	// compiled. Lookups of unknown or evicted IDs are NotFound — kept out
+	// of the hit rate so a client retrying a stale ID cannot zero out the
+	// metric real traffic is judged by.
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	NotFound uint64 `json:"not_found"`
+	// Compiles counts parse+compile executions. Lookups by ID never
+	// compile; an upload of a structurally equivalent but not
+	// byte-identical text counts both a compile (the parse needed to
+	// discover the equivalence) and a hit (the cached entry it landed on).
+	Compiles uint64 `json:"compiles"`
+	// Evictions counts LRU evictions.
+	Evictions uint64 `json:"evictions"`
+	// EnginesCreated counts sim engines constructed across all pools;
+	// flat under steady-state traffic once pools are warm.
+	EnginesCreated uint64 `json:"engines_created"`
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// maxRawKeysPerEntry bounds the raw-text index entries one circuit may
+// hold: beyond it the oldest raw key is dropped (its text just re-parses on
+// the next upload), so a stream of whitespace-variant uploads of one hot
+// circuit cannot grow daemon memory without bound.
+const maxRawKeysPerEntry = 8
+
+// cacheEntry is one cached circuit: its compiled IR, display metadata, and
+// the warm engine pools keyed by run options.
+type cacheEntry struct {
+	info  CircuitInfo
+	ir    *circ.Compiled
+	pools enginePools
+	// rawKeys are the raw-text index keys pointing at this entry (oldest
+	// first, bounded by maxRawKeysPerEntry), removed with it on eviction.
+	rawKeys []string
+	elem    *list.Element
+}
+
+// compileFlight collapses concurrent uploads of identical text into one
+// parse+compile (singleflight).
+type compileFlight struct {
+	done   chan struct{}
+	ent    *cacheEntry
+	cached bool
+	err    error
+}
+
+// circuitCache is the content-addressed LRU compiled-circuit cache.
+//
+// Two indexes reach an entry: the content hash of the parsed circuit (the
+// public circuit ID, stable across whitespace-equivalent netlist texts) and
+// a raw-text index that lets byte-identical re-uploads skip even the parse.
+type circuitCache struct {
+	mu       sync.Mutex
+	capacity int
+	lib      *cellib.Library
+	poolSize int
+
+	entries  map[string]*cacheEntry // by content hash (circuit ID)
+	lru      *list.List             // of *cacheEntry; front = most recent
+	rawIndex map[string]string      // raw text key -> circuit ID
+	inflight map[string]*compileFlight
+
+	hits, misses, notFound, compiles, evictions uint64
+	enginesCreated                              atomic.Uint64 // incremented by pools, outside mu
+}
+
+func newCircuitCache(lib *cellib.Library, capacity, poolSize int) *circuitCache {
+	return &circuitCache{
+		capacity: capacity,
+		lib:      lib,
+		poolSize: poolSize,
+		entries:  make(map[string]*cacheEntry),
+		lru:      list.New(),
+		rawIndex: make(map[string]string),
+		inflight: make(map[string]*compileFlight),
+	}
+}
+
+// rawKey fingerprints the exact upload text (plus format and library
+// identity) for the byte-identical fast path.
+func rawKey(libName, format, text string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", libName, format)
+	h.Write([]byte(text))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func parseNetlistText(text, format string, lib *cellib.Library, name string) (*netlist.Circuit, error) {
+	f, ok := netfmt.FormatByName(format)
+	if !ok {
+		return nil, fmt.Errorf("unknown netlist format %q", format)
+	}
+	if f == netfmt.FormatAuto {
+		f = netfmt.SniffFormat(text)
+	}
+	var ckt *netlist.Circuit
+	var err error
+	switch f {
+	case netfmt.FormatBench:
+		ckt, err = netfmt.ParseBench(strings.NewReader(text), lib)
+	default:
+		ckt, err = netfmt.ParseCircuit(strings.NewReader(text), lib)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		ckt.Name = name
+	}
+	return ckt, nil
+}
+
+func (c *circuitCache) newEntry(ir *circ.Compiled) *cacheEntry {
+	ckt := ir.Circuit
+	info := CircuitInfo{
+		ID:    ir.Hash,
+		Name:  ckt.Name,
+		Gates: ir.NumGates(),
+		Nets:  ir.NumNets(),
+		Depth: ckt.Depth(),
+	}
+	for _, in := range ir.Inputs {
+		info.Inputs = append(info.Inputs, ir.NetName[in])
+	}
+	for _, o := range ir.Outputs {
+		info.Outputs = append(info.Outputs, ir.NetName[o])
+	}
+	e := &cacheEntry{info: info, ir: ir}
+	e.pools.init(ir, c.poolSize, &c.enginesCreated)
+	return e
+}
+
+// Add parses, compiles and caches a netlist text, returning the entry and
+// whether the content was already cached. Concurrent Adds of identical text
+// share one compile; re-adds of byte-identical text skip even the parse;
+// structurally equivalent variants (whitespace, comments) land on the same
+// entry via the content hash.
+func (c *circuitCache) Add(text, format, name string) (*cacheEntry, bool, error) {
+	key := rawKey(c.lib.Name, format, text)
+
+	c.mu.Lock()
+	if id, ok := c.rawIndex[key]; ok {
+		e := c.entries[id]
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.ent, f.cached, f.err
+	}
+	f := &compileFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	// Parse and compile outside the lock: uploads must not stall cache
+	// hits on other circuits.
+	ckt, err := parseNetlistText(text, format, c.lib, name)
+	var ir *circ.Compiled
+	if err == nil {
+		ir = circ.Compile(ckt)
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err != nil {
+		c.mu.Unlock()
+		f.err = err
+		close(f.done)
+		return nil, false, err
+	}
+	c.compiles++
+	e, existed := c.entries[ir.Hash]
+	if existed {
+		// Structurally equivalent content already cached: keep the
+		// existing entry and its warm engine pools.
+		c.hits++
+	} else {
+		e = c.newEntry(ir)
+		e.elem = c.lru.PushFront(e)
+		c.entries[ir.Hash] = e
+		c.misses++
+	}
+	if len(e.rawKeys) >= maxRawKeysPerEntry {
+		delete(c.rawIndex, e.rawKeys[0])
+		e.rawKeys = append(e.rawKeys[:0], e.rawKeys[1:]...)
+	}
+	e.rawKeys = append(e.rawKeys, key)
+	c.rawIndex[key] = e.info.ID
+	c.lru.MoveToFront(e.elem)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	f.ent, f.cached = e, existed
+	close(f.done)
+	return e, existed, nil
+}
+
+// Get looks a circuit up by ID, refreshing its LRU position.
+func (c *circuitCache) Get(id string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.notFound++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e, true
+}
+
+// Evict removes a circuit by ID; it reports whether one was present.
+func (c *circuitCache) Evict(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	c.removeLocked(e)
+	return true
+}
+
+func (c *circuitCache) removeLocked(e *cacheEntry) {
+	delete(c.entries, e.info.ID)
+	for _, k := range e.rawKeys {
+		delete(c.rawIndex, k)
+	}
+	c.lru.Remove(e.elem)
+}
+
+func (c *circuitCache) evictLocked() {
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		c.removeLocked(back.Value.(*cacheEntry))
+		c.evictions++
+	}
+}
+
+// List returns the cached circuits in most-recently-used order.
+func (c *circuitCache) List() []CircuitInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CircuitInfo, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).info)
+	}
+	return out
+}
+
+// Stats snapshots the cache counters.
+func (c *circuitCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:        len(c.entries),
+		Hits:           c.hits,
+		Misses:         c.misses,
+		NotFound:       c.notFound,
+		Compiles:       c.compiles,
+		Evictions:      c.evictions,
+		EnginesCreated: c.enginesCreated.Load(),
+	}
+}

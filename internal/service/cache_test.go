@@ -1,0 +1,231 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/netfmt"
+)
+
+func testCache(capacity int) *circuitCache {
+	return newCircuitCache(cellib.Default06(), capacity, 2)
+}
+
+// nativeText renders a tiny distinct native netlist per index.
+func nativeText(i int) string {
+	return fmt.Sprintf("circuit c%d\ninput a b\noutput y\ngate g1 NAND2 n1 a b\ngate g2 INV y n1\nwirecap n1 %g\n", i, 0.01*float64(i+1))
+}
+
+func TestCacheAddAndGet(t *testing.T) {
+	c := testCache(8)
+	e, cached, err := c.Add(netfmt.C17Bench(), "bench", "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first add reported cached")
+	}
+	if e.info.Gates == 0 || e.info.ID == "" {
+		t.Fatalf("bad entry info: %+v", e.info)
+	}
+	got, ok := c.Get(e.info.ID)
+	if !ok || got != e {
+		t.Fatal("Get did not return the added entry")
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("Get of unknown ID succeeded")
+	}
+	st := c.Stats()
+	if st.Compiles != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 compile, 1 entry", st)
+	}
+}
+
+func TestCacheByteIdenticalReuploadSkipsCompile(t *testing.T) {
+	c := testCache(8)
+	text := netfmt.C17Bench()
+	if _, _, err := c.Add(text, "bench", ""); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err := c.Add(text, "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("byte-identical re-upload not reported cached")
+	}
+	if st := c.Stats(); st.Compiles != 1 {
+		t.Errorf("compiles = %d after identical re-upload, want 1", st.Compiles)
+	}
+}
+
+func TestCacheWhitespaceEquivalentBenchSameEntry(t *testing.T) {
+	c := testCache(8)
+	text := netfmt.C17Bench()
+	var reflowed strings.Builder
+	reflowed.WriteString("# a comment\n\n")
+	for _, line := range strings.Split(text, "\n") {
+		reflowed.WriteString("   " + strings.ReplaceAll(line, ",", " ,  ") + "\n\n")
+	}
+
+	a, _, err := c.Add(text, "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cached, err := c.Add(reflowed.String(), "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("whitespace-equivalent texts landed on different entries")
+	}
+	if !cached {
+		t.Error("equivalent content not reported cached")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestCacheEvictionOrder(t *testing.T) {
+	c := testCache(2)
+	a, _, err := c.Add(nativeText(0), "net", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c.Add(nativeText(1), "net", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Get(a.info.ID); !ok {
+		t.Fatal("a missing")
+	}
+	d, _, err := c.Add(nativeText(2), "net", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(b.info.ID); ok {
+		t.Error("least-recently-used entry b survived eviction")
+	}
+	if _, ok := c.Get(a.info.ID); !ok {
+		t.Error("recently-touched entry a was evicted")
+	}
+	if _, ok := c.Get(d.info.ID); !ok {
+		t.Error("newest entry missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+
+	// The evicted entry's raw-text index must be gone too: re-adding its
+	// text compiles again instead of resolving to a dangling ID.
+	compilesBefore := c.Stats().Compiles
+	b2, cached, err := c.Add(nativeText(1), "net", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("re-add of evicted circuit reported cached")
+	}
+	if b2.info.ID != b.info.ID {
+		t.Error("re-added circuit got a different content hash")
+	}
+	if got := c.Stats().Compiles; got != compilesBefore+1 {
+		t.Errorf("compiles = %d, want %d", got, compilesBefore+1)
+	}
+}
+
+func TestCacheEvictByID(t *testing.T) {
+	c := testCache(8)
+	e, _, err := c.Add(netfmt.C17Bench(), "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Evict(e.info.ID) {
+		t.Fatal("Evict of present entry failed")
+	}
+	if c.Evict(e.info.ID) {
+		t.Fatal("double Evict succeeded")
+	}
+	if _, ok := c.Get(e.info.ID); ok {
+		t.Fatal("entry still reachable after Evict")
+	}
+}
+
+func TestCacheConcurrentSingleflight(t *testing.T) {
+	c := testCache(8)
+	text := netfmt.C17Bench()
+	const n = 32
+	entries := make([]*cacheEntry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.Add(text, "bench", "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if entries[i] != entries[0] {
+			t.Fatalf("goroutine %d got a different entry", i)
+		}
+	}
+	if st := c.Stats(); st.Compiles != 1 {
+		t.Errorf("concurrent adds compiled %d times, want 1 (singleflight)", st.Compiles)
+	}
+}
+
+func TestCacheRawIndexBounded(t *testing.T) {
+	c := testCache(8)
+	text := netfmt.C17Bench()
+	// Upload many distinct whitespace variants of one circuit: all land on
+	// the same entry, and the raw-text index must stay bounded.
+	for i := 0; i < 4*maxRawKeysPerEntry; i++ {
+		variant := text + strings.Repeat("\n", i+1)
+		if _, _, err := c.Add(variant, "bench", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	rawLen := len(c.rawIndex)
+	c.mu.Unlock()
+	if rawLen > maxRawKeysPerEntry {
+		t.Errorf("rawIndex holds %d keys for one circuit, bound is %d", rawLen, maxRawKeysPerEntry)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestCacheParseErrorPropagates(t *testing.T) {
+	c := testCache(8)
+	if _, _, err := c.Add("gate g1 BOGUS y a\n", "net", ""); err == nil {
+		t.Fatal("parse error did not propagate")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("failed add left %d entries", st.Entries)
+	}
+}
+
+func TestAutoFormatUpload(t *testing.T) {
+	// "auto" uploads resolve through netfmt.SniffFormat: both formats must
+	// parse without an explicit format name.
+	c := testCache(8)
+	if _, _, err := c.Add(netfmt.C17Bench(), "auto", ""); err != nil {
+		t.Errorf("auto-sniffed .bench upload failed: %v", err)
+	}
+	if _, _, err := c.Add(nativeText(0), "", ""); err != nil {
+		t.Errorf("auto-sniffed native upload failed: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"halotis/internal/netfmt"
+)
+
+// FuzzDecodeSimRequest hardens the service's JSON request decoder: whatever
+// bytes arrive, decoding must not panic, and every accepted request must
+// satisfy the documented invariants — in particular no NaN/Inf smuggled
+// into times, slews or horizons (the same rejection the text parsers'
+// parseFinite applies).
+func FuzzDecodeSimRequest(f *testing.F) {
+	f.Add([]byte(`{"circuit":"abc","t_end":30,"stimulus":{"a":{"init":true,"edges":[{"t":5,"rising":true,"slew":0.2}]}}}`))
+	f.Add([]byte(`{"netlist":"input a\noutput a\n","format":"net","t_end":1,"stimulus":{}}`))
+	f.Add([]byte(`{"circuit":"x","t_end":1e308,"max_events":1,"min_pulse":0.001,"timeout_ms":50,"waveforms":["y"],"activity":true,"power":true,"vcd":true,"stimulus":{"a":{}}}`))
+	f.Add([]byte(`{"circuit":"x","netlist":"both","t_end":5,"stimulus":{}}`))
+	f.Add([]byte(`{"circuit":"x","t_end":-1,"stimulus":{}}`))
+	f.Add([]byte(`{"circuit":"x","t_end":5,"stimulus":{"a":{"edges":[{"t":-3}]}}}`))
+	f.Add([]byte(`{"circuit":"x","t_end":5,"unknown_field":1,"stimulus":{}}`))
+	f.Add([]byte(`{"circuit":"x","t_end":1e999,"stimulus":{}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSimRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted requests obey the invariants the server relies on.
+		if (req.Circuit == "") == (req.Netlist == "") {
+			t.Fatalf("accepted request with circuit=%q netlist=%q", req.Circuit, req.Netlist)
+		}
+		if !(req.TEnd > 0) || math.IsInf(req.TEnd, 0) {
+			t.Fatalf("accepted non-positive or non-finite t_end %v", req.TEnd)
+		}
+		for _, v := range []float64{req.MinPulse, req.TimeoutMs} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("accepted bad option value %v", v)
+			}
+		}
+		for name, w := range req.Stimulus {
+			if name == "" {
+				t.Fatal("accepted empty input name")
+			}
+			for _, e := range w.Edges {
+				if math.IsNaN(e.T) || math.IsInf(e.T, 0) || e.T < 0 {
+					t.Fatalf("accepted bad edge time %v", e.T)
+				}
+				if math.IsNaN(e.Slew) || math.IsInf(e.Slew, 0) || e.Slew < 0 {
+					t.Fatalf("accepted bad slew %v", e.Slew)
+				}
+			}
+		}
+		// The accepted stimulus must convert into a kernel-valid one.
+		st := req.Stimulus.ToSim()
+		for name, w := range st {
+			prev := math.Inf(-1)
+			for _, e := range w.Edges {
+				if e.Slew <= 0 {
+					t.Fatalf("ToSim produced non-positive slew for %q", name)
+				}
+				if e.Time < prev {
+					t.Fatalf("ToSim produced unsorted edges for %q", name)
+				}
+				prev = e.Time
+			}
+		}
+	})
+}
+
+// FuzzDecodeUploadRequest covers the circuit-upload payload decoder.
+func FuzzDecodeUploadRequest(f *testing.F) {
+	f.Add([]byte(`{"name":"c17","format":"bench","netlist":"INPUT(1)\nOUTPUT(1)\n"}`))
+	f.Add([]byte(`{"netlist":"input a\noutput a\n"}`))
+	f.Add([]byte(`{"format":"bogus","netlist":"x"}`))
+	f.Add([]byte(`{"netlist":""}`))
+	f.Add([]byte(`{"netlist":"x","extra":true}`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeUploadRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if req.Netlist == "" {
+			t.Fatal("accepted empty netlist")
+		}
+		if !validFormat(req.Format) {
+			t.Fatalf("accepted unknown format %q", req.Format)
+		}
+		// Sniffing must never panic, whatever the text contains.
+		if strings.TrimSpace(req.Format) == "" || req.Format == "auto" {
+			_ = netfmt.SniffFormat(req.Netlist)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// routeID indexes the per-endpoint request counters.
+type routeID int
+
+const (
+	routeUpload routeID = iota
+	routeCircuits
+	routeSimulate
+	routeBatch
+	routeHealth
+	routeMetrics
+	routeCount
+)
+
+var routeNames = [routeCount]string{
+	routeUpload:   "upload",
+	routeCircuits: "circuits",
+	routeSimulate: "simulate",
+	routeBatch:    "batch",
+	routeHealth:   "healthz",
+	routeMetrics:  "metrics",
+}
+
+// metrics aggregates the daemon's counters; everything is atomic so the
+// hot path never takes a lock for accounting.
+type metrics struct {
+	start      time.Time
+	requests   [routeCount]atomic.Uint64
+	httpErrors atomic.Uint64
+
+	simRuns   atomic.Uint64
+	simErrors atomic.Uint64
+	simEvents atomic.Uint64
+	simBusyNs atomic.Int64
+}
+
+// recordRun accounts one kernel run (successful or not).
+func (m *metrics) recordRun(events uint64, busy time.Duration, err error) {
+	m.simRuns.Add(1)
+	m.simEvents.Add(events)
+	m.simBusyNs.Add(busy.Nanoseconds())
+	if err != nil {
+		m.simErrors.Add(1)
+	}
+}
+
+// write renders the Prometheus text exposition of the daemon's state.
+func (m *metrics) write(w io.Writer, cache CacheStats, queue QueueStats) {
+	gauge := func(name string, v float64, help string) {
+		fmt.Fprintf(w, "# HELP halotisd_%s %s\n# TYPE halotisd_%s gauge\nhalotisd_%s %g\n",
+			name, help, name, name, v)
+	}
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(w, "# HELP halotisd_%s %s\n# TYPE halotisd_%s counter\nhalotisd_%s %d\n",
+			name, help, name, name, v)
+	}
+	counterF := func(name string, v float64, help string) {
+		fmt.Fprintf(w, "# HELP halotisd_%s %s\n# TYPE halotisd_%s counter\nhalotisd_%s %g\n",
+			name, help, name, name, v)
+	}
+
+	gauge("uptime_seconds", time.Since(m.start).Seconds(), "Seconds since the server started.")
+
+	fmt.Fprintf(w, "# HELP halotisd_requests_total Requests served, by endpoint.\n# TYPE halotisd_requests_total counter\n")
+	for r := routeID(0); r < routeCount; r++ {
+		fmt.Fprintf(w, "halotisd_requests_total{endpoint=%q} %d\n", routeNames[r], m.requests[r].Load())
+	}
+	counter("http_errors_total", m.httpErrors.Load(), "Responses with status >= 400.")
+
+	counter("sim_runs_total", m.simRuns.Load(), "Simulation kernel runs executed.")
+	counter("sim_errors_total", m.simErrors.Load(), "Simulation runs that ended in error.")
+	counter("sim_events_total", m.simEvents.Load(), "Kernel events processed across all runs.")
+	busyS := float64(m.simBusyNs.Load()) / 1e9
+	counterF("sim_busy_seconds_total", busyS, "Wall time spent inside the simulation kernel.")
+	rate := 0.0
+	if busyS > 0 {
+		rate = float64(m.simEvents.Load()) / busyS
+	}
+	gauge("sim_events_per_second", rate, "Kernel throughput: events processed per busy second.")
+
+	gauge("cache_entries", float64(cache.Entries), "Circuits in the compiled-circuit cache.")
+	counter("cache_hits_total", cache.Hits, "Cache lookups that found a compiled circuit.")
+	counter("cache_misses_total", cache.Misses, "Cache lookups that did not.")
+	counter("cache_not_found_total", cache.NotFound, "Lookups of unknown or evicted circuit IDs (excluded from the hit rate).")
+	counter("cache_compiles_total", cache.Compiles, "Parse+compile executions.")
+	counter("cache_evictions_total", cache.Evictions, "LRU evictions.")
+	gauge("cache_hit_rate", cache.HitRate(), "Hits / (hits + misses).")
+	counter("engines_created_total", cache.EnginesCreated, "Simulation engines constructed across all pools.")
+
+	gauge("queue_depth", float64(queue.Depth), "Jobs queued but not yet started.")
+	gauge("queue_capacity", float64(queue.Capacity), "Bound of the job queue.")
+	gauge("queue_workers", float64(queue.Workers), "Worker goroutines executing jobs.")
+	counter("queue_executed_total", queue.Executed, "Jobs executed to completion.")
+	counter("queue_rejected_total", queue.Rejected, "Jobs rejected because the queue was full.")
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"halotis/internal/circ"
+	"halotis/internal/sim"
+)
+
+// engineOpts is the comparable options key an engine pool is selected by:
+// engines prepared with different delay models or kernel limits are not
+// interchangeable, everything else (context, worker count) is per-run.
+type engineOpts struct {
+	Model     sim.Model
+	MinPulse  float64
+	MaxEvents uint64
+}
+
+func (o engineOpts) simOptions() sim.Options {
+	return sim.Options{Model: o.Model, MinPulse: o.MinPulse, MaxEvents: o.MaxEvents}
+}
+
+func (r *RunSpec) engineOpts() engineOpts {
+	m, _ := parseModel(r.Model) // validated upstream
+	o := engineOpts{Model: m, MinPulse: r.MinPulse, MaxEvents: r.MaxEvents}
+	// Normalize explicit spellings of the engine defaults onto one key, so
+	// "max_events omitted" and "max_events: 50000000" share a pool.
+	if o.MinPulse <= 0 {
+		o.MinPulse = sim.DefaultMinPulse
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = sim.DefaultMaxEvents
+	}
+	return o
+}
+
+// enginePools keeps warm, reusable sim.Engine instances for one compiled
+// circuit, one free list per options key. After a pool's engines have been
+// through a warm-up run, steady-state traffic acquires an engine whose
+// buffers are already grown — the zero-allocation reuse path — instead of
+// paying engine construction and buffer growth per request.
+//
+// The free lists are bounded two ways: at most max engines are retained
+// per options key, and at most maxEnginePoolKeys distinct keys retain
+// engines at all (clients sweeping max_events/min_pulse values cannot grow
+// the map without bound — exotic keys still run, their engines just go to
+// the GC on release). Releases beyond either bound drop the engine.
+type enginePools struct {
+	mu      sync.Mutex
+	ir      *circ.Compiled
+	max     int
+	pools   map[engineOpts][]*sim.Engine
+	created *atomic.Uint64
+}
+
+func (p *enginePools) init(ir *circ.Compiled, max int, created *atomic.Uint64) {
+	p.ir = ir
+	p.max = max
+	p.pools = make(map[engineOpts][]*sim.Engine)
+	p.created = created
+}
+
+// acquire pops a warm engine for the options, or builds one.
+func (p *enginePools) acquire(o engineOpts) *sim.Engine {
+	p.mu.Lock()
+	free := p.pools[o]
+	if n := len(free); n > 0 {
+		eng := free[n-1]
+		free[n-1] = nil
+		p.pools[o] = free[:n-1]
+		p.mu.Unlock()
+		return eng
+	}
+	p.mu.Unlock()
+	p.created.Add(1)
+	return sim.NewEngineFromIR(p.ir, o.simOptions())
+}
+
+// maxEnginePoolKeys bounds the distinct options keys one circuit retains
+// warm engines for; see the enginePools comment.
+const maxEnginePoolKeys = 8
+
+// release returns an engine to its pool (or drops it when the per-key free
+// list, or the key count itself, is at its bound).
+func (p *enginePools) release(o engineOpts, eng *sim.Engine) {
+	p.mu.Lock()
+	free, ok := p.pools[o]
+	if !ok && len(p.pools) >= maxEnginePoolKeys {
+		p.mu.Unlock()
+		return
+	}
+	if len(free) < p.max {
+		p.pools[o] = append(free, eng)
+	}
+	p.mu.Unlock()
+}

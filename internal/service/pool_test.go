@@ -1,0 +1,129 @@
+package service
+
+import (
+	"testing"
+
+	"halotis/internal/netfmt"
+	"halotis/internal/sim"
+)
+
+// c17Stimulus builds a small drive over the c17 inputs.
+func c17Stimulus() sim.Stimulus {
+	st := sim.Stimulus{}
+	for i, in := range []string{"1", "2", "3", "6", "7"} {
+		st[in] = sim.InputWave{Edges: []sim.InputEdge{
+			{Time: 2 + float64(i), Rising: true, Slew: 0.2},
+			{Time: 12 + float64(i), Rising: false, Slew: 0.2},
+		}}
+	}
+	return st
+}
+
+func TestEnginePoolReuse(t *testing.T) {
+	c := testCache(4)
+	e, _, err := c.Add(netfmt.C17Bench(), "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engineOpts{Model: sim.DDM}
+	st := c17Stimulus()
+
+	// Sequential steady-state traffic must construct exactly one engine.
+	for i := 0; i < 16; i++ {
+		eng := e.pools.acquire(opts)
+		if _, err := eng.RunContext(nil, st, 30); err != nil {
+			t.Fatal(err)
+		}
+		e.pools.release(opts, eng)
+	}
+	if created := c.Stats().EnginesCreated; created != 1 {
+		t.Errorf("16 sequential runs created %d engines, want 1", created)
+	}
+
+	// A different options key gets its own pool.
+	cdm := engineOpts{Model: sim.CDM}
+	eng := e.pools.acquire(cdm)
+	e.pools.release(cdm, eng)
+	if created := c.Stats().EnginesCreated; created != 2 {
+		t.Errorf("engines created = %d after CDM acquire, want 2", created)
+	}
+}
+
+func TestEnginePoolSteadyStateAllocs(t *testing.T) {
+	c := testCache(4)
+	e, _, err := c.Add(netfmt.C17Bench(), "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engineOpts{Model: sim.DDM}
+	st := c17Stimulus()
+
+	// Warm-up: grow the engine's buffers and seed the pool.
+	eng := e.pools.acquire(opts)
+	if _, err := eng.RunContext(nil, st, 30); err != nil {
+		t.Fatal(err)
+	}
+	e.pools.release(opts, eng)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		eng := e.pools.acquire(opts)
+		if _, err := eng.RunContext(nil, st, 30); err != nil {
+			t.Fatal(err)
+		}
+		e.pools.release(opts, eng)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state acquire/run/release allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+func TestEngineOptsNormalized(t *testing.T) {
+	// Spelling out the engine defaults must map onto the same pool key as
+	// omitting them, so mixed traffic shares one warm-engine free list.
+	implicit := (&RunSpec{TEnd: 30}).engineOpts()
+	explicit := (&RunSpec{TEnd: 30, MaxEvents: sim.DefaultMaxEvents, MinPulse: sim.DefaultMinPulse}).engineOpts()
+	if implicit != explicit {
+		t.Errorf("default spellings diverge: %+v vs %+v", implicit, explicit)
+	}
+	if custom := (&RunSpec{TEnd: 30, MaxEvents: 1000}).engineOpts(); custom == implicit {
+		t.Error("non-default max_events collapsed onto the default key")
+	}
+}
+
+func TestEnginePoolKeyCountBounded(t *testing.T) {
+	c := testCache(4)
+	e, _, err := c.Add(netfmt.C17Bench(), "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client sweeping max_events must not grow the pools map without
+	// bound: beyond maxEnginePoolKeys keys, released engines are dropped.
+	for i := 1; i <= 4*maxEnginePoolKeys; i++ {
+		o := engineOpts{Model: sim.DDM, MaxEvents: uint64(i)}
+		e.pools.release(o, e.pools.acquire(o))
+	}
+	e.pools.mu.Lock()
+	keys := len(e.pools.pools)
+	e.pools.mu.Unlock()
+	if keys > maxEnginePoolKeys {
+		t.Errorf("pools map holds %d keys, bound is %d", keys, maxEnginePoolKeys)
+	}
+}
+
+func TestEnginePoolBounded(t *testing.T) {
+	c := testCache(4) // poolSize 2 per testCache
+	e, _, err := c.Add(netfmt.C17Bench(), "bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engineOpts{Model: sim.DDM}
+	a := e.pools.acquire(opts)
+	b := e.pools.acquire(opts)
+	d := e.pools.acquire(opts)
+	e.pools.release(opts, a)
+	e.pools.release(opts, b)
+	e.pools.release(opts, d) // beyond the bound: dropped
+	if n := len(e.pools.pools[opts]); n != 2 {
+		t.Errorf("pool retained %d engines, bound is 2", n)
+	}
+}

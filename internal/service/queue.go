@@ -1,0 +1,101 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Submit when the bounded job queue is at
+// capacity; callers surface it as 503 with Retry-After.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit once shutdown has begun.
+var ErrClosed = errors.New("service: shutting down")
+
+// workerPool is the bounded job queue and its workers: all CPU-heavy work
+// (compiles, simulation runs) is admitted through Submit, so concurrency is
+// capped at the worker count, backlog at the queue depth, and overload
+// fails fast instead of stacking goroutines.
+type workerPool struct {
+	mu     sync.RWMutex
+	closed bool
+	jobs   chan func()
+	wg     sync.WaitGroup
+
+	workers  int
+	executed atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newWorkerPool(workers, depth int) *workerPool {
+	p := &workerPool{jobs: make(chan func(), depth), workers: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+				p.executed.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a job for the workers. It never blocks: a full queue
+// returns ErrQueueFull, a closing pool ErrClosed.
+func (p *workerPool) Submit(job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Close stops admission and drains: jobs already queued still run to
+// completion; Close returns once the workers have finished them all. It is
+// idempotent.
+func (p *workerPool) Close() {
+	p.mu.Lock()
+	wasClosed := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !wasClosed {
+		close(p.jobs)
+	}
+	p.wg.Wait()
+}
+
+// Depth is the current queued-but-unstarted job count.
+func (p *workerPool) Depth() int { return len(p.jobs) }
+
+// Capacity is the queue bound.
+func (p *workerPool) Capacity() int { return cap(p.jobs) }
+
+// QueueStats is the worker pool's counter snapshot.
+type QueueStats struct {
+	Workers  int    `json:"workers"`
+	Depth    int    `json:"depth"`
+	Capacity int    `json:"capacity"`
+	Executed uint64 `json:"executed"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// Stats snapshots the pool counters.
+func (p *workerPool) Stats() QueueStats {
+	return QueueStats{
+		Workers:  p.workers,
+		Depth:    p.Depth(),
+		Capacity: p.Capacity(),
+		Executed: p.executed.Load(),
+		Rejected: p.rejected.Load(),
+	}
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsJobs(t *testing.T) {
+	p := newWorkerPool(4, 16)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		for {
+			err := p.Submit(func() { ran.Add(1); wg.Done() })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("ran %d jobs, want 64", got)
+	}
+}
+
+func TestQueueFullRejectsFast(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.Close()
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	// Occupy the single worker and wait until it has the job...
+	if err := p.Submit(func() { close(running); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// ...fill the single queue slot...
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// ...now submission must fail fast with ErrQueueFull.
+	if err := p.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on full queue: err = %v, want ErrQueueFull", err)
+	}
+	if p.Stats().Rejected == 0 {
+		t.Error("rejection not counted")
+	}
+	close(gate)
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	p := newWorkerPool(2, 32)
+	var ran atomic.Int64
+	started := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		i := i
+		if err := p.Submit(func() {
+			if i == 0 {
+				close(started)
+			}
+			time.Sleep(2 * time.Millisecond)
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started // at least one job is in flight when Close begins
+	p.Close()
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("Close returned with %d/16 jobs done — did not drain", got)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	p.Close()
+}
+
+func TestQueueConcurrentSubmitAndClose(t *testing.T) {
+	p := newWorkerPool(4, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				err := p.Submit(func() {})
+				if err != nil && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrClosed) {
+					t.Errorf("unexpected Submit error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	p.Close()
+	wg.Wait()
+}

@@ -1,0 +1,370 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"halotis/internal/sim"
+	"halotis/internal/stats"
+	"halotis/internal/vcd"
+)
+
+// Server is the simulation service: an http.Handler plus the cache, engine
+// pools and worker queue behind it. Create with New, mount Handler, Close
+// on shutdown (drains in-flight jobs).
+type Server struct {
+	cfg   Config
+	cache *circuitCache
+	queue *workerPool
+	met   metrics
+	mux   *http.ServeMux
+}
+
+// New builds a Server from the config (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newCircuitCache(cfg.Lib, cfg.CacheSize, cfg.EnginePoolSize),
+		queue: newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+	}
+	s.met.start = time.Now()
+	s.mux.HandleFunc("POST /v1/circuits", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/circuits", s.handleList)
+	s.mux.HandleFunc("GET /v1/circuits/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/circuits/{id}", s.handleEvict)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/simulate/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops job admission and drains: queued and in-flight jobs run to
+// completion before Close returns. Call http.Server.Shutdown first so no
+// new requests arrive while draining.
+func (s *Server) Close() { s.queue.Close() }
+
+// CacheStats snapshots the compiled-circuit cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// QueueStats snapshots the worker-queue counters.
+func (s *Server) QueueStats() QueueStats { return s.queue.Stats() }
+
+// --- response plumbing ---
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing useful left to do.
+		return
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.met.httpErrors.Add(1)
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// writeBusy maps queue admission failures to 503 with a retry hint.
+func (s *Server) writeBusy(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// simStatus maps a run error to an HTTP status: timeouts and cancellations
+// are gateway timeouts, everything else (unknown inputs, oscillation
+// limits) is an unprocessable request.
+func simStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// runCtx derives the run's context from the request: the client's
+// disconnect always cancels; timeout_ms (capped by MaxTimeout) adds a
+// deadline. A timeout_ms too large for time.Duration saturates instead of
+// overflowing, so the operator's MaxTimeout cap always still applies.
+func (s *Server) runCtx(r *http.Request, timeoutMs float64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	var d time.Duration
+	if timeoutMs > 0 {
+		if timeoutMs >= float64(math.MaxInt64)/float64(time.Millisecond) {
+			d = math.MaxInt64
+		} else {
+			d = time.Duration(timeoutMs * float64(time.Millisecond))
+		}
+	}
+	if s.cfg.MaxTimeout > 0 && (d == 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// submitAndWait admits a job to the worker queue and writes its outcome:
+// 503 with Retry-After when the queue refuses it, the job's own status and
+// error otherwise. If the client disconnects first, the handler returns and
+// the buffered channel lets the job finish into the void (simulation jobs
+// observe the canceled request context and abort quickly).
+func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, job func() (any, int, error)) {
+	type out struct {
+		v      any
+		status int
+		err    error
+	}
+	ch := make(chan out, 1)
+	if err := s.queue.Submit(func() {
+		v, status, err := job()
+		ch <- out{v, status, err}
+	}); err != nil {
+		s.writeBusy(w, err)
+		return
+	}
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			s.writeError(w, o.status, o.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, o.v)
+	case <-r.Context().Done():
+	}
+}
+
+// resolve finds the target circuit: by cached ID, or by registering inline
+// netlist text exactly as an upload would.
+func (s *Server) resolve(id, netlistText, format string) (*cacheEntry, int, error) {
+	if id != "" {
+		ent, ok := s.cache.Get(id)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown circuit %q", id)
+		}
+		return ent, 0, nil
+	}
+	ent, _, err := s.cache.Add(netlistText, format, "")
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("parse netlist: %w", err)
+	}
+	return ent, 0, nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeUpload].Add(1)
+	req, err := DecodeUploadRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submitAndWait(w, r, func() (any, int, error) {
+		ent, cached, err := s.cache.Add(req.Netlist, req.Format, req.Name)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, fmt.Errorf("parse netlist: %w", err)
+		}
+		return UploadResponse{CircuitInfo: ent.info, Cached: cached}, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeCircuits].Add(1)
+	s.writeJSON(w, http.StatusOK, s.cache.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeCircuits].Add(1)
+	ent, ok := s.cache.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown circuit %q", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ent.info)
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeCircuits].Add(1)
+	if !s.cache.Evict(r.PathValue("id")) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown circuit %q", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeSimulate].Add(1)
+	req, err := DecodeSimRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.runCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	s.submitAndWait(w, r, func() (any, int, error) {
+		ent, status, err := s.resolve(req.Circuit, req.Netlist, req.Format)
+		if err != nil {
+			return nil, status, err
+		}
+		resp, err := s.runOne(ctx, ent, &req.RunSpec, req.Stimulus.ToSim())
+		if err != nil {
+			return nil, simStatus(err), err
+		}
+		return resp, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeBatch].Add(1)
+	req, err := DecodeBatchRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.runCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	s.submitAndWait(w, r, func() (any, int, error) {
+		ent, status, err := s.resolve(req.Circuit, req.Netlist, req.Format)
+		if err != nil {
+			return nil, status, err
+		}
+		resp := &BatchResponse{Circuit: ent.info.ID, Results: make([]SimResponse, 0, len(req.Stimuli))}
+		for i, st := range req.Stimuli {
+			one, err := s.runOne(ctx, ent, &req.RunSpec, st.ToSim())
+			if err != nil {
+				return nil, simStatus(err), fmt.Errorf("stimulus %d: %w", i, err)
+			}
+			resp.Results = append(resp.Results, *one)
+		}
+		return resp, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeHealth].Add(1)
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		Circuits:      s.cache.Stats().Entries,
+		QueueDepth:    s.queue.Depth(),
+		Workers:       s.cfg.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[routeMetrics].Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.cache.Stats(), s.queue.Stats())
+}
+
+// --- run execution ---
+
+// runOne acquires a warm engine from the circuit's pool, runs one stimulus
+// and materializes the response while the result still aliases engine
+// storage. Steady-state calls perform no engine setup work: the pool hands
+// back a buffer-grown engine and Run reuses it in place.
+func (s *Server) runOne(ctx context.Context, ent *cacheEntry, spec *RunSpec, st sim.Stimulus) (*SimResponse, error) {
+	for _, n := range spec.Waveforms {
+		if ent.ir.NetID(n) < 0 {
+			return nil, fmt.Errorf("unknown net %q in waveforms", n)
+		}
+	}
+	opts := spec.engineOpts()
+	// The event guard bounds how long one request pins a worker; the
+	// operator's cap beats whatever the client asked for.
+	if s.cfg.MaxEvents > 0 && opts.MaxEvents > s.cfg.MaxEvents {
+		opts.MaxEvents = s.cfg.MaxEvents
+	}
+	eng := ent.pools.acquire(opts)
+	defer ent.pools.release(opts, eng)
+
+	res, err := eng.RunContext(ctx, st, spec.TEnd)
+	if err != nil {
+		s.met.recordRun(0, 0, err)
+		return nil, err
+	}
+	s.met.recordRun(res.Stats.EventsProcessed, res.Elapsed, nil)
+	return s.buildResponse(ent, res, spec), nil
+}
+
+func (s *Server) buildResponse(ent *cacheEntry, res *sim.Result, spec *RunSpec) *SimResponse {
+	ir := ent.ir
+	vt := ir.VDD / 2
+	model := "ddm"
+	if res.Model == sim.CDM {
+		model = "cdm"
+	}
+	resp := &SimResponse{
+		Circuit:   ent.info.ID,
+		Model:     model,
+		TEnd:      spec.TEnd,
+		ElapsedNs: res.Elapsed.Nanoseconds(),
+		Stats:     statsOf(res.Stats),
+		Outputs:   res.OutputLogic(spec.TEnd, vt),
+	}
+	if len(spec.Waveforms) > 0 {
+		resp.Waveforms = make(map[string][]Crossing, len(spec.Waveforms))
+		for _, n := range spec.Waveforms {
+			cs := res.Waveform(n).Crossings(vt)
+			out := make([]Crossing, len(cs))
+			for i, c := range cs {
+				out[i] = Crossing{T: c.Time, Rising: c.Rising}
+			}
+			resp.Waveforms[n] = out
+		}
+	}
+	if spec.Activity {
+		tr, en := res.TotalActivity()
+		resp.Activity = &ActivitySummary{Transitions: tr, EnergyNorm: en}
+	}
+	if spec.Power {
+		p := stats.Power(res, spec.TEnd)
+		resp.Power = &PowerSummary{
+			TotalEnergyFJ:  p.TotalEnergy,
+			GlitchEnergyFJ: p.GlitchEnergy,
+			AvgPowerMW:     p.AveragePowerMW(),
+			GlitchFraction: p.GlitchFraction(),
+		}
+	}
+	if spec.VCD {
+		resp.VCD = renderVCD(ent, res, spec, vt)
+	}
+	return resp
+}
+
+func renderVCD(ent *cacheEntry, res *sim.Result, spec *RunSpec, vt float64) string {
+	names := spec.Waveforms
+	if len(names) == 0 {
+		names = ent.info.Outputs
+	}
+	var w vcd.Writer
+	w.Module = ent.info.Name
+	for _, n := range names {
+		wf := res.Waveform(n)
+		sig := vcd.Signal{Name: n, Init: wf.VInit > vt}
+		for _, c := range wf.Crossings(vt) {
+			sig.Changes = append(sig.Changes, vcd.Change{Time: c.Time, Value: c.Rising})
+		}
+		w.Add(sig)
+	}
+	var b strings.Builder
+	if err := w.Write(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

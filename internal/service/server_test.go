@@ -1,0 +1,401 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"halotis/client"
+	"halotis/internal/cellib"
+	"halotis/internal/netfmt"
+	"halotis/internal/service"
+	"halotis/internal/sim"
+)
+
+// newTestService spins up a service over httptest and returns the server
+// internals plus a typed client.
+func newTestService(t *testing.T, cfg service.Config) (*service.Server, *client.Client) {
+	t.Helper()
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, client.New(ts.URL)
+}
+
+// c17WireStimulus drives the c17 inputs on the wire types.
+func c17WireStimulus() client.Stimulus {
+	st := client.Stimulus{}
+	for i, in := range []string{"1", "2", "3", "6", "7"} {
+		st[in] = client.InputWave{Edges: []client.Edge{
+			{T: 2 + float64(i), Rising: true, Slew: 0.2},
+			{T: 12 + float64(i), Rising: false, Slew: 0.2},
+		}}
+	}
+	return st
+}
+
+// TestServiceRoundTrip is the acceptance path: upload a .bench circuit
+// once, run N simulations against its ID, and require that no
+// recompilation happened on the hits and that every result is bit-identical
+// to the in-process engine.
+func TestServiceRoundTrip(t *testing.T) {
+	s, c := newTestService(t, service.Config{})
+	ctx := context.Background()
+
+	up, err := c.UploadCircuit(ctx, client.UploadRequest{Netlist: netfmt.C17Bench(), Format: "bench", Name: "c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Cached {
+		t.Error("first upload reported cached")
+	}
+	if up.Gates != 6 {
+		t.Errorf("c17 gates = %d, want 6", up.Gates)
+	}
+
+	// Reference: the same workload through the in-process engine.
+	lib := cellib.Default06()
+	ckt, err := netfmt.ParseBench(strings.NewReader(netfmt.C17Bench()), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := c17WireStimulus()
+	ref, err := sim.New(ckt, sim.Options{}).Run(service.Stimulus(wire).ToSim(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		res, err := c.Simulate(ctx, client.SimRequest{
+			Circuit:  up.ID,
+			RunSpec:  client.RunSpec{TEnd: 30},
+			Stimulus: wire,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.EventsProcessed != ref.Stats.EventsProcessed ||
+			res.Stats.Transitions != ref.Stats.Transitions ||
+			res.Stats.EventsFiltered != ref.Stats.EventsFiltered {
+			t.Fatalf("run %d diverged from in-process engine: %+v vs %+v", i, res.Stats, ref.Stats)
+		}
+		for name, want := range ref.OutputLogic(30, lib.VDD/2) {
+			if got := res.Outputs[name]; got != want {
+				t.Fatalf("run %d output %q = %v, want %v", i, name, got, want)
+			}
+		}
+	}
+
+	// Recompilation avoided on hits: exactly one compile for upload + N runs.
+	cs := s.CacheStats()
+	if cs.Compiles != 1 {
+		t.Errorf("compiles = %d after upload + %d runs, want 1", cs.Compiles, n)
+	}
+	if rate := cs.HitRate(); rate <= 0.9 {
+		t.Errorf("cache hit rate = %.3f, want > 0.9", rate)
+	}
+}
+
+func TestServiceInlineNetlistAndModels(t *testing.T) {
+	_, c := newTestService(t, service.Config{})
+	ctx := context.Background()
+	for _, model := range []string{"ddm", "cdm"} {
+		res, err := c.Simulate(ctx, client.SimRequest{
+			Netlist:  netfmt.C17Bench(),
+			Format:   "auto",
+			RunSpec:  client.RunSpec{TEnd: 30, Model: model},
+			Stimulus: c17WireStimulus(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if res.Model != model {
+			t.Errorf("model = %q, want %q", res.Model, model)
+		}
+		if res.Stats.EventsProcessed == 0 {
+			t.Errorf("%s: no events processed", model)
+		}
+	}
+}
+
+func TestServiceBatchMatchesSingles(t *testing.T) {
+	_, c := newTestService(t, service.Config{})
+	ctx := context.Background()
+	up, err := c.UploadCircuit(ctx, client.UploadRequest{Netlist: netfmt.C17Bench(), Format: "bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stimuli := make([]client.Stimulus, 6)
+	for i := range stimuli {
+		st := c17WireStimulus()
+		// Stagger one input per stimulus so the runs differ.
+		w := st["1"]
+		w.Edges[0].T += float64(i)
+		st["1"] = w
+		stimuli[i] = st
+	}
+	batch, err := c.SimulateBatch(ctx, client.BatchRequest{
+		Circuit: up.ID,
+		RunSpec: client.RunSpec{TEnd: 40},
+		Stimuli: stimuli,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(stimuli) {
+		t.Fatalf("batch returned %d results, want %d", len(batch.Results), len(stimuli))
+	}
+	for i, st := range stimuli {
+		single, err := c.Simulate(ctx, client.SimRequest{Circuit: up.ID, RunSpec: client.RunSpec{TEnd: 40}, Stimulus: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Results[i].Stats != single.Stats {
+			t.Errorf("stimulus %d: batch stats %+v != single stats %+v", i, batch.Results[i].Stats, single.Stats)
+		}
+	}
+}
+
+func TestServiceReturnOptions(t *testing.T) {
+	_, c := newTestService(t, service.Config{})
+	ctx := context.Background()
+	res, err := c.Simulate(ctx, client.SimRequest{
+		Netlist: netfmt.C17Bench(),
+		RunSpec: client.RunSpec{
+			TEnd:      30,
+			Waveforms: []string{"22", "23"},
+			Activity:  true,
+			Power:     true,
+			VCD:       true,
+		},
+		Stimulus: c17WireStimulus(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waveforms) != 2 {
+		t.Errorf("waveforms = %d entries, want 2", len(res.Waveforms))
+	}
+	if res.Activity == nil || res.Activity.Transitions == 0 {
+		t.Errorf("activity missing or empty: %+v", res.Activity)
+	}
+	if res.Power == nil || res.Power.TotalEnergyFJ <= 0 {
+		t.Errorf("power missing or empty: %+v", res.Power)
+	}
+	if !strings.Contains(res.VCD, "$enddefinitions") {
+		t.Error("VCD payload missing header")
+	}
+
+	// Unknown waveform net is a client error, not a crash.
+	_, err = c.Simulate(ctx, client.SimRequest{
+		Netlist:  netfmt.C17Bench(),
+		RunSpec:  client.RunSpec{TEnd: 30, Waveforms: []string{"no_such_net"}},
+		Stimulus: c17WireStimulus(),
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 422 {
+		t.Fatalf("unknown net: err = %v, want 422", err)
+	}
+}
+
+func TestServiceCircuitRegistry(t *testing.T) {
+	_, c := newTestService(t, service.Config{})
+	ctx := context.Background()
+	up, err := c.UploadCircuit(ctx, client.UploadRequest{Netlist: netfmt.C17Bench(), Format: "bench", Name: "c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	list, err := c.Circuits(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != up.ID {
+		t.Fatalf("list = %+v, want the uploaded circuit", list)
+	}
+	info, err := c.Circuit(ctx, up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "c17" || len(info.Inputs) != 5 {
+		t.Errorf("info = %+v", info)
+	}
+
+	if err := c.Evict(ctx, up.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Circuit(ctx, up.ID); err == nil {
+		t.Fatal("circuit still present after evict")
+	}
+	var apiErr *client.APIError
+	if err := c.Evict(ctx, up.ID); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("double evict: err = %v, want 404", err)
+	}
+
+	// Simulating against the evicted ID is a 404, not a recompile.
+	_, err = c.Simulate(ctx, client.SimRequest{Circuit: up.ID, RunSpec: client.RunSpec{TEnd: 30}, Stimulus: c17WireStimulus()})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("simulate on evicted: err = %v, want 404", err)
+	}
+}
+
+func TestServiceValidationErrors(t *testing.T) {
+	_, c := newTestService(t, service.Config{})
+	ctx := context.Background()
+	cases := []client.SimRequest{
+		{RunSpec: client.RunSpec{TEnd: 30}},                               // no target
+		{Circuit: "x", Netlist: "y", RunSpec: client.RunSpec{TEnd: 30}},   // both targets
+		{Circuit: "x", RunSpec: client.RunSpec{TEnd: 0}},                  // bad horizon
+		{Circuit: "x", RunSpec: client.RunSpec{TEnd: 30, Model: "spice"}}, // bad model
+	}
+	for i, req := range cases {
+		_, err := c.Simulate(ctx, req)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+			t.Errorf("case %d: err = %v, want 400", i, err)
+		}
+	}
+
+	// Malformed netlist text is 422.
+	_, err := c.Simulate(ctx, client.SimRequest{Netlist: "gate g BOGUS y a\n", Format: "net", RunSpec: client.RunSpec{TEnd: 30}})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 422 {
+		t.Fatalf("bad netlist: err = %v, want 422", err)
+	}
+}
+
+// TestServiceMaxEventsCap pins the server-side bound on the client's
+// max_events knob: the operator's cap beats the request.
+func TestServiceMaxEventsCap(t *testing.T) {
+	_, c := newTestService(t, service.Config{MaxEvents: 10}) // c17 workload needs ~24
+	ctx := context.Background()
+	_, err := c.Simulate(ctx, client.SimRequest{
+		Netlist:  netfmt.C17Bench(),
+		RunSpec:  client.RunSpec{TEnd: 30, MaxEvents: 1 << 60},
+		Stimulus: c17WireStimulus(),
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 422 || !strings.Contains(apiErr.Message, "event limit") {
+		t.Fatalf("capped run: err = %v, want 422 event-limit error", err)
+	}
+}
+
+// TestServiceTimeoutCapAppliesToHugeTimeouts pins the overflow behavior of
+// per-request timeouts: a timeout_ms too large for time.Duration must not
+// defeat the operator's MaxTimeout cap.
+func TestServiceTimeoutCapAppliesToHugeTimeouts(t *testing.T) {
+	_, c := newTestService(t, service.Config{MaxTimeout: time.Nanosecond})
+	ctx := context.Background()
+	_, err := c.Simulate(ctx, client.SimRequest{
+		Netlist:  netfmt.C17Bench(),
+		RunSpec:  client.RunSpec{TEnd: 30, TimeoutMs: 1e13},
+		Stimulus: c17WireStimulus(),
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 504 {
+		t.Fatalf("huge timeout_ms under 1ns MaxTimeout: err = %v, want 504", err)
+	}
+}
+
+func TestServiceHealthAndMetrics(t *testing.T) {
+	_, c := newTestService(t, service.Config{})
+	ctx := context.Background()
+	if _, err := c.Simulate(ctx, client.SimRequest{
+		Netlist: netfmt.C17Bench(), RunSpec: client.RunSpec{TEnd: 30}, Stimulus: c17WireStimulus(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Circuits != 1 {
+		t.Errorf("health = %+v", h)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"halotisd_requests_total{endpoint=\"simulate\"} 1",
+		"halotisd_sim_runs_total 1",
+		"halotisd_cache_compiles_total 1",
+		"halotisd_cache_entries 1",
+		"halotisd_queue_workers",
+		"halotisd_sim_events_per_second",
+	} {
+		if !strings.Contains(m, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}
+
+// TestServiceConcurrentTrafficAndDrain hammers the service from many
+// goroutines, then closes it and requires a clean drain: every accepted
+// request completed, and the engines created stay bounded by the pools.
+func TestServiceConcurrentTrafficAndDrain(t *testing.T) {
+	s, c := newTestService(t, service.Config{Workers: 4, QueueDepth: 64, EnginePoolSize: 4})
+	ctx := context.Background()
+	up, err := c.UploadCircuit(ctx, client.UploadRequest{Netlist: netfmt.C17Bench(), Format: "bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, perClient = 8, 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []error
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				_, err := c.Simulate(ctx, client.SimRequest{
+					Circuit: up.ID, RunSpec: client.RunSpec{TEnd: 30}, Stimulus: c17WireStimulus(),
+				})
+				if err != nil {
+					var apiErr *client.APIError
+					if errors.As(err, &apiErr) && apiErr.StatusCode == 503 {
+						continue // backpressure is an acceptable answer
+					}
+					mu.Lock()
+					failures = append(failures, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("concurrent traffic failed: %v", failures[0])
+	}
+
+	cs := s.CacheStats()
+	if cs.Compiles != 1 {
+		t.Errorf("concurrent traffic compiled %d times, want 1", cs.Compiles)
+	}
+	if cs.EnginesCreated > 8 {
+		t.Errorf("created %d engines for 4 workers (pool size 4), want <= 8", cs.EnginesCreated)
+	}
+
+	// Graceful shutdown: Close drains and returns; afterwards the queue
+	// rejects with ErrClosed semantics (503 via HTTP, tested at the queue
+	// level in queue_test.go).
+	s.Close()
+	qs := s.QueueStats()
+	if qs.Depth != 0 {
+		t.Errorf("queue depth %d after Close, want 0 (drained)", qs.Depth)
+	}
+}

@@ -1,0 +1,88 @@
+// Package service is the simulation-as-a-service layer: a long-running
+// HTTP/JSON front end over the compiled-IR simulation kernel, built so that
+// steady-state traffic hits the zero-allocation engine-reuse path the
+// in-process API already provides.
+//
+// Three mechanisms carry the load:
+//
+//   - A content-addressed LRU circuit cache (cache.go): uploaded netlists
+//     are parsed once, compiled once (circ.Compile) and keyed by the stable
+//     content hash of the parsed circuit plus library identity, so
+//     re-uploads — including whitespace-equivalent variants of the same
+//     .bench file — and every subsequent simulate-by-ID request skip
+//     recompilation. Concurrent uploads of the same text are collapsed to
+//     one compile (singleflight).
+//
+//   - Per-(circuit, options) engine pools (pool.go): each cached circuit
+//     keeps warm sim.Engine instances per delay-model configuration;
+//     repeated requests acquire a warmed engine, run with zero steady-state
+//     heap allocations, and return it.
+//
+//   - A bounded job queue with a configurable worker pool (queue.go): all
+//     compile and simulation work is admitted through it, so concurrency is
+//     capped, overload surfaces as fast 503s instead of collapse, and
+//     shutdown drains in-flight jobs.
+//
+// Endpoints (see server.go): POST /v1/circuits (upload+compile), GET
+// /v1/circuits[/{id}] (list/inspect), DELETE /v1/circuits/{id} (evict),
+// POST /v1/simulate and /v1/simulate/batch (run; waveforms, activity,
+// power, VCD on request), GET /healthz and GET /metrics.
+package service
+
+import (
+	"runtime"
+	"time"
+
+	"halotis/internal/cellib"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field has
+// a production-minded default.
+type Config struct {
+	// Lib is the cell library circuits are elaborated onto. Default: the
+	// 0.6 µm library (cellib.Default06).
+	Lib *cellib.Library
+	// Workers is the simulation/compile worker count. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued-but-unstarted jobs; submits
+	// beyond it fail fast with 503. Default: 4x Workers.
+	QueueDepth int
+	// CacheSize bounds the compiled-circuit cache (LRU eviction).
+	// Default 64.
+	CacheSize int
+	// EnginePoolSize bounds the free engines retained per (circuit,
+	// options) pool. Default: Workers.
+	EnginePoolSize int
+	// MaxBodyBytes bounds request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxTimeout is the ceiling on any single request's run time: it caps
+	// client-supplied timeout_ms and applies as the deadline when a
+	// request omits one, so no request can pin a worker longer than the
+	// operator allows. 0 means uncapped.
+	MaxTimeout time.Duration
+	// MaxEvents caps the per-request max_events clients may ask for (the
+	// kernel's oscillation guard, i.e. the bound on how long one request
+	// can pin a worker); 0 means uncapped beyond the engine default.
+	MaxEvents uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.Lib == nil {
+		c.Lib = cellib.Default06()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.EnginePoolSize <= 0 {
+		c.EnginePoolSize = c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}

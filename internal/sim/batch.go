@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,7 +24,17 @@ import (
 //
 // On error the first failure (by stimulus index) is returned; results for
 // stimuli that completed before the failure was observed may be non-nil.
+//
+// RunBatch honors opt.Ctx; RunBatchContext takes the context explicitly.
 func RunBatch(ckt *netlist.Circuit, stimuli []Stimulus, tEnd float64, opt Options) ([]*Result, error) {
+	return RunBatchContext(opt.Ctx, ckt, stimuli, tEnd, opt)
+}
+
+// RunBatchContext is RunBatch with cancellation: once ctx is done, every
+// in-flight run aborts at event-pop granularity and no further stimulus is
+// started; the first per-stimulus error (which wraps ctx.Err() for aborted
+// runs) is returned. A nil ctx means no cancellation.
+func RunBatchContext(ctx context.Context, ckt *netlist.Circuit, stimuli []Stimulus, tEnd float64, opt Options) ([]*Result, error) {
 	opt.setDefaults()
 	results := make([]*Result, len(stimuli))
 	if len(stimuli) == 0 {
@@ -51,7 +62,11 @@ func RunBatch(ckt *netlist.Circuit, stimuli []Stimulus, tEnd float64, opt Option
 				if i >= len(stimuli) {
 					return
 				}
-				res, err := eng.Run(stimuli[i], tEnd)
+				if ctx != nil && ctx.Err() != nil {
+					errs[i] = fmt.Errorf("sim: batch aborted before stimulus started: %w", ctx.Err())
+					continue
+				}
+				res, err := eng.RunContext(ctx, stimuli[i], tEnd)
 				if err != nil {
 					errs[i] = err
 					continue

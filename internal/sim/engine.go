@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -65,6 +66,14 @@ type Engine struct {
 func NewEngine(ckt *netlist.Circuit, opt Options) *Engine {
 	opt.setDefaults()
 	return newEngineFromIR(circ.Compile(ckt), opt)
+}
+
+// NewEngineFromIR prepares a reusable engine directly over a compiled IR,
+// for callers (the batch runner, the service's engine pools) that hold the
+// IR already and must not pay a netlist lookup per engine.
+func NewEngineFromIR(ir *circ.Compiled, opt Options) *Engine {
+	opt.setDefaults()
+	return newEngineFromIR(ir, opt)
 }
 
 func newEngineFromIR(ir *circ.Compiled, opt Options) *Engine {
@@ -135,11 +144,26 @@ func (e *Engine) Reset(st Stimulus) {
 	e.st = Stats{}
 }
 
+// ctxCheckMask batches the cancellation check of RunContext: the context is
+// consulted when EventsProcessed & ctxCheckMask == 0, i.e. before the first
+// pop and every 64 pops after, keeping the per-event cost of cancellation
+// support at one predictable branch.
+const ctxCheckMask = 63
+
 // Run validates and simulates one stimulus until no event at or before tEnd
 // remains. It may be called repeatedly; each call resets the engine state in
 // place first. The returned Result aliases engine storage and is invalidated
-// by the next Run or Reset — Detach it to keep it.
+// by the next Run or Reset — Detach it to keep it. Run honors the engine
+// options' Ctx when one was set; RunContext takes one explicitly.
 func (e *Engine) Run(st Stimulus, tEnd float64) (*Result, error) {
+	return e.RunContext(e.opt.Ctx, st, tEnd)
+}
+
+// RunContext is Run with cancellation: the context's deadline or
+// cancellation aborts the event loop at event-pop granularity (checked every
+// 64 pops), returning an error that wraps ctx.Err(). A nil ctx means no
+// cancellation and adds no per-event cost.
+func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Result, error) {
 	if err := st.Validate(e.ir.InputSet); err != nil {
 		return nil, err
 	}
@@ -148,6 +172,12 @@ func (e *Engine) Run(st Stimulus, tEnd float64) (*Result, error) {
 	e.applyStimulus(st)
 
 	for {
+		if ctx != nil && e.st.EventsProcessed&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run aborted at t=%g ns after %d events: %w",
+					e.now, e.st.EventsProcessed, err)
+			}
+		}
 		tNext, ok := e.q.PeekTime()
 		if !ok || tNext > tEnd {
 			break

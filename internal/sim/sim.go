@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,17 +62,38 @@ type Options struct {
 	// Workers bounds the parallelism of RunBatch: <= 0 means one worker
 	// per available CPU. Single runs ignore it.
 	Workers int
+	// Ctx, when non-nil, cancels runs: Engine.Run and RunBatch abort at
+	// event-pop granularity once the context is done, returning an error
+	// wrapping ctx.Err(). The explicit-context entry points
+	// (Engine.RunContext, RunBatchContext) override it.
+	Ctx context.Context
 }
+
+// Defaults applied by setDefaults. DefaultMinPulse and DefaultMaxEvents
+// are exported so layers above (the service's engine-pool keys) can
+// normalize explicit spellings of the defaults onto one value instead of
+// duplicating the literals. Note the engine's DefaultSlew (0.5 ns, for
+// stimulus edges reaching the kernel with no slew) is distinct from the
+// text/wire stimulus formats' own omitted-slew default of 0.3 ns, which
+// netfmt and the service apply before the stimulus reaches the engine.
+const (
+	// DefaultMinPulse is the default minimum output pulse separation, ns.
+	DefaultMinPulse = 1e-6
+	// DefaultMaxEvents is the default oscillation guard.
+	DefaultMaxEvents = 50_000_000
+	// DefaultInputSlew is the engine's default stimulus edge slew, ns.
+	DefaultInputSlew = 0.5
+)
 
 func (o *Options) setDefaults() {
 	if o.MinPulse <= 0 {
-		o.MinPulse = 1e-6
+		o.MinPulse = DefaultMinPulse
 	}
 	if o.MaxEvents == 0 {
-		o.MaxEvents = 50_000_000
+		o.MaxEvents = DefaultMaxEvents
 	}
 	if o.DefaultSlew <= 0 {
-		o.DefaultSlew = 0.5
+		o.DefaultSlew = DefaultInputSlew
 	}
 }
 
