@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke paper
+.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke paper apicheck apicheck-update
 
-all: build vet fmt-check test
+all: build vet fmt-check test apicheck
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,39 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# apicheck diffs the exported API surface (go doc -all of the three public
+# packages) against the committed golden snapshots in apicompat/, so every
+# public-surface change is deliberate. After an intentional change, run
+# `make apicheck-update` and commit the regenerated snapshots.
+APIPKGS = halotis halotis/api halotis/client
+apicheck: build
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for p in $(APIPKGS); do \
+		n=$$(basename $$p); \
+		$(GO) doc -all $$p > "$$tmp/$$n.txt"; \
+		if ! diff -u "apicompat/$$n.txt" "$$tmp/$$n.txt"; then \
+			echo "apicheck: exported surface of $$p drifted from apicompat/$$n.txt"; \
+			echo "apicheck: if the change is intentional, run 'make apicheck-update' and commit"; \
+			exit 1; \
+		fi; \
+	done; echo "apicheck: exported API surface matches apicompat/"
+
+apicheck-update:
+	@mkdir -p apicompat; \
+	for p in $(APIPKGS); do \
+		$(GO) doc -all $$p > "apicompat/$$(basename $$p).txt"; \
+	done; echo "apicheck-update: wrote apicompat/ snapshots"
+
 # bench regenerates the perf records for this PR: the Table 2 kernel
 # trajectory (BENCH_PR1.json, carried since PR 1), the size-scaling curves
 # over the scalable circuit families (BENCH_PR2.json), and the service load
-# test against an in-process halotisd (BENCH_PR3.json). Bump the *_OUT vars
-# when a new PR adds a new perf record so the trajectory stays comparable.
+# test against an in-process halotisd (BENCH_PR4.json: unique-request,
+# result-cache-hit and batch fan-out throughput; BENCH_PR3.json holds the
+# pre-result-cache trajectory). Bump the *_OUT vars when a new PR adds a
+# new perf record so the trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
 SCALE_OUT ?= BENCH_PR2.json
-SERVE_OUT ?= BENCH_PR3.json
+SERVE_OUT ?= BENCH_PR4.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
@@ -61,7 +86,8 @@ service-smoke: build
 	done; \
 	$(GO) run ./examples/service -addr http://127.0.0.1:8971 && \
 	curl -sf http://127.0.0.1:8971/healthz >/dev/null && \
-	curl -sf http://127.0.0.1:8971/metrics | grep -q '^halotisd_sim_runs_total 5$$'
+	curl -sf http://127.0.0.1:8971/metrics | grep -q '^halotisd_sim_runs_total 1$$' && \
+	curl -sf http://127.0.0.1:8971/metrics | grep -q '^halotisd_result_cache_hits_total 4$$'
 
 # paper regenerates every table and figure of the paper's evaluation.
 paper:

@@ -1,0 +1,130 @@
+package api
+
+import (
+	"strings"
+
+	"halotis/internal/circ"
+	"halotis/internal/sim"
+	"halotis/internal/stats"
+	"halotis/internal/vcd"
+)
+
+// InfoOf describes a compiled circuit for callers of any backend.
+func InfoOf(ir *circ.Compiled) CircuitInfo {
+	ckt := ir.Circuit
+	info := CircuitInfo{
+		ID:    ir.Hash,
+		Name:  ckt.Name,
+		Gates: ir.NumGates(),
+		Nets:  ir.NumNets(),
+		Depth: ckt.Depth(),
+	}
+	for _, in := range ir.Inputs {
+		info.Inputs = append(info.Inputs, ir.NetName[in])
+	}
+	for _, o := range ir.Outputs {
+		info.Outputs = append(info.Outputs, ir.NetName[o])
+	}
+	return info
+}
+
+// Prepare validates the request against a compiled circuit and converts the
+// stimulus to the kernel form. Every failure wraps ErrInvalidRequest, so
+// Local and Remote backends classify malformed requests identically.
+func (r *Request) Prepare(ir *circ.Compiled) (sim.Stimulus, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	for _, n := range r.Waveforms {
+		if ir.NetID(n) < 0 {
+			return nil, invalidf("unknown net %q in waveforms", n)
+		}
+	}
+	st := r.Stimulus.ToSim()
+	if err := st.Validate(ir.InputSet); err != nil {
+		return nil, invalid(err)
+	}
+	return st, nil
+}
+
+func statsOf(s sim.Stats) Stats {
+	return Stats{
+		EventsQueued:        s.EventsQueued,
+		EventsProcessed:     s.EventsProcessed,
+		EventsFiltered:      s.EventsFiltered,
+		Evaluations:         s.Evaluations,
+		Transitions:         s.Transitions,
+		DegradedTransitions: s.DegradedTransitions,
+		FullyDegraded:       s.FullyDegraded,
+	}
+}
+
+// BuildReport materializes the Report for one finished run while the
+// result may still alias engine storage (call it before releasing the
+// engine). Both the Local backend and the service response path go through
+// it, which is what makes Local and Remote reports bit-identical.
+func BuildReport(ir *circ.Compiled, circuitID string, res *sim.Result, req *Request) *Report {
+	vt := ir.VDD / 2
+	rep := &Report{
+		Circuit:   circuitID,
+		Model:     ModelName(res.Model),
+		TEnd:      req.TEnd,
+		ElapsedNs: res.Elapsed.Nanoseconds(),
+		Stats:     statsOf(res.Stats),
+		Outputs:   res.OutputLogic(req.TEnd, vt),
+	}
+	if len(req.Waveforms) > 0 {
+		rep.Waveforms = make(map[string]Waveform, len(req.Waveforms))
+		for _, n := range req.Waveforms {
+			rep.Waveforms[n] = waveformOf(res, n, vt)
+		}
+	}
+	if req.Activity {
+		tr, en := res.TotalActivity()
+		rep.Activity = &ActivitySummary{Transitions: tr, EnergyNorm: en}
+	}
+	if req.Power {
+		p := stats.Power(res, req.TEnd)
+		rep.Power = &PowerSummary{
+			TotalEnergyFJ:  p.TotalEnergy,
+			GlitchEnergyFJ: p.GlitchEnergy,
+			AvgPowerMW:     p.AveragePowerMW(),
+			GlitchFraction: p.GlitchFraction(),
+		}
+	}
+	if req.VCD {
+		names := req.Waveforms
+		if len(names) == 0 {
+			names = InfoOf(ir).Outputs
+		}
+		rep.VCD = renderVCD(ir.Circuit.Name, res, names, vt)
+	}
+	return rep
+}
+
+func waveformOf(res *sim.Result, net string, vt float64) Waveform {
+	wf := res.Waveform(net)
+	out := Waveform{Init: wf.VInit > vt, Crossings: []Crossing{}}
+	for _, c := range wf.Crossings(vt) {
+		out.Crossings = append(out.Crossings, Crossing{T: c.Time, Rising: c.Rising})
+	}
+	return out
+}
+
+func renderVCD(module string, res *sim.Result, names []string, vt float64) string {
+	var w vcd.Writer
+	w.Module = module
+	for _, n := range names {
+		wf := res.Waveform(n)
+		sig := vcd.Signal{Name: n, Init: wf.VInit > vt}
+		for _, c := range wf.Crossings(vt) {
+			sig.Changes = append(sig.Changes, vcd.Change{Time: c.Time, Value: c.Rising})
+		}
+		w.Add(sig)
+	}
+	var b strings.Builder
+	if err := w.Write(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package halotis
+
+import (
+	"context"
+
+	"halotis/api"
+)
+
+// The Session API is the backend-agnostic way to run simulations: open a
+// circuit on a Backend, then issue typed Requests and read typed Reports.
+// Two backends implement it — NewLocal (in-process engine pools over the
+// compiled IR) and NewRemote (a halotisd daemon over HTTP) — and because
+// both consume the same halotis/api request/report types and the same
+// kernel, the Reports they produce for a given (circuit, Request) are
+// bit-identical in every deterministic field. Code written against
+// Backend/Session switches between in-process and remote execution by
+// changing one constructor:
+//
+//	var be halotis.Backend = halotis.NewLocal()
+//	// ... or: be = halotis.NewRemote("http://127.0.0.1:8080")
+//	sess, _ := be.Open(ctx, ckt)
+//	defer sess.Close()
+//	rep, _ := sess.Run(ctx, halotis.Request{
+//	    TEnd:     30,
+//	    Stimulus: halotis.WireStimulus(st),
+//	})
+//
+// The legacy entry points (Simulate, NewEngine, SimulateBatch) remain
+// supported as the in-process convenience surface over the same kernel;
+// see their comments for the compatibility guarantee.
+
+// Request is one simulation ask — stimulus, horizon, model, kernel limits
+// and output selectors. It is the shared wire type of halotis/api: the
+// same value runs against a Local session, a Remote session, or raw
+// halotisd HTTP.
+type Request = api.Request
+
+// Report is the outcome of one Request, identical across backends in
+// every deterministic field (stats, outputs, waveform crossings, activity,
+// power, VCD).
+type Report = api.Report
+
+// CircuitInfo describes a circuit a session holds open, including the
+// content-hash ID it is addressed by.
+type CircuitInfo = api.CircuitInfo
+
+// Typed error taxonomy, shared by every backend: match with errors.Is.
+var (
+	// ErrCircuitNotFound: the session's circuit is no longer held by the
+	// backend (closed locally, or evicted from the daemon's cache).
+	ErrCircuitNotFound = api.ErrCircuitNotFound
+	// ErrOverloaded: admission refused (local concurrency bound, or the
+	// daemon's queue full — carrying a Retry-After hint, see
+	// api.RetryAfter).
+	ErrOverloaded = api.ErrOverloaded
+	// ErrCanceled: the run was aborted by context cancellation/deadline.
+	ErrCanceled = api.ErrCanceled
+	// ErrInvalidRequest: validation failed (bad horizon, unknown model,
+	// malformed stimulus, unknown waveform net).
+	ErrInvalidRequest = api.ErrInvalidRequest
+)
+
+// Backend opens circuits into sessions. Implementations: *LocalBackend,
+// *RemoteBackend.
+type Backend interface {
+	// Open prepares the circuit for simulation on this backend (compiling
+	// it locally, or uploading it to the daemon — both content-addressed
+	// and idempotent) and returns a session over it.
+	Open(ctx context.Context, ckt *Circuit) (Session, error)
+}
+
+// Session is one opened circuit on one backend: issue Requests against it
+// from any number of goroutines. Close releases what the backend holds for
+// this caller; afterwards runs fail with ErrCircuitNotFound.
+type Session interface {
+	// Circuit describes the opened circuit, including its content-hash ID.
+	Circuit() CircuitInfo
+	// Run executes one request and returns its report.
+	Run(ctx context.Context, req Request) (*Report, error)
+	// RunBatch executes many requests — fanned out across workers (local)
+	// or one batch round trip fanned out by the daemon (remote) — and
+	// returns reports in request order. Each report is bit-identical to
+	// what Run of the same request returns; the first failure aborts the
+	// batch.
+	RunBatch(ctx context.Context, reqs []Request) ([]*Report, error)
+	// Close releases the session. Remote circuits stay cached on the
+	// daemon (they are content-addressed and shared); local pools are
+	// dropped.
+	Close() error
+}
+
+// WireStimulus converts an engine stimulus (as built by the package's
+// stimulus helpers: Sequence, MultiplierSequence, PulseTrain,
+// RandomStimulus) to the wire form a Request carries, preserving every
+// edge exactly.
+func WireStimulus(st Stimulus) api.Stimulus { return api.FromSim(st) }

@@ -1,15 +1,20 @@
 // Package client is the typed Go client of the halotisd simulation
 // service: upload circuits once, run simulations against their
 // content-hash IDs, and read service health and metrics. The wire types
-// are shared with the server (internal/service), so a round trip is
-// lossless by construction.
+// are the shared request/report surface of halotis/api — the same structs
+// the server (internal/service) and the in-process Local backend consume —
+// so a round trip is lossless by construction, and errors map back onto
+// the api error taxonomy (errors.Is against api.ErrCircuitNotFound,
+// api.ErrOverloaded, api.ErrCanceled, api.ErrInvalidRequest).
 //
 //	c := client.New("http://127.0.0.1:8080")
 //	up, _ := c.UploadCircuit(ctx, client.UploadRequest{Netlist: benchText, Format: "bench"})
-//	res, _ := c.Simulate(ctx, client.SimRequest{
+//	rep, _ := c.Simulate(ctx, client.SimRequest{
 //	    Circuit: up.ID,
-//	    RunSpec: client.RunSpec{TEnd: 30},
-//	    Stimulus: client.Stimulus{"a": {Edges: []client.Edge{{T: 5, Rising: true, Slew: 0.2}}}},
+//	    Request: client.Request{
+//	        TEnd:     30,
+//	        Stimulus: client.Stimulus{"a": {Edges: []client.Edge{{T: 5, Rising: true, Slew: 0.2}}}},
+//	    },
 //	})
 package client
 
@@ -21,41 +26,78 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
-	"halotis/internal/service"
+	"halotis/api"
 )
 
-// Re-exported wire types: the client speaks exactly the server's API.
+// Re-exported wire types: the client speaks exactly the shared API.
 type (
-	UploadRequest   = service.UploadRequest
-	UploadResponse  = service.UploadResponse
-	CircuitInfo     = service.CircuitInfo
-	Edge            = service.Edge
-	InputWave       = service.InputWave
-	Stimulus        = service.Stimulus
-	RunSpec         = service.RunSpec
-	SimRequest      = service.SimRequest
-	BatchRequest    = service.BatchRequest
-	SimResponse     = service.SimResponse
-	BatchResponse   = service.BatchResponse
-	HealthResponse  = service.HealthResponse
-	ErrorResponse   = service.ErrorResponse
-	Stats           = service.Stats
-	Crossing        = service.Crossing
-	ActivitySummary = service.ActivitySummary
-	PowerSummary    = service.PowerSummary
+	UploadRequest   = api.UploadRequest
+	UploadResponse  = api.UploadResponse
+	CircuitInfo     = api.CircuitInfo
+	Edge            = api.Edge
+	InputWave       = api.InputWave
+	Stimulus        = api.Stimulus
+	Request         = api.Request
+	Report          = api.Report
+	SimRequest      = api.SimRequest
+	BatchRequest    = api.BatchRequest
+	BatchResponse   = api.BatchResponse
+	HealthResponse  = api.HealthResponse
+	ErrorResponse   = api.ErrorResponse
+	Stats           = api.Stats
+	Crossing        = api.Crossing
+	Waveform        = api.Waveform
+	ActivitySummary = api.ActivitySummary
+	PowerSummary    = api.PowerSummary
 )
 
-// APIError is a non-2xx response from the service.
+// APIError is a non-2xx response from the service. It carries the server's
+// machine-readable error code and maps onto the api error taxonomy:
+// errors.Is(err, api.ErrCircuitNotFound / ErrOverloaded / ErrCanceled /
+// ErrInvalidRequest) works on it, and api.RetryAfter(err) recovers the
+// overload retry hint.
 type APIError struct {
 	StatusCode int
-	Message    string
+	// Code is the taxonomy code from the error body (api.Code*), or ""
+	// for bodies that carried none.
+	Code    string
+	Message string
+	// RetryAfter is the server's retry hint on 503 responses.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("halotisd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// As surfaces the overload retry hint: errors.As(err, **api.OverloadedError)
+// — and therefore api.RetryAfter(err) — works on 503 responses.
+func (e *APIError) As(target any) bool {
+	if oe, ok := target.(**api.OverloadedError); ok && e.Is(api.ErrOverloaded) {
+		*oe = &api.OverloadedError{RetryAfter: e.RetryAfter, Cause: e}
+		return true
+	}
+	return false
+}
+
+// Is maps the wire code (or, for codeless bodies, the HTTP status) onto
+// the api error taxonomy sentinels.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case api.ErrCircuitNotFound:
+		return e.Code == api.CodeNotFound || (e.Code == "" && e.StatusCode == http.StatusNotFound)
+	case api.ErrOverloaded:
+		return e.Code == api.CodeOverloaded || (e.Code == "" && e.StatusCode == http.StatusServiceUnavailable)
+	case api.ErrCanceled:
+		return e.Code == api.CodeCanceled || (e.Code == "" && e.StatusCode == http.StatusGatewayTimeout)
+	case api.ErrInvalidRequest:
+		return e.Code == api.CodeInvalidRequest || (e.Code == "" && e.StatusCode == http.StatusBadRequest)
+	}
+	return false
 }
 
 // Client talks to one halotisd instance.
@@ -88,6 +130,28 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
+func apiError(resp *http.Response) *APIError {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	var body ErrorResponse
+	if data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+		if json.Unmarshal(data, &body) == nil && body.Error != "" {
+			apiErr.Message = body.Error
+			apiErr.Code = body.Code
+			if body.RetryAfterMs > 0 {
+				apiErr.RetryAfter = time.Duration(body.RetryAfterMs) * time.Millisecond
+			}
+		} else {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+	}
+	if apiErr.RetryAfter == 0 {
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			apiErr.RetryAfter = time.Duration(s) * time.Second
+		}
+	}
+	return apiErr
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -106,20 +170,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		// A transport failure caused by the caller's context maps onto
+		// the taxonomy like a server-side cancellation would.
+		if ctx.Err() != nil {
+			return api.Canceled(err)
+		}
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var apiErr ErrorResponse
-		msg := ""
-		if data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
-			if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-				msg = apiErr.Error
-			} else {
-				msg = strings.TrimSpace(string(data))
-			}
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return apiError(resp)
 	}
 	if out == nil {
 		return nil
@@ -138,16 +198,17 @@ func (c *Client) UploadCircuit(ctx context.Context, req UploadRequest) (*UploadR
 	return &resp, nil
 }
 
-// Simulate runs one stimulus.
-func (c *Client) Simulate(ctx context.Context, req SimRequest) (*SimResponse, error) {
-	var resp SimResponse
+// Simulate runs one request.
+func (c *Client) Simulate(ctx context.Context, req SimRequest) (*Report, error) {
+	var resp Report
 	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// SimulateBatch runs many stimuli against one circuit.
+// SimulateBatch runs many requests against one circuit; the server fans
+// them out across its worker pool.
 func (c *Client) SimulateBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
 	var resp BatchResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/simulate/batch", req, &resp); err != nil {

@@ -20,10 +20,14 @@ import (
 	"halotis/internal/service"
 )
 
-// ServePoint is one measured (workload, concurrency) configuration of the
-// service load test, serialized into BENCH_PR3.json.
+// ServePoint is one measured (workload, mode, concurrency) configuration
+// of the service load test, serialized into the BENCH_PR*.json record.
+// Mode "unique" sends a distinct stimulus per request (every request runs
+// the kernel); mode "repeat" re-sends one identical request (steady state
+// is served from the daemon's result cache without a kernel run).
 type ServePoint struct {
 	Circuit      string  `json:"circuit"`
+	Mode         string  `json:"mode"`
 	Gates        int     `json:"gates"`
 	Clients      int     `json:"clients"`
 	Requests     int     `json:"requests"`
@@ -33,14 +37,30 @@ type ServePoint struct {
 	EventsPerReq uint64  `json:"events_per_req"`
 }
 
+// BatchPoint measures the batch endpoint's fan-out: one request carrying
+// many distinct jobs, executed across the daemon's worker pool.
+type BatchPoint struct {
+	Circuit        string  `json:"circuit"`
+	JobsPerBatch   int     `json:"jobs_per_batch"`
+	Batches        int     `json:"batches"`
+	JobsPerSec     float64 `json:"jobs_per_sec"`
+	Workers        int     `json:"workers"`
+	PeakInFlight   int64   `json:"peak_in_flight"`
+	EventsPerJob   uint64  `json:"events_per_job"`
+	BatchWallMsP50 float64 `json:"batch_wall_ms_p50"`
+}
+
 // ServeReport is the JSON document emitted by -exp serve.
 type ServeReport struct {
-	GoVersion    string             `json:"go_version"`
-	GOMAXPROCS   int                `json:"gomaxprocs"`
-	RunsPerConc  int                `json:"requests_per_client"`
-	Points       []ServePoint       `json:"points"`
-	Cache        service.CacheStats `json:"cache"`
-	CacheHitRate float64            `json:"cache_hit_rate"`
+	GoVersion          string                   `json:"go_version"`
+	GOMAXPROCS         int                      `json:"gomaxprocs"`
+	RunsPerConc        int                      `json:"requests_per_client"`
+	Points             []ServePoint             `json:"points"`
+	BatchPoints        []BatchPoint             `json:"batch_points"`
+	Cache              service.CacheStats       `json:"cache"`
+	CacheHitRate       float64                  `json:"cache_hit_rate"`
+	ResultCache        service.ResultCacheStats `json:"result_cache"`
+	ResultCacheHitRate float64                  `json:"result_cache_hit_rate"`
 }
 
 func parseConcList(s string) ([]int, error) {
@@ -62,13 +82,19 @@ func parseConcList(s string) ([]int, error) {
 	return out, nil
 }
 
-// toggleStimulus drives every listed input with a staggered rise/fall pair.
-func toggleStimulus(inputs []string) client.Stimulus {
+// toggleStimulus drives every listed input with a staggered rise/fall
+// pair; variant perturbs the edge times so distinct variants hash to
+// distinct result-cache keys (variant 0 reproduces the warm-up request).
+// The offset must stay collision-free across every sweep of one workload,
+// so the variant feeds in unwrapped — callers allocate variants from one
+// monotonic counter per workload.
+func toggleStimulus(inputs []string, variant int) client.Stimulus {
+	dt := 0.0001 * float64(variant)
 	st := client.Stimulus{}
 	for i, in := range inputs {
 		st[in] = client.InputWave{Edges: []client.Edge{
-			{T: 2 + 0.37*float64(i%16), Rising: true, Slew: 0.2},
-			{T: 12 + 0.37*float64(i%16), Rising: false, Slew: 0.2},
+			{T: 2 + 0.37*float64(i%16) + dt, Rising: true, Slew: 0.2},
+			{T: 12 + 0.37*float64(i%16) + dt, Rising: false, Slew: 0.2},
 		}}
 	}
 	return st
@@ -84,10 +110,13 @@ func percentile(sorted []time.Duration, p float64) float64 {
 
 // serveExperiment stands up an in-process halotisd (the production handler
 // over httptest's real TCP listener), uploads each workload circuit once,
-// then sweeps concurrent clients firing simulate-by-ID requests — the
-// steady-state path every request after the first is supposed to serve
-// from the compiled-circuit cache and warm engine pools. It records
-// requests/sec, p50/p99 latency and the final cache hit rate.
+// then measures three paths: "unique" — concurrent clients firing
+// distinct simulate-by-ID requests (the compiled-circuit cache and warm
+// engine pools carry the load; every request runs the kernel); "repeat" —
+// the same clients re-sending one identical request (the result cache
+// answers without a kernel run); and the batch endpoint fanning many jobs
+// per request across the worker pool. It records requests/sec, p50/p99
+// latency, batch jobs/sec and the final cache + result-cache hit rates.
 func serveExperiment(lib *cellib.Library, jsonPath, concFlag string, runs int) (string, error) {
 	if runs < 1 {
 		return "", fmt.Errorf("-serveruns must be >= 1, got %d", runs)
@@ -143,77 +172,164 @@ func serveExperiment(lib *cellib.Library, jsonPath, concFlag string, runs int) (
 	var b strings.Builder
 	fmt.Fprintf(&b, "Service load test (%d requests/client, %s, %d workers)\n",
 		runs, rep.GoVersion, runtime.GOMAXPROCS(0))
-	fmt.Fprintf(&b, "%-10s %8s %8s %10s %12s %10s %10s\n",
-		"circuit", "gates", "clients", "requests", "req/s", "p50(us)", "p99(us)")
+	fmt.Fprintf(&b, "%-10s %-7s %8s %8s %10s %12s %10s %10s\n",
+		"circuit", "mode", "gates", "clients", "requests", "req/s", "p50(us)", "p99(us)")
+
+	// nextVariant allocates result-cache-distinct stimulus variants; it
+	// advances across sweeps so no "unique" request ever repeats an
+	// earlier sweep's key (which the result cache would serve without a
+	// kernel run, contaminating the measurement). Reset per workload.
+	nextVariant := 1
+
+	sweep := func(wl workload, up *client.UploadResponse, mode string, conc int, events uint64) error {
+		latencies := make([][]time.Duration, conc)
+		errs := make([]error, conc)
+		base := nextVariant
+		nextVariant += conc * runs
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < conc; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				lat := make([]time.Duration, 0, runs)
+				for i := 0; i < runs; i++ {
+					variant := 0 // "repeat": every request identical
+					if mode == "unique" {
+						variant = base + g*runs + i
+					}
+					req := client.SimRequest{
+						Circuit: up.ID,
+						Request: client.Request{TEnd: 30, Stimulus: toggleStimulus(up.Inputs, variant)},
+					}
+					t0 := time.Now()
+					if _, err := cl.Simulate(ctx, req); err != nil {
+						errs[g] = err
+						return
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				latencies[g] = lat
+			}(g)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("%s %s @ %d clients: %w", wl.name, mode, conc, err)
+			}
+		}
+
+		var all []time.Duration
+		for _, lat := range latencies {
+			all = append(all, lat...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p := ServePoint{
+			Circuit:      wl.name,
+			Mode:         mode,
+			Gates:        up.Gates,
+			Clients:      conc,
+			Requests:     len(all),
+			ReqPerSec:    float64(len(all)) / wall.Seconds(),
+			P50Us:        percentile(all, 0.50),
+			P99Us:        percentile(all, 0.99),
+			EventsPerReq: events,
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Fprintf(&b, "%-10s %-7s %8d %8d %10d %12.0f %10.0f %10.0f\n",
+			p.Circuit, p.Mode, p.Gates, p.Clients, p.Requests, p.ReqPerSec, p.P50Us, p.P99Us)
+		return nil
+	}
 
 	for _, wl := range workloads {
+		nextVariant = 1 // keys are per-circuit; restart the space per workload
 		up, err := cl.UploadCircuit(ctx, client.UploadRequest{Name: wl.name, Format: wl.fmt, Netlist: wl.text})
 		if err != nil {
 			return "", fmt.Errorf("upload %s: %w", wl.name, err)
 		}
-		st := toggleStimulus(up.Inputs)
-		req := client.SimRequest{Circuit: up.ID, RunSpec: client.RunSpec{TEnd: 30}, Stimulus: st}
 
 		// One warm-up request per workload primes the engine pools.
-		warm, err := cl.Simulate(ctx, req)
+		warm, err := cl.Simulate(ctx, client.SimRequest{
+			Circuit: up.ID,
+			Request: client.Request{TEnd: 30, Stimulus: toggleStimulus(up.Inputs, 0)},
+		})
 		if err != nil {
 			return "", fmt.Errorf("warm-up %s: %w", wl.name, err)
 		}
 
-		for _, conc := range concs {
-			latencies := make([][]time.Duration, conc)
-			errs := make([]error, conc)
-			var wg sync.WaitGroup
-			start := time.Now()
-			for g := 0; g < conc; g++ {
-				wg.Add(1)
-				go func(g int) {
-					defer wg.Done()
-					lat := make([]time.Duration, 0, runs)
-					for i := 0; i < runs; i++ {
-						t0 := time.Now()
-						if _, err := cl.Simulate(ctx, req); err != nil {
-							errs[g] = err
-							return
-						}
-						lat = append(lat, time.Since(t0))
-					}
-					latencies[g] = lat
-				}(g)
-			}
-			wg.Wait()
-			wall := time.Since(start)
-			for _, err := range errs {
-				if err != nil {
-					return "", fmt.Errorf("%s @ %d clients: %w", wl.name, conc, err)
+		for _, mode := range []string{"unique", "repeat"} {
+			for _, conc := range concs {
+				if err := sweep(wl, up, mode, conc, warm.Stats.EventsProcessed); err != nil {
+					return "", err
 				}
 			}
-
-			var all []time.Duration
-			for _, lat := range latencies {
-				all = append(all, lat...)
-			}
-			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-			p := ServePoint{
-				Circuit:      wl.name,
-				Gates:        up.Gates,
-				Clients:      conc,
-				Requests:     len(all),
-				ReqPerSec:    float64(len(all)) / wall.Seconds(),
-				P50Us:        percentile(all, 0.50),
-				P99Us:        percentile(all, 0.99),
-				EventsPerReq: warm.Stats.EventsProcessed,
-			}
-			rep.Points = append(rep.Points, p)
-			fmt.Fprintf(&b, "%-10s %8d %8d %10d %12.0f %10.0f %10.0f\n",
-				p.Circuit, p.Gates, p.Clients, p.Requests, p.ReqPerSec, p.P50Us, p.P99Us)
 		}
+
+		// Batch fan-out: one client, each request carrying jobsPerBatch
+		// distinct jobs spread across the worker pool. A dedicated daemon
+		// instance isolates the measurement — its queue's in-flight
+		// high-water mark then describes batch overlap alone, not residue
+		// of the concurrency sweeps above.
+		bsvc := service.New(service.Config{})
+		bts := httptest.NewServer(bsvc.Handler())
+		bcl := client.New(bts.URL)
+		bup, err := bcl.UploadCircuit(ctx, client.UploadRequest{Name: wl.name, Format: wl.fmt, Netlist: wl.text})
+		if err != nil {
+			bts.Close()
+			bsvc.Close()
+			return "", fmt.Errorf("batch upload %s: %w", wl.name, err)
+		}
+		const jobsPerBatch = 32
+		batches := runs/4 + 1
+		jobs := make([]client.Request, jobsPerBatch)
+		walls := make([]time.Duration, 0, batches)
+		start := time.Now()
+		var batchErr error
+		for n := 0; n < batches; n++ {
+			for j := range jobs {
+				jobs[j] = client.Request{TEnd: 30, Stimulus: toggleStimulus(bup.Inputs, nextVariant+n*jobsPerBatch+j)}
+			}
+			t0 := time.Now()
+			if _, err := bcl.SimulateBatch(ctx, client.BatchRequest{Circuit: bup.ID, Requests: jobs}); err != nil {
+				batchErr = fmt.Errorf("batch %s: %w", wl.name, err)
+				break
+			}
+			walls = append(walls, time.Since(t0))
+		}
+		wall := time.Since(start)
+		nextVariant += batches * jobsPerBatch
+		peak := bsvc.QueueStats().PeakInFlight
+		bts.Close()
+		bsvc.Close()
+		if batchErr != nil {
+			return "", batchErr
+		}
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		bp := BatchPoint{
+			Circuit:        wl.name,
+			JobsPerBatch:   jobsPerBatch,
+			Batches:        batches,
+			JobsPerSec:     float64(jobsPerBatch*batches) / wall.Seconds(),
+			Workers:        runtime.GOMAXPROCS(0),
+			PeakInFlight:   peak,
+			EventsPerJob:   warm.Stats.EventsProcessed,
+			BatchWallMsP50: percentile(walls, 0.50) / 1e3,
+		}
+		rep.BatchPoints = append(rep.BatchPoints, bp)
+		fmt.Fprintf(&b, "%-10s batch  %8d jobs x %d batches %12.0f jobs/s (peak in-flight %d)\n",
+			bp.Circuit, bp.JobsPerBatch, bp.Batches, bp.JobsPerSec, bp.PeakInFlight)
 	}
 
 	rep.Cache = svc.CacheStats()
 	rep.CacheHitRate = rep.Cache.HitRate()
-	fmt.Fprintf(&b, "cache: %d compiles, %d hits, %d misses (hit rate %.4f), %d engines created\n",
+	rep.ResultCache = svc.ResultCacheStats()
+	rep.ResultCacheHitRate = rep.ResultCache.HitRate()
+	fmt.Fprintf(&b, "circuit cache: %d compiles, %d hits, %d misses (hit rate %.4f), %d engines created\n",
 		rep.Cache.Compiles, rep.Cache.Hits, rep.Cache.Misses, rep.CacheHitRate, rep.Cache.EnginesCreated)
+	fmt.Fprintf(&b, "result cache: %d hits, %d misses (hit rate %.4f), %d entries, %d evictions\n",
+		rep.ResultCache.Hits, rep.ResultCache.Misses, rep.ResultCacheHitRate,
+		rep.ResultCache.Entries, rep.ResultCache.Evictions)
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -4,19 +4,28 @@
 // selected delay model, and writes statistics plus optional VCD or ASCII
 // waveforms.
 //
+// The ddm/cdm models run through the backend-agnostic Session API, so the
+// same invocation executes in-process by default or against a halotisd
+// daemon with -remote — identical output either way (reports are
+// bit-identical across backends). The classic inertial baseline is
+// local-only.
+//
 // Usage:
 //
 //	halotis -net circuit.net -stim drive.stim [-format auto|net|bench]
 //	        [-model ddm|cdm|classic] [-t 30] [-vcd out.vcd] [-view]
-//	        [-nets s0,s1,...]
+//	        [-nets s0,s1,...] [-remote http://host:8080]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"halotis"
 	"halotis/internal/buildinfo"
 	"halotis/internal/cellib"
 	"halotis/internal/netfmt"
@@ -36,6 +45,7 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write VCD waveforms to this file")
 	view := flag.Bool("view", false, "print ASCII waveforms of the primary outputs")
 	netsFlag := flag.String("nets", "", "comma-separated nets for -vcd/-view (default: primary outputs)")
+	remote := flag.String("remote", "", "run against a halotisd daemon at this base URL instead of in-process")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -48,13 +58,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*netPath, *format, *stimPath, *model, *tEnd, *vcdPath, *view, *netsFlag); err != nil {
+	if err := run(*netPath, *format, *stimPath, *model, *tEnd, *vcdPath, *view, *netsFlag, *remote); err != nil {
 		fmt.Fprintf(os.Stderr, "halotis: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(netPath, format, stimPath, model string, tEnd float64, vcdPath string, view bool, netsFlag string) error {
+// netWave is one net's logic trace, whichever engine produced it.
+type netWave struct {
+	name string
+	init bool
+	cs   []wave.Crossing
+}
+
+func run(netPath, format, stimPath, model string, tEnd float64, vcdPath string, view bool, netsFlag, remote string) error {
 	lib := cellib.Default06()
 	f, ok := netfmt.FormatByName(format)
 	if !ok {
@@ -74,36 +91,18 @@ func run(netPath, format, stimPath, model string, tEnd float64, vcdPath string, 
 	}
 
 	nets := selectNets(ckt, netsFlag)
-
-	type netWave struct {
-		name string
-		init bool
-		cs   []wave.Crossing
-	}
 	var waves []netWave
-	vdd := lib.VDD
 
 	switch model {
 	case "ddm", "cdm":
-		m := sim.DDM
-		if model == "cdm" {
-			m = sim.CDM
-		}
-		res, err := sim.New(ckt, sim.Options{Model: m}).Run(st, tEnd)
+		waves, err = runSession(ckt, st, model, tEnd, nets, remote)
 		if err != nil {
 			return err
 		}
-		s := res.Stats
-		fmt.Printf("%s: %s\n", ckt.Name, ckt.Stats())
-		fmt.Printf("model=%s t=%gns kernel=%v\n", m, tEnd, res.Elapsed)
-		fmt.Printf("events: %d processed, %d filtered, %d queued; %d transitions (%d degraded, %d fully)\n",
-			s.EventsProcessed, s.EventsFiltered, s.EventsQueued,
-			s.Transitions, s.DegradedTransitions, s.FullyDegraded)
-		for _, n := range nets {
-			wf := res.Waveform(n)
-			waves = append(waves, netWave{name: n, init: wf.VInit > vdd/2, cs: wf.Crossings(vdd / 2)})
-		}
 	case "classic":
+		if remote != "" {
+			return fmt.Errorf("-remote supports ddm and cdm only (the classic baseline runs in-process)")
+		}
 		res, err := sim.RunClassic(ckt, st, tEnd, sim.ClassicOptions{})
 		if err != nil {
 			return err
@@ -113,6 +112,7 @@ func run(netPath, format, stimPath, model string, tEnd float64, vcdPath string, 
 		fmt.Printf("model=classic-inertial t=%gns kernel=%v\n", tEnd, res.Elapsed)
 		fmt.Printf("events: %d processed, %d filtered; %d transitions\n",
 			s.EventsProcessed, s.EventsFiltered, s.Transitions)
+		vdd := lib.VDD
 		for _, n := range nets {
 			wf := res.Waveform(n)
 			waves = append(waves, netWave{name: n, init: wf.VInit > vdd/2, cs: wf.Crossings(vdd / 2)})
@@ -159,6 +159,52 @@ func run(netPath, format, stimPath, model string, tEnd float64, vcdPath string, 
 		fmt.Print(v.Render())
 	}
 	return nil
+}
+
+// runSession executes the run through the Session API: the Local backend
+// by default, a Remote one when a daemon URL is given. The printed report
+// is the same either way.
+func runSession(ckt *netlist.Circuit, st sim.Stimulus, model string, tEnd float64, nets []string, remote string) ([]netWave, error) {
+	ctx := context.Background()
+	var be halotis.Backend = halotis.NewLocal()
+	where := "local"
+	if remote != "" {
+		be = halotis.NewRemote(remote)
+		where = remote
+	}
+	sess, err := be.Open(ctx, ckt)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	rep, err := sess.Run(ctx, halotis.Request{
+		Model:     model,
+		TEnd:      tEnd,
+		Stimulus:  halotis.WireStimulus(st),
+		Waveforms: nets,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := rep.Stats
+	fmt.Printf("%s: %s\n", ckt.Name, ckt.Stats())
+	fmt.Printf("model=%s t=%gns backend=%s kernel=%v\n", rep.Model, tEnd, where, time.Duration(rep.ElapsedNs))
+	fmt.Printf("events: %d processed, %d filtered, %d queued; %d transitions (%d degraded, %d fully)\n",
+		s.EventsProcessed, s.EventsFiltered, s.EventsQueued,
+		s.Transitions, s.DegradedTransitions, s.FullyDegraded)
+
+	waves := make([]netWave, 0, len(nets))
+	for _, n := range nets {
+		wf := rep.Waveforms[n]
+		nw := netWave{name: n, init: wf.Init, cs: make([]wave.Crossing, len(wf.Crossings))}
+		for i, c := range wf.Crossings {
+			nw.cs[i] = wave.Crossing{Time: c.T, Rising: c.Rising}
+		}
+		waves = append(waves, nw)
+	}
+	return waves, nil
 }
 
 // selectNets resolves -nets (or defaults to primary outputs).

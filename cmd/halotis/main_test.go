@@ -1,12 +1,14 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"halotis/internal/netfmt"
+	"halotis/internal/service"
 )
 
 const testNet = `
@@ -36,11 +38,11 @@ func TestRunEndToEnd(t *testing.T) {
 	stim := writeTemp(t, "demo.stim", testStim)
 	vcdOut := filepath.Join(t.TempDir(), "out.vcd")
 	for _, model := range []string{"ddm", "cdm", "classic"} {
-		if err := run(net, "auto", stim, model, 20, "", false, ""); err != nil {
+		if err := run(net, "auto", stim, model, 20, "", false, "", ""); err != nil {
 			t.Errorf("model %s: %v", model, err)
 		}
 	}
-	if err := run(net, "auto", stim, "ddm", 20, vcdOut, true, "y,n1"); err != nil {
+	if err := run(net, "auto", stim, "ddm", 20, vcdOut, true, "y,n1", ""); err != nil {
 		t.Fatalf("vcd/view run: %v", err)
 	}
 	data, err := os.ReadFile(vcdOut)
@@ -57,19 +59,19 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunBenchFormat(t *testing.T) {
 	bench := writeTemp(t, "c17.bench", netfmt.C17Bench())
 	stim := writeTemp(t, "c17.stim", "init 3 1\nedge 1 1 rise 0.2\n")
-	if err := run(bench, "auto", stim, "ddm", 20, "", false, ""); err != nil {
+	if err := run(bench, "auto", stim, "ddm", 20, "", false, "", ""); err != nil {
 		t.Errorf("auto-detected .bench run: %v", err)
 	}
-	if err := run(bench, "bench", stim, "cdm", 20, "", false, ""); err != nil {
+	if err := run(bench, "bench", stim, "cdm", 20, "", false, "", ""); err != nil {
 		t.Errorf("explicit -format bench run: %v", err)
 	}
 	// Forcing the wrong parser onto a .bench file must fail.
-	if err := run(bench, "net", stim, "ddm", 20, "", false, ""); err == nil {
+	if err := run(bench, "net", stim, "ddm", 20, "", false, "", ""); err == nil {
 		t.Error("-format net accepted a .bench file")
 	}
 	// A .bench file under a neutral extension works with the explicit flag.
 	plain := writeTemp(t, "c17.txt", netfmt.C17Bench())
-	if err := run(plain, "bench", stim, "ddm", 20, "", false, ""); err != nil {
+	if err := run(plain, "bench", stim, "ddm", 20, "", false, "", ""); err != nil {
 		t.Errorf("-format bench on .txt: %v", err)
 	}
 }
@@ -77,20 +79,20 @@ func TestRunBenchFormat(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	net := writeTemp(t, "demo.net", testNet)
 	stim := writeTemp(t, "demo.stim", testStim)
-	if err := run("missing.net", "auto", stim, "ddm", 20, "", false, ""); err == nil {
+	if err := run("missing.net", "auto", stim, "ddm", 20, "", false, "", ""); err == nil {
 		t.Error("missing netlist accepted")
 	}
-	if err := run(net, "auto", "missing.stim", "ddm", 20, "", false, ""); err == nil {
+	if err := run(net, "auto", "missing.stim", "ddm", 20, "", false, "", ""); err == nil {
 		t.Error("missing stimulus accepted")
 	}
-	if err := run(net, "auto", stim, "frob", 20, "", false, ""); err == nil {
+	if err := run(net, "auto", stim, "frob", 20, "", false, "", ""); err == nil {
 		t.Error("bad model accepted")
 	}
-	if err := run(net, "frob", stim, "ddm", 20, "", false, ""); err == nil {
+	if err := run(net, "frob", stim, "ddm", 20, "", false, "", ""); err == nil {
 		t.Error("bad format accepted")
 	}
 	bad := writeTemp(t, "bad.net", "gate g1 FROB2 x a\n")
-	err := run(bad, "auto", stim, "ddm", 20, "", false, "")
+	err := run(bad, "auto", stim, "ddm", 20, "", false, "", "")
 	if err == nil {
 		t.Fatal("bad netlist accepted")
 	}
@@ -101,18 +103,68 @@ func TestRunErrors(t *testing.T) {
 	}
 	// Builder validation errors (not ParseErrors) must carry the file too.
 	dup := writeTemp(t, "dup.net", "input a\noutput y\ngate g1 INV y a\ngate g2 INV y a\n")
-	if err := run(dup, "auto", stim, "ddm", 20, "", false, ""); err == nil || !strings.Contains(err.Error(), "dup.net") {
+	if err := run(dup, "auto", stim, "ddm", 20, "", false, "", ""); err == nil || !strings.Contains(err.Error(), "dup.net") {
 		t.Errorf("builder error %v does not carry the file name", err)
 	}
 	badStim := writeTemp(t, "bad.stim", "edge a frob rise\n")
-	if err := run(net, "auto", badStim, "ddm", 20, "", false, ""); err == nil || !strings.Contains(err.Error(), "bad.stim") {
+	if err := run(net, "auto", badStim, "ddm", 20, "", false, "", ""); err == nil || !strings.Contains(err.Error(), "bad.stim") {
 		t.Errorf("stimulus parse error %v does not carry the file name", err)
 	}
 }
 
 func TestRunQuiescent(t *testing.T) {
 	net := writeTemp(t, "demo.net", testNet)
-	if err := run(net, "auto", "", "ddm", 10, "", false, ""); err != nil {
+	if err := run(net, "auto", "", "ddm", 10, "", false, "", ""); err != nil {
 		t.Errorf("quiescent run: %v", err)
+	}
+}
+
+// TestRunRemote drives the CLI against a live in-process halotisd: the
+// -remote path must produce the same VCD bytes as the local path (reports
+// are bit-identical across backends).
+func TestRunRemote(t *testing.T) {
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+
+	net := writeTemp(t, "demo.net", testNet)
+	stim := writeTemp(t, "demo.stim", testStim)
+	localVCD := filepath.Join(t.TempDir(), "local.vcd")
+	remoteVCD := filepath.Join(t.TempDir(), "remote.vcd")
+
+	for _, model := range []string{"ddm", "cdm"} {
+		if err := run(net, "auto", stim, model, 20, "", false, "", ts.URL); err != nil {
+			t.Errorf("remote %s run: %v", model, err)
+		}
+	}
+	if err := run(net, "auto", stim, "ddm", 20, localVCD, false, "y,n1", ""); err != nil {
+		t.Fatalf("local vcd run: %v", err)
+	}
+	if err := run(net, "auto", stim, "ddm", 20, remoteVCD, false, "y,n1", ts.URL); err != nil {
+		t.Fatalf("remote vcd run: %v", err)
+	}
+	lv, err := os.ReadFile(localVCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := os.ReadFile(remoteVCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lv) != string(rv) {
+		t.Error("local and remote runs produced different VCD output")
+	}
+
+	// The classic baseline has no remote path; asking for one must fail
+	// loudly rather than silently running locally.
+	if err := run(net, "auto", stim, "classic", 20, "", false, "", ts.URL); err == nil {
+		t.Error("classic model accepted -remote")
+	}
+	// A dead daemon is an error, not a hang.
+	if err := run(net, "auto", stim, "ddm", 20, "", false, "", "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable daemon accepted")
 	}
 }

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	halotisd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	         [-pool N] [-max-body BYTES] [-max-timeout DUR] [-version]
+//	         [-result-cache N] [-pool N] [-max-body BYTES]
+//	         [-max-timeout DUR] [-version]
 //
 // Endpoints: POST /v1/circuits, GET /v1/circuits[/{id}], DELETE
 // /v1/circuits/{id}, POST /v1/simulate, POST /v1/simulate/batch,
@@ -38,6 +39,7 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
 	cacheSize := flag.Int("cache", 64, "compiled-circuit cache capacity")
+	resultCache := flag.Int("result-cache", 0, "result cache capacity: repeated identical simulate requests skip the kernel (0 = default 1024, negative = disabled)")
 	poolSize := flag.Int("pool", 0, "free engines retained per circuit and options (0 = workers)")
 	maxBody := flag.Int64("max-body", 8<<20, "maximum request body, bytes")
 	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on per-request run time, capping timeout_ms and applying when it is omitted (0 = uncapped)")
@@ -51,13 +53,14 @@ func main() {
 		return
 	}
 	if err := run(*addr, *drainTimeout, service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheSize:      *cacheSize,
-		EnginePoolSize: *poolSize,
-		MaxBodyBytes:   *maxBody,
-		MaxTimeout:     *maxTimeout,
-		MaxEvents:      *maxEvents,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		ResultCacheSize: *resultCache,
+		EnginePoolSize:  *poolSize,
+		MaxBodyBytes:    *maxBody,
+		MaxTimeout:      *maxTimeout,
+		MaxEvents:       *maxEvents,
 	}); err != nil {
 		log.Fatalf("halotisd: %v", err)
 	}

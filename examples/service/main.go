@@ -1,7 +1,9 @@
-// Command service demonstrates the halotisd client round trip — the same
-// sequence the CI smoke job drives against a live daemon: upload the
-// embedded ISCAS85 c17 benchmark once, run several simulations against its
-// content-hash ID, and read back health.
+// Command service demonstrates the backend-agnostic Session API — the
+// same sequence the CI smoke job drives against a live daemon. It opens
+// the ISCAS85 c17 benchmark on two backends, the in-process Local backend
+// and a Remote halotisd, runs the identical Request against both, and
+// checks the reports agree bit for bit. Switching backends is one
+// constructor; everything else is shared code.
 //
 // Start a daemon first:
 //
@@ -11,54 +13,71 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"flag"
-
 	"halotis"
-	"halotis/client"
 )
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
-	runs := flag.Int("runs", 5, "simulations to run against the cached circuit")
+	runs := flag.Int("runs", 5, "identical requests to run against the remote session (repeats hit the daemon's result cache)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	c := client.New(*addr)
 
-	up, err := c.UploadCircuit(ctx, client.UploadRequest{
-		Name: "c17", Format: "bench", Netlist: halotis.C17BenchText(),
-	})
+	lib := halotis.DefaultLibrary()
+	ckt, err := halotis.C17(lib)
 	if err != nil {
-		log.Fatalf("upload: %v", err)
+		log.Fatalf("build c17: %v", err)
 	}
-	fmt.Printf("uploaded %s: id=%s gates=%d cached=%v\n", up.Name, up.ID[:12], up.Gates, up.Cached)
 
-	st := client.Stimulus{}
-	for i, in := range up.Inputs {
-		st[in] = client.InputWave{Edges: []client.Edge{
-			{T: 2 + float64(i), Rising: true, Slew: 0.2},
-			{T: 12 + float64(i), Rising: false, Slew: 0.2},
+	// The one-constructor switch: both implement halotis.Backend.
+	var local halotis.Backend = halotis.NewLocal()
+	remote := halotis.NewRemote(*addr)
+
+	ls, err := local.Open(ctx, ckt)
+	if err != nil {
+		log.Fatalf("open local: %v", err)
+	}
+	defer ls.Close()
+	rs, err := remote.Open(ctx, ckt)
+	if err != nil {
+		log.Fatalf("open remote: %v", err)
+	}
+	defer rs.Close()
+	fmt.Printf("opened %s: id=%s gates=%d (local and remote agree: %v)\n",
+		ls.Circuit().Name, ls.Circuit().ID[:12], ls.Circuit().Gates, ls.Circuit().ID == rs.Circuit().ID)
+
+	st := halotis.Stimulus{}
+	for i, in := range ls.Circuit().Inputs {
+		st[in] = halotis.InputWave{Edges: []halotis.InputEdge{
+			{Time: 2 + float64(i), Rising: true, Slew: 0.2},
+			{Time: 12 + float64(i), Rising: false, Slew: 0.2},
 		}}
 	}
+	req := halotis.Request{TEnd: 30, Model: "ddm", Stimulus: halotis.WireStimulus(st)}
+
+	want, err := ls.Run(ctx, req)
+	if err != nil {
+		log.Fatalf("local run: %v", err)
+	}
 	for i := 0; i < *runs; i++ {
-		res, err := c.Simulate(ctx, client.SimRequest{
-			Circuit:  up.ID,
-			RunSpec:  client.RunSpec{TEnd: 30, Model: "ddm"},
-			Stimulus: st,
-		})
+		rep, err := rs.Run(ctx, req)
 		if err != nil {
-			log.Fatalf("simulate %d: %v", i, err)
+			log.Fatalf("remote run %d: %v", i, err)
 		}
-		fmt.Printf("run %d: %d events, %d transitions, outputs=%v\n",
-			i, res.Stats.EventsProcessed, res.Stats.Transitions, res.Outputs)
+		if rep.Stats != want.Stats {
+			log.Fatalf("remote run %d diverged from local: %+v vs %+v", i, rep.Stats, want.Stats)
+		}
+		fmt.Printf("run %d: %d events, %d transitions, outputs=%v cached=%v\n",
+			i, rep.Stats.EventsProcessed, rep.Stats.Transitions, rep.Outputs, rep.Cached)
 	}
 
-	h, err := c.Health(ctx)
+	h, err := remote.Client().Health(ctx)
 	if err != nil {
 		log.Fatalf("health: %v", err)
 	}

@@ -144,6 +144,15 @@ func buildOptions(opts []Option) sim.Options {
 }
 
 // Simulate runs the HALOTIS engine on the circuit until tEnd ns.
+//
+// Compatibility guarantee: Simulate, NewEngine and SimulateBatch are the
+// stable in-process convenience surface over the same kernel the Session
+// API's Local backend uses (see backend.go); they are kept source- and
+// behavior-compatible across releases. A Simulate call is equivalent to a
+// Local session Run of the corresponding Request, except that it returns
+// the full *Result (every net's analog waveform) where a Report carries
+// the selected digests. New code that may ever need to run remotely
+// should prefer the Session API.
 func Simulate(ckt *Circuit, st Stimulus, tEnd float64, opts ...Option) (*Result, error) {
 	return sim.New(ckt, buildOptions(opts)).Run(st, tEnd)
 }

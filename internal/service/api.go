@@ -3,201 +3,36 @@ package service
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
-	"math"
-	"sort"
 
-	"halotis/internal/sim"
+	"halotis/api"
 )
 
-// Wire types of the HTTP/JSON API. All times are in nanoseconds, voltages
-// in volts, matching the in-process API.
-
-// UploadRequest registers a circuit with the service.
-type UploadRequest struct {
-	// Name optionally sets the circuit's display name when its content is
-	// first cached. Circuits are content-addressed, so uploading content
-	// that is already cached keeps the existing entry — including its
-	// original display name — and this field is ignored (the response
-	// reports the name actually in effect).
-	Name string `json:"name,omitempty"`
-	// Format is "auto" (default; sniffed from the text), "net" (native)
-	// or "bench" (ISCAS85).
-	Format string `json:"format,omitempty"`
-	// Netlist is the netlist text itself.
-	Netlist string `json:"netlist"`
-}
-
-// CircuitInfo describes one cached circuit.
-type CircuitInfo struct {
-	// ID is the content hash the circuit is addressed by (hex SHA-256 of
-	// the canonical circuit structure plus library identity).
-	ID      string   `json:"id"`
-	Name    string   `json:"name"`
-	Gates   int      `json:"gates"`
-	Nets    int      `json:"nets"`
-	Depth   int      `json:"depth"`
-	Inputs  []string `json:"inputs"`
-	Outputs []string `json:"outputs"`
-}
-
-// UploadResponse acknowledges an upload.
-type UploadResponse struct {
-	CircuitInfo
-	// Cached reports that the content was already compiled and cached;
-	// the upload performed no new compilation work that mattered.
-	Cached bool `json:"cached"`
-}
-
-// Edge is one externally driven input transition.
-type Edge struct {
-	T      float64 `json:"t"`
-	Rising bool    `json:"rising"`
-	Slew   float64 `json:"slew,omitempty"`
-}
-
-// InputWave drives one primary input: initial level plus edges.
-type InputWave struct {
-	Init  bool   `json:"init,omitempty"`
-	Edges []Edge `json:"edges,omitempty"`
-}
-
-// Stimulus maps primary input names to drives; missing inputs idle at 0.
-type Stimulus map[string]InputWave
-
-// RunSpec carries the options shared by single and batch simulation
-// requests.
-type RunSpec struct {
-	// Model is "ddm" (default) or "cdm".
-	Model string `json:"model,omitempty"`
-	// TEnd is the simulation horizon, ns. Required, > 0.
-	TEnd float64 `json:"t_end"`
-	// MaxEvents overrides the oscillation guard (0 = engine default).
-	MaxEvents uint64 `json:"max_events,omitempty"`
-	// MinPulse overrides the minimum emitted pulse separation, ns.
-	MinPulse float64 `json:"min_pulse,omitempty"`
-	// TimeoutMs aborts the run after this many milliseconds of wall time.
-	// 0 means no client deadline — but the server's MaxTimeout, when
-	// configured, always applies as both a cap and a default.
-	TimeoutMs float64 `json:"timeout_ms,omitempty"`
-	// Waveforms lists net names whose logic crossings to return.
-	Waveforms []string `json:"waveforms,omitempty"`
-	// Activity requests total transition count and switching energy.
-	Activity bool `json:"activity,omitempty"`
-	// Power requests the dynamic-power summary.
-	Power bool `json:"power,omitempty"`
-	// VCD requests a Value Change Dump of the selected waveforms (or the
-	// primary outputs when Waveforms is empty).
-	VCD bool `json:"vcd,omitempty"`
-}
-
-// SimRequest runs one stimulus. Exactly one of Circuit (a cached circuit's
-// ID) or Netlist (inline text, registered as by upload) must be set.
-type SimRequest struct {
-	Circuit string `json:"circuit,omitempty"`
-	Netlist string `json:"netlist,omitempty"`
-	Format  string `json:"format,omitempty"`
-	RunSpec
-	Stimulus Stimulus `json:"stimulus"`
-}
-
-// BatchRequest runs many stimuli against one circuit under one RunSpec.
-type BatchRequest struct {
-	Circuit string `json:"circuit,omitempty"`
-	Netlist string `json:"netlist,omitempty"`
-	Format  string `json:"format,omitempty"`
-	RunSpec
-	Stimuli []Stimulus `json:"stimuli"`
-}
-
-// Stats mirrors sim.Stats on the wire.
-type Stats struct {
-	EventsQueued        uint64 `json:"events_queued"`
-	EventsProcessed     uint64 `json:"events_processed"`
-	EventsFiltered      uint64 `json:"events_filtered"`
-	Evaluations         uint64 `json:"evaluations"`
-	Transitions         uint64 `json:"transitions"`
-	DegradedTransitions uint64 `json:"degraded_transitions"`
-	FullyDegraded       uint64 `json:"fully_degraded"`
-}
-
-func statsOf(s sim.Stats) Stats {
-	return Stats{
-		EventsQueued:        s.EventsQueued,
-		EventsProcessed:     s.EventsProcessed,
-		EventsFiltered:      s.EventsFiltered,
-		Evaluations:         s.Evaluations,
-		Transitions:         s.Transitions,
-		DegradedTransitions: s.DegradedTransitions,
-		FullyDegraded:       s.FullyDegraded,
-	}
-}
-
-// Crossing is one logic-threshold crossing of a returned waveform.
-type Crossing struct {
-	T      float64 `json:"t"`
-	Rising bool    `json:"rising"`
-}
-
-// ActivitySummary is the switching-activity digest of one run.
-type ActivitySummary struct {
-	Transitions int     `json:"transitions"`
-	EnergyNorm  float64 `json:"energy_norm"`
-}
-
-// PowerSummary is the dynamic-power digest of one run.
-type PowerSummary struct {
-	TotalEnergyFJ  float64 `json:"total_energy_fj"`
-	GlitchEnergyFJ float64 `json:"glitch_energy_fj"`
-	AvgPowerMW     float64 `json:"avg_power_mw"`
-	GlitchFraction float64 `json:"glitch_fraction"`
-}
-
-// SimResponse is the outcome of one run.
-type SimResponse struct {
-	Circuit   string  `json:"circuit"`
-	Model     string  `json:"model"`
-	TEnd      float64 `json:"t_end"`
-	ElapsedNs int64   `json:"elapsed_ns"`
-	Stats     Stats   `json:"stats"`
-	// Outputs samples every primary output at TEnd (threshold VDD/2).
-	Outputs   map[string]bool       `json:"outputs"`
-	Waveforms map[string][]Crossing `json:"waveforms,omitempty"`
-	Activity  *ActivitySummary      `json:"activity,omitempty"`
-	Power     *PowerSummary         `json:"power,omitempty"`
-	VCD       string                `json:"vcd,omitempty"`
-}
-
-// BatchResponse is the outcome of a batch run, in stimulus order.
-type BatchResponse struct {
-	Circuit string        `json:"circuit"`
-	Results []SimResponse `json:"results"`
-}
-
-// ErrorResponse is the body of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
-// HealthResponse is the /healthz body.
-type HealthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Circuits      int     `json:"circuits"`
-	QueueDepth    int     `json:"queue_depth"`
-	Workers       int     `json:"workers"`
-}
-
-// finite rejects NaN and infinities, consistent with the text parsers'
-// parseFinite: JSON cannot encode them literally, but requests are also
-// built programmatically and corrupt every downstream computation silently.
-func finite(field string, v float64) error {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return fmt.Errorf("%s: non-finite value", field)
-	}
-	return nil
-}
+// The wire types of the HTTP/JSON API are the shared request/report
+// surface of halotis/api — the same structs the in-process Local backend
+// and the typed client speak, so the three layers cannot drift apart.
+// These aliases exist so service code and tests read naturally; they add
+// no parallel definitions.
+type (
+	UploadRequest   = api.UploadRequest
+	UploadResponse  = api.UploadResponse
+	CircuitInfo     = api.CircuitInfo
+	Edge            = api.Edge
+	InputWave       = api.InputWave
+	Stimulus        = api.Stimulus
+	Request         = api.Request
+	Report          = api.Report
+	SimRequest      = api.SimRequest
+	BatchRequest    = api.BatchRequest
+	BatchResponse   = api.BatchResponse
+	ErrorResponse   = api.ErrorResponse
+	HealthResponse  = api.HealthResponse
+	Stats           = api.Stats
+	Crossing        = api.Crossing
+	Waveform        = api.Waveform
+	ActivitySummary = api.ActivitySummary
+	PowerSummary    = api.PowerSummary
+)
 
 // decodeJSON strictly decodes one JSON document: unknown fields and
 // trailing data are errors, so client typos fail loudly instead of running
@@ -248,143 +83,4 @@ func DecodeBatchRequest(r io.Reader) (*BatchRequest, error) {
 		return nil, err
 	}
 	return &req, nil
-}
-
-// Validate checks an upload request.
-func (r *UploadRequest) Validate() error {
-	if r.Netlist == "" {
-		return errors.New("netlist: required")
-	}
-	if !validFormat(r.Format) {
-		return fmt.Errorf("format: unknown %q (want auto, net or bench)", r.Format)
-	}
-	return nil
-}
-
-// Validate checks the run options.
-func (r *RunSpec) Validate() error {
-	if err := finite("t_end", r.TEnd); err != nil {
-		return err
-	}
-	if r.TEnd <= 0 {
-		return fmt.Errorf("t_end: must be > 0, got %g", r.TEnd)
-	}
-	if _, err := parseModel(r.Model); err != nil {
-		return err
-	}
-	if err := finite("min_pulse", r.MinPulse); err != nil {
-		return err
-	}
-	if r.MinPulse < 0 {
-		return fmt.Errorf("min_pulse: must be >= 0, got %g", r.MinPulse)
-	}
-	if err := finite("timeout_ms", r.TimeoutMs); err != nil {
-		return err
-	}
-	if r.TimeoutMs < 0 {
-		return fmt.Errorf("timeout_ms: must be >= 0, got %g", r.TimeoutMs)
-	}
-	return nil
-}
-
-// Validate checks every edge of every drive.
-func (s Stimulus) Validate() error {
-	for name, w := range s {
-		if name == "" {
-			return errors.New("stimulus: empty input name")
-		}
-		for i, e := range w.Edges {
-			if err := finite(fmt.Sprintf("stimulus %q edge %d t", name, i), e.T); err != nil {
-				return err
-			}
-			if e.T < 0 {
-				return fmt.Errorf("stimulus %q edge %d: negative time %g", name, i, e.T)
-			}
-			if err := finite(fmt.Sprintf("stimulus %q edge %d slew", name, i), e.Slew); err != nil {
-				return err
-			}
-			if e.Slew < 0 {
-				return fmt.Errorf("stimulus %q edge %d: negative slew %g", name, i, e.Slew)
-			}
-		}
-	}
-	return nil
-}
-
-func validateTarget(circuit, netlist, format string) error {
-	if (circuit == "") == (netlist == "") {
-		return errors.New("exactly one of circuit (cached ID) or netlist (inline text) must be set")
-	}
-	if !validFormat(format) {
-		return fmt.Errorf("format: unknown %q (want auto, net or bench)", format)
-	}
-	return nil
-}
-
-// Validate checks a single-run request.
-func (r *SimRequest) Validate() error {
-	if err := validateTarget(r.Circuit, r.Netlist, r.Format); err != nil {
-		return err
-	}
-	if err := r.RunSpec.Validate(); err != nil {
-		return err
-	}
-	return r.Stimulus.Validate()
-}
-
-// Validate checks a batch request.
-func (r *BatchRequest) Validate() error {
-	if err := validateTarget(r.Circuit, r.Netlist, r.Format); err != nil {
-		return err
-	}
-	if err := r.RunSpec.Validate(); err != nil {
-		return err
-	}
-	if len(r.Stimuli) == 0 {
-		return errors.New("stimuli: at least one stimulus required")
-	}
-	for i, st := range r.Stimuli {
-		if err := st.Validate(); err != nil {
-			return fmt.Errorf("stimuli[%d]: %w", i, err)
-		}
-	}
-	return nil
-}
-
-// ToSim converts the wire stimulus to the engine's form, sorting edges into
-// time order (forgiving, like the text parser) and defaulting omitted
-// slews to 0.3 ns — the same default the netfmt stimulus format applies.
-func (s Stimulus) ToSim() sim.Stimulus {
-	st := make(sim.Stimulus, len(s))
-	for name, w := range s {
-		iw := sim.InputWave{Init: w.Init}
-		for _, e := range w.Edges {
-			slew := e.Slew
-			if slew <= 0 {
-				slew = 0.3
-			}
-			iw.Edges = append(iw.Edges, sim.InputEdge{Time: e.T, Rising: e.Rising, Slew: slew})
-		}
-		sort.SliceStable(iw.Edges, func(i, j int) bool { return iw.Edges[i].Time < iw.Edges[j].Time })
-		st[name] = iw
-	}
-	return st
-}
-
-func parseModel(s string) (sim.Model, error) {
-	switch s {
-	case "", "ddm":
-		return sim.DDM, nil
-	case "cdm":
-		return sim.CDM, nil
-	}
-	return 0, fmt.Errorf("model: unknown %q (want ddm or cdm)", s)
-}
-
-func validFormat(s string) bool {
-	switch s {
-	case "", "auto", "net", "native", "bench", "iscas85":
-		return true
-	}
-	return false
 }

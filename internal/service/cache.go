@@ -9,10 +9,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"halotis/api"
 	"halotis/internal/cellib"
 	"halotis/internal/circ"
 	"halotis/internal/netfmt"
 	"halotis/internal/netlist"
+	"halotis/internal/sim"
 )
 
 // CacheStats is the compiled-circuit cache's counter snapshot.
@@ -55,11 +57,11 @@ func (s CacheStats) HitRate() float64 {
 const maxRawKeysPerEntry = 8
 
 // cacheEntry is one cached circuit: its compiled IR, display metadata, and
-// the warm engine pools keyed by run options.
+// the warm engine pool keyed by run options (see sim.EnginePool).
 type cacheEntry struct {
 	info  CircuitInfo
 	ir    *circ.Compiled
-	pools enginePools
+	pools *sim.EnginePool
 	// rawKeys are the raw-text index keys pointing at this entry (oldest
 	// first, bounded by maxRawKeysPerEntry), removed with it on eviction.
 	rawKeys []string
@@ -142,23 +144,11 @@ func parseNetlistText(text, format string, lib *cellib.Library, name string) (*n
 }
 
 func (c *circuitCache) newEntry(ir *circ.Compiled) *cacheEntry {
-	ckt := ir.Circuit
-	info := CircuitInfo{
-		ID:    ir.Hash,
-		Name:  ckt.Name,
-		Gates: ir.NumGates(),
-		Nets:  ir.NumNets(),
-		Depth: ckt.Depth(),
+	return &cacheEntry{
+		info:  api.InfoOf(ir),
+		ir:    ir,
+		pools: sim.NewEnginePool(ir, c.poolSize, &c.enginesCreated),
 	}
-	for _, in := range ir.Inputs {
-		info.Inputs = append(info.Inputs, ir.NetName[in])
-	}
-	for _, o := range ir.Outputs {
-		info.Outputs = append(info.Outputs, ir.NetName[o])
-	}
-	e := &cacheEntry{info: info, ir: ir}
-	e.pools.init(ir, c.poolSize, &c.enginesCreated)
-	return e
 }
 
 // Add parses, compiles and caches a netlist text, returning the entry and

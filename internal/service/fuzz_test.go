@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"halotis/api"
 	"halotis/internal/netfmt"
 )
 
@@ -90,7 +91,7 @@ func FuzzDecodeUploadRequest(f *testing.F) {
 		if req.Netlist == "" {
 			t.Fatal("accepted empty netlist")
 		}
-		if !validFormat(req.Format) {
+		if !api.ValidFormat(req.Format) {
 			t.Fatalf("accepted unknown format %q", req.Format)
 		}
 		// Sniffing must never panic, whatever the text contains.

@@ -53,7 +53,7 @@ func (m *metrics) recordRun(events uint64, busy time.Duration, err error) {
 }
 
 // write renders the Prometheus text exposition of the daemon's state.
-func (m *metrics) write(w io.Writer, cache CacheStats, queue QueueStats) {
+func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats, queue QueueStats) {
 	gauge := func(name string, v float64, help string) {
 		fmt.Fprintf(w, "# HELP halotisd_%s %s\n# TYPE halotisd_%s gauge\nhalotisd_%s %g\n",
 			name, help, name, name, v)
@@ -95,9 +95,17 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queue QueueStats) {
 	gauge("cache_hit_rate", cache.HitRate(), "Hits / (hits + misses).")
 	counter("engines_created_total", cache.EnginesCreated, "Simulation engines constructed across all pools.")
 
+	gauge("result_cache_entries", float64(results.Entries), "Reports in the result cache.")
+	counter("result_cache_hits_total", results.Hits, "Requests answered from the result cache without a kernel run.")
+	counter("result_cache_misses_total", results.Misses, "Requests whose (circuit, stimulus, options) key was not cached.")
+	counter("result_cache_evictions_total", results.Evictions, "Result-cache LRU evictions.")
+	gauge("result_cache_hit_rate", results.HitRate(), "Result-cache hits / (hits + misses).")
+
 	gauge("queue_depth", float64(queue.Depth), "Jobs queued but not yet started.")
 	gauge("queue_capacity", float64(queue.Capacity), "Bound of the job queue.")
 	gauge("queue_workers", float64(queue.Workers), "Worker goroutines executing jobs.")
 	counter("queue_executed_total", queue.Executed, "Jobs executed to completion.")
 	counter("queue_rejected_total", queue.Rejected, "Jobs rejected because the queue was full.")
+	gauge("queue_in_flight", float64(queue.InFlight), "Jobs currently executing on workers.")
+	gauge("queue_peak_in_flight", float64(queue.PeakInFlight), "High-water mark of concurrently executing jobs.")
 }

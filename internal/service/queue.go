@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,8 @@ type workerPool struct {
 	workers  int
 	executed atomic.Uint64
 	rejected atomic.Uint64
+	inFlight atomic.Int64
+	peak     atomic.Int64
 }
 
 func newWorkerPool(workers, depth int) *workerPool {
@@ -35,7 +38,15 @@ func newWorkerPool(workers, depth int) *workerPool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
+				cur := p.inFlight.Add(1)
+				for {
+					peak := p.peak.Load()
+					if cur <= peak || p.peak.CompareAndSwap(peak, cur) {
+						break
+					}
+				}
 				job()
+				p.inFlight.Add(-1)
 				p.executed.Add(1)
 			}
 		}()
@@ -57,6 +68,26 @@ func (p *workerPool) Submit(job func()) error {
 	default:
 		p.rejected.Add(1)
 		return ErrQueueFull
+	}
+}
+
+// SubmitWait enqueues a job, blocking until queue space frees up or ctx is
+// done. It exists for fan-out callers (the batch handler) that have already
+// passed admission control with a nonblocking Submit and must not drop
+// their remaining jobs under transient pressure. The caller must not be a
+// worker (a worker blocking on its own queue can deadlock the pool); HTTP
+// handler goroutines are safe.
+func (p *workerPool) SubmitWait(ctx context.Context, job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -87,15 +118,23 @@ type QueueStats struct {
 	Capacity int    `json:"capacity"`
 	Executed uint64 `json:"executed"`
 	Rejected uint64 `json:"rejected"`
+	// InFlight is the number of jobs currently executing; PeakInFlight is
+	// the high-water mark since startup — under a fanned-out batch it
+	// reaches past 1, which is how tests distinguish parallel execution
+	// from sequential draining.
+	InFlight     int64 `json:"in_flight"`
+	PeakInFlight int64 `json:"peak_in_flight"`
 }
 
 // Stats snapshots the pool counters.
 func (p *workerPool) Stats() QueueStats {
 	return QueueStats{
-		Workers:  p.workers,
-		Depth:    p.Depth(),
-		Capacity: p.Capacity(),
-		Executed: p.executed.Load(),
-		Rejected: p.rejected.Load(),
+		Workers:      p.workers,
+		Depth:        p.Depth(),
+		Capacity:     p.Capacity(),
+		Executed:     p.executed.Load(),
+		Rejected:     p.rejected.Load(),
+		InFlight:     p.inFlight.Load(),
+		PeakInFlight: p.peak.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,90 @@ func TestQueueCloseDrains(t *testing.T) {
 	}
 	// Idempotent.
 	p.Close()
+}
+
+// TestQueueSubmitWaitBlocksForSpace pins the blocking submit path the
+// batch fan-out uses: a full queue makes SubmitWait wait for capacity
+// instead of rejecting, and a canceled context unblocks it with an error.
+func TestQueueSubmitWaitBlocksForSpace(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.Close()
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(func() { close(running); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if err := p.Submit(func() {}); err != nil { // fill the queue slot
+		t.Fatal(err)
+	}
+
+	// SubmitWait with a live context parks until the worker frees a slot.
+	var ran atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- p.SubmitWait(context.Background(), func() { ran.Store(true) })
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("SubmitWait returned %v while the queue was full", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(gate) // worker drains; the waiting submit lands
+	if err := <-done; err != nil {
+		t.Fatalf("SubmitWait after drain: %v", err)
+	}
+	p.Close() // drains the landed job
+	if !ran.Load() {
+		t.Error("SubmitWait job never ran")
+	}
+}
+
+func TestQueueSubmitWaitCanceled(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	running := make(chan struct{})
+	if err := p.Submit(func() { close(running); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.SubmitWait(ctx, func() {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitWait with canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestQueuePeakInFlight pins the concurrency high-water mark the batch
+// fan-out test relies on.
+func TestQueuePeakInFlight(t *testing.T) {
+	p := newWorkerPool(4, 16)
+	var wg sync.WaitGroup
+	barrier := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { defer wg.Done(); <-barrier }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All four workers must pick up a job before the barrier opens.
+	for p.Stats().InFlight != 4 {
+		time.Sleep(time.Millisecond)
+	}
+	close(barrier)
+	wg.Wait()
+	p.Close()
+	if peak := p.Stats().PeakInFlight; peak != 4 {
+		t.Errorf("peak in-flight = %d, want 4", peak)
+	}
+	if inflight := p.Stats().InFlight; inflight != 0 {
+		t.Errorf("in-flight = %d after drain, want 0", inflight)
+	}
 }
 
 func TestQueueConcurrentSubmitAndClose(t *testing.T) {

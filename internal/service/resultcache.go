@@ -1,0 +1,143 @@
+package service
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"halotis/api"
+	"halotis/internal/sim"
+)
+
+// ResultCacheStats is the result cache's counter snapshot.
+type ResultCacheStats struct {
+	// Entries is the current number of cached reports.
+	Entries int `json:"entries"`
+	// Hits counts requests answered from the cache without a kernel run;
+	// Misses counts runs whose key was absent (and was then stored).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts LRU evictions.
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s ResultCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// resultKey identifies one deterministic simulation outcome: the circuit's
+// content hash, the stimulus's content hash, and the fingerprint of every
+// request knob that shapes the report. Simulation is a pure function of
+// this key, which is what makes caching sound: a repeat of the key repeats
+// the result bit for bit. TimeoutMs is deliberately excluded — a deadline
+// changes whether a run finishes, never what it computes.
+func resultKey(circuitID string, st sim.Stimulus, req *api.Request, key sim.PoolKey) string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	parts := []string{
+		circuitID,
+		st.ContentHash(),
+		strconv.Itoa(int(key.Model)),
+		g(key.MinPulse),
+		strconv.FormatUint(key.MaxEvents, 10),
+		g(req.TEnd),
+		b(req.Activity), b(req.Power), b(req.VCD),
+		strconv.Itoa(len(req.Waveforms)),
+	}
+	parts = append(parts, req.Waveforms...)
+	return strings.Join(parts, "\x00")
+}
+
+// resultCache is the bounded LRU of finished reports, keyed by resultKey.
+// Cached *api.Report values are shared and must be treated as immutable;
+// hits are served as shallow copies with Cached set (the copy shares the
+// underlying maps and slices, which nothing mutates after construction).
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List // of resultEntry; front = most recent
+
+	hits, misses, evictions uint64
+}
+
+type resultEntry struct {
+	key string
+	rep *api.Report
+}
+
+// newResultCache builds a cache holding at most capacity reports;
+// capacity <= 0 disables caching (every lookup misses, nothing stores).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached report for the key, marked Cached, refreshing its
+// LRU position.
+func (c *resultCache) Get(key string) (*api.Report, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	rep := *el.Value.(resultEntry).rep
+	rep.Cached = true
+	return &rep, true
+}
+
+// Put stores a finished report under the key, evicting LRU entries beyond
+// capacity. Concurrent identical runs may both Put; the second simply
+// refreshes the entry.
+func (c *resultCache) Put(key string, rep *api.Report) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = resultEntry{key: key, rep: rep}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(resultEntry{key: key, rep: rep})
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(resultEntry).key)
+		c.lru.Remove(back)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *resultCache) Stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

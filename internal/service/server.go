@@ -7,33 +7,34 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"strings"
+	"strconv"
+	"sync"
 	"time"
 
-	"halotis/internal/sim"
-	"halotis/internal/stats"
-	"halotis/internal/vcd"
+	"halotis/api"
 )
 
 // Server is the simulation service: an http.Handler plus the cache, engine
 // pools and worker queue behind it. Create with New, mount Handler, Close
 // on shutdown (drains in-flight jobs).
 type Server struct {
-	cfg   Config
-	cache *circuitCache
-	queue *workerPool
-	met   metrics
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *circuitCache
+	results *resultCache
+	queue   *workerPool
+	met     metrics
+	mux     *http.ServeMux
 }
 
 // New builds a Server from the config (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newCircuitCache(cfg.Lib, cfg.CacheSize, cfg.EnginePoolSize),
-		queue: newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		cache:   newCircuitCache(cfg.Lib, cfg.CacheSize, cfg.EnginePoolSize),
+		results: newResultCache(cfg.ResultCacheSize),
+		queue:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		mux:     http.NewServeMux(),
 	}
 	s.met.start = time.Now()
 	s.mux.HandleFunc("POST /v1/circuits", s.handleUpload)
@@ -58,6 +59,9 @@ func (s *Server) Close() { s.queue.Close() }
 // CacheStats snapshots the compiled-circuit cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
+// ResultCacheStats snapshots the result-cache counters.
+func (s *Server) ResultCacheStats() ResultCacheStats { return s.results.Stats() }
+
 // QueueStats snapshots the worker-queue counters.
 func (s *Server) QueueStats() QueueStats { return s.queue.Stats() }
 
@@ -72,33 +76,67 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// codeForStatus falls back from the error taxonomy to the HTTP status when
+// an error carries no sentinel (e.g. raw JSON decode failures).
+func codeForStatus(status int, err error) string {
+	if c := api.CodeOf(err); c != "" {
+		return c
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return api.CodeInvalidRequest
+	case http.StatusNotFound:
+		return api.CodeNotFound
+	case http.StatusServiceUnavailable:
+		return api.CodeOverloaded
+	case http.StatusGatewayTimeout:
+		return api.CodeCanceled
+	}
+	return api.CodeRunFailed
+}
+
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.met.httpErrors.Add(1)
-	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	resp := ErrorResponse{Error: err.Error(), Code: codeForStatus(status, err)}
+	if ra, ok := api.RetryAfter(err); ok && ra > 0 {
+		resp.RetryAfterMs = ra.Milliseconds()
+	}
+	s.writeJSON(w, status, resp)
 }
 
-// writeBusy maps queue admission failures to 503 with a retry hint.
+// retryAfter is the hint attached to 503 responses.
+const retryAfter = time.Second
+
+// writeBusy maps queue admission failures to 503 with a retry hint, typed
+// as ErrOverloaded on the wire.
 func (s *Server) writeBusy(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", "1")
-	s.writeError(w, http.StatusServiceUnavailable, err)
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+	s.writeError(w, http.StatusServiceUnavailable, &api.OverloadedError{RetryAfter: retryAfter, Cause: err})
 }
 
-// simStatus maps a run error to an HTTP status: timeouts and cancellations
-// are gateway timeouts, everything else (unknown inputs, oscillation
+// simStatus maps a run error to an HTTP status via the error taxonomy:
+// timeouts and cancellations are gateway timeouts, evicted circuit IDs are
+// not-found, everything else (malformed stimulus, unknown nets, oscillation
 // limits) is an unprocessable request.
 func simStatus(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, api.ErrCanceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, api.ErrCircuitNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, api.ErrOverloaded):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity
 }
 
-// runCtx derives the run's context from the request: the client's
-// disconnect always cancels; timeout_ms (capped by MaxTimeout) adds a
-// deadline. A timeout_ms too large for time.Duration saturates instead of
-// overflowing, so the operator's MaxTimeout cap always still applies.
-func (s *Server) runCtx(r *http.Request, timeoutMs float64) (context.Context, context.CancelFunc) {
-	ctx := r.Context()
+// runCtx derives a run's context from its parent: timeout_ms (capped by
+// MaxTimeout) adds a deadline. A timeout_ms too large for time.Duration
+// saturates instead of overflowing, so the operator's MaxTimeout cap
+// always still applies.
+func (s *Server) runCtx(parent context.Context, timeoutMs float64) (context.Context, context.CancelFunc) {
 	var d time.Duration
 	if timeoutMs > 0 {
 		if timeoutMs >= float64(math.MaxInt64)/float64(time.Millisecond) {
@@ -111,9 +149,9 @@ func (s *Server) runCtx(r *http.Request, timeoutMs float64) (context.Context, co
 		d = s.cfg.MaxTimeout
 	}
 	if d > 0 {
-		return context.WithTimeout(ctx, d)
+		return context.WithTimeout(parent, d)
 	}
-	return context.WithCancel(ctx)
+	return context.WithCancel(parent)
 }
 
 // submitAndWait admits a job to the worker queue and writes its outcome:
@@ -152,13 +190,13 @@ func (s *Server) resolve(id, netlistText, format string) (*cacheEntry, int, erro
 	if id != "" {
 		ent, ok := s.cache.Get(id)
 		if !ok {
-			return nil, http.StatusNotFound, fmt.Errorf("unknown circuit %q", id)
+			return nil, http.StatusNotFound, api.NotFoundf("unknown circuit %q", id)
 		}
 		return ent, 0, nil
 	}
 	ent, _, err := s.cache.Add(netlistText, format, "")
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, fmt.Errorf("parse netlist: %w", err)
+		return nil, http.StatusUnprocessableEntity, api.InvalidRequestf("parse netlist: %v", err)
 	}
 	return ent, 0, nil
 }
@@ -175,7 +213,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	s.submitAndWait(w, r, func() (any, int, error) {
 		ent, cached, err := s.cache.Add(req.Netlist, req.Format, req.Name)
 		if err != nil {
-			return nil, http.StatusUnprocessableEntity, fmt.Errorf("parse netlist: %w", err)
+			return nil, http.StatusUnprocessableEntity, api.InvalidRequestf("parse netlist: %v", err)
 		}
 		return UploadResponse{CircuitInfo: ent.info, Cached: cached}, http.StatusOK, nil
 	})
@@ -190,7 +228,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[routeCircuits].Add(1)
 	ent, ok := s.cache.Get(r.PathValue("id"))
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown circuit %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, api.NotFoundf("unknown circuit %q", r.PathValue("id")))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ent.info)
@@ -199,7 +237,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[routeCircuits].Add(1)
 	if !s.cache.Evict(r.PathValue("id")) {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown circuit %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, api.NotFoundf("unknown circuit %q", r.PathValue("id")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -212,7 +250,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx, cancel := s.runCtx(r, req.TimeoutMs)
+	ctx, cancel := s.runCtx(r.Context(), req.TimeoutMs)
 	defer cancel()
 
 	s.submitAndWait(w, r, func() (any, int, error) {
@@ -220,14 +258,22 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, status, err
 		}
-		resp, err := s.runOne(ctx, ent, &req.RunSpec, req.Stimulus.ToSim())
+		rep, err := s.runOne(ctx, ent, &req.Request)
 		if err != nil {
 			return nil, simStatus(err), err
 		}
-		return resp, http.StatusOK, nil
+		return rep, http.StatusOK, nil
 	})
 }
 
+// handleBatch fans the batch's requests out across the worker queue, so a
+// batch of N jobs on a W-worker daemon takes ~N/W serial job times instead
+// of N. Admission control stays at batch granularity: the resolve step is
+// the one nonblocking queue submit (full queue means fast 503 for the
+// whole batch); once admitted, the remaining jobs enter the queue with a
+// blocking submit — they wait for capacity instead of being dropped
+// midway. The coordinator is the HTTP handler goroutine, never a worker,
+// so waiting cannot deadlock the pool.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[routeBatch].Add(1)
 	req, err := DecodeBatchRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -235,24 +281,84 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx, cancel := s.runCtx(r, req.TimeoutMs)
-	defer cancel()
 
-	s.submitAndWait(w, r, func() (any, int, error) {
+	// Resolve (and compile, for inline netlists) as the admission job.
+	type resolved struct {
+		ent    *cacheEntry
+		status int
+		err    error
+	}
+	rch := make(chan resolved, 1)
+	if err := s.queue.Submit(func() {
 		ent, status, err := s.resolve(req.Circuit, req.Netlist, req.Format)
-		if err != nil {
-			return nil, status, err
+		rch <- resolved{ent, status, err}
+	}); err != nil {
+		s.writeBusy(w, err)
+		return
+	}
+	var ent *cacheEntry
+	select {
+	case o := <-rch:
+		if o.err != nil {
+			s.writeError(w, o.status, o.err)
+			return
 		}
-		resp := &BatchResponse{Circuit: ent.info.ID, Results: make([]SimResponse, 0, len(req.Stimuli))}
-		for i, st := range req.Stimuli {
-			one, err := s.runOne(ctx, ent, &req.RunSpec, st.ToSim())
-			if err != nil {
-				return nil, simStatus(err), fmt.Errorf("stimulus %d: %w", i, err)
+		ent = o.ent
+	case <-r.Context().Done():
+		return
+	}
+
+	// Fan out: one queue job per request. The first failure cancels the
+	// rest (in-flight runs abort at event-pop granularity); the response
+	// reports the root cause, not a sibling's secondary cancellation.
+	n := len(req.Requests)
+	reports := make([]*Report, n)
+	errs := make([]error, n)
+	fanCtx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		sub := &req.Requests[i]
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			if fanCtx.Err() != nil {
+				errs[i] = api.Canceled(fanCtx.Err())
+				return
 			}
-			resp.Results = append(resp.Results, *one)
+			jobCtx, jobCancel := s.runCtx(fanCtx, sub.TimeoutMs)
+			defer jobCancel()
+			rep, err := s.runOne(jobCtx, ent, sub)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			reports[i] = rep
 		}
-		return resp, http.StatusOK, nil
-	})
+		if err := s.queue.SubmitWait(fanCtx, job); err != nil {
+			wg.Done()
+			if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
+				// Shutdown/backpressure mid-fan-out is an availability
+				// condition, reported like any other admission refusal.
+				err = &api.OverloadedError{RetryAfter: retryAfter, Cause: err}
+			}
+			errs[i] = api.MapRunError(err)
+			cancel()
+			break
+		}
+	}
+	wg.Wait()
+
+	if idx, err := api.FirstFailure(errs); err != nil {
+		s.writeError(w, simStatus(err), fmt.Errorf("requests[%d]: %w", idx, err))
+		return
+	}
+	resp := &BatchResponse{Circuit: ent.info.ID, Reports: make([]Report, n)}
+	for i, rep := range reports {
+		resp.Reports[i] = *rep
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -269,102 +375,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[routeMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.cache.Stats(), s.queue.Stats())
+	s.met.write(w, s.cache.Stats(), s.results.Stats(), s.queue.Stats())
 }
 
 // --- run execution ---
 
-// runOne acquires a warm engine from the circuit's pool, runs one stimulus
-// and materializes the response while the result still aliases engine
-// storage. Steady-state calls perform no engine setup work: the pool hands
-// back a buffer-grown engine and Run reuses it in place.
-func (s *Server) runOne(ctx context.Context, ent *cacheEntry, spec *RunSpec, st sim.Stimulus) (*SimResponse, error) {
-	for _, n := range spec.Waveforms {
-		if ent.ir.NetID(n) < 0 {
-			return nil, fmt.Errorf("unknown net %q in waveforms", n)
-		}
-	}
-	opts := spec.engineOpts()
-	// The event guard bounds how long one request pins a worker; the
-	// operator's cap beats whatever the client asked for.
-	if s.cfg.MaxEvents > 0 && opts.MaxEvents > s.cfg.MaxEvents {
-		opts.MaxEvents = s.cfg.MaxEvents
-	}
-	eng := ent.pools.acquire(opts)
-	defer ent.pools.release(opts, eng)
-
-	res, err := eng.RunContext(ctx, st, spec.TEnd)
+// runOne serves one request against a resolved circuit: first from the
+// result cache (simulation is a pure function of circuit + stimulus +
+// options, so a repeated key is answered without a kernel run), otherwise
+// by acquiring a warm engine from the circuit's pool, running, and caching
+// the materialized report. Steady-state cache misses still perform no
+// engine setup work: the pool hands back a buffer-grown engine and Run
+// reuses it in place.
+func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Report, error) {
+	st, err := req.Prepare(ent.ir)
 	if err != nil {
-		s.met.recordRun(0, 0, err)
 		return nil, err
 	}
+	key := req.Options().PoolKey()
+	// The event guard bounds how long one request pins a worker; the
+	// operator's cap beats whatever the client asked for.
+	if s.cfg.MaxEvents > 0 && key.MaxEvents > s.cfg.MaxEvents {
+		key.MaxEvents = s.cfg.MaxEvents
+	}
+	ck := resultKey(ent.info.ID, st, req, key)
+	if rep, ok := s.results.Get(ck); ok {
+		return rep, nil
+	}
+
+	eng := ent.pools.Acquire(key)
+	res, err := eng.RunContext(ctx, st, req.TEnd)
+	if err != nil {
+		ent.pools.Release(key, eng)
+		s.met.recordRun(0, 0, err)
+		return nil, api.MapRunError(err)
+	}
 	s.met.recordRun(res.Stats.EventsProcessed, res.Elapsed, nil)
-	return s.buildResponse(ent, res, spec), nil
-}
-
-func (s *Server) buildResponse(ent *cacheEntry, res *sim.Result, spec *RunSpec) *SimResponse {
-	ir := ent.ir
-	vt := ir.VDD / 2
-	model := "ddm"
-	if res.Model == sim.CDM {
-		model = "cdm"
-	}
-	resp := &SimResponse{
-		Circuit:   ent.info.ID,
-		Model:     model,
-		TEnd:      spec.TEnd,
-		ElapsedNs: res.Elapsed.Nanoseconds(),
-		Stats:     statsOf(res.Stats),
-		Outputs:   res.OutputLogic(spec.TEnd, vt),
-	}
-	if len(spec.Waveforms) > 0 {
-		resp.Waveforms = make(map[string][]Crossing, len(spec.Waveforms))
-		for _, n := range spec.Waveforms {
-			cs := res.Waveform(n).Crossings(vt)
-			out := make([]Crossing, len(cs))
-			for i, c := range cs {
-				out[i] = Crossing{T: c.Time, Rising: c.Rising}
-			}
-			resp.Waveforms[n] = out
-		}
-	}
-	if spec.Activity {
-		tr, en := res.TotalActivity()
-		resp.Activity = &ActivitySummary{Transitions: tr, EnergyNorm: en}
-	}
-	if spec.Power {
-		p := stats.Power(res, spec.TEnd)
-		resp.Power = &PowerSummary{
-			TotalEnergyFJ:  p.TotalEnergy,
-			GlitchEnergyFJ: p.GlitchEnergy,
-			AvgPowerMW:     p.AveragePowerMW(),
-			GlitchFraction: p.GlitchFraction(),
-		}
-	}
-	if spec.VCD {
-		resp.VCD = renderVCD(ent, res, spec, vt)
-	}
-	return resp
-}
-
-func renderVCD(ent *cacheEntry, res *sim.Result, spec *RunSpec, vt float64) string {
-	names := spec.Waveforms
-	if len(names) == 0 {
-		names = ent.info.Outputs
-	}
-	var w vcd.Writer
-	w.Module = ent.info.Name
-	for _, n := range names {
-		wf := res.Waveform(n)
-		sig := vcd.Signal{Name: n, Init: wf.VInit > vt}
-		for _, c := range wf.Crossings(vt) {
-			sig.Changes = append(sig.Changes, vcd.Change{Time: c.Time, Value: c.Rising})
-		}
-		w.Add(sig)
-	}
-	var b strings.Builder
-	if err := w.Write(&b); err != nil {
-		return ""
-	}
-	return b.String()
+	rep := api.BuildReport(ent.ir, ent.info.ID, res, req)
+	ent.pools.Release(key, eng)
+	s.results.Put(ck, rep)
+	return rep, nil
 }

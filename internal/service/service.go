@@ -1,9 +1,13 @@
 // Package service is the simulation-as-a-service layer: a long-running
 // HTTP/JSON front end over the compiled-IR simulation kernel, built so that
 // steady-state traffic hits the zero-allocation engine-reuse path the
-// in-process API already provides.
+// in-process API already provides. Its wire types are the shared
+// request/report surface of halotis/api — the same structs the Local
+// backend and the typed client consume — and its errors carry the api
+// error-taxonomy codes, so remote callers get errors.Is-matchable
+// failures.
 //
-// Three mechanisms carry the load:
+// Four mechanisms carry the load:
 //
 //   - A content-addressed LRU circuit cache (cache.go): uploaded netlists
 //     are parsed once, compiled once (circ.Compile) and keyed by the stable
@@ -13,15 +17,22 @@
 //     recompilation. Concurrent uploads of the same text are collapsed to
 //     one compile (singleflight).
 //
-//   - Per-(circuit, options) engine pools (pool.go): each cached circuit
-//     keeps warm sim.Engine instances per delay-model configuration;
-//     repeated requests acquire a warmed engine, run with zero steady-state
-//     heap allocations, and return it.
+//   - A bounded LRU result cache (resultcache.go): finished reports keyed
+//     by (circuit content hash, stimulus content hash, options
+//     fingerprint). Simulation is a pure function of that key, so a
+//     repeated identical request is answered without a kernel run.
+//
+//   - Per-(circuit, options) engine pools (sim.EnginePool, shared with the
+//     Local backend): each cached circuit keeps warm sim.Engine instances
+//     per delay-model configuration; repeated requests acquire a warmed
+//     engine, run with zero steady-state heap allocations, and return it.
 //
 //   - A bounded job queue with a configurable worker pool (queue.go): all
 //     compile and simulation work is admitted through it, so concurrency is
 //     capped, overload surfaces as fast 503s instead of collapse, and
-//     shutdown drains in-flight jobs.
+//     shutdown drains in-flight jobs. Batch requests fan their jobs out
+//     across the queue (one admission, N parallel jobs) instead of
+//     pinning one worker for the whole batch.
 //
 // Endpoints (see server.go): POST /v1/circuits (upload+compile), GET
 // /v1/circuits[/{id}] (list/inspect), DELETE /v1/circuits/{id} (evict),
@@ -50,6 +61,11 @@ type Config struct {
 	// CacheSize bounds the compiled-circuit cache (LRU eviction).
 	// Default 64.
 	CacheSize int
+	// ResultCacheSize bounds the result cache: finished reports keyed by
+	// (circuit hash, stimulus hash, options fingerprint), so repeating an
+	// identical simulate request is answered without a kernel run.
+	// Default 1024; negative disables result caching.
+	ResultCacheSize int
 	// EnginePoolSize bounds the free engines retained per (circuit,
 	// options) pool. Default: Workers.
 	EnginePoolSize int
@@ -78,6 +94,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 64
+	}
+	switch {
+	case c.ResultCacheSize == 0:
+		c.ResultCacheSize = 1024
+	case c.ResultCacheSize < 0:
+		c.ResultCacheSize = 0 // disabled
 	}
 	if c.EnginePoolSize <= 0 {
 		c.EnginePoolSize = c.Workers

@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
 	"slices"
 )
 
@@ -60,6 +64,51 @@ func (st Stimulus) sortedNames() []string {
 	}
 	slices.Sort(names)
 	return names
+}
+
+// ContentHash returns the stimulus's stable content hash: a hex SHA-256
+// over a canonical rendering of every drive — input names in sorted order,
+// each with its initial level and exact edge list (time, direction, slew,
+// float bits hashed verbatim). It mirrors circ.ContentHash for circuits:
+// two Stimulus values describing the same drive hash identically regardless
+// of map iteration order, while any change to an edge changes the hash.
+// Together with a circuit's content hash and an options fingerprint it
+// keys result caches: same circuit + same stimulus + same options means
+// the same deterministic result.
+//
+// Inputs mapped to an all-zero InputWave (the implicit idle drive) still
+// contribute their name, so driving an input explicitly at constant 0 and
+// omitting it hash differently — the kernel validates driven names, and
+// the two stimuli are not interchangeable across circuits.
+func (st Stimulus) ContentHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	num := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	flag := func(b bool) {
+		if b {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	h.Write([]byte("halotis/sim stimulus v1\x00"))
+	for _, name := range st.sortedNames() {
+		w := st[name]
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		flag(w.Init)
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(w.Edges)))
+		h.Write(buf[:])
+		for _, e := range w.Edges {
+			num(e.Time)
+			flag(e.Rising)
+			num(e.Slew)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // LastEdgeTime returns the time of the latest edge across all inputs, or 0.

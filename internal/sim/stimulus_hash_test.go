@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+func hashStimulus() Stimulus {
+	return Stimulus{
+		"a": {Init: true, Edges: []InputEdge{{Time: 1, Rising: false, Slew: 0.2}, {Time: 5, Rising: true, Slew: 0.3}}},
+		"b": {Edges: []InputEdge{{Time: 2.5, Rising: true, Slew: 0.2}}},
+		"c": {},
+	}
+}
+
+func TestStimulusContentHashStable(t *testing.T) {
+	h1 := hashStimulus().ContentHash()
+	h2 := hashStimulus().ContentHash()
+	if h1 != h2 {
+		t.Fatalf("hash not reproducible: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", h1)
+	}
+}
+
+func TestStimulusContentHashSensitivity(t *testing.T) {
+	ref := hashStimulus().ContentHash()
+	mutations := map[string]func(Stimulus){
+		"edge time":  func(s Stimulus) { w := s["a"]; w.Edges[0].Time = 1.0000001; s["a"] = w },
+		"edge dir":   func(s Stimulus) { w := s["b"]; w.Edges[0].Rising = false; s["b"] = w },
+		"edge slew":  func(s Stimulus) { w := s["a"]; w.Edges[1].Slew = 0.31; s["a"] = w },
+		"init level": func(s Stimulus) { w := s["a"]; w.Init = false; s["a"] = w },
+		"extra edge": func(s Stimulus) {
+			w := s["b"]
+			w.Edges = append(w.Edges, InputEdge{Time: 9, Rising: false, Slew: 0.2})
+			s["b"] = w
+		},
+		"rename input": func(s Stimulus) { s["d"] = s["c"]; delete(s, "c") },
+		"drop input":   func(s Stimulus) { delete(s, "c") },
+	}
+	for name, mutate := range mutations {
+		s := hashStimulus()
+		mutate(s)
+		if got := s.ContentHash(); got == ref {
+			t.Errorf("%s: hash did not change", name)
+		}
+	}
+}
+
+// TestStimulusContentHashNoFieldBleed pins the canonical encoding against
+// ambiguity: moving a value across field boundaries must change the hash
+// (times, slews and names are delimited, not concatenated).
+func TestStimulusContentHashNoFieldBleed(t *testing.T) {
+	a := Stimulus{"x": {Edges: []InputEdge{{Time: 1, Rising: true, Slew: 2}}}}
+	b := Stimulus{"x": {Edges: []InputEdge{{Time: 2, Rising: true, Slew: 1}}}}
+	if a.ContentHash() == b.ContentHash() {
+		t.Error("swapping time and slew did not change the hash")
+	}
+	c := Stimulus{"xy": {}, "z": {}}
+	d := Stimulus{"x": {}, "yz": {}}
+	if c.ContentHash() == d.ContentHash() {
+		t.Error("re-splitting input names did not change the hash")
+	}
+}

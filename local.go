@@ -1,0 +1,222 @@
+package halotis
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"halotis/api"
+	"halotis/internal/circ"
+	"halotis/internal/sim"
+)
+
+// LocalBackend runs sessions in-process: each opened circuit gets a warm
+// engine pool over its compiled IR (shared with every other consumer of
+// the circuit via circ.Compile's memoization), so steady-state runs hit
+// the kernel's zero-allocation reuse path. It is the Session-API face of
+// the same machinery Simulate/NewEngine use.
+type LocalBackend struct {
+	poolSize      int
+	maxConcurrent int
+	sem           chan struct{}
+}
+
+// LocalOption configures NewLocal.
+type LocalOption func(*LocalBackend)
+
+// WithLocalPoolSize bounds the free engines retained per (session,
+// options) pool (default: GOMAXPROCS).
+func WithLocalPoolSize(n int) LocalOption { return func(b *LocalBackend) { b.poolSize = n } }
+
+// WithLocalMaxConcurrent bounds the concurrently executing runs across all
+// of the backend's sessions; admission beyond it fails fast with
+// ErrOverloaded, mirroring the daemon's bounded queue. 0 (the default)
+// means unbounded.
+func WithLocalMaxConcurrent(n int) LocalOption { return func(b *LocalBackend) { b.maxConcurrent = n } }
+
+// NewLocal builds the in-process backend.
+func NewLocal(opts ...LocalOption) *LocalBackend {
+	b := &LocalBackend{poolSize: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(b)
+	}
+	if b.poolSize <= 0 {
+		b.poolSize = runtime.GOMAXPROCS(0)
+	}
+	if b.maxConcurrent > 0 {
+		b.sem = make(chan struct{}, b.maxConcurrent)
+	}
+	return b
+}
+
+// Open compiles the circuit (memoized on the circuit itself) and returns a
+// session whose engine pool serves it.
+func (b *LocalBackend) Open(ctx context.Context, ckt *Circuit) (Session, error) {
+	if ckt == nil {
+		return nil, api.InvalidRequestf("nil circuit")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, api.Canceled(err)
+		}
+	}
+	ir := circ.Compile(ckt)
+	return &localSession{
+		b:    b,
+		pool: sim.NewEnginePool(ir, b.poolSize, nil),
+		info: api.InfoOf(ir),
+	}, nil
+}
+
+// localSession is one opened circuit on a LocalBackend. Safe for
+// concurrent use: the pool hands each run its own engine.
+type localSession struct {
+	b      *LocalBackend
+	pool   *sim.EnginePool
+	info   api.CircuitInfo
+	closed atomic.Bool
+}
+
+func (s *localSession) Circuit() CircuitInfo { return s.info }
+
+// Close marks the session released; subsequent runs fail with
+// ErrCircuitNotFound. The compiled IR itself stays memoized on the
+// circuit (it is shared), only this session's warm engines become
+// garbage.
+func (s *localSession) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// acquireSlot enforces the backend's concurrency bound.
+func (s *localSession) acquireSlot() (release func(), err error) {
+	if s.b.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.b.sem <- struct{}{}:
+		return func() { <-s.b.sem }, nil
+	default:
+		return nil, &api.OverloadedError{Cause: fmt.Errorf("local backend at max concurrency %d", s.b.maxConcurrent)}
+	}
+}
+
+func (s *localSession) Run(ctx context.Context, req Request) (*Report, error) {
+	if s.closed.Load() {
+		return nil, api.NotFoundf("session closed: circuit %s released", s.info.ID)
+	}
+	release, err := s.acquireSlot()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.runOne(ctx, &req)
+}
+
+// timeoutDuration converts a request's timeout_ms, saturating instead of
+// overflowing time.Duration (the same rule the daemon applies).
+func timeoutDuration(ms float64) time.Duration {
+	if ms >= float64(math.MaxInt64)/float64(time.Millisecond) {
+		return math.MaxInt64
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// runOne executes one prepared request on a pooled engine. The report is
+// built before the engine returns to the pool (results alias engine
+// storage until then).
+func (s *localSession) runOne(ctx context.Context, req *Request) (*Report, error) {
+	ir := s.pool.IR()
+	st, err := req.Prepare(ir)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := func() {}
+	if req.TimeoutMs > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeoutDuration(req.TimeoutMs))
+	}
+	defer cancel()
+
+	key := req.Options().PoolKey()
+	eng := s.pool.Acquire(key)
+	res, err := eng.RunContext(ctx, st, req.TEnd)
+	if err != nil {
+		s.pool.Release(key, eng)
+		return nil, api.MapRunError(err)
+	}
+	rep := api.BuildReport(ir, s.info.ID, res, req)
+	s.pool.Release(key, eng)
+	return rep, nil
+}
+
+// RunBatch fans the requests across min(GOMAXPROCS, len(reqs)) workers,
+// each acquiring engines from the session's pool, and returns reports in
+// request order — bit-identical to running each request alone. The whole
+// batch occupies one admission slot of the backend's concurrency bound,
+// mirroring the daemon's batch admission. The first failure cancels the
+// remaining runs; the root-cause error (not a sibling run's secondary
+// cancellation) is returned, wrapped with its request index.
+func (s *localSession) RunBatch(ctx context.Context, reqs []Request) ([]*Report, error) {
+	if s.closed.Load() {
+		return nil, api.NotFoundf("session closed: circuit %s released", s.info.ID)
+	}
+	release, err := s.acquireSlot()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	reports := make([]*Report, len(reqs))
+	if len(reqs) == 0 {
+		return reports, nil
+	}
+	errs := make([]error, len(reqs))
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				if err := fanCtx.Err(); err != nil {
+					errs[i] = api.Canceled(err)
+					continue
+				}
+				rep, err := s.runOne(fanCtx, &reqs[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	wg.Wait()
+
+	if i, err := api.FirstFailure(errs); err != nil {
+		return nil, fmt.Errorf("requests[%d]: %w", i, err)
+	}
+	return reports, nil
+}
