@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke paper apicheck apicheck-update
+.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke paper apicheck apicheck-update service-smoke cluster-smoke
 
 all: build vet fmt-check test apicheck
 
@@ -23,7 +23,7 @@ test-race:
 # packages) against the committed golden snapshots in apicompat/, so every
 # public-surface change is deliberate. After an intentional change, run
 # `make apicheck-update` and commit the regenerated snapshots.
-APIPKGS = halotis halotis/api halotis/client
+APIPKGS = halotis halotis/api halotis/client halotis/cluster halotis/api/backendtest
 apicheck: build
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	for p in $(APIPKGS); do \
@@ -44,24 +44,30 @@ apicheck-update:
 
 # bench regenerates the perf records for this PR: the Table 2 kernel
 # trajectory (BENCH_PR1.json, carried since PR 1), the size-scaling curves
-# over the scalable circuit families (BENCH_PR2.json), and the service load
+# over the scalable circuit families (BENCH_PR2.json), the service load
 # test against an in-process halotisd (BENCH_PR4.json: unique-request,
 # result-cache-hit and batch fan-out throughput; BENCH_PR3.json holds the
-# pre-result-cache trajectory). Bump the *_OUT vars when a new PR adds a
-# new perf record so the trajectory stays comparable.
+# pre-result-cache trajectory), and the cluster sharding sweep
+# (BENCH_PR5.json: aggregate unique-request throughput at 1 vs 3 replicas
+# under an explicit per-node capacity model, attributed per node via
+# /metrics). Bump the *_OUT vars when a new PR adds a new perf record so
+# the trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
 SCALE_OUT ?= BENCH_PR2.json
 SERVE_OUT ?= BENCH_PR4.json
+CLUSTER_OUT ?= BENCH_PR5.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
 	$(GO) run ./cmd/halobench -exp serve -serveruns 300 -servejson $(SERVE_OUT)
+	$(GO) run ./cmd/halobench -exp cluster -clusterjson $(CLUSTER_OUT)
 
 # bench-smoke is the quick CI variant: few iterations, no JSON artifact.
 bench-smoke:
 	$(GO) test -run=NONE -bench='Table2Seq1DDM|EngineReuseSeq1DDM' -benchmem -benchtime=100x .
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 1 -scalesizes 500
 	$(GO) run ./cmd/halobench -exp serve -serveruns 20 -serveconc 1,4
+	$(GO) run ./cmd/halobench -exp cluster -clusterruns 60 -clusterclients 4
 
 # fuzz-smoke runs each parser/decoder fuzz target briefly (also in CI).
 FUZZTIME ?= 10s
@@ -88,6 +94,32 @@ service-smoke: build
 	curl -sf http://127.0.0.1:8971/healthz >/dev/null && \
 	curl -sf http://127.0.0.1:8971/metrics | grep -q '^halotisd_sim_runs_total 1$$' && \
 	curl -sf http://127.0.0.1:8971/metrics | grep -q '^halotisd_result_cache_hits_total 4$$'
+
+# cluster-smoke drives the CI cluster scenario end to end with real
+# processes: three replica daemons plus a router (halotisd -cluster),
+# upload + simulate through the router, kill one replica, simulate again,
+# and assert the router's /metrics shows the replica down and traffic
+# still flowing. The trap kills every daemon on any exit path.
+cluster-smoke: build
+	$(GO) build -o /tmp/halotisd-cluster-smoke ./cmd/halotisd
+	/tmp/halotisd-cluster-smoke -addr 127.0.0.1:8961 -id r1 & p1=$$!; \
+	/tmp/halotisd-cluster-smoke -addr 127.0.0.1:8962 -id r2 & p2=$$!; \
+	/tmp/halotisd-cluster-smoke -addr 127.0.0.1:8963 -id r3 & p3=$$!; \
+	/tmp/halotisd-cluster-smoke -addr 127.0.0.1:8960 \
+		-cluster "http://127.0.0.1:8961,http://127.0.0.1:8962,http://127.0.0.1:8963" \
+		-replication 2 -probe-interval 200ms & pr=$$!; \
+	trap 'kill $$p1 $$p2 $$p3 $$pr 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:8960/healthz >/dev/null && break; \
+		sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:8960/v1/topology | grep -q '"replication": *2' && \
+	$(GO) run ./examples/service -addr http://127.0.0.1:8960 && \
+	kill -9 $$p2 && sleep 1 && \
+	$(GO) run ./examples/service -addr http://127.0.0.1:8960 && \
+	curl -sf http://127.0.0.1:8960/metrics | grep -q 'halotisd_router_replica_healthy{replica="http://127.0.0.1:8962"} 0' && \
+	curl -sf http://127.0.0.1:8960/metrics | grep -q 'halotisd_router_replicas_healthy 2' && \
+	echo "cluster-smoke: failover verified"
 
 # paper regenerates every table and figure of the paper's evaluation.
 paper:

@@ -107,16 +107,20 @@ type PowerSummary struct {
 
 // Report is the outcome of one Request, identical across backends: every
 // field except Circuit (the content-hash ID the backend ran against),
-// ElapsedNs (wall time, machine-dependent) and Cached (whether a result
-// cache served it) is a deterministic function of (circuit, Request).
+// ElapsedNs (wall time, machine-dependent), Cached (whether a result
+// cache served it) and Replica (which node ran it) is a deterministic
+// function of (circuit, Request).
 type Report struct {
 	Circuit   string  `json:"circuit"`
 	Model     string  `json:"model"`
 	TEnd      float64 `json:"t_end"`
 	ElapsedNs int64   `json:"elapsed_ns"`
 	// Cached reports that a result cache answered without a kernel run.
-	Cached bool  `json:"cached,omitempty"`
-	Stats  Stats `json:"stats"`
+	Cached bool `json:"cached,omitempty"`
+	// Replica identifies the node that produced the report, when the
+	// serving daemon was configured with an identity (halotisd -id).
+	Replica string `json:"replica,omitempty"`
+	Stats   Stats  `json:"stats"`
 	// Outputs samples every primary output at TEnd (threshold VDD/2).
 	Outputs   map[string]bool     `json:"outputs"`
 	Waveforms map[string]Waveform `json:"waveforms,omitempty"`
@@ -136,6 +140,47 @@ type CircuitInfo struct {
 	Depth   int      `json:"depth"`
 	Inputs  []string `json:"inputs"`
 	Outputs []string `json:"outputs"`
+	// Replica identifies the node that answered, when the serving daemon
+	// was configured with an identity (halotisd -id). Content-hash IDs are
+	// machine-independent, so the same circuit carries the same ID
+	// whichever replica describes it.
+	Replica string `json:"replica,omitempty"`
+}
+
+// ReplicaInfo describes one node of a cluster topology: its identity, its
+// rendezvous address, and the health state the router's prober last
+// observed. Served by the cluster router's GET /v1/topology and by
+// cluster.Backend.Topology.
+type ReplicaInfo struct {
+	// ID is the replica's rendezvous identity (its base URL unless the
+	// operator named it); placement hashes this, so renaming a replica
+	// reshuffles its share of circuits.
+	ID string `json:"id"`
+	// Addr is the replica's base URL.
+	Addr string `json:"addr"`
+	// Healthy is the prober's last verdict (probe success and no passive
+	// failure marking since).
+	Healthy bool `json:"healthy"`
+	// LastProbeUnixMs is when the prober last completed a probe of this
+	// replica (0 before the first probe).
+	LastProbeUnixMs int64 `json:"last_probe_unix_ms,omitempty"`
+	// Circuits, QueueDepth and Workers mirror the replica's own /healthz
+	// as of the last successful probe.
+	Circuits   int `json:"circuits"`
+	QueueDepth int `json:"queue_depth"`
+	Workers    int `json:"workers"`
+	// Failures counts transport-level failures observed against this
+	// replica (probe and request paths both).
+	Failures uint64 `json:"failures"`
+}
+
+// TopologyResponse is the body of the cluster router's GET /v1/topology:
+// the member replicas and the placement parameters requests are routed by.
+type TopologyResponse struct {
+	Replicas []ReplicaInfo `json:"replicas"`
+	// Replication is the configured replication factor: each circuit is
+	// placed on the top-Replication replicas of its rendezvous ranking.
+	Replication int `json:"replication"`
 }
 
 // UploadRequest registers a circuit with the service.
@@ -196,6 +241,10 @@ type ErrorResponse struct {
 	Code  string `json:"code,omitempty"`
 	// RetryAfterMs hints when to retry an overloaded backend.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// Replica identifies the node the error originated on, when the
+	// serving daemon (or the cluster router proxying it) carries an
+	// identity — so a cluster-wide error names the node to look at.
+	Replica string `json:"replica,omitempty"`
 }
 
 // HealthResponse is the /healthz body.
@@ -205,6 +254,8 @@ type HealthResponse struct {
 	Circuits      int     `json:"circuits"`
 	QueueDepth    int     `json:"queue_depth"`
 	Workers       int     `json:"workers"`
+	// Replica is the daemon's configured identity (halotisd -id), if any.
+	Replica string `json:"replica,omitempty"`
 }
 
 // finite rejects NaN and infinities, consistent with the text parsers'

@@ -68,10 +68,17 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's retry hint on 503 responses.
 	RetryAfter time.Duration
+	// Replica is the identity of the node the error originated on, when
+	// the daemon (or a cluster router proxying it) carries one.
+	Replica string
 }
 
 func (e *APIError) Error() string {
-	return fmt.Sprintf("halotisd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+	who := "halotisd"
+	if e.Replica != "" {
+		who += "[" + e.Replica + "]"
+	}
+	return fmt.Sprintf("%s: %d %s: %s", who, e.StatusCode, http.StatusText(e.StatusCode), e.Message)
 }
 
 // As surfaces the overload retry hint: errors.As(err, **api.OverloadedError)
@@ -102,8 +109,9 @@ func (e *APIError) Is(target error) bool {
 
 // Client talks to one halotisd instance.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // Option configures a Client.
@@ -112,6 +120,14 @@ type Option func(*Client)
 // WithHTTPClient substitutes the underlying http.Client (timeouts,
 // transports, test doubles).
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithRetry opts the client into bounded retries of overloaded (503)
+// responses. Every request the service exposes is idempotent — circuits
+// are content-addressed and simulation is a pure function of its request —
+// so retrying a refused admission is always safe. Only admission refusals
+// (errors matching api.ErrOverloaded) are retried; transport failures and
+// every other error class return immediately.
+func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p.withDefaults() } }
 
 // New builds a client for the service at base (e.g. "http://host:8080").
 // The default transport keeps enough idle connections per host for highly
@@ -137,6 +153,7 @@ func apiError(resp *http.Response) *APIError {
 		if json.Unmarshal(data, &body) == nil && body.Error != "" {
 			apiErr.Message = body.Error
 			apiErr.Code = body.Code
+			apiErr.Replica = body.Replica
 			if body.RetryAfterMs > 0 {
 				apiErr.RetryAfter = time.Duration(body.RetryAfterMs) * time.Millisecond
 			}
@@ -153,19 +170,42 @@ func apiError(resp *http.Response) *APIError {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	attempt := 0
+	for {
+		attempt++
+		err := c.doOnce(ctx, method, path, data, out)
+		if err == nil {
+			return nil
+		}
+		wait, retry := c.retry.next(attempt, err)
+		if !retry {
+			return err
+		}
+		if slept := sleepCtx(ctx, wait); slept != nil {
+			// The caller's context died while waiting out the backoff;
+			// surface the cancellation, not the stale overload.
+			return api.Canceled(slept)
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, out any) error {
+	var body io.Reader
+	if data != nil {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -248,6 +288,32 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	}
 	return &resp, nil
 }
+
+// Probe is the health-check primitive the cluster layer's prober uses: one
+// GET /healthz without the client's retry policy (a prober must observe
+// overload and death promptly, not paper over them), returning the body on
+// success.
+func (c *Client) Probe(ctx context.Context) (*HealthResponse, error) {
+	var resp HealthResponse
+	if err := c.doOnce(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Topology fetches a cluster router's GET /v1/topology: the member
+// replicas, their health, and the replication factor requests are placed
+// with. Single daemons do not serve it (404).
+func (c *Client) Topology(ctx context.Context) (*api.TopologyResponse, error) {
+	var resp api.TopologyResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/topology", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Base returns the base URL the client was built with.
+func (c *Client) Base() string { return c.base }
 
 // Metrics fetches the raw Prometheus text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+
+	"halotis/api"
+)
+
+// RetryPolicy bounds the client's opt-in retry of overloaded responses
+// (WithRetry). A 503 from the daemon means admission was refused — the
+// queue was momentarily full — not that the request was wrong, so a short
+// bounded wait usually succeeds. The wait honors the server's Retry-After
+// hint when one is sent, falls back to capped exponential backoff when
+// not, and always carries jitter so a thundering herd of refused clients
+// does not re-arrive in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 3). 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff used when the server sends
+	// no Retry-After hint (default 50ms; attempt n waits BaseDelay·2^(n-1)).
+	BaseDelay time.Duration
+	// MaxDelay caps any single wait, hinted or computed (default 2s).
+	MaxDelay time.Duration
+	// Jitter is the random fraction added to each wait, capped at 1.
+	// 0 means the default 0.2 (waits stretched by up to 20%); pass a
+	// negative value to disable jitter entirely (deterministic waits).
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter == 0 {
+		p.Jitter = 0.2
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// next decides whether the attempt-th failure should be retried and how
+// long to wait first. Only admission refusals (api.ErrOverloaded) are
+// retryable: every service request is idempotent, but other error classes
+// are deterministic (invalid request, not found) or already terminal
+// (cancellation), and transport failures are the failover layer's job,
+// not the per-replica client's.
+func (p RetryPolicy) next(attempt int, err error) (time.Duration, bool) {
+	if p.MaxAttempts <= 1 || attempt >= p.MaxAttempts || !errors.Is(err, api.ErrOverloaded) {
+		return 0, false
+	}
+	wait, ok := api.RetryAfter(err)
+	if !ok || wait <= 0 {
+		wait = p.BaseDelay << (attempt - 1)
+		if wait <= 0 { // shift overflow on absurd attempt counts
+			wait = p.MaxDelay
+		}
+	}
+	if wait > p.MaxDelay {
+		wait = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		wait += time.Duration(p.Jitter * rand.Float64() * float64(wait))
+	}
+	return wait, true
+}
+
+// sleepCtx waits d or until ctx is done, returning the context's error in
+// the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,169 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"halotis/api"
+)
+
+// overloadedThen returns a handler that answers 503 (typed overloaded,
+// with a Retry-After hint) for the first n requests and then delegates.
+func overloadedThen(n int64, hits *atomic.Int64, then http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= n {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorResponse{
+				Error: "queue full", Code: api.CodeOverloaded, RetryAfterMs: 5,
+			})
+			return
+		}
+		then(w, r)
+	}
+}
+
+func healthOK(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok"})
+}
+
+// TestRetryRecoversBriefOverload is the satellite acceptance test: a
+// briefly-overloaded server recovers without any caller-visible error
+// when the client opts into retries.
+func TestRetryRecoversBriefOverload(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(overloadedThen(2, &hits, healthOK))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 3}))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health through brief overload: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two refusals + success)", got)
+	}
+}
+
+// TestNoRetryByDefault: without WithRetry the first 503 surfaces
+// immediately, preserving the PR 4 behavior callers may depend on.
+func TestNoRetryByDefault(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(overloadedThen(1, &hits, healthOK))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Health(context.Background())
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestRetryExhaustionSurfacesOverload: a persistently overloaded server
+// exhausts the budget and the final error is still typed and carries the
+// retry hint.
+func TestRetryExhaustionSurfacesOverload(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(overloadedThen(1<<30, &hits, healthOK))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}))
+	_, err := c.Health(context.Background())
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if ra, ok := api.RetryAfter(err); !ok || ra <= 0 {
+		t.Fatalf("RetryAfter(err) = %v, %v; want the server's hint", ra, ok)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want MaxAttempts = 3", got)
+	}
+}
+
+// TestRetryHonorsContext: a context that dies during the backoff wait
+// aborts promptly with a cancellation, not a stale overload.
+func TestRetryHonorsContext(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.ErrorResponse{
+			Error: "queue full", Code: api.CodeOverloaded, RetryAfterMs: int64(time.Hour / time.Millisecond),
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 5, MaxDelay: time.Hour}))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Health(ctx)
+	if !errors.Is(err, api.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation took %v", time.Since(start))
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (wait aborted before retry)", got)
+	}
+}
+
+// TestProbeSkipsRetry: the prober primitive must observe overload
+// immediately even on a retrying client.
+func TestProbeSkipsRetry(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(overloadedThen(1<<30, &hits, healthOK))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{}))
+	_, err := c.Probe(context.Background())
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("probe performed %d requests, want 1", got)
+	}
+}
+
+// TestRetryPolicyWaits pins the wait computation: the hint wins when
+// present, backoff doubles when not, MaxDelay caps both, and only
+// overload errors are retryable.
+func TestRetryPolicyWaits(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Jitter: -1}.withDefaults()
+	overload := &api.OverloadedError{}
+	hinted := &APIError{StatusCode: 503, Code: api.CodeOverloaded, RetryAfter: 7 * time.Millisecond}
+
+	if w, ok := p.next(1, overload); !ok || w != 10*time.Millisecond {
+		t.Errorf("attempt 1 backoff = %v, %v; want 10ms", w, ok)
+	}
+	if w, ok := p.next(2, overload); !ok || w != 20*time.Millisecond {
+		t.Errorf("attempt 2 backoff = %v, %v; want 20ms", w, ok)
+	}
+	if w, ok := p.next(3, overload); !ok || w != 25*time.Millisecond {
+		t.Errorf("attempt 3 backoff = %v, %v; want MaxDelay cap 25ms", w, ok)
+	}
+	if _, ok := p.next(4, overload); ok {
+		t.Error("attempt 4 retried past MaxAttempts")
+	}
+	if w, ok := p.next(1, hinted); !ok || w != 7*time.Millisecond {
+		t.Errorf("hinted wait = %v, %v; want the 7ms hint", w, ok)
+	}
+	if _, ok := p.next(1, api.ErrCircuitNotFound); ok {
+		t.Error("not-found retried; only overload is retryable")
+	}
+	if _, ok := p.next(1, context.Canceled); ok {
+		t.Error("cancellation retried")
+	}
+}

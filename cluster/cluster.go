@@ -1,0 +1,391 @@
+// Package cluster shards the HALOTIS simulation service across many
+// halotisd replicas behind one halotis.Backend.
+//
+// Placement is rendezvous (highest-random-weight) hashing on the circuit's
+// content hash (circ.ContentHash): every node — and every client — ranks
+// the replicas for a circuit identically, with no coordination, no
+// directory service and no stored placement table. Because circuit IDs are
+// stable content hashes, placement is machine-independent (a circuit lands
+// on the same replicas whoever computes the ranking) and adding or
+// removing a replica moves only the circuits whose top rank changed —
+// the minimal possible reshuffle.
+//
+// Each circuit is placed on the top-R replicas of its ranking (the
+// replication factor, WithReplication); repeat requests rotate across the
+// healthy members of that set, spreading read load and making each
+// replica's result cache effective — the cache keys are content-addressed
+// and machine-independent, so any replica of the set can serve a repeat
+// hit.
+//
+// Failures are handled at two levels. A background prober hits every
+// replica's /healthz on an interval; requests additionally mark a replica
+// down the moment a transport-level failure is observed (passive marking).
+// A run against an unavailable replica fails over to the next-ranked one,
+// and because the backend keeps the serialized netlist of every circuit it
+// opened, a failover target that has never seen the circuit is repaired in
+// line: ErrCircuitNotFound triggers a content-addressed re-upload and one
+// retry. Momentary overload (503 + Retry-After) is absorbed by the typed
+// client's bounded retry before failover is even considered.
+//
+// The same routing core has two faces: cluster.New returns a
+// halotis.Backend for in-process callers, and Handler exposes the
+// identical wire API as an HTTP router (cmd/halotisd -cluster), so the
+// existing CLI and typed client work unchanged against a fleet.
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"halotis/api"
+	"halotis/client"
+	"halotis/internal/cellib"
+	"halotis/internal/netfmt"
+	"halotis/internal/netlist"
+)
+
+// Cluster routes requests across halotisd replicas by rendezvous hashing
+// on circuit content hashes. It implements halotis.Backend (Open) and
+// serves the same wire API over HTTP (Handler). Create with New; Close
+// stops the health prober.
+type Cluster struct {
+	replicas []*replica
+	rf       int
+	lib      *cellib.Library
+	maxBody  int64
+
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+
+	texts *textStore
+	met   routerMetrics
+	mux   *http.ServeMux
+	start time.Time
+
+	rot atomic.Uint64 // read-spread rotation over a placement set
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// config collects the options New applies.
+type config struct {
+	replication  int
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	lib          *cellib.Library
+	retry        client.RetryPolicy
+	clientOpts   []client.Option
+	ids          []string
+	textCap      int
+	maxBody      int64
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithReplication sets the replication factor: each circuit is placed on
+// the top-R replicas of its rendezvous ranking (default 2, clamped to the
+// replica count). R >= 2 spreads read load across the set on repeat
+// requests and keeps a warm copy standing by for failover.
+func WithReplication(r int) Option { return func(c *config) { c.replication = r } }
+
+// WithProbeInterval sets how often the background prober checks every
+// replica's /healthz (default 2s; <= 0 disables active probing, leaving
+// only passive failure marking).
+func WithProbeInterval(d time.Duration) Option { return func(c *config) { c.probeEvery = d } }
+
+// WithProbeTimeout bounds one health probe (default 2s, never more than
+// the probe interval).
+func WithProbeTimeout(d time.Duration) Option { return func(c *config) { c.probeTimeout = d } }
+
+// WithLibrary sets the cell library the router parses inline netlists
+// onto (default: the 0.6 µm library). It must match the replicas' library
+// or content hashes — and therefore placement — would disagree.
+func WithLibrary(lib *cellib.Library) Option { return func(c *config) { c.lib = lib } }
+
+// WithRetry sets the per-replica overload retry policy (default: 3
+// attempts). The zero RetryPolicy still retries with defaults; disable by
+// setting MaxAttempts to 1.
+func WithRetry(p client.RetryPolicy) Option { return func(c *config) { c.retry = p } }
+
+// WithClientOptions appends options to every per-replica typed client
+// (timeouts, transports, test doubles).
+func WithClientOptions(opts ...client.Option) Option {
+	return func(c *config) { c.clientOpts = append(c.clientOpts, opts...) }
+}
+
+// WithReplicaIDs names the replicas for rendezvous hashing and metrics
+// labels, position-matched to New's address list (default: the addresses
+// themselves). Stable names keep placement stable when a replica moves to
+// a new address.
+func WithReplicaIDs(ids ...string) Option { return func(c *config) { c.ids = ids } }
+
+// New builds a cluster over the replica base URLs (e.g.
+// "http://10.0.0.1:8080"). All replicas start optimistically healthy;
+// the first probe or transport failure corrects the picture.
+func New(replicas []string, opts ...Option) (*Cluster, error) {
+	cfg := config{
+		replication:  2,
+		probeEvery:   2 * time.Second,
+		probeTimeout: 2 * time.Second,
+		lib:          cellib.Default06(),
+		textCap:      256,
+		maxBody:      8 << 20,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas given")
+	}
+	if cfg.ids != nil && len(cfg.ids) != len(replicas) {
+		return nil, fmt.Errorf("cluster: %d replica IDs for %d replicas", len(cfg.ids), len(replicas))
+	}
+	if cfg.replication < 1 {
+		cfg.replication = 1
+	}
+	if cfg.replication > len(replicas) {
+		cfg.replication = len(replicas)
+	}
+	if cfg.probeTimeout <= 0 || (cfg.probeEvery > 0 && cfg.probeTimeout > cfg.probeEvery) {
+		cfg.probeTimeout = cfg.probeEvery
+	}
+
+	c := &Cluster{
+		rf:           cfg.replication,
+		lib:          cfg.lib,
+		maxBody:      cfg.maxBody,
+		probeEvery:   cfg.probeEvery,
+		probeTimeout: cfg.probeTimeout,
+		texts:        newTextStore(cfg.textCap),
+		start:        time.Now(),
+		stop:         make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(replicas))
+	for i, addr := range replicas {
+		id := strings.TrimRight(addr, "/")
+		if cfg.ids != nil {
+			id = cfg.ids[i]
+		}
+		if id == "" || seen[id] {
+			return nil, fmt.Errorf("cluster: replica ID %q empty or duplicated", id)
+		}
+		seen[id] = true
+		r := &replica{
+			id:   id,
+			addr: strings.TrimRight(addr, "/"),
+			c:    client.New(addr, append([]client.Option{client.WithRetry(cfg.retry)}, cfg.clientOpts...)...),
+		}
+		r.healthy.Store(true)
+		c.replicas = append(c.replicas, r)
+	}
+	c.routes()
+	if c.probeEvery > 0 {
+		c.wg.Add(1)
+		go c.probeLoop()
+	}
+	return c, nil
+}
+
+// Close stops the background prober. Sessions opened on the cluster stay
+// usable for requests (their circuits live on the replicas), but health
+// state is no longer refreshed.
+func (c *Cluster) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	return nil
+}
+
+// Replication returns the effective replication factor.
+func (c *Cluster) Replication() int { return c.rf }
+
+// replica is one member node: its typed client plus the health and
+// accounting state the routing layer maintains.
+type replica struct {
+	id   string // rendezvous identity and metrics label
+	addr string
+	c    *client.Client
+
+	healthy     atomic.Bool
+	lastProbeMs atomic.Int64
+	failures    atomic.Uint64 // transport-level failures (probe + request)
+	served      atomic.Uint64 // requests this replica answered
+
+	mu         sync.Mutex
+	lastHealth api.HealthResponse // from the last successful probe
+}
+
+// markDown records a passive transport failure: the replica is unhealthy
+// until a probe succeeds again.
+func (r *replica) markDown() {
+	r.failures.Add(1)
+	r.healthy.Store(false)
+}
+
+func (r *replica) info() api.ReplicaInfo {
+	r.mu.Lock()
+	h := r.lastHealth
+	r.mu.Unlock()
+	return api.ReplicaInfo{
+		ID:              r.id,
+		Addr:            r.addr,
+		Healthy:         r.healthy.Load(),
+		LastProbeUnixMs: r.lastProbeMs.Load(),
+		Circuits:        h.Circuits,
+		QueueDepth:      h.QueueDepth,
+		Workers:         h.Workers,
+		Failures:        r.failures.Load(),
+	}
+}
+
+// Topology snapshots the member replicas and placement parameters; the
+// router serves it as GET /v1/topology.
+func (c *Cluster) Topology() api.TopologyResponse {
+	resp := api.TopologyResponse{Replication: c.rf}
+	for _, r := range c.replicas {
+		resp.Replicas = append(resp.Replicas, r.info())
+	}
+	return resp
+}
+
+// probeLoop refreshes every replica's health on the configured interval.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow probes every replica's /healthz once, concurrently, updating
+// health state, and returns when all probes finish. The background prober
+// calls it on its interval; tests and operators call it for an immediate
+// refresh.
+func (c *Cluster) ProbeNow() {
+	var wg sync.WaitGroup
+	for _, r := range c.replicas {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			timeout := c.probeTimeout
+			if timeout <= 0 {
+				timeout = 2 * time.Second
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			h, err := r.c.Probe(ctx)
+			r.lastProbeMs.Store(time.Now().UnixMilli())
+			if err != nil {
+				r.failures.Add(1)
+				r.healthy.Store(false)
+				return
+			}
+			r.mu.Lock()
+			r.lastHealth = *h
+			r.mu.Unlock()
+			r.healthy.Store(true)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// circuitText is the serialized form of a circuit the cluster has seen —
+// what makes upload-on-miss possible after a failover.
+type circuitText struct {
+	id     string
+	text   string
+	format string
+	name   string
+}
+
+// textStore is a bounded LRU of serialized netlists by circuit ID. The
+// texts only repair caches (replicas re-parse and re-compile on upload),
+// so eviction costs nothing but the ability to repair that circuit.
+type textStore struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // of *circuitText; front = most recent
+}
+
+func newTextStore(capacity int) *textStore {
+	return &textStore{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+func (s *textStore) put(t *circuitText) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[t.id]; ok {
+		el.Value = t
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.m[t.id] = s.lru.PushFront(t)
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		delete(s.m, back.Value.(*circuitText).id)
+		s.lru.Remove(back)
+	}
+}
+
+func (s *textStore) get(id string) *circuitText {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[id]
+	if !ok {
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*circuitText)
+}
+
+func (s *textStore) drop(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[id]; ok {
+		delete(s.m, id)
+		s.lru.Remove(el)
+	}
+}
+
+// parseText parses a netlist text exactly as a replica's upload path does,
+// so the router's locally computed content hash matches the ID the
+// replicas assign.
+func parseText(text, format string, lib *cellib.Library, name string) (*netlist.Circuit, error) {
+	f, ok := netfmt.FormatByName(format)
+	if !ok {
+		return nil, fmt.Errorf("unknown netlist format %q", format)
+	}
+	if f == netfmt.FormatAuto {
+		f = netfmt.SniffFormat(text)
+	}
+	var ckt *netlist.Circuit
+	var err error
+	switch f {
+	case netfmt.FormatBench:
+		ckt, err = netfmt.ParseBench(strings.NewReader(text), lib)
+	default:
+		ckt, err = netfmt.ParseCircuit(strings.NewReader(text), lib)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		ckt.Name = name
+	}
+	return ckt, nil
+}

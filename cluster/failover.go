@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"halotis/api"
+	"halotis/client"
+)
+
+// Error classification for routing. Three classes matter:
+//
+//   - terminal: deterministic outcomes (invalid request, oscillation
+//     limits) and caller cancellation — retrying elsewhere would repeat
+//     the same answer or outlive the caller, so return immediately.
+//   - availability: transport failures, overload that survived the typed
+//     client's bounded retry, and ErrCircuitNotFound (another replica may
+//     hold the circuit, or upload-on-miss can repair this one) — advance
+//     to the next candidate.
+//   - transport (a subset of availability): no HTTP response at all —
+//     additionally mark the replica down so subsequent requests skip it
+//     until a probe revives it.
+func isAvailability(err error) bool {
+	if errors.Is(err, api.ErrCanceled) {
+		return false
+	}
+	if errors.Is(err, errReplicaMismatch) {
+		return false
+	}
+	if errors.Is(err, api.ErrOverloaded) || errors.Is(err, api.ErrCircuitNotFound) {
+		return true
+	}
+	var ae *client.APIError
+	return !errors.As(err, &ae) // non-HTTP failure: transport-level
+}
+
+// errReplicaMismatch marks a replica that assigned a different content
+// hash to the same netlist text — a cell-library misconfiguration. It is
+// terminal (failing over would hide a broken node) and not a health
+// event (the node is alive, just wrong).
+var errReplicaMismatch = errors.New("cluster: replica content-hash mismatch (library misconfiguration)")
+
+func isTransport(err error) bool {
+	var ae *client.APIError
+	return !errors.As(err, &ae) && !errors.Is(err, api.ErrCanceled) && !errors.Is(err, errReplicaMismatch)
+}
+
+// noteFailure applies passive health marking for one failed replica call:
+// mark the replica down only on a transport-level failure that was not
+// caused by the caller's own context dying — a canceled request says
+// nothing about the replica's health.
+func noteFailure(ctx context.Context, r *replica, err error) {
+	if isTransport(err) && ctx.Err() == nil {
+		r.markDown()
+	}
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// withFailover runs fn against the circuit's candidate replicas in order
+// until one succeeds. ErrCircuitNotFound triggers a content-addressed
+// re-upload and one retry when the serialized text is known (t != nil);
+// transport failures mark the replica down; availability failures advance
+// to the next candidate; terminal failures return as-is. prefer, when
+// non-nil, is tried first (scatter chunks pin their assigned replica).
+func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, prefer *replica, fn func(r *replica) error) error {
+	cands := c.candidates(id)
+	if prefer != nil {
+		reordered := make([]*replica, 0, len(cands))
+		reordered = append(reordered, prefer)
+		for _, r := range cands {
+			if r != prefer {
+				reordered = append(reordered, r)
+			}
+		}
+		cands = reordered
+	}
+
+	var lastErr error
+	for i, r := range cands {
+		err := c.tryReplica(ctx, r, id, t, fn)
+		if err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return api.Canceled(cerr)
+		}
+		if !isAvailability(err) {
+			return err
+		}
+		if isTransport(err) {
+			r.markDown()
+		}
+		lastErr = err
+		// Count a failover only when the replica itself failed (transport
+		// or overload) and another candidate exists. A not-found advance is
+		// an ordinary miss — an unknown ID probing N replicas is not N-1
+		// node failures.
+		if i < len(cands)-1 && !errors.Is(err, api.ErrCircuitNotFound) {
+			c.met.failovers.Add(1)
+		}
+	}
+	return fmt.Errorf("cluster: all %d replicas failed for circuit %s: %w", len(cands), shortID(id), lastErr)
+}
+
+// tryReplica is one candidate attempt, including the upload-on-miss
+// repair: a replica that answers ErrCircuitNotFound (evicted, restarted,
+// or a failover target that never saw the circuit) gets the serialized
+// netlist re-uploaded — content-addressed, so the repaired ID is
+// guaranteed identical — and one retry.
+func (c *Cluster) tryReplica(ctx context.Context, r *replica, id string, t *circuitText, fn func(r *replica) error) error {
+	err := fn(r)
+	if err != nil && errors.Is(err, api.ErrCircuitNotFound) && t != nil {
+		c.met.reuploads.Add(1)
+		if _, uerr := c.uploadTo(ctx, r, t); uerr == nil {
+			err = fn(r)
+		} else {
+			err = uerr
+		}
+	}
+	if err == nil {
+		r.served.Add(1)
+	}
+	return err
+}
+
+// uploadTo uploads a circuit's text to one replica and checks the replica
+// agrees on the content hash (a mismatch means the replica runs a
+// different cell library — a misconfiguration worth failing loudly on).
+func (c *Cluster) uploadTo(ctx context.Context, r *replica, t *circuitText) (*api.UploadResponse, error) {
+	resp, err := r.c.UploadCircuit(ctx, api.UploadRequest{Name: t.name, Format: t.format, Netlist: t.text})
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != t.id {
+		return nil, fmt.Errorf("%w: replica %s assigned circuit ID %s, expected %s",
+			errReplicaMismatch, r.id, shortID(resp.ID), shortID(t.id))
+	}
+	return resp, nil
+}
+
+// place uploads a circuit to its placement set: the first R candidates
+// that accept it (healthy primaries first, falling down the ranking when
+// they are unavailable). At least one replica must accept; the first
+// successful response is returned.
+func (c *Cluster) place(ctx context.Context, t *circuitText) (*api.UploadResponse, error) {
+	cands := c.candidates(t.id)
+	var first *api.UploadResponse
+	var lastErr error
+	placed := 0
+	for _, r := range cands {
+		if placed >= c.rf {
+			break
+		}
+		resp, err := c.uploadTo(ctx, r, t)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, api.Canceled(cerr)
+			}
+			if !isAvailability(err) {
+				return nil, err
+			}
+			if isTransport(err) {
+				r.markDown()
+			}
+			lastErr = err
+			continue
+		}
+		placed++
+		if first == nil {
+			first = resp
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("cluster: no replica accepted circuit %s: %w", shortID(t.id), lastErr)
+	}
+	return first, nil
+}
+
+// scatterBatch fans a batch across the healthy members of the circuit's
+// placement set: contiguous chunks, one per target replica, merged back in
+// request order. Each chunk keeps the full failover machinery (its
+// assigned replica is just the first candidate), so a replica dying
+// mid-batch moves its chunk, not the whole batch. The first failure
+// cancels the remaining chunks and is reported as the root cause,
+// matching Local and Remote RunBatch semantics.
+func (c *Cluster) scatterBatch(ctx context.Context, id string, t *circuitText, reqs []api.Request) ([]*api.Report, error) {
+	n := len(reqs)
+	reports := make([]*api.Report, n)
+	if n == 0 {
+		return reports, nil
+	}
+	targets := c.healthyPrimaries(id)
+	if len(targets) == 0 {
+		targets = c.candidates(id)[:1]
+	}
+	if len(targets) > n {
+		targets = targets[:n]
+	}
+	k := len(targets)
+
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for ci := 0; ci < k; ci++ {
+		lo, hi := ci*n/k, (ci+1)*n/k
+		wg.Add(1)
+		go func(ci, lo, hi int, prefer *replica) {
+			defer wg.Done()
+			chunk := reqs[lo:hi]
+			err := c.withFailover(fanCtx, id, t, prefer, func(r *replica) error {
+				resp, err := r.c.SimulateBatch(fanCtx, api.BatchRequest{Circuit: id, Requests: chunk})
+				if err != nil {
+					return err
+				}
+				if len(resp.Reports) != len(chunk) {
+					return fmt.Errorf("replica %s returned %d reports for %d requests", r.id, len(resp.Reports), len(chunk))
+				}
+				for j := range resp.Reports {
+					reports[lo+j] = &resp.Reports[j]
+				}
+				return nil
+			})
+			if err != nil {
+				errs[ci] = fmt.Errorf("requests[%d..%d]: %w", lo, hi-1, err)
+				cancel()
+			}
+		}(ci, lo, hi, targets[ci])
+	}
+	wg.Wait()
+
+	if _, err := api.FirstFailure(errs); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}

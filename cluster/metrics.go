@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"halotis/internal/buildinfo"
+)
+
+// routeID indexes the router's per-endpoint request counters.
+type routeID int
+
+const (
+	routeUpload routeID = iota
+	routeCircuits
+	routeSimulate
+	routeBatch
+	routeHealth
+	routeTopology
+	routeMetrics
+	routeCount
+)
+
+var routeNames = [routeCount]string{
+	routeUpload:   "upload",
+	routeCircuits: "circuits",
+	routeSimulate: "simulate",
+	routeBatch:    "batch",
+	routeHealth:   "healthz",
+	routeTopology: "topology",
+	routeMetrics:  "metrics",
+}
+
+// routerMetrics aggregates the routing layer's counters. Per-replica state
+// (health, served requests, failures) lives on the replicas themselves and
+// is read live at exposition time; these are the cluster-wide ones.
+type routerMetrics struct {
+	requests   [routeCount]atomic.Uint64
+	httpErrors atomic.Uint64
+	// failovers counts advances to a lower-ranked candidate after an
+	// availability failure — the cluster-smoke assertion that failover
+	// actually happened reads this.
+	failovers atomic.Uint64
+	// reuploads counts upload-on-miss repairs: a replica answered
+	// ErrCircuitNotFound and the stored serialized netlist restored it.
+	reuploads atomic.Uint64
+}
+
+// write renders the Prometheus text exposition of the router and fleet
+// state. The replica label on per-replica series matches the halotisd
+// -id each node exports in its own halotisd_build_info, so a sweep can
+// join router-side and node-side views.
+func (m *routerMetrics) write(w io.Writer, c *Cluster) {
+	gauge := func(name string, v float64, help string) {
+		fmt.Fprintf(w, "# HELP halotisd_router_%s %s\n# TYPE halotisd_router_%s gauge\nhalotisd_router_%s %g\n",
+			name, help, name, name, v)
+	}
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(w, "# HELP halotisd_router_%s %s\n# TYPE halotisd_router_%s counter\nhalotisd_router_%s %d\n",
+			name, help, name, name, v)
+	}
+
+	version, rev, goVersion := buildinfo.Info()
+	fmt.Fprintf(w, "# HELP halotisd_router_build_info Build of this cluster router.\n"+
+		"# TYPE halotisd_router_build_info gauge\n"+
+		"halotisd_router_build_info{version=%q,revision=%q,go=%q} 1\n",
+		version, rev, goVersion)
+
+	gauge("uptime_seconds", time.Since(c.start).Seconds(), "Seconds since the router started.")
+	gauge("replication", float64(c.rf), "Replication factor: circuits are placed on the top-R ranked replicas.")
+
+	fmt.Fprintf(w, "# HELP halotisd_router_requests_total Requests served, by endpoint.\n# TYPE halotisd_router_requests_total counter\n")
+	for r := routeID(0); r < routeCount; r++ {
+		fmt.Fprintf(w, "halotisd_router_requests_total{endpoint=%q} %d\n", routeNames[r], m.requests[r].Load())
+	}
+	counter("http_errors_total", m.httpErrors.Load(), "Responses with status >= 400.")
+	counter("failovers_total", m.failovers.Load(), "Requests moved to a lower-ranked replica after an availability failure.")
+	counter("reuploads_total", m.reuploads.Load(), "Upload-on-miss repairs of circuits onto failover targets.")
+
+	healthy := 0
+	for _, r := range c.replicas {
+		if r.healthy.Load() {
+			healthy++
+		}
+	}
+	gauge("replicas", float64(len(c.replicas)), "Configured replicas.")
+	gauge("replicas_healthy", float64(healthy), "Replicas currently considered healthy.")
+
+	fmt.Fprintf(w, "# HELP halotisd_router_replica_healthy Health of each replica (1 healthy, 0 down).\n# TYPE halotisd_router_replica_healthy gauge\n")
+	for _, r := range c.replicas {
+		v := 0
+		if r.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "halotisd_router_replica_healthy{replica=%q} %d\n", r.id, v)
+	}
+	fmt.Fprintf(w, "# HELP halotisd_router_replica_requests_total Requests each replica answered successfully.\n# TYPE halotisd_router_replica_requests_total counter\n")
+	for _, r := range c.replicas {
+		fmt.Fprintf(w, "halotisd_router_replica_requests_total{replica=%q} %d\n", r.id, r.served.Load())
+	}
+	fmt.Fprintf(w, "# HELP halotisd_router_replica_failures_total Transport-level failures observed per replica.\n# TYPE halotisd_router_replica_failures_total counter\n")
+	for _, r := range c.replicas {
+		fmt.Fprintf(w, "halotisd_router_replica_failures_total{replica=%q} %d\n", r.id, r.failures.Load())
+	}
+}

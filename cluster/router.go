@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"halotis/api"
+	"halotis/client"
+	"halotis/internal/circ"
+	"halotis/internal/service"
+)
+
+// The router face: the same wire API a single halotisd serves, routed
+// across the fleet, so the typed client, halotis -remote and every other
+// wire caller work unchanged against a cluster (cmd/halotisd -cluster).
+// One addition: GET /v1/topology describes the members and placement
+// parameters.
+
+// Handler returns the HTTP handler of the cluster router.
+func (c *Cluster) Handler() http.Handler { return c.mux }
+
+func (c *Cluster) routes() {
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/circuits", c.handleUpload)
+	c.mux.HandleFunc("GET /v1/circuits", c.handleList)
+	c.mux.HandleFunc("GET /v1/circuits/{id}", c.handleGet)
+	c.mux.HandleFunc("DELETE /v1/circuits/{id}", c.handleEvict)
+	c.mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
+	c.mux.HandleFunc("POST /v1/simulate/batch", c.handleBatch)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.mux.HandleFunc("GET /v1/topology", c.handleTopology)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+}
+
+func (c *Cluster) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here is a connection-level problem; there is
+	// nothing useful left to write.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a routing failure onto the wire error contract. Errors
+// proxied from a replica keep their status, taxonomy code, Retry-After
+// hint and originating replica; the cluster's own failures (every replica
+// unavailable) map through the error taxonomy, defaulting to 502.
+func (c *Cluster) writeError(w http.ResponseWriter, err error) {
+	c.met.httpErrors.Add(1)
+	status := http.StatusBadGateway
+	resp := api.ErrorResponse{Error: err.Error(), Code: api.CodeOf(err)}
+
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		status = ae.StatusCode
+		if ae.Code != "" {
+			resp.Code = ae.Code
+		}
+		resp.Replica = ae.Replica
+	} else {
+		switch resp.Code {
+		case api.CodeInvalidRequest:
+			status = http.StatusBadRequest
+		case api.CodeNotFound:
+			status = http.StatusNotFound
+		case api.CodeOverloaded:
+			status = http.StatusServiceUnavailable
+		case api.CodeCanceled:
+			status = http.StatusGatewayTimeout
+		}
+	}
+	if ra, ok := api.RetryAfter(err); ok && ra > 0 {
+		resp.RetryAfterMs = ra.Milliseconds()
+		secs := int(ra.Round(time.Second).Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	c.writeJSON(w, status, resp)
+}
+
+// resolveTarget turns a wire target (cached ID or inline netlist) into a
+// circuit ID plus, when available, the serialized text that enables
+// upload-on-miss. Inline netlists are parsed locally — the content hash,
+// and therefore placement, never depends on which node computes it — and
+// placed on the top-R replicas before the run is routed.
+func (c *Cluster) resolveTarget(ctx context.Context, circuit, netlistText, format, name string) (string, *circuitText, error) {
+	if circuit != "" {
+		return circuit, c.texts.get(circuit), nil
+	}
+	ckt, err := parseText(netlistText, format, c.lib, name)
+	if err != nil {
+		return "", nil, api.InvalidRequestf("parse netlist: %v", err)
+	}
+	ir := circ.Compile(ckt)
+	t := &circuitText{id: ir.Hash, text: netlistText, format: format, name: name}
+	if known := c.texts.get(ir.Hash); known == nil {
+		c.texts.put(t)
+		if _, err := c.place(ctx, t); err != nil {
+			return "", nil, err
+		}
+	}
+	return ir.Hash, t, nil
+}
+
+func (c *Cluster) handleUpload(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeUpload].Add(1)
+	req, err := service.DecodeUploadRequest(http.MaxBytesReader(w, r.Body, c.maxBody))
+	if err != nil {
+		c.met.httpErrors.Add(1)
+		c.writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: err.Error(), Code: api.CodeInvalidRequest})
+		return
+	}
+	ckt, err := parseText(req.Netlist, req.Format, c.lib, req.Name)
+	if err != nil {
+		c.met.httpErrors.Add(1)
+		c.writeJSON(w, http.StatusUnprocessableEntity, api.ErrorResponse{Error: "parse netlist: " + err.Error(), Code: api.CodeInvalidRequest})
+		return
+	}
+	ir := circ.Compile(ckt)
+	t := &circuitText{id: ir.Hash, text: req.Netlist, format: req.Format, name: req.Name}
+	c.texts.put(t)
+	resp, err := c.place(r.Context(), t)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Cluster) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeSimulate].Add(1)
+	req, err := service.DecodeSimRequest(http.MaxBytesReader(w, r.Body, c.maxBody))
+	if err != nil {
+		c.met.httpErrors.Add(1)
+		c.writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: err.Error(), Code: api.CodeInvalidRequest})
+		return
+	}
+	id, t, err := c.resolveTarget(r.Context(), req.Circuit, req.Netlist, req.Format, "")
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	var rep *api.Report
+	err = c.withFailover(r.Context(), id, t, nil, func(rep_ *replica) error {
+		got, err := rep_.c.Simulate(r.Context(), api.SimRequest{Circuit: id, Request: req.Request})
+		if err != nil {
+			return err
+		}
+		rep = got
+		return nil
+	})
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, rep)
+}
+
+func (c *Cluster) handleBatch(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeBatch].Add(1)
+	req, err := service.DecodeBatchRequest(http.MaxBytesReader(w, r.Body, c.maxBody))
+	if err != nil {
+		c.met.httpErrors.Add(1)
+		c.writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: err.Error(), Code: api.CodeInvalidRequest})
+		return
+	}
+	id, t, err := c.resolveTarget(r.Context(), req.Circuit, req.Netlist, req.Format, "")
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	reports, err := c.scatterBatch(r.Context(), id, t, req.Requests)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	resp := api.BatchResponse{Circuit: id, Reports: make([]api.Report, len(reports))}
+	for i, rep := range reports {
+		resp.Reports[i] = *rep
+	}
+	c.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleList merges the circuit lists of every healthy replica,
+// deduplicated by content-hash ID (replication places each circuit on R
+// nodes; it is still one circuit).
+func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeCircuits].Add(1)
+	seen := make(map[string]bool)
+	out := []api.CircuitInfo{}
+	for _, rep := range c.replicas {
+		if !rep.healthy.Load() {
+			continue
+		}
+		infos, err := rep.c.Circuits(r.Context())
+		if err != nil {
+			noteFailure(r.Context(), rep, err)
+			continue
+		}
+		for _, info := range infos {
+			if !seen[info.ID] {
+				seen[info.ID] = true
+				out = append(out, info)
+			}
+		}
+	}
+	c.writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Cluster) handleGet(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeCircuits].Add(1)
+	id := r.PathValue("id")
+	var info *api.CircuitInfo
+	err := c.withFailover(r.Context(), id, c.texts.get(id), nil, func(rep *replica) error {
+		got, err := rep.c.Circuit(r.Context(), id)
+		if err != nil {
+			return err
+		}
+		info = got
+		return nil
+	})
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, info)
+}
+
+// handleEvict removes the circuit from every replica (attempting even the
+// ones marked down — the mark may be stale, and a refused dial costs
+// little) and from the router's text store, so the router itself will not
+// repair it back. Eviction is capacity management, not revocation: a
+// replica that was genuinely unreachable during the DELETE keeps its copy
+// and may serve the ID again after it revives.
+func (c *Cluster) handleEvict(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeCircuits].Add(1)
+	id := r.PathValue("id")
+	c.texts.drop(id)
+	evicted := false
+	for _, rep := range c.replicas {
+		if err := rep.c.Evict(r.Context(), id); err == nil {
+			evicted = true
+		} else {
+			noteFailure(r.Context(), rep, err)
+		}
+	}
+	if !evicted {
+		c.writeError(w, api.NotFoundf("unknown circuit %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHealth reports the router's own availability plus an aggregate of
+// the fleet as of the last probes: "ok" when every replica is healthy,
+// "degraded" when some are, "unavailable" when none is. Queue depth and
+// workers sum across healthy replicas; the circuit count is the maximum
+// over replicas (replication makes a sum overcount).
+func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeHealth].Add(1)
+	resp := api.HealthResponse{UptimeSeconds: time.Since(c.start).Seconds()}
+	healthy := 0
+	for _, rep := range c.replicas {
+		if !rep.healthy.Load() {
+			continue
+		}
+		healthy++
+		rep.mu.Lock()
+		h := rep.lastHealth
+		rep.mu.Unlock()
+		resp.QueueDepth += h.QueueDepth
+		resp.Workers += h.Workers
+		if h.Circuits > resp.Circuits {
+			resp.Circuits = h.Circuits
+		}
+	}
+	switch {
+	case healthy == len(c.replicas):
+		resp.Status = "ok"
+	case healthy > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "unavailable"
+	}
+	c.writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Cluster) handleTopology(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeTopology].Add(1)
+	c.writeJSON(w, http.StatusOK, c.Topology())
+}
+
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.met.requests[routeMetrics].Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c.met.write(w, c)
+}

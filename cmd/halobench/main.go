@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, serve")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, serve, cluster")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
 	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
 	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
@@ -42,6 +42,10 @@ func main() {
 	serveJSON := flag.String("servejson", "", "serve: also write the JSON load-test record to this path")
 	serveRuns := flag.Int("serveruns", 200, "serve: requests per concurrent client")
 	serveConc := flag.String("serveconc", "1,2,4,8", "serve: comma-separated concurrent client counts")
+	clusterJSON := flag.String("clusterjson", "", "cluster: also write the JSON sharding record to this path")
+	clusterRuns := flag.Int("clusterruns", 600, "cluster: unique requests per sweep")
+	clusterClients := flag.Int("clusterclients", 8, "cluster: concurrent clients per sweep")
+	clusterReplicas := flag.String("clusterreplicas", "1,3", "cluster: comma-separated replica counts to sweep")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -125,6 +129,12 @@ func main() {
 			fmt.Println(text)
 		case "serve":
 			text, err := serveExperiment(lib, *serveJSON, *serveConc, *serveRuns)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "cluster":
+			text, err := clusterExperiment(lib, *clusterJSON, *clusterReplicas, *clusterRuns, *clusterClients)
 			if err != nil {
 				return err
 			}

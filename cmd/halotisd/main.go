@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	halotisd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	halotisd [-addr :8080] [-id NAME] [-workers N] [-queue N] [-cache N]
 //	         [-result-cache N] [-pool N] [-max-body BYTES]
 //	         [-max-timeout DUR] [-version]
 //
 // Endpoints: POST /v1/circuits, GET /v1/circuits[/{id}], DELETE
 // /v1/circuits/{id}, POST /v1/simulate, POST /v1/simulate/batch,
 // GET /healthz, GET /metrics.
+//
+// Router mode: -cluster "http://n1:8080,http://n2:8080,..." serves the
+// same wire API as a cluster router instead — requests are routed across
+// the listed replicas by rendezvous hashing on circuit content hashes,
+// with health-checked failover and R-way placement (-replication), plus
+// GET /v1/topology (see halotis/cluster). Existing clients, including
+// halotis -remote, work unchanged against a router.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
 // connections, waits for in-flight requests (bounded by -drain-timeout),
@@ -27,15 +34,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"halotis/cluster"
 	"halotis/internal/buildinfo"
 	"halotis/internal/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	id := flag.String("id", "", "replica identity: stamped into responses and /metrics so multi-node sweeps can attribute work per node")
 	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
 	cacheSize := flag.Int("cache", 64, "compiled-circuit cache capacity")
@@ -45,6 +55,9 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on per-request run time, capping timeout_ms and applying when it is omitted (0 = uncapped)")
 	maxEvents := flag.Uint64("max-events", 0, "cap on per-request max_events (0 = engine default only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight requests")
+	clusterAddrs := flag.String("cluster", "", "router mode: comma-separated replica base URLs to route over instead of simulating locally")
+	replication := flag.Int("replication", 2, "router mode: place each circuit on the top-R ranked replicas")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "router mode: replica health probe interval (0 disables active probing)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -52,7 +65,14 @@ func main() {
 		fmt.Println(buildinfo.String("halotisd"))
 		return
 	}
+	if *clusterAddrs != "" {
+		if err := runRouter(*addr, *drainTimeout, *clusterAddrs, *replication, *probeInterval); err != nil {
+			log.Fatalf("halotisd: %v", err)
+		}
+		return
+	}
 	if err := run(*addr, *drainTimeout, service.Config{
+		ReplicaID:       *id,
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		CacheSize:       *cacheSize,
@@ -64,6 +84,56 @@ func main() {
 	}); err != nil {
 		log.Fatalf("halotisd: %v", err)
 	}
+}
+
+// runRouter serves the cluster router: the same wire API, sharded across
+// the listed replicas (see halotis/cluster).
+func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replication int, probeInterval time.Duration) error {
+	var replicas []string
+	for _, a := range strings.Split(addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			replicas = append(replicas, a)
+		}
+	}
+	c, err := cluster.New(replicas,
+		cluster.WithReplication(replication),
+		cluster.WithProbeInterval(probeInterval),
+	)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	srv := &http.Server{Addr: addr, Handler: c.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("halotisd: routing over %d replicas (replication %d) on %s", len(replicas), c.Replication(), addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("halotisd: router shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(shutdownCtx)
+	if err != nil {
+		srv.Close()
+	}
+	if serveErr := <-errCh; serveErr != nil && err == nil {
+		err = serveErr
+	}
+	return err
 }
 
 func run(addr string, drainTimeout time.Duration, cfg service.Config) error {

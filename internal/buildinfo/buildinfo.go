@@ -51,3 +51,28 @@ func String(cmd string) string {
 	}
 	return b.String()
 }
+
+// Info returns the structured pieces of the version banner — module
+// version, VCS revision (with "+dirty" suffix when the tree was modified)
+// and Go toolchain — for surfaces that label rather than print, like the
+// halotisd_build_info metric.
+func Info() (version, revision, goVersion string) {
+	version = "(devel)"
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			version = info.Main.Version
+		}
+		goVersion = info.GoVersion
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					revision += "+dirty"
+				}
+			}
+		}
+	}
+	return version, revision, goVersion
+}

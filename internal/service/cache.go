@@ -87,6 +87,7 @@ type circuitCache struct {
 	capacity int
 	lib      *cellib.Library
 	poolSize int
+	replica  string // stamped into every entry's CircuitInfo
 
 	entries  map[string]*cacheEntry // by content hash (circuit ID)
 	lru      *list.List             // of *cacheEntry; front = most recent
@@ -97,11 +98,12 @@ type circuitCache struct {
 	enginesCreated                              atomic.Uint64 // incremented by pools, outside mu
 }
 
-func newCircuitCache(lib *cellib.Library, capacity, poolSize int) *circuitCache {
+func newCircuitCache(lib *cellib.Library, capacity, poolSize int, replica string) *circuitCache {
 	return &circuitCache{
 		capacity: capacity,
 		lib:      lib,
 		poolSize: poolSize,
+		replica:  replica,
 		entries:  make(map[string]*cacheEntry),
 		lru:      list.New(),
 		rawIndex: make(map[string]string),
@@ -144,8 +146,10 @@ func parseNetlistText(text, format string, lib *cellib.Library, name string) (*n
 }
 
 func (c *circuitCache) newEntry(ir *circ.Compiled) *cacheEntry {
+	info := api.InfoOf(ir)
+	info.Replica = c.replica
 	return &cacheEntry{
-		info:  api.InfoOf(ir),
+		info:  info,
 		ir:    ir,
 		pools: sim.NewEnginePool(ir, c.poolSize, &c.enginesCreated),
 	}

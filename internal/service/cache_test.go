@@ -11,7 +11,7 @@ import (
 )
 
 func testCache(capacity int) *circuitCache {
-	return newCircuitCache(cellib.Default06(), capacity, 2)
+	return newCircuitCache(cellib.Default06(), capacity, 2, "")
 }
 
 // nativeText renders a tiny distinct native netlist per index.

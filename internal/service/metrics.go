@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"halotis/internal/buildinfo"
 )
 
 // routeID indexes the per-endpoint request counters.
@@ -33,6 +35,7 @@ var routeNames = [routeCount]string{
 // hot path never takes a lock for accounting.
 type metrics struct {
 	start      time.Time
+	replica    string
 	requests   [routeCount]atomic.Uint64
 	httpErrors atomic.Uint64
 
@@ -66,6 +69,12 @@ func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats,
 		fmt.Fprintf(w, "# HELP halotisd_%s %s\n# TYPE halotisd_%s counter\nhalotisd_%s %g\n",
 			name, help, name, name, v)
 	}
+
+	version, rev, goVersion := buildinfo.Info()
+	fmt.Fprintf(w, "# HELP halotisd_build_info Build and identity of this daemon; the replica label attributes multi-node sweeps per node.\n"+
+		"# TYPE halotisd_build_info gauge\n"+
+		"halotisd_build_info{version=%q,revision=%q,go=%q,replica=%q} 1\n",
+		version, rev, goVersion, m.replica)
 
 	gauge("uptime_seconds", time.Since(m.start).Seconds(), "Seconds since the server started.")
 

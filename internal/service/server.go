@@ -31,12 +31,13 @@ func New(cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   newCircuitCache(cfg.Lib, cfg.CacheSize, cfg.EnginePoolSize),
+		cache:   newCircuitCache(cfg.Lib, cfg.CacheSize, cfg.EnginePoolSize, cfg.ReplicaID),
 		results: newResultCache(cfg.ResultCacheSize),
 		queue:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
 	}
 	s.met.start = time.Now()
+	s.met.replica = cfg.ReplicaID
 	s.mux.HandleFunc("POST /v1/circuits", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/circuits", s.handleList)
 	s.mux.HandleFunc("GET /v1/circuits/{id}", s.handleGet)
@@ -97,7 +98,7 @@ func codeForStatus(status int, err error) string {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.met.httpErrors.Add(1)
-	resp := ErrorResponse{Error: err.Error(), Code: codeForStatus(status, err)}
+	resp := ErrorResponse{Error: err.Error(), Code: codeForStatus(status, err), Replica: s.cfg.ReplicaID}
 	if ra, ok := api.RetryAfter(err); ok && ra > 0 {
 		resp.RetryAfterMs = ra.Milliseconds()
 	}
@@ -369,6 +370,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Circuits:      s.cache.Stats().Entries,
 		QueueDepth:    s.queue.Depth(),
 		Workers:       s.cfg.Workers,
+		Replica:       s.cfg.ReplicaID,
 	})
 }
 
@@ -412,6 +414,7 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 	}
 	s.met.recordRun(res.Stats.EventsProcessed, res.Elapsed, nil)
 	rep := api.BuildReport(ent.ir, ent.info.ID, res, req)
+	rep.Replica = s.cfg.ReplicaID
 	ent.pools.Release(key, eng)
 	s.results.Put(ck, rep)
 	return rep, nil

@@ -53,6 +53,12 @@ type Config struct {
 	// Lib is the cell library circuits are elaborated onto. Default: the
 	// 0.6 µm library (cellib.Default06).
 	Lib *cellib.Library
+	// ReplicaID is the daemon's identity within a cluster (halotisd -id).
+	// When set, responses carry it (CircuitInfo.Replica, Report.Replica,
+	// ErrorResponse.Replica, HealthResponse.Replica) and /metrics labels
+	// halotisd_build_info with it, so multi-node sweeps can attribute
+	// work per node. Empty (the default) omits it everywhere.
+	ReplicaID string
 	// Workers is the simulation/compile worker count. Default: GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds the number of queued-but-unstarted jobs; submits

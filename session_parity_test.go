@@ -1,15 +1,20 @@
 package halotis_test
 
 import (
-	"context"
-	"math"
 	"net/http/httptest"
-	"reflect"
 	"testing"
 
 	"halotis"
+	"halotis/api/backendtest"
 	"halotis/internal/service"
 )
+
+// The Session API acceptance tests: every backend passes the shared
+// conformance suite (api/backendtest) — bit-identical stats, sampled
+// outputs, waveform crossings and VCD against the Local reference for c17
+// and the 4x4 multiplier under DDM and CDM, plus RunBatch order and
+// batch-equals-single semantics. The cluster backend runs the same suite
+// in halotis/cluster.
 
 // newRemoteBackend stands up an in-process halotisd over httptest and
 // returns a RemoteBackend speaking to it.
@@ -24,220 +29,16 @@ func newRemoteBackend(t *testing.T, cfg service.Config) *halotis.RemoteBackend {
 	return halotis.NewRemote(ts.URL)
 }
 
-// parityCircuits are the acceptance workloads: the ISCAS85 c17 benchmark
-// and the paper's Fig. 5 4x4 array multiplier.
-func parityCircuits(t *testing.T) map[string]*halotis.Circuit {
-	t.Helper()
-	lib := halotis.DefaultLibrary()
-	c17, err := halotis.C17(lib)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mult, err := halotis.Multiplier4x4(lib)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return map[string]*halotis.Circuit{"c17": c17, "mult4x4": mult}
+// TestLocalConformance self-checks the reference: the suite compares a
+// Local backend against another Local backend, pinning RunBatch ordering
+// and batch-equals-single on the in-process path.
+func TestLocalConformance(t *testing.T) {
+	backendtest.Conform(t, halotis.NewLocal())
 }
 
-// parityStimulus drives the circuit: the multiplier gets the paper's
-// sequence 1, anything else a staggered toggle on every input.
-func parityStimulus(t *testing.T, name string, ckt *halotis.Circuit) halotis.Stimulus {
-	t.Helper()
-	if name == "mult4x4" {
-		st, err := halotis.MultiplierSequence(halotis.PaperSequence1(), 4, 4, halotis.PaperPeriod, 0.2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return st
-	}
-	st := halotis.Stimulus{}
-	for i, in := range ckt.Inputs {
-		st[in.Name] = halotis.InputWave{Edges: []halotis.InputEdge{
-			{Time: 2 + 0.7*float64(i), Rising: true, Slew: 0.2},
-			{Time: 12 + 0.7*float64(i), Rising: false, Slew: 0.2},
-		}}
-	}
-	return st
-}
-
-// closeEnough compares whole-circuit float sums to one part in 1e12.
-func closeEnough(a, b float64) bool {
-	if a == b {
-		return true
-	}
-	diff := math.Abs(a - b)
-	scale := math.Max(math.Abs(a), math.Abs(b))
-	return diff <= 1e-12*scale
-}
-
-// reportsEqual compares every deterministic field of two reports
-// (ElapsedNs and Cached are machine/state-dependent by design).
-func reportsEqual(t *testing.T, label string, a, b *halotis.Report) {
-	t.Helper()
-	if a.Circuit != b.Circuit {
-		t.Errorf("%s: circuit IDs differ: %s vs %s", label, a.Circuit, b.Circuit)
-	}
-	if a.Model != b.Model || a.TEnd != b.TEnd {
-		t.Errorf("%s: model/t_end differ: %s/%g vs %s/%g", label, a.Model, a.TEnd, b.Model, b.TEnd)
-	}
-	if a.Stats != b.Stats {
-		t.Errorf("%s: stats differ:\n  local  %+v\n  remote %+v", label, a.Stats, b.Stats)
-	}
-	if !reflect.DeepEqual(a.Outputs, b.Outputs) {
-		t.Errorf("%s: outputs differ: %v vs %v", label, a.Outputs, b.Outputs)
-	}
-	if !reflect.DeepEqual(a.Waveforms, b.Waveforms) {
-		t.Errorf("%s: waveform crossings differ", label)
-	}
-	// Activity/power digests are whole-circuit float sums. The remote
-	// backend re-parses the serialized netlist, which can enumerate nets in
-	// a different order than the original builder did; the per-net values
-	// are bit-identical (the waveform comparison above proves it) but the
-	// association of the sum may differ in the last ulp. Compare within one
-	// part in 1e12 rather than bit-for-bit.
-	if (a.Activity == nil) != (b.Activity == nil) {
-		t.Errorf("%s: activity presence differs", label)
-	} else if a.Activity != nil {
-		if a.Activity.Transitions != b.Activity.Transitions {
-			t.Errorf("%s: activity transitions differ: %d vs %d", label, a.Activity.Transitions, b.Activity.Transitions)
-		}
-		if !closeEnough(a.Activity.EnergyNorm, b.Activity.EnergyNorm) {
-			t.Errorf("%s: activity energy differs: %v vs %v", label, a.Activity.EnergyNorm, b.Activity.EnergyNorm)
-		}
-	}
-	if (a.Power == nil) != (b.Power == nil) {
-		t.Errorf("%s: power presence differs", label)
-	} else if a.Power != nil {
-		pairs := [][2]float64{
-			{a.Power.TotalEnergyFJ, b.Power.TotalEnergyFJ},
-			{a.Power.GlitchEnergyFJ, b.Power.GlitchEnergyFJ},
-			{a.Power.AvgPowerMW, b.Power.AvgPowerMW},
-			{a.Power.GlitchFraction, b.Power.GlitchFraction},
-		}
-		for _, p := range pairs {
-			if !closeEnough(p[0], p[1]) {
-				t.Errorf("%s: power differs: %+v vs %+v", label, a.Power, b.Power)
-				break
-			}
-		}
-	}
-	if a.VCD != b.VCD {
-		t.Errorf("%s: VCD payloads differ", label)
-	}
-}
-
-// TestLocalRemoteParity is the Session API acceptance test: the same
-// Request against the Local backend and against a live halotisd yields
-// bit-identical stats and output-waveform crossings (and activity, power,
-// VCD, sampled outputs) for c17 and the 4x4 multiplier, under both DDM and
-// CDM.
-func TestLocalRemoteParity(t *testing.T) {
-	ctx := context.Background()
-	local := halotis.NewLocal()
-	remote := newRemoteBackend(t, service.Config{})
-
-	for name, ckt := range parityCircuits(t) {
-		ls, err := local.Open(ctx, ckt)
-		if err != nil {
-			t.Fatalf("%s: open local: %v", name, err)
-		}
-		rs, err := remote.Open(ctx, ckt)
-		if err != nil {
-			t.Fatalf("%s: open remote: %v", name, err)
-		}
-		if ls.Circuit().ID != rs.Circuit().ID {
-			t.Errorf("%s: backends disagree on the content-hash ID: %s vs %s", name, ls.Circuit().ID, rs.Circuit().ID)
-		}
-
-		outputs := ls.Circuit().Outputs
-		st := halotis.WireStimulus(parityStimulus(t, name, ckt))
-		for _, model := range []string{"ddm", "cdm"} {
-			req := halotis.Request{
-				Model:     model,
-				TEnd:      30,
-				Stimulus:  st,
-				Waveforms: outputs,
-				Activity:  true,
-				Power:     true,
-				VCD:       true,
-			}
-			lrep, err := ls.Run(ctx, req)
-			if err != nil {
-				t.Fatalf("%s/%s: local run: %v", name, model, err)
-			}
-			rrep, err := rs.Run(ctx, req)
-			if err != nil {
-				t.Fatalf("%s/%s: remote run: %v", name, model, err)
-			}
-			if lrep.Stats.EventsProcessed == 0 {
-				t.Fatalf("%s/%s: empty run, parity is vacuous", name, model)
-			}
-			reportsEqual(t, name+"/"+model, lrep, rrep)
-		}
-		ls.Close()
-		rs.Close()
-	}
-}
-
-// TestSessionRunBatchParity checks the batch path on both backends: the
-// reports come back in request order and each is identical to its single
-// Run, across backends.
-func TestSessionRunBatchParity(t *testing.T) {
-	ctx := context.Background()
-	lib := halotis.DefaultLibrary()
-	ckt, err := halotis.C17(lib)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	var reqs []halotis.Request
-	base := parityStimulus(t, "c17", ckt)
-	for _, model := range []string{"ddm", "cdm"} {
-		for shift := 0; shift < 3; shift++ {
-			st := halotis.Stimulus{}
-			for name, w := range base {
-				edges := make([]halotis.InputEdge, len(w.Edges))
-				copy(edges, w.Edges)
-				for i := range edges {
-					edges[i].Time += 0.3 * float64(shift)
-				}
-				st[name] = halotis.InputWave{Init: w.Init, Edges: edges}
-			}
-			reqs = append(reqs, halotis.Request{
-				Model: model, TEnd: 40, Stimulus: halotis.WireStimulus(st), Activity: true,
-			})
-		}
-	}
-
-	local := halotis.NewLocal()
-	remote := newRemoteBackend(t, service.Config{Workers: 4, QueueDepth: 64})
-	ls, err := local.Open(ctx, ckt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rs, err := remote.Open(ctx, ckt)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	lbatch, err := ls.RunBatch(ctx, reqs)
-	if err != nil {
-		t.Fatalf("local batch: %v", err)
-	}
-	rbatch, err := rs.RunBatch(ctx, reqs)
-	if err != nil {
-		t.Fatalf("remote batch: %v", err)
-	}
-	if len(lbatch) != len(reqs) || len(rbatch) != len(reqs) {
-		t.Fatalf("batch sizes: local %d, remote %d, want %d", len(lbatch), len(rbatch), len(reqs))
-	}
-	for i := range reqs {
-		single, err := ls.Run(ctx, reqs[i])
-		if err != nil {
-			t.Fatal(err)
-		}
-		reportsEqual(t, "local batch vs single", lbatch[i], single)
-		reportsEqual(t, "remote batch vs local batch", rbatch[i], lbatch[i])
-	}
+// TestRemoteConformance is the PR 4 Local↔Remote parity guarantee, now
+// expressed through the shared suite: a live halotisd behind the Remote
+// backend is indistinguishable from in-process execution.
+func TestRemoteConformance(t *testing.T) {
+	backendtest.Conform(t, newRemoteBackend(t, service.Config{Workers: 4, QueueDepth: 64}))
 }
