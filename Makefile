@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke paper apicheck apicheck-update service-smoke cluster-smoke
+.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke chaos-smoke paper apicheck apicheck-update service-smoke cluster-smoke
 
 all: build vet fmt-check test apicheck
 
@@ -50,17 +50,22 @@ apicheck-update:
 # pre-result-cache trajectory), and the cluster sharding sweep
 # (BENCH_PR5.json: aggregate unique-request throughput at 1 vs 3 replicas
 # under an explicit per-node capacity model, attributed per node via
-# /metrics). Bump the *_OUT vars when a new PR adds a new perf record so
-# the trajectory stays comparable.
+# /metrics), and the chaos soak (BENCH_PR6.json: fault-injection run over
+# a 3-replica cluster asserting zero divergent reports, bounded p99 and
+# that hedging/breakers/failover/stale-serve/deadline-shed all fired).
+# Bump the *_OUT vars when a new PR adds a new perf record so the
+# trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
 SCALE_OUT ?= BENCH_PR2.json
 SERVE_OUT ?= BENCH_PR4.json
 CLUSTER_OUT ?= BENCH_PR5.json
+CHAOS_OUT ?= BENCH_PR6.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
 	$(GO) run ./cmd/halobench -exp serve -serveruns 300 -servejson $(SERVE_OUT)
 	$(GO) run ./cmd/halobench -exp cluster -clusterjson $(CLUSTER_OUT)
+	$(GO) run ./cmd/halobench -exp chaos -chaosjson $(CHAOS_OUT)
 
 # bench-smoke is the quick CI variant: few iterations, no JSON artifact.
 bench-smoke:
@@ -68,6 +73,13 @@ bench-smoke:
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 1 -scalesizes 500
 	$(GO) run ./cmd/halobench -exp serve -serveruns 20 -serveconc 1,4
 	$(GO) run ./cmd/halobench -exp cluster -clusterruns 60 -clusterclients 4
+
+# chaos-smoke is the quick CI variant of the resilience soak: a short
+# fault-injection run whose built-in assertions (zero divergent reports,
+# bounded p99, every resilience mechanism observed firing in /metrics)
+# make it a pass/fail gate, not just a benchmark.
+chaos-smoke:
+	$(GO) run ./cmd/halobench -exp chaos -chaosdur 4s -chaosclients 4
 
 # fuzz-smoke runs each parser/decoder fuzz target briefly (also in CI).
 FUZZTIME ?= 10s

@@ -120,7 +120,12 @@ type Report struct {
 	// Replica identifies the node that produced the report, when the
 	// serving daemon was configured with an identity (halotisd -id).
 	Replica string `json:"replica,omitempty"`
-	Stats   Stats  `json:"stats"`
+	// Degraded marks a report served from a router's result cache while
+	// every replica holding the circuit was unreachable — a correct but
+	// possibly stale answer, flagged so callers can tell graceful
+	// degradation from a live run.
+	Degraded bool  `json:"degraded,omitempty"`
+	Stats    Stats `json:"stats"`
 	// Outputs samples every primary output at TEnd (threshold VDD/2).
 	Outputs   map[string]bool     `json:"outputs"`
 	Waveforms map[string]Waveform `json:"waveforms,omitempty"`
@@ -161,6 +166,11 @@ type ReplicaInfo struct {
 	// Healthy is the prober's last verdict (probe success and no passive
 	// failure marking since).
 	Healthy bool `json:"healthy"`
+	// State is the replica's circuit-breaker state as the router sees it:
+	// "closed" (healthy), "open" (failing; requests skip it until its
+	// cooldown elapses) or "half-open" (a trial request is probing
+	// recovery). Healthy is equivalent to State == "closed".
+	State string `json:"state,omitempty"`
 	// LastProbeUnixMs is when the prober last completed a probe of this
 	// replica (0 before the first probe).
 	LastProbeUnixMs int64 `json:"last_probe_unix_ms,omitempty"`
@@ -224,12 +234,31 @@ type BatchRequest struct {
 	Netlist  string    `json:"netlist,omitempty"`
 	Format   string    `json:"format,omitempty"`
 	Requests []Request `json:"requests"`
+	// Options tunes batch failure semantics; nil means the default
+	// first-error-cancels-all behavior.
+	Options *BatchOptions `json:"options,omitempty"`
+}
+
+// BatchOptions tunes how a batch handles per-request failures.
+type BatchOptions struct {
+	// AllowPartial switches the batch to partial-results mode: instead of
+	// the first failure canceling the remaining requests and failing the
+	// whole batch, every request runs to its own outcome and the response
+	// carries per-request errors alongside the successful reports. The
+	// batch itself then fails only when it cannot start at all (admission
+	// refusal, unknown circuit).
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // BatchResponse is the outcome of a batch run, in request order.
 type BatchResponse struct {
 	Circuit string   `json:"circuit"`
 	Reports []Report `json:"reports"`
+	// Errors, present only in partial-results mode (BatchOptions.
+	// AllowPartial), aligns with Reports: Errors[i] describes request i's
+	// failure (Reports[i] is then a zero Report), nil slots succeeded.
+	// Reconstruct a taxonomy-matchable error with ErrorResponse.Err.
+	Errors []*ErrorResponse `json:"errors,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx service response. Code is the

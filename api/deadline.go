@@ -1,0 +1,60 @@
+package api
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// BudgetHeader carries a request's remaining deadline budget across hops as
+// whole milliseconds. The budget is relative ("you have 1500ms"), not an
+// absolute deadline, so it survives clock skew between client, router and
+// replica: each hop re-anchors the remainder against its own clock. The
+// client stamps it from the request context's deadline, the cluster router
+// re-stamps the (shrunken) remainder when proxying to a replica, and
+// servers shed work whose budget has already expired — at admission and
+// again at dequeue from the worker queue.
+const BudgetHeader = "Halotis-Budget-Ms"
+
+// StampBudget writes ctx's remaining deadline budget into h. Without a
+// deadline it writes nothing; with an expired one it stamps 0, which the
+// receiver sheds immediately.
+func StampBudget(h http.Header, ctx context.Context) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	h.Set(BudgetHeader, strconv.FormatInt(ms, 10))
+}
+
+// BudgetFrom reads the propagated budget from h. ok is false when the
+// header is absent or malformed (a malformed hint is ignored rather than
+// failing the request: deadline propagation is an optimization, not a
+// correctness gate).
+func BudgetFrom(h http.Header) (time.Duration, bool) {
+	v := h.Get(BudgetHeader)
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+// WithBudget narrows ctx to the budget propagated in h, re-anchored
+// against the local clock. When no valid budget header is present it
+// returns ctx unchanged with a no-op cancel.
+func WithBudget(ctx context.Context, h http.Header) (context.Context, context.CancelFunc) {
+	budget, ok := BudgetFrom(h)
+	if !ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, budget)
+}

@@ -25,16 +25,23 @@ var (
 	// ErrInvalidRequest: the request failed validation (bad horizon,
 	// unknown model, malformed stimulus, unknown waveform net).
 	ErrInvalidRequest = errors.New("halotis: invalid request")
+	// ErrDeadlineExceeded: the request was shed before execution because
+	// its propagated deadline budget had already expired (at admission, or
+	// at dequeue from the worker queue). Distinct from ErrCanceled, which
+	// marks work aborted mid-run: a deadline-shed request consumed no
+	// simulation work at all.
+	ErrDeadlineExceeded = errors.New("halotis: deadline exceeded before execution")
 )
 
 // Machine-readable error codes carried by ErrorResponse.Code; the client
 // maps them back onto the sentinels above.
 const (
-	CodeInvalidRequest = "invalid_request"
-	CodeNotFound       = "not_found"
-	CodeOverloaded     = "overloaded"
-	CodeCanceled       = "canceled"
-	CodeRunFailed      = "run_failed"
+	CodeInvalidRequest   = "invalid_request"
+	CodeNotFound         = "not_found"
+	CodeOverloaded       = "overloaded"
+	CodeCanceled         = "canceled"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeRunFailed        = "run_failed"
 )
 
 // CodeOf classifies an error into a wire code, or "" for unclassified
@@ -47,6 +54,8 @@ func CodeOf(err error) string {
 		return CodeNotFound
 	case errors.Is(err, ErrOverloaded):
 		return CodeOverloaded
+	case errors.Is(err, ErrDeadlineExceeded):
+		return CodeDeadlineExceeded
 	case errors.Is(err, ErrCanceled),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
@@ -173,4 +182,54 @@ func NotFoundf(format string, args ...any) error {
 // a stimulus driving a net the circuit does not have).
 func InvalidRequestf(format string, args ...any) error {
 	return invalidf(format, args...)
+}
+
+// DeadlineExceededf builds an ErrDeadlineExceeded-matchable error; servers
+// use it when shedding work whose propagated budget expired before the
+// simulation started.
+func DeadlineExceededf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrDeadlineExceeded, fmt.Sprintf(format, args...))
+}
+
+// ErrorResponseOf classifies an error into a wire error body — the
+// inverse of ErrorResponse.Err, used to carry per-request failures inside
+// a partial batch response. Returns nil for a nil error.
+func ErrorResponseOf(err error) *ErrorResponse {
+	if err == nil {
+		return nil
+	}
+	resp := &ErrorResponse{Error: err.Error(), Code: CodeOf(err)}
+	if resp.Code == "" {
+		resp.Code = CodeRunFailed
+	}
+	if ra, ok := RetryAfter(err); ok && ra > 0 {
+		resp.RetryAfterMs = ra.Milliseconds()
+	}
+	return resp
+}
+
+// Err reconstructs a taxonomy-matchable error from a wire error body, so a
+// caller holding a per-chunk ErrorResponse (partial batch mode) can branch
+// with errors.Is exactly as it would on a direct failure. Returns nil for
+// an empty body.
+func (e *ErrorResponse) Err() error {
+	if e == nil || (e.Error == "" && e.Code == "") {
+		return nil
+	}
+	switch e.Code {
+	case CodeInvalidRequest:
+		return invalidf("%s", e.Error)
+	case CodeNotFound:
+		return NotFoundf("%s", e.Error)
+	case CodeOverloaded:
+		return &OverloadedError{
+			RetryAfter: time.Duration(e.RetryAfterMs) * time.Millisecond,
+			Cause:      errors.New(e.Error),
+		}
+	case CodeCanceled:
+		return Canceled(errors.New(e.Error))
+	case CodeDeadlineExceeded:
+		return DeadlineExceededf("%s", e.Error)
+	}
+	return errors.New(e.Error)
 }

@@ -58,6 +58,10 @@ var (
 	// ErrInvalidRequest: validation failed (bad horizon, unknown model,
 	// malformed stimulus, unknown waveform net).
 	ErrInvalidRequest = api.ErrInvalidRequest
+	// ErrDeadlineExceeded: the request was shed before execution because
+	// its propagated deadline budget had already expired. Distinct from
+	// ErrCanceled (aborted mid-run): a shed request consumed no work.
+	ErrDeadlineExceeded = api.ErrDeadlineExceeded
 )
 
 // Backend opens circuits into sessions. Implementations: *LocalBackend,
@@ -87,6 +91,23 @@ type Session interface {
 	// daemon (they are content-addressed and shared); local pools are
 	// dropped.
 	Close() error
+}
+
+// PartialBatcher is the optional session capability for graceful batch
+// degradation: RunBatchPartial runs every request to its own outcome and
+// reports failures per-slot instead of aborting the batch on the first
+// one. Sessions that can isolate failures (the cluster backend, which
+// scatters chunks across replicas) implement it; callers feature-test:
+//
+//	if pb, ok := sess.(halotis.PartialBatcher); ok {
+//	    reports, errs, err := pb.RunBatchPartial(ctx, reqs)
+//	    ...
+//	}
+//
+// For each request exactly one of reports[i], errs[i] is non-nil; the
+// returned error is reserved for failures to start the batch at all.
+type PartialBatcher interface {
+	RunBatchPartial(ctx context.Context, reqs []Request) ([]*Report, []error, error)
 }
 
 // WireStimulus converts an engine stimulus (as built by the package's

@@ -103,6 +103,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == api.CodeCanceled || (e.Code == "" && e.StatusCode == http.StatusGatewayTimeout)
 	case api.ErrInvalidRequest:
 		return e.Code == api.CodeInvalidRequest || (e.Code == "" && e.StatusCode == http.StatusBadRequest)
+	case api.ErrDeadlineExceeded:
+		return e.Code == api.CodeDeadlineExceeded
 	}
 	return false
 }
@@ -188,6 +190,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if !retry {
 			return err
 		}
+		if d, ok := ctx.Deadline(); ok && wait >= time.Until(d) {
+			// The backoff (possibly a generous server Retry-After) would
+			// sleep past the caller's deadline just to fail the next
+			// attempt; return the real error now instead.
+			return err
+		}
 		if slept := sleepCtx(ctx, wait); slept != nil {
 			// The caller's context died while waiting out the backoff;
 			// surface the cancellation, not the stale overload.
@@ -207,6 +215,14 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 	}
 	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if !d.After(time.Now()) {
+			// Shed locally: the budget is gone, so don't put a request on
+			// the wire that every downstream hop would immediately shed.
+			return api.DeadlineExceededf("client: deadline expired before sending %s %s", method, path)
+		}
+		api.StampBudget(req.Header, ctx)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

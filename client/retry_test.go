@@ -91,7 +91,7 @@ func TestRetryExhaustionSurfacesOverload(t *testing.T) {
 	}
 }
 
-// TestRetryHonorsContext: a context that dies during the backoff wait
+// TestRetryHonorsContext: a context canceled during the backoff wait
 // aborts promptly with a cancellation, not a stale overload.
 func TestRetryHonorsContext(t *testing.T) {
 	var hits atomic.Int64
@@ -105,8 +105,8 @@ func TestRetryHonorsContext(t *testing.T) {
 	defer ts.Close()
 
 	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 5, MaxDelay: time.Hour}))
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
 	start := time.Now()
 	_, err := c.Health(ctx)
 	if !errors.Is(err, api.ErrCanceled) {
@@ -117,6 +117,36 @@ func TestRetryHonorsContext(t *testing.T) {
 	}
 	if got := hits.Load(); got != 1 {
 		t.Fatalf("server saw %d requests, want 1 (wait aborted before retry)", got)
+	}
+}
+
+// TestRetryCapsWaitByDeadline: a generous Retry-After hint must not put the
+// client to sleep past the caller's deadline just to fail the next attempt;
+// the real (overload) error returns immediately instead.
+func TestRetryCapsWaitByDeadline(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.ErrorResponse{
+			Error: "queue full", Code: api.CodeOverloaded, RetryAfterMs: int64(time.Hour / time.Millisecond),
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 5, MaxDelay: time.Hour}))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Health(ctx)
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("err = %v, want the genuine ErrOverloaded, not a sleep-until-deadline cancellation", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("returned after %v; the hour-long hint was not capped by the deadline", d)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry can fit the budget)", got)
 	}
 }
 

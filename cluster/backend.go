@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"halotis"
@@ -77,13 +78,18 @@ func (s *session) Run(ctx context.Context, req api.Request) (*api.Report, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The closure may run twice concurrently when the request is hedged;
+	// the mutex keeps the winner's write from racing the loser's.
+	var mu sync.Mutex
 	var rep *api.Report
-	err := s.cl.withFailover(ctx, s.info.ID, s.t, nil, func(r *replica) error {
+	err := s.cl.withFailover(ctx, s.info.ID, s.t, nil, func(ctx context.Context, r *replica) error {
 		got, err := r.c.Simulate(ctx, api.SimRequest{Circuit: s.info.ID, Request: req})
 		if err != nil {
 			return err
 		}
+		mu.Lock()
 		rep = got
+		mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -102,4 +108,21 @@ func (s *session) RunBatch(ctx context.Context, reqs []api.Request) ([]*api.Repo
 		ctx = context.Background()
 	}
 	return s.cl.scatterBatch(ctx, s.info.ID, s.t, reqs)
+}
+
+// Compile-time check: cluster sessions support graceful batch degradation.
+var _ halotis.PartialBatcher = (*session)(nil)
+
+// RunBatchPartial is RunBatch with per-request failure isolation
+// (halotis.PartialBatcher): a failed request or a dead chunk fills its
+// error slots instead of canceling its siblings. Exactly one of
+// reports[i], errs[i] is non-nil for each request.
+func (s *session) RunBatchPartial(ctx context.Context, reqs []api.Request) ([]*api.Report, []error, error) {
+	if s.closed.Load() {
+		return nil, nil, api.NotFoundf("session closed: circuit %s released", s.info.ID)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.cl.scatterBatchPartial(ctx, s.info.ID, s.t, reqs)
 }

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-replica circuit breakers. The PR 5 router kept a single healthy bit
+// per replica: any transport failure cleared it, any probe success set it.
+// That binary view cannot express "recovering" — a replica that just came
+// back gets the full request stream instantly, and a flapping replica is
+// retried in lockstep by every request that ranks it first. The breaker
+// replaces the bit with the classic three-state machine:
+//
+//	closed    — healthy; requests flow, consecutive failures are counted.
+//	open      — failing; requests skip the replica until Cooldown elapses.
+//	half-open — cooldown elapsed; exactly one trial request is admitted,
+//	            its outcome decides (success closes, failure re-opens).
+//
+// A successful health probe also closes the breaker from any state
+// (probe-driven recovery): the prober is an always-running trial loop, so
+// a revived replica rejoins within one probe interval even with no
+// request traffic to act as the trial.
+
+// BreakerState is the state of one replica's circuit breaker.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the replica is considered healthy and serves requests.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: cooldown elapsed after an open; one trial request is
+	// probing whether the replica recovered.
+	BreakerHalfOpen
+	// BreakerOpen: the replica is failing; requests skip it until the
+	// cooldown elapses or a health probe succeeds.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerPolicy tunes the per-replica circuit breakers.
+type BreakerPolicy struct {
+	// FailureThreshold is the number of consecutive transport-level
+	// failures that opens the breaker (default 1: the first refused dial
+	// moves the replica out of the request path, matching the passive
+	// mark-down behavior of earlier releases).
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses requests before
+	// admitting a half-open trial (default 2s, the default probe interval).
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.FailureThreshold <= 0 {
+		p.FailureThreshold = 1
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 2 * time.Second
+	}
+	return p
+}
+
+// ReplicaEvent describes one breaker state transition, delivered to the
+// WithStateListener callback and counted in replica_state_changes_total.
+type ReplicaEvent struct {
+	// Replica is the replica's rendezvous ID (metrics label).
+	Replica string
+	// Addr is the replica's base URL.
+	Addr string
+	// From and To are the breaker states on either side of the transition.
+	From, To BreakerState
+	// Reason is a short human-readable cause ("transport failure",
+	// "probe ok", "cooldown elapsed; trial admitted", ...).
+	Reason string
+}
+
+// transition is the (from, to) pair of one breaker state change.
+type transition struct{ From, To BreakerState }
+
+// breaker is the three-state machine guarding one replica. All methods are
+// safe for concurrent use.
+type breaker struct {
+	pol BreakerPolicy
+
+	mu    sync.Mutex
+	st    BreakerState
+	fails int       // consecutive failures while closed
+	until time.Time // while open: earliest half-open trial time
+	trial bool      // while half-open: a trial request is in flight
+}
+
+// state snapshots the current breaker state.
+func (b *breaker) state() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+// allow decides whether a request may be sent to the replica now. It
+// reports the admission verdict plus any state transition it performed
+// (open → half-open when the cooldown elapsed).
+func (b *breaker) allow(now time.Time) (ok bool, tr transition, changed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case BreakerClosed:
+		return true, transition{}, false
+	case BreakerOpen:
+		if now.Before(b.until) {
+			return false, transition{}, false
+		}
+		b.st = BreakerHalfOpen
+		b.trial = true
+		return true, transition{From: BreakerOpen, To: BreakerHalfOpen}, true
+	default: // half-open
+		if b.trial {
+			return false, transition{}, false
+		}
+		b.trial = true
+		return true, transition{}, false
+	}
+}
+
+// onSuccess records a successful request or probe: any non-closed state
+// closes, and the consecutive-failure count resets.
+func (b *breaker) onSuccess() (tr transition, changed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.trial = false
+	if b.st == BreakerClosed {
+		return transition{}, false
+	}
+	tr = transition{From: b.st, To: BreakerClosed}
+	b.st = BreakerClosed
+	return tr, true
+}
+
+// onFailure records a failed request or probe. While closed it counts
+// toward the threshold; a half-open trial failure re-opens immediately; an
+// already-open breaker refreshes its cooldown (a forced last-resort
+// attempt that failed is fresh evidence the replica is still down).
+func (b *breaker) onFailure(now time.Time) (tr transition, changed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	switch b.st {
+	case BreakerClosed:
+		b.fails++
+		if b.fails < b.pol.FailureThreshold {
+			return transition{}, false
+		}
+	case BreakerOpen:
+		b.until = now.Add(b.pol.Cooldown)
+		return transition{}, false
+	}
+	tr = transition{From: b.st, To: BreakerOpen}
+	b.st = BreakerOpen
+	b.fails = 0
+	b.until = now.Add(b.pol.Cooldown)
+	return tr, true
+}

@@ -63,10 +63,14 @@ type Cluster struct {
 	probeEvery   time.Duration
 	probeTimeout time.Duration
 
-	texts *textStore
-	met   routerMetrics
-	mux   *http.ServeMux
-	start time.Time
+	hedge   HedgePolicy
+	hbudget *hedgeBudget
+
+	texts   *textStore
+	results *resultCache
+	met     routerMetrics
+	mux     *http.ServeMux
+	start   time.Time
 
 	rot atomic.Uint64 // read-spread rotation over a placement set
 
@@ -86,6 +90,9 @@ type config struct {
 	ids          []string
 	textCap      int
 	maxBody      int64
+	breaker      BreakerPolicy
+	hedge        HedgePolicy
+	listener     func(ReplicaEvent)
 }
 
 // Option configures New.
@@ -128,6 +135,22 @@ func WithClientOptions(opts ...client.Option) Option {
 // a new address.
 func WithReplicaIDs(ids ...string) Option { return func(c *config) { c.ids = ids } }
 
+// WithBreakerPolicy tunes the per-replica circuit breakers (see
+// BreakerPolicy). The zero policy gets defaults: threshold 1, cooldown 2s.
+func WithBreakerPolicy(p BreakerPolicy) Option { return func(c *config) { c.breaker = p } }
+
+// WithHedgePolicy tunes hedged reads (see HedgePolicy). The zero policy
+// gets defaults: p95 trigger, 10ms floor, 10% hedge budget, 16-sample
+// warmup. Disable with HedgePolicy{Disabled: true}.
+func WithHedgePolicy(p HedgePolicy) Option { return func(c *config) { c.hedge = p } }
+
+// WithStateListener registers a callback invoked synchronously on every
+// replica breaker transition (closed → open on failures, open → half-open
+// on cooldown, anything → closed on recovery). Operators hook alerting
+// here; tests hook assertions. The callback must not block: it runs on
+// request and probe paths.
+func WithStateListener(fn func(ReplicaEvent)) Option { return func(c *config) { c.listener = fn } }
+
 // New builds a cluster over the replica base URLs (e.g.
 // "http://10.0.0.1:8080"). All replicas start optimistically healthy;
 // the first probe or transport failure corrects the picture.
@@ -158,6 +181,8 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 	if cfg.probeTimeout <= 0 || (cfg.probeEvery > 0 && cfg.probeTimeout > cfg.probeEvery) {
 		cfg.probeTimeout = cfg.probeEvery
 	}
+	cfg.breaker = cfg.breaker.withDefaults()
+	cfg.hedge = cfg.hedge.withDefaults()
 
 	c := &Cluster{
 		rf:           cfg.replication,
@@ -165,7 +190,10 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 		maxBody:      cfg.maxBody,
 		probeEvery:   cfg.probeEvery,
 		probeTimeout: cfg.probeTimeout,
+		hedge:        cfg.hedge,
+		hbudget:      newHedgeBudget(cfg.hedge.MaxRatio),
 		texts:        newTextStore(cfg.textCap),
+		results:      newResultCache(resultCacheCap),
 		start:        time.Now(),
 		stop:         make(chan struct{}),
 	}
@@ -184,7 +212,20 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 			addr: strings.TrimRight(addr, "/"),
 			c:    client.New(addr, append([]client.Option{client.WithRetry(cfg.retry)}, cfg.clientOpts...)...),
 		}
-		r.healthy.Store(true)
+		// Replicas start optimistically closed (healthy); the zero breaker
+		// state is closed by construction.
+		r.br.pol = cfg.breaker
+		r.events = func(ev ReplicaEvent) {
+			switch ev.To {
+			case BreakerOpen:
+				c.met.breakerOpens.Add(1)
+			case BreakerClosed:
+				c.met.breakerCloses.Add(1)
+			}
+			if cfg.listener != nil {
+				cfg.listener(ev)
+			}
+		}
 		c.replicas = append(c.replicas, r)
 	}
 	c.routes()
@@ -207,14 +248,18 @@ func (c *Cluster) Close() error {
 // Replication returns the effective replication factor.
 func (c *Cluster) Replication() int { return c.rf }
 
-// replica is one member node: its typed client plus the health and
-// accounting state the routing layer maintains.
+// replica is one member node: its typed client plus the breaker, latency
+// and accounting state the routing layer maintains.
 type replica struct {
 	id   string // rendezvous identity and metrics label
 	addr string
 	c    *client.Client
 
-	healthy     atomic.Bool
+	br           breaker
+	lat          latencyTracker
+	events       func(ReplicaEvent) // set by New; fans out to metrics + listener
+	stateChanges atomic.Uint64      // breaker transitions
+
 	lastProbeMs atomic.Int64
 	failures    atomic.Uint64 // transport-level failures (probe + request)
 	served      atomic.Uint64 // requests this replica answered
@@ -223,21 +268,50 @@ type replica struct {
 	lastHealth api.HealthResponse // from the last successful probe
 }
 
-// markDown records a passive transport failure: the replica is unhealthy
-// until a probe succeeds again.
-func (r *replica) markDown() {
+// healthy reports whether the replica's breaker is closed — the routing
+// layer's definition of "healthy" (open and half-open replicas are
+// recovering, not trusted).
+func (r *replica) healthy() bool { return r.br.state() == BreakerClosed }
+
+// emit records a breaker transition and fans it out to the cluster's
+// metrics and the user's state listener.
+func (r *replica) emit(tr transition, reason string) {
+	r.stateChanges.Add(1)
+	if r.events != nil {
+		r.events(ReplicaEvent{Replica: r.id, Addr: r.addr, From: tr.From, To: tr.To, Reason: reason})
+	}
+}
+
+// noteFail records a failed request or probe against the breaker.
+func (r *replica) noteFail(reason string) {
 	r.failures.Add(1)
-	r.healthy.Store(false)
+	if tr, changed := r.br.onFailure(time.Now()); changed {
+		r.emit(tr, reason)
+	}
+}
+
+// markDown records a passive transport failure: the replica's breaker
+// opens (at its failure threshold) until a probe or trial succeeds again.
+func (r *replica) markDown() { r.noteFail("transport failure") }
+
+// markUp records a successful request or probe: the breaker closes from
+// any state.
+func (r *replica) markUp(reason string) {
+	if tr, changed := r.br.onSuccess(); changed {
+		r.emit(tr, reason)
+	}
 }
 
 func (r *replica) info() api.ReplicaInfo {
 	r.mu.Lock()
 	h := r.lastHealth
 	r.mu.Unlock()
+	st := r.br.state()
 	return api.ReplicaInfo{
 		ID:              r.id,
 		Addr:            r.addr,
-		Healthy:         r.healthy.Load(),
+		Healthy:         st == BreakerClosed,
+		State:           st.String(),
 		LastProbeUnixMs: r.lastProbeMs.Load(),
 		Circuits:        h.Circuits,
 		QueueDepth:      h.QueueDepth,
@@ -290,14 +364,15 @@ func (c *Cluster) ProbeNow() {
 			h, err := r.c.Probe(ctx)
 			r.lastProbeMs.Store(time.Now().UnixMilli())
 			if err != nil {
-				r.failures.Add(1)
-				r.healthy.Store(false)
+				r.noteFail("probe failed")
 				return
 			}
 			r.mu.Lock()
 			r.lastHealth = *h
 			r.mu.Unlock()
-			r.healthy.Store(true)
+			// Probe-driven recovery: a successful probe is the half-open
+			// trial, whoever initiated it.
+			r.markUp("probe ok")
 		}(r)
 	}
 	wg.Wait()

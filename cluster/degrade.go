@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"halotis/api"
+)
+
+// Graceful degradation. Two mechanisms:
+//
+//   - Partial batches (scatterBatchPartial): with BatchOptions.AllowPartial
+//     a batch no longer fails as a unit — every request runs to its own
+//     outcome and failures come back per-slot, so one poisoned stimulus or
+//     one unlucky chunk does not discard thousands of finished reports.
+//   - Stale reads (resultCache): the router remembers recent simulation
+//     results by (circuit, request) content hash. When every replica
+//     holding a circuit is unreachable, a cache hit is served with
+//     Report.Degraded set instead of a 502 — simulations are deterministic,
+//     so "stale" differs from "fresh" only in the Replica attribution.
+
+// resultCacheCap bounds the router's degraded-read cache.
+const resultCacheCap = 256
+
+// resultKey fingerprints one (circuit, request) pair. Request structs
+// marshal with a fixed field order, so the fingerprint is deterministic.
+type resultKey [sha256.Size]byte
+
+func resultKeyOf(circuitID string, req api.Request) (resultKey, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return resultKey{}, err
+	}
+	h := sha256.New()
+	h.Write([]byte(circuitID))
+	h.Write([]byte{0})
+	h.Write(b)
+	var k resultKey
+	copy(k[:], h.Sum(nil))
+	return k, nil
+}
+
+type resultEntry struct {
+	key resultKey
+	rep api.Report
+}
+
+// resultCache is a bounded LRU of recent simulation reports.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[resultKey]*list.Element
+	lru *list.List // of *resultEntry; front = most recent
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, m: make(map[resultKey]*list.Element), lru: list.New()}
+}
+
+func (s *resultCache) put(k resultKey, rep api.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		el.Value = &resultEntry{key: k, rep: rep}
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.m[k] = s.lru.PushFront(&resultEntry{key: k, rep: rep})
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		delete(s.m, back.Value.(*resultEntry).key)
+		s.lru.Remove(back)
+	}
+}
+
+func (s *resultCache) get(k resultKey) (api.Report, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[k]
+	if !ok {
+		return api.Report{}, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*resultEntry).rep, true
+}
+
+// scatterBatchPartial is scatterBatch under AllowPartial semantics: chunks
+// fan out with the same placement and failover, but a chunk failure fills
+// its slots' error entries instead of canceling the siblings, and replicas
+// are asked for partial results themselves so a single bad request inside
+// a chunk surfaces alone. Reports and errs align with reqs: exactly one of
+// reports[i], errs[i] is non-nil.
+func (c *Cluster) scatterBatchPartial(ctx context.Context, id string, t *circuitText, reqs []api.Request) ([]*api.Report, []error, error) {
+	n := len(reqs)
+	reports := make([]*api.Report, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return reports, errs, nil
+	}
+	targets := c.healthyPrimaries(id)
+	if len(targets) == 0 {
+		targets = c.candidates(id)[:1]
+	}
+	if len(targets) > n {
+		targets = targets[:n]
+	}
+	k := len(targets)
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < k; ci++ {
+		lo, hi := ci*n/k, (ci+1)*n/k
+		wg.Add(1)
+		go func(lo, hi int, prefer *replica) {
+			defer wg.Done()
+			chunk := reqs[lo:hi]
+			err := c.withFailover(ctx, id, t, prefer, func(ctx context.Context, r *replica) error {
+				resp, err := r.c.SimulateBatch(ctx, api.BatchRequest{
+					Circuit:  id,
+					Requests: chunk,
+					Options:  &api.BatchOptions{AllowPartial: true},
+				})
+				if err != nil {
+					return err
+				}
+				if len(resp.Reports) != len(chunk) {
+					return fmt.Errorf("replica %s returned %d reports for %d requests", r.id, len(resp.Reports), len(chunk))
+				}
+				for j := range resp.Reports {
+					if j < len(resp.Errors) && resp.Errors[j] != nil {
+						reports[lo+j], errs[lo+j] = nil, resp.Errors[j].Err()
+					} else {
+						reports[lo+j], errs[lo+j] = &resp.Reports[j], nil
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				for j := lo; j < hi; j++ {
+					reports[j], errs[j] = nil, err
+				}
+			}
+		}(lo, hi, targets[ci])
+	}
+	wg.Wait()
+	return reports, errs, nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"halotis/api"
 	"halotis/client"
@@ -13,15 +14,16 @@ import (
 // Error classification for routing. Three classes matter:
 //
 //   - terminal: deterministic outcomes (invalid request, oscillation
-//     limits) and caller cancellation — retrying elsewhere would repeat
-//     the same answer or outlive the caller, so return immediately.
+//     limits), caller cancellation, and expired deadline budgets —
+//     retrying elsewhere would repeat the same answer or outlive the
+//     caller, so return immediately.
 //   - availability: transport failures, overload that survived the typed
 //     client's bounded retry, and ErrCircuitNotFound (another replica may
 //     hold the circuit, or upload-on-miss can repair this one) — advance
 //     to the next candidate.
 //   - transport (a subset of availability): no HTTP response at all —
-//     additionally mark the replica down so subsequent requests skip it
-//     until a probe revives it.
+//     additionally count against the replica's circuit breaker so
+//     subsequent requests skip it until it recovers.
 func isAvailability(err error) bool {
 	if errors.Is(err, api.ErrCanceled) {
 		return false
@@ -48,9 +50,9 @@ func isTransport(err error) bool {
 }
 
 // noteFailure applies passive health marking for one failed replica call:
-// mark the replica down only on a transport-level failure that was not
-// caused by the caller's own context dying — a canceled request says
-// nothing about the replica's health.
+// count against the replica's breaker only on a transport-level failure
+// that was not caused by the caller's own context dying — a canceled
+// request says nothing about the replica's health.
 func noteFailure(ctx context.Context, r *replica, err error) {
 	if isTransport(err) && ctx.Err() == nil {
 		r.markDown()
@@ -64,13 +66,27 @@ func shortID(id string) string {
 	return id
 }
 
-// withFailover runs fn against the circuit's candidate replicas in order
-// until one succeeds. ErrCircuitNotFound triggers a content-addressed
-// re-upload and one retry when the serialized text is known (t != nil);
-// transport failures mark the replica down; availability failures advance
-// to the next candidate; terminal failures return as-is. prefer, when
-// non-nil, is tried first (scatter chunks pin their assigned replica).
-func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, prefer *replica, fn func(r *replica) error) error {
+// replicaFn is one attempt of a routed request against one replica. The
+// context is the attempt's own (a child of the caller's): hedged requests
+// run two attempts concurrently and cancel the loser, so implementations
+// must use the passed context — not a captured one — and guard writes to
+// shared result state with a lock.
+type replicaFn func(ctx context.Context, r *replica) error
+
+// withFailover runs fn against the circuit's candidate replicas until one
+// succeeds. Candidates whose breaker refuses admission are skipped (with
+// one forced attempt on the best-ranked candidate when every breaker
+// refuses — availability beats strictness when there is nowhere else to
+// go). The first candidate may be hedged: if it has latency history and
+// does not answer within its own tail quantile, the next candidate is
+// raced against it and the first success wins. ErrCircuitNotFound
+// triggers a content-addressed re-upload and one retry when the
+// serialized text is known (t != nil); transport failures open the
+// replica's breaker; availability failures advance to the next candidate;
+// terminal failures return as-is. prefer, when non-nil, is tried first
+// and disables hedging (scatter chunks pin their assigned replica).
+func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, prefer *replica, fn replicaFn) error {
+	c.hbudget.earn()
 	cands := c.candidates(id)
 	if prefer != nil {
 		reordered := make([]*replica, 0, len(cands))
@@ -83,8 +99,51 @@ func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, p
 		cands = reordered
 	}
 
+	// Breaker admission pass.
+	now := time.Now()
+	tryList := make([]*replica, 0, len(cands))
+	for _, r := range cands {
+		ok, tr, changed := r.br.allow(now)
+		if changed {
+			r.emit(tr, "cooldown elapsed; trial admitted")
+		}
+		if ok {
+			tryList = append(tryList, r)
+		} else {
+			c.met.breakerSkips.Add(1)
+		}
+	}
+	if len(tryList) == 0 {
+		tryList = cands[:1]
+	}
+
+	start := 0
 	var lastErr error
-	for i, r := range cands {
+	if !c.hedge.Disabled && prefer == nil && len(tryList) >= 2 {
+		if delay, ok := tryList[0].lat.hedgeDelay(c.hedge); ok && c.hbudget.take() {
+			err, hedged := c.tryHedged(ctx, tryList[0], tryList[1], id, t, fn, delay)
+			if err == nil {
+				return nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return api.Canceled(cerr)
+			}
+			if !isAvailability(err) {
+				return err
+			}
+			lastErr = err
+			start = 1
+			if hedged {
+				start = 2
+			}
+			if start < len(tryList) && !errors.Is(err, api.ErrCircuitNotFound) {
+				c.met.failovers.Add(1)
+			}
+		}
+	}
+
+	for i := start; i < len(tryList); i++ {
+		r := tryList[i]
 		err := c.tryReplica(ctx, r, id, t, fn)
 		if err == nil {
 			return nil
@@ -95,15 +154,13 @@ func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, p
 		if !isAvailability(err) {
 			return err
 		}
-		if isTransport(err) {
-			r.markDown()
-		}
+		noteFailure(ctx, r, err)
 		lastErr = err
 		// Count a failover only when the replica itself failed (transport
 		// or overload) and another candidate exists. A not-found advance is
 		// an ordinary miss — an unknown ID probing N replicas is not N-1
 		// node failures.
-		if i < len(cands)-1 && !errors.Is(err, api.ErrCircuitNotFound) {
+		if i < len(tryList)-1 && !errors.Is(err, api.ErrCircuitNotFound) {
 			c.met.failovers.Add(1)
 		}
 	}
@@ -114,19 +171,24 @@ func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, p
 // repair: a replica that answers ErrCircuitNotFound (evicted, restarted,
 // or a failover target that never saw the circuit) gets the serialized
 // netlist re-uploaded — content-addressed, so the repaired ID is
-// guaranteed identical — and one retry.
-func (c *Cluster) tryReplica(ctx context.Context, r *replica, id string, t *circuitText, fn func(r *replica) error) error {
-	err := fn(r)
+// guaranteed identical — and one retry. A success feeds the replica's
+// latency tracker (the hedge trigger) and closes its breaker.
+func (c *Cluster) tryReplica(ctx context.Context, r *replica, id string, t *circuitText, fn replicaFn) error {
+	begin := time.Now()
+	err := fn(ctx, r)
 	if err != nil && errors.Is(err, api.ErrCircuitNotFound) && t != nil {
 		c.met.reuploads.Add(1)
 		if _, uerr := c.uploadTo(ctx, r, t); uerr == nil {
-			err = fn(r)
+			begin = time.Now()
+			err = fn(ctx, r)
 		} else {
 			err = uerr
 		}
 	}
 	if err == nil {
 		r.served.Add(1)
+		r.lat.record(time.Since(begin))
+		r.markUp("request ok")
 	}
 	return err
 }
@@ -167,9 +229,7 @@ func (c *Cluster) place(ctx context.Context, t *circuitText) (*api.UploadRespons
 			if !isAvailability(err) {
 				return nil, err
 			}
-			if isTransport(err) {
-				r.markDown()
-			}
+			noteFailure(ctx, r, err)
 			lastErr = err
 			continue
 		}
@@ -190,7 +250,8 @@ func (c *Cluster) place(ctx context.Context, t *circuitText) (*api.UploadRespons
 // assigned replica is just the first candidate), so a replica dying
 // mid-batch moves its chunk, not the whole batch. The first failure
 // cancels the remaining chunks and is reported as the root cause,
-// matching Local and Remote RunBatch semantics.
+// matching Local and Remote RunBatch semantics. For per-request failure
+// isolation instead, see scatterBatchPartial.
 func (c *Cluster) scatterBatch(ctx context.Context, id string, t *circuitText, reqs []api.Request) ([]*api.Report, error) {
 	n := len(reqs)
 	reports := make([]*api.Report, n)
@@ -216,8 +277,8 @@ func (c *Cluster) scatterBatch(ctx context.Context, id string, t *circuitText, r
 		go func(ci, lo, hi int, prefer *replica) {
 			defer wg.Done()
 			chunk := reqs[lo:hi]
-			err := c.withFailover(fanCtx, id, t, prefer, func(r *replica) error {
-				resp, err := r.c.SimulateBatch(fanCtx, api.BatchRequest{Circuit: id, Requests: chunk})
+			err := c.withFailover(fanCtx, id, t, prefer, func(ctx context.Context, r *replica) error {
+				resp, err := r.c.SimulateBatch(ctx, api.BatchRequest{Circuit: id, Requests: chunk})
 				if err != nil {
 					return err
 				}

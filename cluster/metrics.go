@@ -46,6 +46,22 @@ type routerMetrics struct {
 	// reuploads counts upload-on-miss repairs: a replica answered
 	// ErrCircuitNotFound and the stored serialized netlist restored it.
 	reuploads atomic.Uint64
+	// hedges / hedgeWins count hedged reads fired and hedges whose second
+	// attempt answered first.
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	// breakerSkips counts candidates skipped because their breaker refused
+	// admission; breakerOpens / breakerCloses count breaker transitions
+	// into the open and closed states.
+	breakerSkips  atomic.Uint64
+	breakerOpens  atomic.Uint64
+	breakerCloses atomic.Uint64
+	// degradedServes counts simulate responses served stale from the
+	// router's result cache because every holder was unreachable.
+	degradedServes atomic.Uint64
+	// deadlineShed counts requests refused at admission because their
+	// propagated deadline budget had already expired.
+	deadlineShed atomic.Uint64
 }
 
 // write renders the Prometheus text exposition of the router and fleet
@@ -78,10 +94,17 @@ func (m *routerMetrics) write(w io.Writer, c *Cluster) {
 	counter("http_errors_total", m.httpErrors.Load(), "Responses with status >= 400.")
 	counter("failovers_total", m.failovers.Load(), "Requests moved to a lower-ranked replica after an availability failure.")
 	counter("reuploads_total", m.reuploads.Load(), "Upload-on-miss repairs of circuits onto failover targets.")
+	counter("hedges_total", m.hedges.Load(), "Hedged reads fired after the primary exceeded its tail-latency estimate.")
+	counter("hedge_wins_total", m.hedgeWins.Load(), "Hedged reads whose second attempt answered first.")
+	counter("breaker_skips_total", m.breakerSkips.Load(), "Candidate replicas skipped because their breaker refused admission.")
+	counter("breaker_opens_total", m.breakerOpens.Load(), "Breaker transitions into the open state.")
+	counter("breaker_closes_total", m.breakerCloses.Load(), "Breaker transitions into the closed state.")
+	counter("degraded_serves_total", m.degradedServes.Load(), "Simulate responses served stale from the result cache with every holder unreachable.")
+	counter("deadline_shed_total", m.deadlineShed.Load(), "Requests shed at admission because their deadline budget had expired.")
 
 	healthy := 0
 	for _, r := range c.replicas {
-		if r.healthy.Load() {
+		if r.healthy() {
 			healthy++
 		}
 	}
@@ -91,10 +114,18 @@ func (m *routerMetrics) write(w io.Writer, c *Cluster) {
 	fmt.Fprintf(w, "# HELP halotisd_router_replica_healthy Health of each replica (1 healthy, 0 down).\n# TYPE halotisd_router_replica_healthy gauge\n")
 	for _, r := range c.replicas {
 		v := 0
-		if r.healthy.Load() {
+		if r.healthy() {
 			v = 1
 		}
 		fmt.Fprintf(w, "halotisd_router_replica_healthy{replica=%q} %d\n", r.id, v)
+	}
+	fmt.Fprintf(w, "# HELP halotisd_router_replica_breaker_state Circuit-breaker state per replica (0 closed, 1 half-open, 2 open).\n# TYPE halotisd_router_replica_breaker_state gauge\n")
+	for _, r := range c.replicas {
+		fmt.Fprintf(w, "halotisd_router_replica_breaker_state{replica=%q} %d\n", r.id, int(r.br.state()))
+	}
+	fmt.Fprintf(w, "# HELP halotisd_router_replica_state_changes_total Breaker state transitions per replica.\n# TYPE halotisd_router_replica_state_changes_total counter\n")
+	for _, r := range c.replicas {
+		fmt.Fprintf(w, "halotisd_router_replica_state_changes_total{replica=%q} %d\n", r.id, r.stateChanges.Load())
 	}
 	fmt.Fprintf(w, "# HELP halotisd_router_replica_requests_total Requests each replica answered successfully.\n# TYPE halotisd_router_replica_requests_total counter\n")
 	for _, r := range c.replicas {

@@ -81,7 +81,7 @@ func (c *Cluster) candidates(circuitID string) []*replica {
 	out := make([]*replica, 0, len(ranked))
 	healthyPrim := make([]*replica, 0, len(primaries))
 	for _, r := range primaries {
-		if r.healthy.Load() {
+		if r.healthy() {
 			healthyPrim = append(healthyPrim, r)
 		}
 	}
@@ -97,12 +97,12 @@ func (c *Cluster) candidates(circuitID string) []*replica {
 		}
 	}
 	for _, r := range rest {
-		if r.healthy.Load() {
+		if r.healthy() {
 			out = append(out, r)
 		}
 	}
 	for _, r := range ranked {
-		if !r.healthy.Load() {
+		if !r.healthy() {
 			out = append(out, r)
 		}
 	}
@@ -115,7 +115,7 @@ func (c *Cluster) healthyPrimaries(circuitID string) []*replica {
 	ranked := c.ranked(circuitID)
 	out := make([]*replica, 0, c.rf)
 	for _, r := range ranked[:c.rf] {
-		if r.healthy.Load() {
+		if r.healthy() {
 			out = append(out, r)
 		}
 	}

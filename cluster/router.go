@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"halotis/api"
@@ -20,8 +21,35 @@ import (
 // One addition: GET /v1/topology describes the members and placement
 // parameters.
 
-// Handler returns the HTTP handler of the cluster router.
-func (c *Cluster) Handler() http.Handler { return c.mux }
+// Handler returns the HTTP handler of the cluster router. Requests
+// carrying a deadline budget header are shed (504) when the budget is
+// already spent and narrowed to it otherwise, so the remaining budget —
+// not the original — propagates to the replicas.
+func (c *Cluster) Handler() http.Handler { return c.withBudget(c.mux) }
+
+// withBudget is the router's half of deadline propagation: honor an
+// upstream Halotis-Budget-Ms before routing work anywhere.
+func (c *Cluster) withBudget(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		budget, ok := api.BudgetFrom(r.Header)
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if budget <= 0 {
+			c.met.deadlineShed.Add(1)
+			c.met.httpErrors.Add(1)
+			c.writeJSON(w, http.StatusGatewayTimeout, api.ErrorResponse{
+				Error: api.DeadlineExceededf("deadline budget expired before routing").Error(),
+				Code:  api.CodeDeadlineExceeded,
+			})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
 
 func (c *Cluster) routes() {
 	c.mux = http.NewServeMux()
@@ -145,18 +173,37 @@ func (c *Cluster) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, err)
 		return
 	}
+	key, kerr := resultKeyOf(id, req.Request)
+	var mu sync.Mutex
 	var rep *api.Report
-	err = c.withFailover(r.Context(), id, t, nil, func(rep_ *replica) error {
-		got, err := rep_.c.Simulate(r.Context(), api.SimRequest{Circuit: id, Request: req.Request})
+	err = c.withFailover(r.Context(), id, t, nil, func(ctx context.Context, rp *replica) error {
+		got, err := rp.c.Simulate(ctx, api.SimRequest{Circuit: id, Request: req.Request})
 		if err != nil {
 			return err
 		}
+		mu.Lock()
 		rep = got
+		mu.Unlock()
 		return nil
 	})
 	if err != nil {
+		// Graceful degradation: with every holder unreachable, a cached
+		// report for this exact (circuit, request) is still a correct
+		// answer — simulations are deterministic — just not a fresh one.
+		// Terminal failures and genuine misses keep their errors.
+		if kerr == nil && isAvailability(err) && !errors.Is(err, api.ErrCircuitNotFound) {
+			if cached, ok := c.results.get(key); ok {
+				cached.Degraded = true
+				c.met.degradedServes.Add(1)
+				c.writeJSON(w, http.StatusOK, &cached)
+				return
+			}
+		}
 		c.writeError(w, err)
 		return
+	}
+	if kerr == nil {
+		c.results.put(key, *rep)
 	}
 	c.writeJSON(w, http.StatusOK, rep)
 }
@@ -172,6 +219,26 @@ func (c *Cluster) handleBatch(w http.ResponseWriter, r *http.Request) {
 	id, t, err := c.resolveTarget(r.Context(), req.Circuit, req.Netlist, req.Format, "")
 	if err != nil {
 		c.writeError(w, err)
+		return
+	}
+	if req.Options != nil && req.Options.AllowPartial {
+		reports, errs, err := c.scatterBatchPartial(r.Context(), id, t, req.Requests)
+		if err != nil {
+			c.writeError(w, err)
+			return
+		}
+		resp := api.BatchResponse{Circuit: id, Reports: make([]api.Report, len(reports))}
+		for i, rep := range reports {
+			if errs[i] != nil {
+				if resp.Errors == nil {
+					resp.Errors = make([]*api.ErrorResponse, len(reports))
+				}
+				resp.Errors[i] = api.ErrorResponseOf(errs[i])
+				continue
+			}
+			resp.Reports[i] = *rep
+		}
+		c.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	reports, err := c.scatterBatch(r.Context(), id, t, req.Requests)
@@ -194,7 +261,7 @@ func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
 	seen := make(map[string]bool)
 	out := []api.CircuitInfo{}
 	for _, rep := range c.replicas {
-		if !rep.healthy.Load() {
+		if !rep.healthy() {
 			continue
 		}
 		infos, err := rep.c.Circuits(r.Context())
@@ -215,13 +282,16 @@ func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
 func (c *Cluster) handleGet(w http.ResponseWriter, r *http.Request) {
 	c.met.requests[routeCircuits].Add(1)
 	id := r.PathValue("id")
+	var mu sync.Mutex
 	var info *api.CircuitInfo
-	err := c.withFailover(r.Context(), id, c.texts.get(id), nil, func(rep *replica) error {
-		got, err := rep.c.Circuit(r.Context(), id)
+	err := c.withFailover(r.Context(), id, c.texts.get(id), nil, func(ctx context.Context, rep *replica) error {
+		got, err := rep.c.Circuit(ctx, id)
 		if err != nil {
 			return err
 		}
+		mu.Lock()
 		info = got
+		mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -266,7 +336,7 @@ func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := api.HealthResponse{UptimeSeconds: time.Since(c.start).Seconds()}
 	healthy := 0
 	for _, rep := range c.replicas {
-		if !rep.healthy.Load() {
+		if !rep.healthy() {
 			continue
 		}
 		healthy++

@@ -1,0 +1,446 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"halotis"
+	"halotis/api"
+	"halotis/cluster"
+	"halotis/internal/cellib"
+	"halotis/internal/service"
+)
+
+// The chaos experiment is a fault-injection soak of the full cluster
+// stack: three in-process replicas behind a cluster router, concurrent
+// clients hammering them over real HTTP while a scripted schedule kills a
+// primary, revives it, and slows another. The claim under test is
+// end-to-end resilience, checked two ways:
+//
+//   - Correctness under faults: every report that comes back — through
+//     failover, hedged reads, or the router's stale-serve cache — must be
+//     bit-identical in its deterministic fields to the local backend's
+//     report for the same request. The soak fails on any divergence.
+//   - Mechanisms actually fire: after the soak the router's /metrics must
+//     show hedges, breaker open/close transitions, failovers, a degraded
+//     (stale-cache) serve, and a deadline shed — so a regression that
+//     silently disables one of them fails the bench, not just a unit test.
+//
+// Success latency is also recorded; p99 must stay bounded (well under the
+// client deadline) even across the kill and slow phases.
+
+// ChaosReport is the JSON document emitted by -exp chaos (BENCH_PR6.json).
+type ChaosReport struct {
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Replicas    int      `json:"replicas"`
+	Replication int      `json:"replication"`
+	Clients     int      `json:"clients"`
+	DurationMs  float64  `json:"duration_ms"`
+	Phases      []string `json:"phases"`
+	// Requests counts soak runs issued; Failures the ones that returned an
+	// error (tolerated during fault windows, the rest must succeed).
+	Requests int `json:"requests"`
+	Failures int `json:"failures"`
+	// DivergentReports counts successful reports whose deterministic
+	// fields differed from the local-backend baseline. Must be zero.
+	DivergentReports int `json:"divergent_reports"`
+	// DegradedReports counts successes flagged Degraded (served stale from
+	// the router's result cache during the blackout probe).
+	DegradedReports int     `json:"degraded_reports"`
+	P50Us           float64 `json:"p50_us"`
+	P99Us           float64 `json:"p99_us"`
+	// Resilience counters scraped from the router's /metrics after the
+	// soak.
+	Hedges         uint64  `json:"hedges"`
+	HedgeWins      uint64  `json:"hedge_wins"`
+	HedgeRate      float64 `json:"hedge_rate"`
+	Failovers      uint64  `json:"failovers"`
+	Reuploads      uint64  `json:"reuploads"`
+	BreakerOpens   uint64  `json:"breaker_opens"`
+	BreakerCloses  uint64  `json:"breaker_closes"`
+	BreakerSkips   uint64  `json:"breaker_skips"`
+	DegradedServes uint64  `json:"degraded_serves"`
+	DeadlineShed   uint64  `json:"deadline_shed"`
+}
+
+// chaosGate sits in front of one replica and applies the scripted faults:
+// down severs every connection (the panic aborts the HTTP/1 connection,
+// which the router observes as a transport failure), delayMs adds latency
+// to simulate paths with the request context still honored.
+type chaosGate struct {
+	h       http.Handler
+	down    atomic.Bool
+	delayMs atomic.Int64
+}
+
+func (g *chaosGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.down.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if d := g.delayMs.Load(); d > 0 && strings.HasPrefix(r.URL.Path, "/v1/simulate") {
+		select {
+		case <-time.After(time.Duration(d) * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	g.h.ServeHTTP(w, r)
+}
+
+// reportSignature reduces a report to its deterministic fields for the
+// divergence check: kernel event count plus every sampled output. Degraded
+// and Cached flags, elapsed time and replica identity legitimately vary.
+func reportSignature(rep *halotis.Report) string {
+	keys := make([]string, 0, len(rep.Outputs))
+	for k := range rep.Outputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d", rep.Stats.EventsProcessed)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%t", k, rep.Outputs[k])
+	}
+	return b.String()
+}
+
+var routerCounterRe = regexp.MustCompile(`(?m)^halotisd_router_([a-z_]+_total)(?:\{[^}]*\})? (\d+)$`)
+
+// scrapeRouterCounters reads the router's /metrics and returns every
+// un-labeled halotisd_router_*_total counter by name.
+func scrapeRouterCounters(url string) (map[string]uint64, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	out := map[string]uint64{}
+	for _, m := range routerCounterRe.FindAllStringSubmatch(buf.String(), -1) {
+		if strings.Contains(m[0], "{") {
+			continue // per-endpoint / per-replica series
+		}
+		v, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[m[1]] = v
+	}
+	return out, nil
+}
+
+// chaosExperiment runs the resilience soak and writes BENCH_PR6.json.
+func chaosExperiment(lib *cellib.Library, jsonPath string, dur time.Duration, clients int) (string, error) {
+	if dur < time.Second {
+		return "", fmt.Errorf("-chaosdur must be at least 1s")
+	}
+	if clients < 2 {
+		return "", fmt.Errorf("-chaosclients must be >= 2")
+	}
+
+	const (
+		nReplicas   = 3
+		replication = 2
+		variants    = 12 // distinct stimuli per circuit
+		slowMs      = 120
+		clientTO    = 2 * time.Second
+	)
+
+	// Three replicas, each behind a fault gate.
+	type node struct {
+		svc  *service.Server
+		gate *chaosGate
+		ts   *httptest.Server
+	}
+	nodes := make([]*node, nReplicas)
+	addrs := make([]string, nReplicas)
+	ids := make([]string, nReplicas)
+	gateByID := map[string]*chaosGate{}
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		svc := service.New(service.Config{ReplicaID: id})
+		gate := &chaosGate{h: svc.Handler()}
+		ts := httptest.NewServer(gate)
+		nodes[i] = &node{svc: svc, gate: gate, ts: ts}
+		addrs[i], ids[i] = ts.URL, id
+		gateByID[id] = gate
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.ts.Close()
+			n.svc.Close()
+		}
+	}()
+
+	// Aggressive resilience knobs so every mechanism fires within a short
+	// soak: instant breaker trip, short cooldown with fast probes driving
+	// recovery, hedging armed after a handful of latency samples.
+	cl, err := cluster.New(addrs,
+		cluster.WithReplicaIDs(ids...),
+		cluster.WithReplication(replication),
+		cluster.WithProbeInterval(60*time.Millisecond),
+		cluster.WithBreakerPolicy(cluster.BreakerPolicy{FailureThreshold: 1, Cooldown: 150 * time.Millisecond}),
+		cluster.WithHedgePolicy(cluster.HedgePolicy{Quantile: 0.9, MinDelay: 2 * time.Millisecond, MaxRatio: 1, Warmup: 4}),
+	)
+	if err != nil {
+		return "", err
+	}
+	defer cl.Close()
+	router := httptest.NewServer(cl.Handler())
+	defer router.Close()
+
+	// Workloads: two random circuits with distinct content hashes (and so
+	// distinct placements), and a local-backend baseline report for every
+	// (circuit, variant) request — the ground truth for divergence.
+	ckts, err := clusterWorkloads(lib, 2)
+	if err != nil {
+		return "", err
+	}
+	ctx := context.Background()
+	local := halotis.NewLocal()
+	remote := halotis.NewRemote(router.URL)
+	sessions := make([]halotis.Session, len(ckts))
+	baseline := make([][]string, len(ckts))
+	requests := make([][]halotis.Request, len(ckts))
+	for w, ckt := range ckts {
+		ls, err := local.Open(ctx, ckt)
+		if err != nil {
+			return "", err
+		}
+		baseline[w] = make([]string, variants)
+		requests[w] = make([]halotis.Request, variants)
+		for v := 0; v < variants; v++ {
+			req := halotis.Request{TEnd: 30, Stimulus: toggleStimulus(ls.Circuit().Inputs, v+1)}
+			rep, err := ls.Run(ctx, req)
+			if err != nil {
+				ls.Close()
+				return "", fmt.Errorf("baseline run %d/%d: %w", w, v, err)
+			}
+			baseline[w][v] = reportSignature(rep)
+			requests[w][v] = req
+		}
+		ls.Close()
+		rs, err := remote.Open(ctx, ckt)
+		if err != nil {
+			return "", fmt.Errorf("open workload %d on router: %w", w, err)
+		}
+		defer rs.Close()
+		sessions[w] = rs
+	}
+
+	// The scripted schedule targets real placements: kill the primary of
+	// circuit 0, later slow the primary of circuit 1.
+	killGate := gateByID[cl.Placement(sessions[0].Circuit().ID)[0]]
+	slowGate := gateByID[cl.Placement(sessions[1].Circuit().ID)[0]]
+
+	// Soak: clients hammer both circuits round-robin while the controller
+	// walks the fault schedule in quarters of the run.
+	var (
+		next        atomic.Int64
+		failures    atomic.Int64
+		divergent   atomic.Int64
+		degraded    atomic.Int64
+		latMu       sync.Mutex
+		lats        []time.Duration
+		phases      []string
+		soakEnd     = time.Now().Add(dur)
+		quarter     = dur / 4
+		wg          sync.WaitGroup
+		controller  sync.WaitGroup
+		phase       = func(f string, a ...any) { phases = append(phases, fmt.Sprintf(f, a...)) }
+		soakStarted = time.Now()
+	)
+	phase("0/4: all healthy (hedge warmup, result-cache fill)")
+	controller.Add(1)
+	go func() {
+		defer controller.Done()
+		time.Sleep(quarter)
+		killGate.down.Store(true)
+		time.Sleep(quarter)
+		killGate.down.Store(false)
+		slowGate.delayMs.Store(slowMs)
+		time.Sleep(quarter)
+		slowGate.delayMs.Store(0)
+	}()
+	phase("1/4: kill the primary of circuit 0 (failover, breaker opens)")
+	phase("2/4: revive it, slow the primary of circuit 1 by %dms (probe recovery, hedged reads)", slowMs)
+	phase("3/4: clear all faults (recovery tail)")
+
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(soakEnd) {
+				i := int(next.Add(1)) - 1
+				w := i % len(sessions)
+				v := (i / len(sessions)) % variants
+				rctx, cancel := context.WithTimeout(ctx, clientTO)
+				t0 := time.Now()
+				rep, err := sessions[w].Run(rctx, requests[w][v])
+				cancel()
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if rep.Degraded {
+					degraded.Add(1)
+				}
+				if reportSignature(rep) != baseline[w][v] {
+					divergent.Add(1)
+				}
+				latMu.Lock()
+				lats = append(lats, time.Since(t0))
+				latMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	controller.Wait()
+	wall := time.Since(soakStarted)
+	total := int(next.Load())
+
+	// Blackout probe: with every replica dead, a previously served request
+	// must still answer — stale from the router's result cache, flagged
+	// Degraded, and identical to the baseline.
+	for _, n := range nodes {
+		n.gate.down.Store(true)
+	}
+	phase("probe: full blackout, re-issue a served request (stale serve)")
+	rctx, cancel := context.WithTimeout(ctx, clientTO)
+	rep, err := sessions[0].Run(rctx, requests[0][0])
+	cancel()
+	if err != nil {
+		return "", fmt.Errorf("blackout probe: want a degraded stale serve, got error: %w", err)
+	}
+	if !rep.Degraded {
+		return "", fmt.Errorf("blackout probe: report not flagged Degraded")
+	}
+	if reportSignature(rep) != baseline[0][0] {
+		return "", fmt.Errorf("blackout probe: stale serve diverged from baseline")
+	}
+	degraded.Add(1)
+	for _, n := range nodes {
+		n.gate.down.Store(false)
+	}
+
+	// Deadline probe: an exhausted budget is shed at router admission.
+	phase("probe: request with an expired deadline budget (admission shed)")
+	hreq, err := http.NewRequest(http.MethodPost, router.URL+"/v1/simulate",
+		strings.NewReader(fmt.Sprintf(`{"circuit":%q,"t_end":30}`, sessions[0].Circuit().ID)))
+	if err != nil {
+		return "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(api.BudgetHeader, "0")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return "", fmt.Errorf("deadline probe: %w", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusGatewayTimeout {
+		return "", fmt.Errorf("deadline probe: status %d, want 504", hresp.StatusCode)
+	}
+
+	counters, err := scrapeRouterCounters(router.URL)
+	if err != nil {
+		return "", fmt.Errorf("scrape router metrics: %w", err)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep6 := ChaosReport{
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Replicas:         nReplicas,
+		Replication:      replication,
+		Clients:          clients,
+		DurationMs:       float64(wall) / float64(time.Millisecond),
+		Phases:           phases,
+		Requests:         total,
+		Failures:         int(failures.Load()),
+		DivergentReports: int(divergent.Load()),
+		DegradedReports:  int(degraded.Load()),
+		P50Us:            percentile(lats, 0.50),
+		P99Us:            percentile(lats, 0.99),
+		Hedges:           counters["hedges_total"],
+		HedgeWins:        counters["hedge_wins_total"],
+		Failovers:        counters["failovers_total"],
+		Reuploads:        counters["reuploads_total"],
+		BreakerOpens:     counters["breaker_opens_total"],
+		BreakerCloses:    counters["breaker_closes_total"],
+		BreakerSkips:     counters["breaker_skips_total"],
+		DegradedServes:   counters["degraded_serves_total"],
+		DeadlineShed:     counters["deadline_shed_total"],
+	}
+	if rep6.Hedges > 0 {
+		rep6.HedgeRate = float64(rep6.Hedges) / float64(total)
+	}
+
+	// The soak's hard assertions: correctness first, then proof that each
+	// resilience mechanism actually fired.
+	if rep6.DivergentReports != 0 {
+		return "", fmt.Errorf("chaos soak: %d divergent reports (want 0)", rep6.DivergentReports)
+	}
+	if p99 := time.Duration(rep6.P99Us) * time.Microsecond; p99 >= clientTO/2 {
+		return "", fmt.Errorf("chaos soak: p99 %v not bounded (want < %v)", p99, clientTO/2)
+	}
+	checks := []struct {
+		name string
+		v    uint64
+	}{
+		{"hedges_total", rep6.Hedges},
+		{"failovers_total", rep6.Failovers},
+		{"breaker_opens_total", rep6.BreakerOpens},
+		{"breaker_closes_total", rep6.BreakerCloses},
+		{"degraded_serves_total", rep6.DegradedServes},
+		{"deadline_shed_total", rep6.DeadlineShed},
+	}
+	for _, c := range checks {
+		if c.v == 0 {
+			return "", fmt.Errorf("chaos soak: %s is 0 — that mechanism never fired", c.name)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos soak: %d replicas (replication %d), %d clients, %v, %s\n",
+		nReplicas, replication, clients, dur.Round(time.Millisecond), rep6.GoVersion)
+	for _, p := range phases {
+		fmt.Fprintf(&b, "  phase %s\n", p)
+	}
+	fmt.Fprintf(&b, "%d requests, %d failed during fault windows, 0 divergent reports, %d degraded\n",
+		rep6.Requests, rep6.Failures, rep6.DegradedReports)
+	fmt.Fprintf(&b, "latency p50 %.0fus p99 %.0fus (bounded under the %v client deadline)\n",
+		rep6.P50Us, rep6.P99Us, clientTO)
+	fmt.Fprintf(&b, "hedges %d (%.1f%% of requests, %d won), failovers %d, reuploads %d\n",
+		rep6.Hedges, 100*rep6.HedgeRate, rep6.HedgeWins, rep6.Failovers, rep6.Reuploads)
+	fmt.Fprintf(&b, "breaker opens %d closes %d skips %d, degraded serves %d, deadline sheds %d\n",
+		rep6.BreakerOpens, rep6.BreakerCloses, rep6.BreakerSkips, rep6.DegradedServes, rep6.DeadlineShed)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep6, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\nwrote %s\n", jsonPath)
+	}
+	return b.String(), nil
+}

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|serve]
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|serve|cluster|chaos]
 //	          [-fast] [-benchruns N] [-benchjson PATH]
 //	          [-scaleruns N] [-scalesizes 1000,3000,10000] [-scalejson PATH]
-//	          [-serveruns N] [-serveconc 1,2,4,8] [-servejson PATH] [-version]
+//	          [-serveruns N] [-serveconc 1,2,4,8] [-servejson PATH]
+//	          [-chaosdur DUR] [-chaosclients N] [-chaosjson PATH] [-version]
 //
 // -fast uses a coarser analog integration step for Table 2 (the shape of
 // the comparison — orders of magnitude — is unaffected). -exp bench
@@ -18,13 +19,19 @@
 // vs CDM; -scalejson writes them (BENCH_PR2.json). -exp serve stands up an
 // in-process halotisd and sweeps concurrent clients against it, recording
 // requests/sec, p50/p99 latency and cache hit rate; -servejson writes them
-// (BENCH_PR3.json).
+// (BENCH_PR3.json). -exp chaos runs the fault-injection soak: three
+// in-process replicas behind a cluster router under a scripted
+// kill/slow/blackout schedule, asserting zero divergent reports, bounded
+// p99 and that every resilience mechanism (hedging, breakers, failover,
+// stale serve, deadline shed) actually fired; -chaosjson writes the record
+// (BENCH_PR6.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"halotis/internal/buildinfo"
 	"halotis/internal/cellib"
@@ -32,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, serve, cluster")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, serve, cluster, chaos")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
 	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
 	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
@@ -46,6 +53,9 @@ func main() {
 	clusterRuns := flag.Int("clusterruns", 600, "cluster: unique requests per sweep")
 	clusterClients := flag.Int("clusterclients", 8, "cluster: concurrent clients per sweep")
 	clusterReplicas := flag.String("clusterreplicas", "1,3", "cluster: comma-separated replica counts to sweep")
+	chaosJSON := flag.String("chaosjson", "", "chaos: also write the JSON resilience record to this path")
+	chaosDur := flag.Duration("chaosdur", 8*time.Second, "chaos: soak duration")
+	chaosClients := flag.Int("chaosclients", 6, "chaos: concurrent clients during the soak")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -135,6 +145,12 @@ func main() {
 			fmt.Println(text)
 		case "cluster":
 			text, err := clusterExperiment(lib, *clusterJSON, *clusterReplicas, *clusterRuns, *clusterClients)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "chaos":
+			text, err := chaosExperiment(lib, *chaosJSON, *chaosDur, *chaosClients)
 			if err != nil {
 				return err
 			}

@@ -7,7 +7,7 @@
 //
 //	halotisd [-addr :8080] [-id NAME] [-workers N] [-queue N] [-cache N]
 //	         [-result-cache N] [-pool N] [-max-body BYTES]
-//	         [-max-timeout DUR] [-version]
+//	         [-max-timeout DUR] [-chaos RULES] [-chaos-seed N] [-version]
 //
 // Endpoints: POST /v1/circuits, GET /v1/circuits[/{id}], DELETE
 // /v1/circuits/{id}, POST /v1/simulate, POST /v1/simulate/batch,
@@ -19,6 +19,16 @@
 // with health-checked failover and R-way placement (-replication), plus
 // GET /v1/topology (see halotis/cluster). Existing clients, including
 // halotis -remote, work unchanged against a router.
+//
+// Fault injection: -chaos mounts a seeded fault layer in front of the
+// handler (single-node and router modes alike) for resilience testing:
+//
+//	halotisd -chaos 'latency:p=0.1,d=200ms;reset:p=0.05' -chaos-seed 7
+//
+// Rules are semicolon-separated kind:key=value,... specs — kinds latency,
+// reset, status, truncate; keys p, match, method, d, code, retry_after,
+// bytes, burst=K/N (see halotis/internal/faultinject.ParseRules). The
+// same seed and request order replay the same fault sequence.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
 // connections, waits for in-flight requests (bounded by -drain-timeout),
@@ -40,6 +50,7 @@ import (
 
 	"halotis/cluster"
 	"halotis/internal/buildinfo"
+	"halotis/internal/faultinject"
 	"halotis/internal/service"
 )
 
@@ -58,6 +69,8 @@ func main() {
 	clusterAddrs := flag.String("cluster", "", "router mode: comma-separated replica base URLs to route over instead of simulating locally")
 	replication := flag.Int("replication", 2, "router mode: place each circuit on the top-R ranked replicas")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "router mode: replica health probe interval (0 disables active probing)")
+	chaosSpec := flag.String("chaos", "", "fault-injection rules mounted in front of the handler, e.g. 'latency:p=0.1,d=200ms;reset:p=0.05' (see halotis/internal/faultinject)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "PRNG seed for -chaos: the same seed and request order replay the same faults")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -65,13 +78,17 @@ func main() {
 		fmt.Println(buildinfo.String("halotisd"))
 		return
 	}
+	chaos, err := chaosMiddleware(*chaosSpec, *chaosSeed)
+	if err != nil {
+		log.Fatalf("halotisd: -chaos: %v", err)
+	}
 	if *clusterAddrs != "" {
-		if err := runRouter(*addr, *drainTimeout, *clusterAddrs, *replication, *probeInterval); err != nil {
+		if err := runRouter(*addr, *drainTimeout, *clusterAddrs, *replication, *probeInterval, chaos); err != nil {
 			log.Fatalf("halotisd: %v", err)
 		}
 		return
 	}
-	if err := run(*addr, *drainTimeout, service.Config{
+	if err := run(*addr, *drainTimeout, chaos, service.Config{
 		ReplicaID:       *id,
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -86,9 +103,28 @@ func main() {
 	}
 }
 
+// chaosMiddleware parses the -chaos rule spec into a handler wrapper, or
+// returns the identity when no rules are given. Mounting the fault layer in
+// front of the full handler (rather than inside the service) means routing,
+// admission and metrics all see the injected faults exactly as a client would.
+func chaosMiddleware(spec string, seed int64) (func(http.Handler) http.Handler, error) {
+	if spec == "" {
+		return func(h http.Handler) http.Handler { return h }, nil
+	}
+	rules, err := faultinject.ParseRules(spec)
+	if err != nil {
+		return nil, err
+	}
+	inj := faultinject.New(seed, rules...)
+	for _, r := range inj.Rules() {
+		log.Printf("halotisd: chaos rule mounted: %s", r)
+	}
+	return inj.Middleware, nil
+}
+
 // runRouter serves the cluster router: the same wire API, sharded across
 // the listed replicas (see halotis/cluster).
-func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replication int, probeInterval time.Duration) error {
+func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replication int, probeInterval time.Duration, chaos func(http.Handler) http.Handler) error {
 	var replicas []string
 	for _, a := range strings.Split(addrsFlag, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -103,7 +139,7 @@ func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replic
 		return err
 	}
 	defer c.Close()
-	srv := &http.Server{Addr: addr, Handler: c.Handler()}
+	srv := &http.Server{Addr: addr, Handler: chaos(c.Handler())}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -136,9 +172,9 @@ func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replic
 	return err
 }
 
-func run(addr string, drainTimeout time.Duration, cfg service.Config) error {
+func run(addr string, drainTimeout time.Duration, chaos func(http.Handler) http.Handler, cfg service.Config) error {
 	svc := service.New(cfg)
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	srv := &http.Server{Addr: addr, Handler: chaos(svc.Handler())}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,458 @@
+// Package faultinject is the seeded, deterministic fault layer the
+// resilience features of the serving stack are tested — and smoke-tested —
+// against. It injects the messy failures real fleets see (latency spikes,
+// connection resets, 5xx bursts, truncated bodies, clock-skewed
+// Retry-After hints) at two hook points:
+//
+//   - RoundTripper wraps an http.RoundTripper, faulting outbound requests
+//     (what a client or the cluster router observes when the network or a
+//     replica misbehaves);
+//   - Middleware wraps an http.Handler, faulting inbound requests (what a
+//     sick replica looks like to its callers; halotisd -chaos mounts it).
+//
+// Faults are selected by Rule: per-endpoint match (path substring),
+// per-request probability drawn from a seeded PRNG, and an optional burst
+// schedule (K injected out of every N matched requests, driven by a
+// per-rule counter). Given the same seed and the same request order, the
+// injected fault sequence is identical — a failing chaos schedule replays
+// by seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// KindLatency delays the request by Rule.Latency before letting it
+	// proceed (a slow replica or a congested path).
+	KindLatency Kind = iota
+	// KindReset aborts the exchange with no usable HTTP response: the
+	// RoundTripper returns ErrInjectedReset, the Middleware aborts the
+	// connection mid-response (the peer sees a reset/EOF).
+	KindReset
+	// KindStatus short-circuits the exchange with Rule.Status (typically a
+	// 5xx burst), optionally stamping a Retry-After of Rule.RetryAfter —
+	// set it absurdly high to model a clock-skewed server.
+	KindStatus
+	// KindTruncate forwards the request but cuts the response body off
+	// after Rule.TruncateBytes, so the reader sees an unexpected EOF.
+	KindTruncate
+)
+
+var kindNames = map[Kind]string{
+	KindLatency:  "latency",
+	KindReset:    "reset",
+	KindStatus:   "status",
+	KindTruncate: "truncate",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ErrInjectedReset is the transport-level error the RoundTripper returns
+// for KindReset faults; errors.Is-matchable so tests can tell injected
+// resets from real ones.
+var ErrInjectedReset = errors.New("faultinject: connection reset")
+
+// Rule selects and parameterizes one fault. The zero Match matches every
+// request; P is the per-request injection probability (0 disables unless a
+// Burst is set); Burst, when BurstEvery > 0, additionally gates injection
+// to the first BurstLen of every BurstEvery matched requests — a
+// deterministic on/off schedule independent of the PRNG.
+type Rule struct {
+	// Kind is the fault class to inject.
+	Kind Kind
+	// Match is a substring the request path must contain ("" = all paths).
+	Match string
+	// Method restricts the rule to one HTTP method ("" = all).
+	Method string
+	// P is the injection probability in [0, 1] for matched requests. When
+	// a burst schedule is set, P applies within the burst window (use 1
+	// for a hard burst); without one, P alone decides.
+	P float64
+	// BurstLen / BurstEvery schedule deterministic bursts: the rule is
+	// armed for the first BurstLen of every BurstEvery matched requests.
+	// BurstEvery == 0 means always armed.
+	BurstLen, BurstEvery uint64
+	// Latency is the injected delay for KindLatency.
+	Latency time.Duration
+	// Status is the synthesized response code for KindStatus (default 503).
+	Status int
+	// RetryAfter, when > 0, stamps a Retry-After header (whole seconds,
+	// rounded up) on KindStatus responses — the knob for clock-skewed
+	// hints.
+	RetryAfter time.Duration
+	// TruncateBytes is where KindTruncate cuts the response body
+	// (default 1).
+	TruncateBytes int64
+}
+
+// armedRule pairs a Rule with the injector-owned burst counter (kept out
+// of Rule so Rule values stay copyable).
+type armedRule struct {
+	Rule
+	seen atomic.Uint64 // matched requests, drives the burst schedule
+}
+
+// matches reports whether the rule applies to the request and, if so,
+// advances its burst counter.
+func (r *armedRule) matches(method, path string) bool {
+	if r.Method != "" && !strings.EqualFold(r.Method, method) {
+		return false
+	}
+	if r.Match != "" && !strings.Contains(path, r.Match) {
+		return false
+	}
+	if r.BurstEvery > 0 {
+		n := r.seen.Add(1) - 1
+		if n%r.BurstEvery >= r.BurstLen {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Latency  uint64 `json:"latency"`
+	Reset    uint64 `json:"reset"`
+	Status   uint64 `json:"status"`
+	Truncate uint64 `json:"truncate"`
+}
+
+// Total sums all injected faults.
+func (s Stats) Total() uint64 { return s.Latency + s.Reset + s.Status + s.Truncate }
+
+// Injector applies a rule set with a seeded PRNG. Safe for concurrent use;
+// determinism holds per serialized request order (concurrent requests draw
+// from one locked PRNG in arrival order).
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*armedRule
+
+	injLatency  atomic.Uint64
+	injReset    atomic.Uint64
+	injStatus   atomic.Uint64
+	injTruncate atomic.Uint64
+}
+
+// New builds an Injector over the rules, seeded for deterministic replay.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{rng: rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15))}
+	for _, r := range rules {
+		ar := &armedRule{Rule: r} // copy; the injector owns its counters
+		if ar.Kind == KindStatus && ar.Status == 0 {
+			ar.Status = http.StatusServiceUnavailable
+		}
+		if ar.Kind == KindTruncate && ar.TruncateBytes <= 0 {
+			ar.TruncateBytes = 1
+		}
+		if ar.P == 0 && ar.BurstEvery > 0 {
+			ar.P = 1 // burst-only rule: the schedule is the gate
+		}
+		in.rules = append(in.rules, ar)
+	}
+	return in
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Latency:  in.injLatency.Load(),
+		Reset:    in.injReset.Load(),
+		Status:   in.injStatus.Load(),
+		Truncate: in.injTruncate.Load(),
+	}
+}
+
+// Rules describes the active rule set (for logs).
+func (in *Injector) Rules() []string {
+	out := make([]string, 0, len(in.rules))
+	for _, r := range in.rules {
+		desc := fmt.Sprintf("%s p=%g", r.Kind, r.P)
+		if r.Match != "" {
+			desc += " match=" + r.Match
+		}
+		if r.BurstEvery > 0 {
+			desc += fmt.Sprintf(" burst=%d/%d", r.BurstLen, r.BurstEvery)
+		}
+		out = append(out, desc)
+	}
+	return out
+}
+
+// pick selects the first rule that matches and wins its probability draw.
+func (in *Injector) pick(method, path string) *armedRule {
+	for _, r := range in.rules {
+		if !r.matches(method, path) {
+			continue
+		}
+		in.mu.Lock()
+		hit := r.P >= 1 || (r.P > 0 && in.rng.Float64() < r.P)
+		in.mu.Unlock()
+		if hit {
+			return r
+		}
+	}
+	return nil
+}
+
+func (in *Injector) count(k Kind) {
+	switch k {
+	case KindLatency:
+		in.injLatency.Add(1)
+	case KindReset:
+		in.injReset.Add(1)
+	case KindStatus:
+		in.injStatus.Add(1)
+	case KindTruncate:
+		in.injTruncate.Add(1)
+	}
+}
+
+// --- client-side hook ---
+
+type roundTripper struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+// RoundTripper wraps next (nil = http.DefaultTransport) so outbound
+// requests pass through the fault rules.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &roundTripper{in: in, next: next}
+}
+
+func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := t.in.pick(req.Method, req.URL.Path)
+	if r == nil {
+		return t.next.RoundTrip(req)
+	}
+	t.in.count(r.Kind)
+	switch r.Kind {
+	case KindLatency:
+		select {
+		case <-time.After(r.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.next.RoundTrip(req)
+	case KindReset:
+		return nil, fmt.Errorf("%w (%s %s)", ErrInjectedReset, req.Method, req.URL.Path)
+	case KindStatus:
+		resp := &http.Response{
+			StatusCode: r.Status,
+			Status:     fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader("")),
+			Request: req,
+		}
+		if r.RetryAfter > 0 {
+			resp.Header.Set("Retry-After", strconv.Itoa(int((r.RetryAfter+time.Second-1)/time.Second)))
+		}
+		return resp, nil
+	case KindTruncate:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: r.TruncateBytes}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+// truncatedBody cuts a response body off after remaining bytes, then
+// reports an unexpected EOF — what a connection dying mid-body looks like.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// --- server-side hook ---
+
+// Middleware wraps a handler so inbound requests pass through the fault
+// rules: latency delays the handler, status short-circuits it, reset and
+// truncate abort the response so the peer observes a dead connection
+// (http.ErrAbortHandler, which net/http turns into an aborted reply).
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r := in.pick(req.Method, req.URL.Path)
+		if r == nil {
+			next.ServeHTTP(w, req)
+			return
+		}
+		in.count(r.Kind)
+		switch r.Kind {
+		case KindLatency:
+			select {
+			case <-time.After(r.Latency):
+			case <-req.Context().Done():
+				return
+			}
+			next.ServeHTTP(w, req)
+		case KindReset:
+			panic(http.ErrAbortHandler)
+		case KindStatus:
+			if r.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int((r.RetryAfter+time.Second-1)/time.Second)))
+			}
+			http.Error(w, fmt.Sprintf("faultinject: injected %d", r.Status), r.Status)
+		case KindTruncate:
+			// Responses shorter than the cut pass through whole; longer
+			// ones abort mid-body.
+			next.ServeHTTP(&truncatingWriter{ResponseWriter: w, remaining: r.TruncateBytes}, req)
+		}
+	})
+}
+
+// truncatingWriter caps the bytes written through it; overflow aborts the
+// connection so the peer sees the body end early.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int64
+}
+
+func (w *truncatingWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if int64(len(p)) > w.remaining {
+		n, _ := w.ResponseWriter.Write(p[:w.remaining])
+		w.remaining = 0
+		_ = n
+		panic(http.ErrAbortHandler)
+	}
+	w.remaining -= int64(len(p))
+	return w.ResponseWriter.Write(p)
+}
+
+// --- rule DSL (halotisd -chaos) ---
+
+// ParseRules parses the -chaos flag's rule DSL: semicolon-separated rules,
+// each "kind:key=value,key=value,...". Kinds: latency, reset, status,
+// truncate. Keys: p (probability), match (path substring), method, d
+// (latency duration), code (status), retry_after (duration), bytes
+// (truncate point), burst (K/N — inject for the first K of every N
+// matched requests).
+//
+//	latency:p=0.2,d=200ms,match=/v1/simulate;reset:p=0.1;status:p=0.05,code=503,retry_after=30m
+func ParseRules(spec string) ([]Rule, error) {
+	var out []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, _ := strings.Cut(part, ":")
+		var r Rule
+		switch strings.TrimSpace(kindStr) {
+		case "latency":
+			r.Kind, r.Latency = KindLatency, 100*time.Millisecond
+		case "reset":
+			r.Kind = KindReset
+		case "status":
+			r.Kind, r.Status = KindStatus, http.StatusServiceUnavailable
+		case "truncate":
+			r.Kind, r.TruncateBytes = KindTruncate, 1
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q (want latency, reset, status or truncate)", kindStr)
+		}
+		if rest != "" {
+			for _, kv := range strings.Split(rest, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("faultinject: rule %q: bad key=value %q", part, kv)
+				}
+				var err error
+				switch key {
+				case "p":
+					r.P, err = strconv.ParseFloat(val, 64)
+					if err == nil && (r.P < 0 || r.P > 1) {
+						err = fmt.Errorf("probability %g outside [0,1]", r.P)
+					}
+				case "match":
+					r.Match = val
+				case "method":
+					r.Method = val
+				case "d":
+					r.Latency, err = time.ParseDuration(val)
+				case "code":
+					r.Status, err = strconv.Atoi(val)
+				case "retry_after":
+					r.RetryAfter, err = time.ParseDuration(val)
+				case "bytes":
+					r.TruncateBytes, err = strconv.ParseInt(val, 10, 64)
+				case "burst":
+					k, n, ok := strings.Cut(val, "/")
+					if !ok {
+						err = fmt.Errorf("burst wants K/N, got %q", val)
+						break
+					}
+					if r.BurstLen, err = strconv.ParseUint(k, 10, 64); err == nil {
+						r.BurstEvery, err = strconv.ParseUint(n, 10, 64)
+					}
+					if err == nil && (r.BurstEvery == 0 || r.BurstLen > r.BurstEvery) {
+						err = fmt.Errorf("burst %s: want 0 < K <= N", val)
+					}
+				default:
+					err = fmt.Errorf("unknown key %q", key)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: rule %q: %v", part, err)
+				}
+			}
+		}
+		if r.P == 0 {
+			r.P = 1 // no probability given: hard rule (burst, if any, gates)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("faultinject: empty rule spec")
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true,"pad":"0123456789012345678901234567890123456789"}`))
+	})
+}
+
+// TestSeededDeterminism: the same seed and request order produce the same
+// injected-fault sequence — the replay property chaos schedules rely on.
+func TestSeededDeterminism(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		in := New(seed, Rule{Kind: KindReset, P: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.pick(http.MethodPost, "/v1/simulate") != nil
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at request %d", i)
+		}
+	}
+	c := sequence(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 200-request sequences")
+	}
+	hits := 0
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits < 30 || hits > 90 {
+		t.Errorf("p=0.3 over 200 requests injected %d times; want roughly 60", hits)
+	}
+}
+
+// TestBurstSchedule: K-of-N bursts are counter-driven and exact,
+// independent of the PRNG.
+func TestBurstSchedule(t *testing.T) {
+	in := New(1, Rule{Kind: KindStatus, P: 1, BurstLen: 3, BurstEvery: 10})
+	var got []bool
+	for i := 0; i < 20; i++ {
+		got = append(got, in.pick(http.MethodGet, "/x") != nil)
+	}
+	for i, hit := range got {
+		want := i%10 < 3
+		if hit != want {
+			t.Fatalf("request %d: injected=%v, want %v (burst 3/10)", i, hit, want)
+		}
+	}
+}
+
+// TestMatchFilters: rules fire only on matching method and path.
+func TestMatchFilters(t *testing.T) {
+	in := New(1, Rule{Kind: KindReset, P: 1, Match: "/v1/simulate", Method: "POST"})
+	if in.pick(http.MethodPost, "/v1/simulate/batch") == nil {
+		t.Error("substring match missed /v1/simulate/batch")
+	}
+	if in.pick(http.MethodPost, "/healthz") != nil {
+		t.Error("rule fired on non-matching path")
+	}
+	if in.pick(http.MethodGet, "/v1/simulate") != nil {
+		t.Error("rule fired on non-matching method")
+	}
+}
+
+// TestRoundTripperFaults exercises each fault class through a real HTTP
+// exchange.
+func TestRoundTripperFaults(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+
+	t.Run("reset", func(t *testing.T) {
+		in := New(1, Rule{Kind: KindReset, P: 1})
+		c := &http.Client{Transport: in.RoundTripper(nil)}
+		_, err := c.Get(ts.URL + "/x")
+		if !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("err = %v, want ErrInjectedReset", err)
+		}
+		if in.Stats().Reset != 1 {
+			t.Errorf("stats = %+v, want one reset", in.Stats())
+		}
+	})
+
+	t.Run("status with skewed retry-after", func(t *testing.T) {
+		in := New(1, Rule{Kind: KindStatus, P: 1, Status: 503, RetryAfter: 30 * time.Minute})
+		c := &http.Client{Transport: in.RoundTripper(nil)}
+		resp, err := c.Get(ts.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Fatalf("status = %d, want 503", resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "1800" {
+			t.Errorf("Retry-After = %q, want 1800 (the skewed hint)", ra)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		in := New(1, Rule{Kind: KindTruncate, P: 1, TruncateBytes: 5})
+		c := &http.Client{Transport: in.RoundTripper(nil)}
+		resp, err := c.Get(ts.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("read err = %v (got %d bytes), want ErrUnexpectedEOF", err, len(data))
+		}
+		if len(data) != 5 {
+			t.Errorf("got %d bytes before the cut, want 5", len(data))
+		}
+	})
+
+	t.Run("latency", func(t *testing.T) {
+		in := New(1, Rule{Kind: KindLatency, P: 1, Latency: 30 * time.Millisecond})
+		c := &http.Client{Transport: in.RoundTripper(nil)}
+		start := time.Now()
+		resp, err := c.Get(ts.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d := time.Since(start); d < 30*time.Millisecond {
+			t.Errorf("request took %v, want >= 30ms injected latency", d)
+		}
+	})
+}
+
+// TestMiddlewareFaults: the server-side hook injects the same classes.
+func TestMiddlewareFaults(t *testing.T) {
+	t.Run("status", func(t *testing.T) {
+		in := New(1, Rule{Kind: KindStatus, P: 1, Status: 500})
+		ts := httptest.NewServer(in.Middleware(okHandler()))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 500 {
+			t.Fatalf("status = %d, want 500", resp.StatusCode)
+		}
+	})
+
+	t.Run("reset aborts the connection", func(t *testing.T) {
+		in := New(1, Rule{Kind: KindReset, P: 1})
+		ts := httptest.NewServer(in.Middleware(okHandler()))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/x")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			t.Fatal("request through a reset-injecting middleware succeeded")
+		}
+	})
+
+	t.Run("truncate aborts mid-body", func(t *testing.T) {
+		in := New(1, Rule{Kind: KindTruncate, P: 1, TruncateBytes: 4})
+		ts := httptest.NewServer(in.Middleware(okHandler()))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/x")
+		if err != nil {
+			return // aborted before headers: also a valid truncation
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err == nil {
+			t.Fatal("truncated body read to completion without error")
+		}
+	})
+}
+
+// TestParseRules pins the -chaos DSL.
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("latency:p=0.2,d=200ms,match=/v1/simulate;reset:p=0.1;status:code=500,retry_after=30m,burst=2/10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rules))
+	}
+	lat := rules[0]
+	if lat.Kind != KindLatency || lat.P != 0.2 || lat.Latency != 200*time.Millisecond || lat.Match != "/v1/simulate" {
+		t.Errorf("latency rule parsed as %+v", lat)
+	}
+	st := rules[2]
+	if st.Kind != KindStatus || st.Status != 500 || st.RetryAfter != 30*time.Minute || st.BurstLen != 2 || st.BurstEvery != 10 {
+		t.Errorf("status rule parsed as %+v", st)
+	}
+	if st.P != 1 {
+		t.Errorf("burst-only rule P = %g, want the hard default 1", st.P)
+	}
+
+	for _, bad := range []string{"", "explode:p=1", "latency:p=2", "status:burst=5/2", "latency:d"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}

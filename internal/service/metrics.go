@@ -38,6 +38,10 @@ type metrics struct {
 	replica    string
 	requests   [routeCount]atomic.Uint64
 	httpErrors atomic.Uint64
+	// deadlineShed counts requests refused because their propagated
+	// deadline budget was already spent (shed at admission or while
+	// waiting on the queue) — work the daemon declined rather than burned.
+	deadlineShed atomic.Uint64
 
 	simRuns   atomic.Uint64
 	simErrors atomic.Uint64
@@ -83,6 +87,7 @@ func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats,
 		fmt.Fprintf(w, "halotisd_requests_total{endpoint=%q} %d\n", routeNames[r], m.requests[r].Load())
 	}
 	counter("http_errors_total", m.httpErrors.Load(), "Responses with status >= 400.")
+	counter("deadline_shed_total", m.deadlineShed.Load(), "Requests shed because their propagated deadline budget had expired.")
 
 	counter("sim_runs_total", m.simRuns.Load(), "Simulation kernel runs executed.")
 	counter("sim_errors_total", m.simErrors.Load(), "Simulation runs that ended in error.")
@@ -115,6 +120,7 @@ func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats,
 	gauge("queue_workers", float64(queue.Workers), "Worker goroutines executing jobs.")
 	counter("queue_executed_total", queue.Executed, "Jobs executed to completion.")
 	counter("queue_rejected_total", queue.Rejected, "Jobs rejected because the queue was full.")
+	counter("queue_expired_total", queue.Expired, "Jobs dropped at dequeue because their deadline died while queued.")
 	gauge("queue_in_flight", float64(queue.InFlight), "Jobs currently executing on workers.")
 	gauge("queue_peak_in_flight", float64(queue.PeakInFlight), "High-water mark of concurrently executing jobs.")
 }

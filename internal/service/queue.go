@@ -14,6 +14,17 @@ var ErrQueueFull = errors.New("service: job queue full")
 // ErrClosed is returned by Submit once shutdown has begun.
 var ErrClosed = errors.New("service: shutting down")
 
+// task is one unit of queued work. A non-nil ctx arms shed-at-dequeue: a
+// task whose ctx is already dead when a worker picks it up is dropped
+// without running (the deadline passed while it sat in the backlog, so
+// executing it would burn a worker on an answer nobody is waiting for);
+// the expired callback, if any, receives the ctx error instead.
+type task struct {
+	ctx     context.Context
+	run     func()
+	expired func(error)
+}
+
 // workerPool is the bounded job queue and its workers: all CPU-heavy work
 // (compiles, simulation runs) is admitted through Submit, so concurrency is
 // capped at the worker count, backlog at the queue depth, and overload
@@ -21,23 +32,33 @@ var ErrClosed = errors.New("service: shutting down")
 type workerPool struct {
 	mu     sync.RWMutex
 	closed bool
-	jobs   chan func()
+	jobs   chan task
 	wg     sync.WaitGroup
 
 	workers  int
 	executed atomic.Uint64
 	rejected atomic.Uint64
+	expired  atomic.Uint64
 	inFlight atomic.Int64
 	peak     atomic.Int64
 }
 
 func newWorkerPool(workers, depth int) *workerPool {
-	p := &workerPool{jobs: make(chan func(), depth), workers: workers}
+	p := &workerPool{jobs: make(chan task, depth), workers: workers}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for job := range p.jobs {
+			for t := range p.jobs {
+				if t.ctx != nil {
+					if err := t.ctx.Err(); err != nil {
+						p.expired.Add(1)
+						if t.expired != nil {
+							t.expired(err)
+						}
+						continue
+					}
+				}
 				cur := p.inFlight.Add(1)
 				for {
 					peak := p.peak.Load()
@@ -45,7 +66,7 @@ func newWorkerPool(workers, depth int) *workerPool {
 						break
 					}
 				}
-				job()
+				t.run()
 				p.inFlight.Add(-1)
 				p.executed.Add(1)
 			}
@@ -57,13 +78,24 @@ func newWorkerPool(workers, depth int) *workerPool {
 // Submit enqueues a job for the workers. It never blocks: a full queue
 // returns ErrQueueFull, a closing pool ErrClosed.
 func (p *workerPool) Submit(job func()) error {
+	return p.submit(task{run: job})
+}
+
+// SubmitTask is Submit with shed-at-dequeue armed: if ctx is dead by the
+// time a worker would start the job, run is skipped and expired (may be
+// nil) gets the ctx error.
+func (p *workerPool) SubmitTask(ctx context.Context, run func(), expired func(error)) error {
+	return p.submit(task{ctx: ctx, run: run, expired: expired})
+}
+
+func (p *workerPool) submit(t task) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrClosed
 	}
 	select {
-	case p.jobs <- job:
+	case p.jobs <- t:
 		return nil
 	default:
 		p.rejected.Add(1)
@@ -78,13 +110,23 @@ func (p *workerPool) Submit(job func()) error {
 // worker (a worker blocking on its own queue can deadlock the pool); HTTP
 // handler goroutines are safe.
 func (p *workerPool) SubmitWait(ctx context.Context, job func()) error {
+	return p.submitWait(ctx, task{run: job})
+}
+
+// SubmitWaitTask is SubmitWait with shed-at-dequeue armed on the same ctx
+// that bounds the enqueue wait.
+func (p *workerPool) SubmitWaitTask(ctx context.Context, run func(), expired func(error)) error {
+	return p.submitWait(ctx, task{ctx: ctx, run: run, expired: expired})
+}
+
+func (p *workerPool) submitWait(ctx context.Context, t task) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrClosed
 	}
 	select {
-	case p.jobs <- job:
+	case p.jobs <- t:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -118,6 +160,9 @@ type QueueStats struct {
 	Capacity int    `json:"capacity"`
 	Executed uint64 `json:"executed"`
 	Rejected uint64 `json:"rejected"`
+	// Expired counts jobs dropped at dequeue because their context (the
+	// propagated deadline budget) died while they were queued.
+	Expired uint64 `json:"expired"`
 	// InFlight is the number of jobs currently executing; PeakInFlight is
 	// the high-water mark since startup — under a fanned-out batch it
 	// reaches past 1, which is how tests distinguish parallel execution
@@ -134,6 +179,7 @@ func (p *workerPool) Stats() QueueStats {
 		Capacity:     p.Capacity(),
 		Executed:     p.executed.Load(),
 		Rejected:     p.rejected.Load(),
+		Expired:      p.expired.Load(),
 		InFlight:     p.inFlight.Load(),
 		PeakInFlight: p.peak.Load(),
 	}

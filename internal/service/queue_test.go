@@ -189,3 +189,60 @@ func TestQueueConcurrentSubmitAndClose(t *testing.T) {
 	p.Close()
 	wg.Wait()
 }
+
+// TestQueueShedsExpiredAtDequeue: a task whose context dies while it waits
+// in the backlog is dropped at dequeue — the expired callback fires, run
+// never does, and the Expired counter moves.
+func TestQueueShedsExpiredAtDequeue(t *testing.T) {
+	p := newWorkerPool(1, 4)
+	defer p.Close()
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(func() { close(running); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	shed := make(chan error, 1)
+	if err := p.SubmitTask(ctx, func() { ran.Store(true) }, func(err error) { shed <- err }); err != nil {
+		t.Fatal(err)
+	}
+	cancel()    // the queued task's deadline dies behind the blocker
+	close(gate) // free the worker; it must shed, not run
+
+	select {
+	case err := <-shed:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("expired callback got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("expired callback never fired")
+	}
+	if ran.Load() {
+		t.Fatal("expired task ran anyway")
+	}
+	if got := p.Stats().Expired; got != 1 {
+		t.Fatalf("Expired = %d, want 1", got)
+	}
+}
+
+// TestQueueLiveTaskRuns: SubmitTask with a live context behaves exactly
+// like Submit.
+func TestQueueLiveTaskRuns(t *testing.T) {
+	p := newWorkerPool(1, 4)
+	defer p.Close()
+	done := make(chan struct{})
+	if err := p.SubmitTask(context.Background(), func() { close(done) }, func(error) {
+		t.Error("expired callback fired for a live task")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never ran")
+	}
+}

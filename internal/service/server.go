@@ -49,8 +49,33 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the API: the route mux behind
+// the deadline-budget middleware.
+func (s *Server) Handler() http.Handler { return s.withBudget(s.mux) }
+
+// withBudget applies the propagated deadline budget (api.BudgetHeader):
+// requests arriving with an already-expired budget are shed at admission
+// with 504 deadline_exceeded — no parsing, no queueing, no simulation —
+// and live budgets narrow the request context so every downstream stage
+// (queue dequeue, kernel run) observes the caller's deadline.
+func (s *Server) withBudget(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		budget, ok := api.BudgetFrom(r.Header)
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if budget <= 0 {
+			s.met.deadlineShed.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout,
+				api.DeadlineExceededf("budget expired before admission (%s %s)", r.Method, r.URL.Path))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
 
 // Close stops job admission and drains: queued and in-flight jobs run to
 // completion before Close returns. Call http.Server.Shutdown first so no
@@ -121,6 +146,8 @@ func (s *Server) writeBusy(w http.ResponseWriter, err error) {
 // limits) is an unprocessable request.
 func simStatus(err error) int {
 	switch {
+	case errors.Is(err, api.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, api.ErrCanceled):
@@ -155,11 +182,23 @@ func (s *Server) runCtx(parent context.Context, timeoutMs float64) (context.Cont
 	return context.WithCancel(parent)
 }
 
+// shedError types a dead-context error for the wire: a deadline expiry is
+// a shed (the budget ran out before the work executed), anything else a
+// cancellation.
+func shedError(cause error, when string) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return api.DeadlineExceededf("deadline budget expired %s", when)
+	}
+	return api.Canceled(cause)
+}
+
 // submitAndWait admits a job to the worker queue and writes its outcome:
 // 503 with Retry-After when the queue refuses it, the job's own status and
-// error otherwise. If the client disconnects first, the handler returns and
-// the buffered channel lets the job finish into the void (simulation jobs
-// observe the canceled request context and abort quickly).
+// error otherwise. A job whose request context dies while queued is shed at
+// dequeue (never run) and reported as 504. If the client disconnects first,
+// the handler returns and the buffered channel lets the job finish into the
+// void (simulation jobs observe the canceled request context and abort
+// quickly).
 func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, job func() (any, int, error)) {
 	type out struct {
 		v      any
@@ -167,9 +206,11 @@ func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, job func(
 		err    error
 	}
 	ch := make(chan out, 1)
-	if err := s.queue.Submit(func() {
+	if err := s.queue.SubmitTask(r.Context(), func() {
 		v, status, err := job()
 		ch <- out{v, status, err}
+	}, func(cause error) {
+		ch <- out{nil, http.StatusGatewayTimeout, shedError(cause, "while queued")}
 	}); err != nil {
 		s.writeBusy(w, err)
 		return
@@ -182,6 +223,25 @@ func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, job func(
 		}
 		s.writeJSON(w, http.StatusOK, o.v)
 	case <-r.Context().Done():
+		if !errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			return // client went away; nobody reads a response
+		}
+		// The propagated budget expired with the job queued or running.
+		// Prefer the job's own typed outcome if it has already landed
+		// (mid-run aborts surface as canceled within an event pop);
+		// otherwise report the shed now rather than waiting for dequeue.
+		s.met.deadlineShed.Add(1)
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				s.writeError(w, o.status, o.err)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, o.v)
+		default:
+			s.writeError(w, http.StatusGatewayTimeout,
+				shedError(r.Context().Err(), "before the job finished"))
+		}
 	}
 }
 
@@ -290,9 +350,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		err    error
 	}
 	rch := make(chan resolved, 1)
-	if err := s.queue.Submit(func() {
+	if err := s.queue.SubmitTask(r.Context(), func() {
 		ent, status, err := s.resolve(req.Circuit, req.Netlist, req.Format)
 		rch <- resolved{ent, status, err}
+	}, func(cause error) {
+		rch <- resolved{nil, http.StatusGatewayTimeout, shedError(cause, "while queued")}
 	}); err != nil {
 		s.writeBusy(w, err)
 		return
@@ -309,9 +371,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Fan out: one queue job per request. The first failure cancels the
-	// rest (in-flight runs abort at event-pop granularity); the response
-	// reports the root cause, not a sibling's secondary cancellation.
+	// Fan out: one queue job per request. By default the first failure
+	// cancels the rest (in-flight runs abort at event-pop granularity) and
+	// the response reports the root cause, not a sibling's secondary
+	// cancellation. In partial mode (BatchOptions.AllowPartial) failures
+	// stay in their own slot: siblings keep running and the response
+	// carries per-request errors alongside the finished reports.
+	partial := req.Options != nil && req.Options.AllowPartial
 	n := len(req.Requests)
 	reports := make([]*Report, n)
 	errs := make([]error, n)
@@ -332,12 +398,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			rep, err := s.runOne(jobCtx, ent, sub)
 			if err != nil {
 				errs[i] = err
-				cancel()
+				if !partial {
+					cancel()
+				}
 				return
 			}
 			reports[i] = rep
 		}
-		if err := s.queue.SubmitWait(fanCtx, job); err != nil {
+		expired := func(cause error) {
+			defer wg.Done()
+			errs[i] = shedError(cause, "while queued")
+		}
+		if err := s.queue.SubmitWaitTask(fanCtx, job, expired); err != nil {
 			wg.Done()
 			if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
 				// Shutdown/backpressure mid-fan-out is an availability
@@ -345,11 +417,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				err = &api.OverloadedError{RetryAfter: retryAfter, Cause: err}
 			}
 			errs[i] = api.MapRunError(err)
+			if partial {
+				continue
+			}
 			cancel()
 			break
 		}
 	}
 	wg.Wait()
+
+	if partial {
+		resp := &BatchResponse{Circuit: ent.info.ID, Reports: make([]Report, n)}
+		for i, rep := range reports {
+			if errs[i] != nil {
+				if resp.Errors == nil {
+					resp.Errors = make([]*api.ErrorResponse, n)
+				}
+				resp.Errors[i] = api.ErrorResponseOf(errs[i])
+				continue
+			}
+			resp.Reports[i] = *rep
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
 
 	if idx, err := api.FirstFailure(errs); err != nil {
 		s.writeError(w, simStatus(err), fmt.Errorf("requests[%d]: %w", idx, err))
