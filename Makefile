@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke chaos-smoke paper apicheck apicheck-update service-smoke cluster-smoke
+.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke chaos-smoke partition-smoke paper apicheck apicheck-update service-smoke cluster-smoke
 
 all: build vet fmt-check test apicheck
 
@@ -52,7 +52,10 @@ apicheck-update:
 # under an explicit per-node capacity model, attributed per node via
 # /metrics), and the chaos soak (BENCH_PR6.json: fault-injection run over
 # a 3-replica cluster asserting zero divergent reports, bounded p99 and
-# that hedging/breakers/failover/stale-serve/deadline-shed all fired).
+# that hedging/breakers/failover/stale-serve/deadline-shed all fired), and
+# the partitioned-kernel sweep (BENCH_PR7.json: measured and critical-path
+# model speedup vs partition count on 100k+-gate circuits, every
+# configuration checked bit-identical to the sequential baseline).
 # Bump the *_OUT vars when a new PR adds a new perf record so the
 # trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
@@ -60,12 +63,14 @@ SCALE_OUT ?= BENCH_PR2.json
 SERVE_OUT ?= BENCH_PR4.json
 CLUSTER_OUT ?= BENCH_PR5.json
 CHAOS_OUT ?= BENCH_PR6.json
+PARTITION_OUT ?= BENCH_PR7.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
 	$(GO) run ./cmd/halobench -exp serve -serveruns 300 -servejson $(SERVE_OUT)
 	$(GO) run ./cmd/halobench -exp cluster -clusterjson $(CLUSTER_OUT)
 	$(GO) run ./cmd/halobench -exp chaos -chaosjson $(CHAOS_OUT)
+	$(GO) run ./cmd/halobench -exp partition -partjson $(PARTITION_OUT)
 
 # bench-smoke is the quick CI variant: few iterations, no JSON artifact.
 bench-smoke:
@@ -81,6 +86,14 @@ bench-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/halobench -exp chaos -chaosdur 4s -chaosclients 4
 
+# partition-smoke is the quick CI variant of the partitioned-kernel sweep:
+# one 100k-gate circuit at P=1 and P=4. The experiment aborts unless the
+# partitioned run is bit-identical (stats equality) to the sequential
+# baseline, making this a large-circuit differential gate, not just a
+# benchmark.
+partition-smoke:
+	$(GO) run ./cmd/halobench -exp partition -partsizes 100000 -partcounts 1,4 -partfam random-dag -partruns 1
+
 # fuzz-smoke runs each parser/decoder fuzz target briefly (also in CI).
 FUZZTIME ?= 10s
 fuzz-smoke:
@@ -89,6 +102,7 @@ fuzz-smoke:
 	$(GO) test ./internal/netfmt -run=NONE -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/service -run=NONE -fuzz=FuzzDecodeSimRequest -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/service -run=NONE -fuzz=FuzzDecodeUploadRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sim -run=NONE -fuzz=FuzzPartitionedIdentity -fuzztime=$(FUZZTIME)
 
 # service-smoke builds the daemon, starts it, and drives the client round
 # trip the CI smoke job uses: upload c17.bench, simulate, check /healthz.

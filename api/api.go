@@ -53,6 +53,11 @@ type Request struct {
 	// 0 means no deadline from the request — the remote backend's
 	// MaxTimeout, when configured, still applies as both cap and default.
 	TimeoutMs float64 `json:"timeout_ms,omitempty"`
+	// Partitions selects the partitioned parallel kernel: 0 (default) lets
+	// the engine choose by circuit size, 1 forces the sequential kernel,
+	// higher counts split the circuit across that many worker goroutines.
+	// Results are bit-identical for any value, so it tunes latency only.
+	Partitions int `json:"partitions,omitempty"`
 	// Stimulus is the input drive.
 	Stimulus Stimulus `json:"stimulus"`
 	// Waveforms lists net names whose logic waveform (initial level plus
@@ -332,6 +337,12 @@ func (r *Request) Validate() error {
 	if r.TimeoutMs < 0 {
 		return invalidf("timeout_ms: must be >= 0, got %g", r.TimeoutMs)
 	}
+	if r.Partitions < 0 {
+		return invalidf("partitions: must be >= 0, got %d", r.Partitions)
+	}
+	if r.Partitions > sim.MaxPartitions {
+		return invalidf("partitions: must be <= %d, got %d", sim.MaxPartitions, r.Partitions)
+	}
 	return r.Stimulus.Validate()
 }
 
@@ -438,7 +449,7 @@ func FromSim(st sim.Stimulus) Stimulus {
 // values defer to the engine defaults (see sim.Options).
 func (r *Request) Options() sim.Options {
 	m, _ := ParseModel(r.Model) // validated upstream
-	return sim.Options{Model: m, MinPulse: r.MinPulse, MaxEvents: r.MaxEvents}
+	return sim.Options{Model: m, MinPulse: r.MinPulse, MaxEvents: r.MaxEvents, Partitions: r.Partitions}
 }
 
 // ParseModel resolves the wire spelling of a delay model.

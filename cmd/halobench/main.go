@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|serve|cluster|chaos]
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|partition|serve|cluster|chaos]
 //	          [-fast] [-benchruns N] [-benchjson PATH]
 //	          [-scaleruns N] [-scalesizes 1000,3000,10000] [-scalejson PATH]
+//	          [-partruns N] [-partsizes 100000,250000] [-partcounts 1,2,4,8] [-partfam NAME] [-partjson PATH]
 //	          [-serveruns N] [-serveconc 1,2,4,8] [-servejson PATH]
 //	          [-chaosdur DUR] [-chaosclients N] [-chaosjson PATH] [-version]
 //
@@ -16,7 +17,11 @@
 // (the BENCH_PR*.json trajectory). -exp scale sweeps circuit size across
 // the scalable families (adder chains, CSA trees, multipliers, random
 // DAGs) under random stimulus and records ns/event scaling curves for DDM
-// vs CDM; -scalejson writes them (BENCH_PR2.json). -exp serve stands up an
+// vs CDM; -scalejson writes them (BENCH_PR2.json). -exp partition sweeps
+// partition count against circuit size (100k gates and up), checking every
+// partitioned configuration bit-identical to the sequential baseline before
+// timing it and recording measured plus critical-path-model speedup;
+// -partjson writes the record (BENCH_PR7.json). -exp serve stands up an
 // in-process halotisd and sweeps concurrent clients against it, recording
 // requests/sec, p50/p99 latency and cache hit rate; -servejson writes them
 // (BENCH_PR3.json). -exp chaos runs the fault-injection soak: three
@@ -39,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, serve, cluster, chaos")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, partition, serve, cluster, chaos")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
 	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
 	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
@@ -53,6 +58,11 @@ func main() {
 	clusterRuns := flag.Int("clusterruns", 600, "cluster: unique requests per sweep")
 	clusterClients := flag.Int("clusterclients", 8, "cluster: concurrent clients per sweep")
 	clusterReplicas := flag.String("clusterreplicas", "1,3", "cluster: comma-separated replica counts to sweep")
+	partJSON := flag.String("partjson", "", "partition: also write the JSON speedup record to this path")
+	partRuns := flag.Int("partruns", 2, "partition: timed iterations per (family, size, count) point")
+	partSizes := flag.String("partsizes", "100000,250000", "partition: comma-separated target gate counts")
+	partCounts := flag.String("partcounts", "1,2,4,8", "partition: comma-separated partition counts (include 1 for the baseline)")
+	partFam := flag.String("partfam", "", "partition: restrict to one scalable family (default all)")
 	chaosJSON := flag.String("chaosjson", "", "chaos: also write the JSON resilience record to this path")
 	chaosDur := flag.Duration("chaosdur", 8*time.Second, "chaos: soak duration")
 	chaosClients := flag.Int("chaosclients", 6, "chaos: concurrent clients during the soak")
@@ -133,6 +143,12 @@ func main() {
 			fmt.Println(text)
 		case "scale":
 			text, err := scaleExperiment(lib, *scaleJSON, *scaleSizes, *scaleRuns)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "partition":
+			text, err := partitionExperiment(lib, *partJSON, *partSizes, *partCounts, *partFam, *partRuns)
 			if err != nil {
 				return err
 			}

@@ -129,6 +129,15 @@ func WithMinPulse(p float64) Option { return func(o *sim.Options) { o.MinPulse =
 // per available CPU). Single runs ignore it.
 func WithWorkers(n int) Option { return func(o *sim.Options) { o.Workers = n } }
 
+// WithPartitions selects the partitioned parallel kernel for single runs:
+// the circuit is split into n level-ordered partitions, each simulated by
+// its own worker goroutine, with boundary transitions exchanged through
+// mailboxes. Results are bit-identical to the sequential kernel for any
+// count. 0 (the default) picks automatically by circuit size and
+// GOMAXPROCS; 1 forces the sequential kernel; counts are clamped to the
+// engine's maximum.
+func WithPartitions(n int) Option { return func(o *sim.Options) { o.Partitions = n } }
+
 // WithContext attaches a cancellation context to the run: Simulate,
 // SimulateBatch and engines built with NewEngine abort at event-pop
 // granularity once ctx is done, returning an error that wraps ctx.Err().

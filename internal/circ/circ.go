@@ -29,6 +29,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"strconv"
+	"sync"
 
 	"halotis/internal/cellib"
 	"halotis/internal/netlist"
@@ -43,12 +44,18 @@ type Compiled struct {
 	// Hash is the circuit's stable content hash (see ContentHash).
 	Hash string
 
-	// Per-gate slabs, indexed by gate ID. PinStart has len(gates)+1
-	// entries so PinStart[g] : PinStart[g+1] spans gate g's pins in every
-	// per-pin slab.
+	// Per-gate slabs, indexed by IR gate index. Gates are laid out in
+	// topological level order (stable by netlist ID within a level), not
+	// netlist declaration order: an event wave marching through the circuit
+	// then touches slab entries roughly sequentially, and any contiguous
+	// index range of gates is a union of level slices — the shape the
+	// partitioner's chunks take. GateSlot maps netlist gate IDs into this
+	// numbering. PinStart has len(gates)+1 entries so PinStart[g] :
+	// PinStart[g+1] spans gate g's pins in every per-pin slab.
 	PinStart []int32
 	GateKind []cellib.Kind
 	GateOut  []int32 // driven net ID
+	GateSlot []int32 // netlist gate ID -> IR gate index
 
 	// Per-pin slabs, indexed by global pin id.
 	PinGate []int32 // owning gate ID
@@ -57,7 +64,12 @@ type Compiled struct {
 	PinRise []cellib.EdgeParams
 	PinFall []cellib.EdgeParams
 
-	// Per-net slabs, indexed by net ID. Load is the precomputed total
+	// Per-net slabs, indexed by IR net ID. Nets are renumbered to match the
+	// gate layout: primary inputs first in declaration order, then driven
+	// nets in their driver's slab order, then any remaining nets in netlist
+	// order — so a gate and the net it drives sit at nearby indices and the
+	// per-net waveform slab is walked in roughly the same order as the gate
+	// slabs. Load is the precomputed total
 	// capacitive load (the CL of eq. 2), pF. FanStart/FanPins is the CSR
 	// fanout described in the package comment. NetName supports reverse
 	// lookups without touching the netlist graph.
@@ -71,14 +83,21 @@ type Compiled struct {
 	Inputs  []int32
 	Outputs []int32
 
-	// LevelOrder lists gate IDs in topological level order for settled
-	// initial-state evaluation, hoisted here because GatesByLevel sorts.
+	// LevelOrder lists IR gate indices in topological level order for
+	// settled initial-state evaluation. Since the slabs themselves are laid
+	// out in level order this is the identity permutation, but consumers
+	// iterate it rather than assuming so.
 	LevelOrder []int32
 
 	// InputSet supports stimulus validation without per-run map builds.
 	InputSet map[string]bool
 
 	netID map[string]int32
+
+	// partMu guards partCache, the per-K memo of Partition results — the
+	// only mutable state on a Compiled, and invisible to readers of the IR.
+	partMu    sync.Mutex
+	partCache map[int]*Partitioning
 }
 
 // Compile returns the circuit's compiled IR, memoized on the circuit itself:
@@ -109,6 +128,7 @@ func compile(ckt *netlist.Circuit) *Compiled {
 		NetName:  make([]string, len(ckt.Nets)),
 		FanStart: make([]int32, len(ckt.Nets)+1),
 		FanPins:  make([]int32, 0, numPins),
+		GateSlot: make([]int32, len(ckt.Gates)),
 		Inputs:   make([]int32, len(ckt.Inputs)),
 		Outputs:  make([]int32, len(ckt.Outputs)),
 
@@ -117,14 +137,42 @@ func compile(ckt *netlist.Circuit) *Compiled {
 		netID:      make(map[string]int32, len(ckt.Nets)),
 	}
 
+	// Gate slabs in level order, nets renumbered to follow: inputs first in
+	// declaration order, then driven nets as their drivers appear, then
+	// anything left (see the struct comments for why).
+	order := ckt.GatesByLevel()
+	for slot, g := range order {
+		c.GateSlot[g.ID] = int32(slot)
+	}
+	netSlot := make([]int32, len(ckt.Nets))
+	for i := range netSlot {
+		netSlot[i] = -1
+	}
+	newNets := make([]*netlist.Net, 0, len(ckt.Nets))
+	place := func(n *netlist.Net) {
+		if netSlot[n.ID] < 0 {
+			netSlot[n.ID] = int32(len(newNets))
+			newNets = append(newNets, n)
+		}
+	}
+	for _, in := range ckt.Inputs {
+		place(in)
+	}
+	for _, g := range order {
+		place(g.Output)
+	}
+	for _, n := range ckt.Nets {
+		place(n)
+	}
+
 	pid := int32(0)
-	for _, g := range ckt.Gates {
-		c.PinStart[g.ID] = pid
-		c.GateKind[g.ID] = g.Cell.Kind
-		c.GateOut[g.ID] = int32(g.Output.ID)
+	for slot, g := range order {
+		c.PinStart[slot] = pid
+		c.GateKind[slot] = g.Cell.Kind
+		c.GateOut[slot] = netSlot[g.Output.ID]
 		for i, p := range g.Inputs {
-			c.PinGate[pid] = int32(g.ID)
-			c.PinNet[pid] = int32(p.Net.ID)
+			c.PinGate[pid] = int32(slot)
+			c.PinNet[pid] = netSlot[p.Net.ID]
 			c.PinVT[pid] = p.VT
 			pp := g.Cell.Pins[i]
 			c.PinRise[pid] = pp.Rise
@@ -134,26 +182,26 @@ func compile(ckt *netlist.Circuit) *Compiled {
 	}
 	c.PinStart[len(ckt.Gates)] = pid
 
-	for _, n := range ckt.Nets {
-		c.Load[n.ID] = n.Load()
-		c.NetName[n.ID] = n.Name
-		c.netID[n.Name] = int32(n.ID)
-		c.FanStart[n.ID] = int32(len(c.FanPins))
+	for id, n := range newNets {
+		c.Load[id] = n.Load()
+		c.NetName[id] = n.Name
+		c.netID[n.Name] = int32(id)
+		c.FanStart[id] = int32(len(c.FanPins))
 		for _, p := range n.Fanout {
-			c.FanPins = append(c.FanPins, c.PinStart[p.Gate.ID]+int32(p.Index))
+			c.FanPins = append(c.FanPins, c.PinStart[c.GateSlot[p.Gate.ID]]+int32(p.Index))
 		}
 	}
 	c.FanStart[len(ckt.Nets)] = int32(len(c.FanPins))
 
 	for i, in := range ckt.Inputs {
-		c.Inputs[i] = int32(in.ID)
+		c.Inputs[i] = netSlot[in.ID]
 		c.InputSet[in.Name] = true
 	}
 	for i, o := range ckt.Outputs {
-		c.Outputs[i] = int32(o.ID)
+		c.Outputs[i] = netSlot[o.ID]
 	}
-	for _, g := range ckt.GatesByLevel() {
-		c.LevelOrder = append(c.LevelOrder, int32(g.ID))
+	for slot := range order {
+		c.LevelOrder = append(c.LevelOrder, int32(slot))
 	}
 	c.Hash = contentHash(ckt)
 	return c

@@ -11,7 +11,9 @@ import (
 // This file provides the parameterized scalable circuit families used by
 // the size-scaling benchmarks: adder chains, carry-save adder trees and the
 // Family registry that targets an approximate gate count, so halobench can
-// sweep circuit size from hundreds to tens of thousands of gates.
+// sweep circuit size from hundreds of gates up to the million-gate range
+// the partitioned kernel is built for (every family realizes 100k–1M gate
+// targets within a few percent; see TestFamiliesRealizeLargeTargets).
 
 // AdderChain returns stages cascaded width-bit ripple-carry adders: the
 // accumulator starts at inputs a0..a(width-1) and each stage s adds inputs

@@ -152,3 +152,29 @@ func TestRandomStimulusFor(t *testing.T) {
 		t.Error("RandomStimulus accepted zero vectors")
 	}
 }
+
+// TestFamiliesRealizeLargeTargets pins the partitioned-kernel size range:
+// every family must realize a 100k-gate target within 10% (and, outside
+// -short, a 1M-gate target too), so the partition benchmarks sweep real
+// six-to-seven-figure circuits rather than quantization artifacts.
+func TestFamiliesRealizeLargeTargets(t *testing.T) {
+	lib := cellib.Default06()
+	targets := []int{100_000}
+	if !testing.Short() {
+		targets = append(targets, 1_000_000)
+	}
+	for _, fam := range ScalableFamilies() {
+		for _, target := range targets {
+			ckt, err := fam.Build(lib, target)
+			if err != nil {
+				t.Fatalf("%s @ %d: %v", fam.Name, target, err)
+			}
+			got := len(ckt.Gates)
+			lo, hi := target-target/10, target+target/10
+			if got < lo || got > hi {
+				t.Errorf("%s @ %d: realized %d gates, outside [%d, %d]",
+					fam.Name, target, got, lo, hi)
+			}
+		}
+	}
+}

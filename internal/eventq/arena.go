@@ -105,6 +105,32 @@ func (q *ArenaQueue[T]) Push(t float64, payload T) Handle {
 	return Handle{idx: idx, gen: s.gen}
 }
 
+// PushKeyed schedules an event at time t with an explicit tie-break key in
+// place of the insertion sequence: two entries at the same time pop in
+// ascending key order. Callers supplying a structural key (the simulation
+// kernel uses the global pin id) get a pop order that is a property of the
+// scheduled set alone, independent of the order pushes happened to arrive in
+// — which is what lets several queues on different goroutines reproduce one
+// global order. Mixing Push and PushKeyed in one queue leaves same-time ties
+// between the two kinds unspecified; use one or the other per run.
+func (q *ArenaQueue[T]) PushKeyed(t float64, key uint64, payload T) Handle {
+	q.pushed++
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		idx = int32(len(q.slots))
+		q.slots = append(q.slots, arenaSlot[T]{gen: 1})
+	}
+	s := &q.slots[idx]
+	s.payload = payload
+	s.pos = int32(len(q.heap))
+	q.heap = append(q.heap, heapEntry{time: t, seq: key, idx: idx})
+	q.up(int(s.pos))
+	return Handle{idx: idx, gen: s.gen}
+}
+
 // lookup resolves a handle to its live slot, or nil.
 func (q *ArenaQueue[T]) lookup(h Handle) *arenaSlot[T] {
 	if h.gen == 0 || int(h.idx) >= len(q.slots) {
@@ -136,6 +162,16 @@ func (q *ArenaQueue[T]) PeekTime() (t float64, ok bool) {
 		return 0, false
 	}
 	return q.heap[0].time, true
+}
+
+// PeekKey returns the earliest pending event's full ordering key — its time
+// and its tie-break key (the insertion sequence for Push entries, the caller
+// key for PushKeyed entries) — without removing it.
+func (q *ArenaQueue[T]) PeekKey() (t float64, key uint64, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	return q.heap[0].time, q.heap[0].seq, true
 }
 
 // Pop removes the earliest pending event and returns its handle, time and

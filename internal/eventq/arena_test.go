@@ -225,3 +225,65 @@ func TestArenaSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state allocs/cycle = %g, want 0", allocs)
 	}
 }
+
+// TestArenaPushKeyed checks that PushKeyed orders same-time entries by the
+// caller-supplied key regardless of push order, and that PeekKey exposes the
+// head's full (time, key) ordering key.
+func TestArenaPushKeyed(t *testing.T) {
+	q := NewArena[string]()
+	q.PushKeyed(2.0, 7, "t2k7")
+	q.PushKeyed(1.0, 9, "t1k9")
+	q.PushKeyed(1.0, 3, "t1k3")
+	q.PushKeyed(1.0, 5, "t1k5")
+	q.PushKeyed(3.0, 0, "t3k0")
+
+	if tm, key, ok := q.PeekKey(); !ok || tm != 1.0 || key != 3 {
+		t.Fatalf("PeekKey = (%v,%v,%v), want (1,3,true)", tm, key, ok)
+	}
+	want := []string{"t1k3", "t1k5", "t1k9", "t2k7", "t3k0"}
+	for i, w := range want {
+		_, _, payload, ok := q.Pop()
+		if !ok || payload != w {
+			t.Fatalf("pop %d = (%q,%v), want %q", i, payload, ok, w)
+		}
+	}
+	if _, _, ok := q.PeekKey(); ok {
+		t.Fatalf("PeekKey on empty queue reported ok")
+	}
+}
+
+// TestArenaPushKeyedHandles checks Remove/TimeOf/Pending behave identically
+// for keyed entries, and that Reset leaves the queue reusable for keyed use.
+func TestArenaPushKeyedHandles(t *testing.T) {
+	q := NewArena[int]()
+	h1 := q.PushKeyed(5.0, 1, 10)
+	h2 := q.PushKeyed(5.0, 2, 20)
+	if !q.Pending(h1) || !q.Pending(h2) {
+		t.Fatalf("keyed handles not pending")
+	}
+	if tm, ok := q.TimeOf(h2); !ok || tm != 5.0 {
+		t.Fatalf("TimeOf(h2) = (%v,%v), want (5,true)", tm, ok)
+	}
+	if !q.Remove(h1) {
+		t.Fatalf("Remove(h1) failed")
+	}
+	if q.Remove(h1) {
+		t.Fatalf("double Remove(h1) succeeded")
+	}
+	if _, _, payload, ok := q.Pop(); !ok || payload != 20 {
+		t.Fatalf("pop after remove = (%v,%v), want (20,true)", payload, ok)
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	q.PushKeyed(1.0, 4, 40)
+	q.PushKeyed(1.0, 2, 30)
+	if _, _, payload, ok := q.Pop(); !ok || payload != 30 {
+		t.Fatalf("pop after reset = (%v,%v), want (30,true)", payload, ok)
+	}
+	pushed, popped, removed := q.Stats()
+	if pushed != 2 || popped != 1 || removed != 0 {
+		t.Fatalf("stats after reset = (%d,%d,%d), want (2,1,0)", pushed, popped, removed)
+	}
+}

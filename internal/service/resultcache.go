@@ -36,7 +36,11 @@ func (s ResultCacheStats) HitRate() float64 {
 // request knob that shapes the report. Simulation is a pure function of
 // this key, which is what makes caching sound: a repeat of the key repeats
 // the result bit for bit. TimeoutMs is deliberately excluded — a deadline
-// changes whether a run finishes, never what it computes.
+// changes whether a run finishes, never what it computes. Partitions is
+// excluded for the same reason: the partitioned kernel is bit-identical to
+// the sequential one, so the count changes how fast a result arrives, never
+// what it is — requests differing only in partition count share a cache
+// entry (they do get distinct engine pools; see sim.PoolKey).
 func resultKey(circuitID string, st sim.Stimulus, req *api.Request, key sim.PoolKey) string {
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	b := func(v bool) string {

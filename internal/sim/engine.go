@@ -18,6 +18,14 @@ import (
 // event is the queue payload: a threshold crossing at one gate input pin,
 // identified by its flat global pin id. The payload is a small value type so
 // the arena queue stores it inline with no per-event allocation.
+//
+// Events are ordered by (time, pin id) — the pin id, not the insertion
+// sequence, breaks time ties. The order is total because two live crossings
+// never share a pin (the engine keeps at most one pending event per pin),
+// and it is structural: a property of the scheduled set alone, independent
+// of scheduling order. That is what lets the partitioned kernel, whose
+// partitions schedule concurrently into separate queues, reproduce the
+// sequential kernel's event order bit-for-bit.
 type event struct {
 	pin    int32
 	rising bool
@@ -60,6 +68,9 @@ type Engine struct {
 	now float64
 	st  Stats
 	res Result // reused result storage returned by Run
+
+	part     *partRun // partitioned-execution state, built on first use
+	fireHook func(pin int32, t float64)
 }
 
 // NewEngine prepares a reusable engine for the circuit.
@@ -167,6 +178,11 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 	if err := st.Validate(e.ir.InputSet); err != nil {
 		return nil, err
 	}
+	if k := resolvePartitions(e.opt.Partitions, e.ir.NumGates()); k > 1 {
+		if pt := e.ir.Partition(k); pt.K > 1 {
+			return e.runPartitioned(ctx, st, tEnd, pt)
+		}
+	}
 	start := time.Now()
 	e.Reset(st)
 	e.applyStimulus(st)
@@ -190,6 +206,9 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 		e.st.EventsProcessed++
 		if e.st.EventsProcessed > e.opt.MaxEvents {
 			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%g ns (oscillation?)", e.opt.MaxEvents, e.now)
+		}
+		if e.fireHook != nil {
+			e.fireHook(ev.pin, t)
 		}
 		e.fire(h, ev)
 	}
@@ -275,7 +294,7 @@ func (e *Engine) emit(net int32, start, slew float64, rising bool) {
 				continue
 			}
 		}
-		e.pending[pin] = e.q.Push(ct, event{pin: pin, rising: rising, slew: slew})
+		e.pending[pin] = e.q.PushKeyed(ct, uint64(uint32(pin)), event{pin: pin, rising: rising, slew: slew})
 	}
 }
 
@@ -300,22 +319,7 @@ func (e *Engine) fire(h eventq.Handle, ev event) {
 	}
 
 	out := ir.GateOut[g]
-	cl := ir.Load[out]
-	var ep cellib.EdgeParams
-	if newTarget {
-		ep = ir.PinRise[pin]
-	} else {
-		ep = ir.PinFall[pin]
-	}
-
-	var res delay.Result
-	switch e.opt.Model {
-	case DDM:
-		T := e.now - e.lastOutStart[g] // +Inf before the first transition
-		res = delay.Degraded(ep, ir.VDD, cl, ev.slew, T)
-	default:
-		res = delay.Conventional(ep, cl, ev.slew)
-	}
+	res := e.delayFor(g, pin, out, ev, e.now, newTarget)
 	if res.Filtered {
 		e.st.FullyDegraded++
 	} else if res.Degraded {
@@ -335,3 +339,32 @@ func (e *Engine) fire(h eventq.Handle, ev event) {
 	e.lastOutStart[g] = start
 	e.emit(out, start, res.Slew, newTarget)
 }
+
+// delayFor evaluates the configured delay model for an output flip of gate g
+// triggered by the event on pin at time now; the one copy of the model
+// dispatch shared by the sequential and partitioned fire paths.
+func (e *Engine) delayFor(g, pin, out int32, ev event, now float64, newTarget bool) delay.Result {
+	ir := e.ir
+	cl := ir.Load[out]
+	var ep cellib.EdgeParams
+	if newTarget {
+		ep = ir.PinRise[pin]
+	} else {
+		ep = ir.PinFall[pin]
+	}
+	switch e.opt.Model {
+	case DDM:
+		T := now - e.lastOutStart[g] // +Inf before the first transition
+		return delay.Degraded(ep, ir.VDD, cl, ev.slew, T)
+	default:
+		return delay.Conventional(ep, cl, ev.slew)
+	}
+}
+
+// SetFireHook installs an instrumentation callback invoked by the sequential
+// kernel after every event pop, with the event's pin and time, before the
+// event fires. The partition-schedule model in halobench replays a
+// sequential run through it to compute critical-path bounds; a nil hook (the
+// default) costs one predicted branch per event. Not honored by the
+// partitioned path.
+func (e *Engine) SetFireHook(h func(pin int32, t float64)) { e.fireHook = h }

@@ -8,32 +8,43 @@ import (
 )
 
 // PoolKey is the comparable options key an engine pool is selected by:
-// engines prepared with different delay models or kernel limits are not
-// interchangeable, everything else (context, worker count) is per-run.
+// engines prepared with different delay models, kernel limits or partition
+// counts are not interchangeable (a partitioned engine carries per-partition
+// queues and mailboxes sized to its count), everything else (context, worker
+// count) is per-run. Partitions changes how a result is computed, never what
+// it is — the service's result-cache key deliberately excludes it.
 type PoolKey struct {
-	Model     Model
-	MinPulse  float64
-	MaxEvents uint64
+	Model      Model
+	MinPulse   float64
+	MaxEvents  uint64
+	Partitions int
 }
 
 // PoolKey normalizes the options onto a pool key: explicit spellings of
 // the engine defaults map onto the same key as omitting them, so
 // "MaxEvents omitted" and "MaxEvents: 50000000" share a warm-engine free
-// list.
+// list. Partitions is clamped to [0, MaxPartitions], with 0 (auto) kept
+// distinct from explicit counts.
 func (o Options) PoolKey() PoolKey {
-	k := PoolKey{Model: o.Model, MinPulse: o.MinPulse, MaxEvents: o.MaxEvents}
+	k := PoolKey{Model: o.Model, MinPulse: o.MinPulse, MaxEvents: o.MaxEvents, Partitions: o.Partitions}
 	if k.MinPulse <= 0 {
 		k.MinPulse = DefaultMinPulse
 	}
 	if k.MaxEvents == 0 {
 		k.MaxEvents = DefaultMaxEvents
 	}
+	if k.Partitions < 0 {
+		k.Partitions = 0
+	}
+	if k.Partitions > MaxPartitions {
+		k.Partitions = MaxPartitions
+	}
 	return k
 }
 
 // Options expands the key back into engine options.
 func (k PoolKey) Options() Options {
-	return Options{Model: k.Model, MinPulse: k.MinPulse, MaxEvents: k.MaxEvents}
+	return Options{Model: k.Model, MinPulse: k.MinPulse, MaxEvents: k.MaxEvents, Partitions: k.Partitions}
 }
 
 // maxEnginePoolKeys bounds the distinct options keys one pool retains warm

@@ -4,9 +4,14 @@
 // loads recomputed on the fly — exactly the access pattern the compiled IR
 // (internal/circ) replaced. It exists so refactors of the production engine
 // can be checked bit-identical against the pre-refactor evaluation order:
-// both kernels share the delay functions and the deterministic (time, seq)
+// both kernels share the delay functions and the deterministic (time, pin)
 // event queue, so any divergence in waveforms or counters is an engine bug,
 // not float noise.
+//
+// Both kernels order same-time events by the structural global pin id (gate
+// level order, then pin index). The reference computes that numbering here,
+// straight off the netlist, so it shares no code with internal/circ's
+// equivalent layout.
 package sim_test
 
 import (
@@ -48,6 +53,7 @@ type refKernel struct {
 	vdd float64
 
 	q            eventq.ArenaQueue[refEvent]
+	pinID        map[*netlist.Pin]uint64
 	wfs          map[*netlist.Net]*wave.Waveform
 	inVals       map[*netlist.Pin]bool
 	pending      map[*netlist.Pin]eventq.Handle
@@ -62,11 +68,21 @@ type refKernel struct {
 func referenceRun(ckt *netlist.Circuit, st sim.Stimulus, tEnd float64, mdl sim.Model) (*refResult, error) {
 	k := &refKernel{
 		ckt: ckt, mdl: mdl, vdd: ckt.Lib.VDD,
+		pinID:        make(map[*netlist.Pin]uint64),
 		wfs:          make(map[*netlist.Net]*wave.Waveform),
 		inVals:       make(map[*netlist.Pin]bool),
 		pending:      make(map[*netlist.Pin]eventq.Handle),
 		outTarget:    make(map[*netlist.Gate]bool),
 		lastOutStart: make(map[*netlist.Gate]float64),
+	}
+
+	// Structural pin ids: gates in level order, pins in index order.
+	pid := uint64(0)
+	for _, g := range ckt.GatesByLevel() {
+		for _, p := range g.Inputs {
+			k.pinID[p] = pid
+			pid++
+		}
 	}
 
 	// Settled boolean solution of the initial input levels.
@@ -168,7 +184,7 @@ func (k *refKernel) emit(net *netlist.Net, start, slew float64, rising bool) {
 				continue
 			}
 		}
-		k.pending[pin] = k.q.Push(ct, refEvent{pin: pin, rising: rising, slew: slew})
+		k.pending[pin] = k.q.PushKeyed(ct, k.pinID[pin], refEvent{pin: pin, rising: rising, slew: slew})
 	}
 }
 

@@ -62,6 +62,16 @@ type Options struct {
 	// Workers bounds the parallelism of RunBatch: <= 0 means one worker
 	// per available CPU. Single runs ignore it.
 	Workers int
+	// Partitions selects the partitioned parallel kernel for single runs:
+	// the circuit is split into that many level-ordered partitions (see
+	// circ.Partition), each driven by its own worker goroutine and event
+	// queue, with boundary transitions exchanged through mailboxes under a
+	// conservative horizon protocol. Results are bit-identical to the
+	// sequential kernel for any partition count. 0 (the default) picks
+	// automatically by circuit size and GOMAXPROCS — small circuits run
+	// sequentially; 1 forces the sequential kernel; values are clamped to
+	// [1, MaxPartitions].
+	Partitions int
 	// Ctx, when non-nil, cancels runs: Engine.Run and RunBatch abort at
 	// event-pop granularity once the context is done, returning an error
 	// wrapping ctx.Err(). The explicit-context entry points
