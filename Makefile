@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke chaos-smoke partition-smoke paper apicheck apicheck-update service-smoke cluster-smoke
+.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke chaos-smoke partition-smoke obs-smoke paper apicheck apicheck-update service-smoke cluster-smoke
 
 all: build vet fmt-check test apicheck
 
@@ -55,7 +55,10 @@ apicheck-update:
 # that hedging/breakers/failover/stale-serve/deadline-shed all fired), and
 # the partitioned-kernel sweep (BENCH_PR7.json: measured and critical-path
 # model speedup vs partition count on 100k+-gate circuits, every
-# configuration checked bit-identical to the sequential baseline).
+# configuration checked bit-identical to the sequential baseline), and the
+# observability overhead sweep (BENCH_PR8.json: tracing-off vs tracing-on
+# vs tracing+profiling p50/p99 against an in-process daemon, asserting the
+# worst p50 regression stays under 5%).
 # Bump the *_OUT vars when a new PR adds a new perf record so the
 # trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
@@ -64,6 +67,7 @@ SERVE_OUT ?= BENCH_PR4.json
 CLUSTER_OUT ?= BENCH_PR5.json
 CHAOS_OUT ?= BENCH_PR6.json
 PARTITION_OUT ?= BENCH_PR7.json
+OBS_OUT ?= BENCH_PR8.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
@@ -71,6 +75,7 @@ bench: build
 	$(GO) run ./cmd/halobench -exp cluster -clusterjson $(CLUSTER_OUT)
 	$(GO) run ./cmd/halobench -exp chaos -chaosjson $(CHAOS_OUT)
 	$(GO) run ./cmd/halobench -exp partition -partjson $(PARTITION_OUT)
+	$(GO) run ./cmd/halobench -exp obs -obsjson $(OBS_OUT)
 
 # bench-smoke is the quick CI variant: few iterations, no JSON artifact.
 bench-smoke:
@@ -93,6 +98,42 @@ chaos-smoke:
 # benchmark.
 partition-smoke:
 	$(GO) run ./cmd/halobench -exp partition -partsizes 100000 -partcounts 1,4 -partfam random-dag -partruns 1
+
+# obs-smoke is the CI gate on the observability layer: start a real
+# daemon with structured logging, drive one traced simulate request with a
+# fixed Halotis-Trace header, fetch the trace back by ID and assert the
+# span tree (replica.request down to kernel.run) plus histogram buckets
+# and runtime gauges in /metrics. The trap kills the daemon on every exit
+# path.
+obs-smoke: build
+	$(GO) build -o /tmp/halotisd-obs-smoke ./cmd/halotisd
+	/tmp/halotisd-obs-smoke -addr 127.0.0.1:8981 -log-format json -log-level info & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:8981/healthz >/dev/null && break; \
+		sleep 0.2; \
+	done; \
+	id=$$(curl -sf -X POST http://127.0.0.1:8981/v1/circuits \
+		-d '{"name":"c17","format":"bench","netlist":"INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n"}' \
+		| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'); \
+	test -n "$$id" && \
+	curl -sf -X POST http://127.0.0.1:8981/v1/simulate \
+		-H 'Halotis-Trace: 00000000deadbeef-0' \
+		-d '{"circuit":"'$$id'","t_end":20,"profile":true,"stimulus":{"1":{"edges":[{"t":2,"rising":true,"slew":0.2}]}}}' \
+		> /tmp/obs-smoke-report.json && \
+	grep -q '"trace_id": *"00000000deadbeef"' /tmp/obs-smoke-report.json && \
+	grep -q '"profile":' /tmp/obs-smoke-report.json && \
+	curl -sf http://127.0.0.1:8981/v1/traces/00000000deadbeef > /tmp/obs-smoke-trace.json && \
+	grep -q '"name": *"replica.request"' /tmp/obs-smoke-trace.json && \
+	grep -q '"name": *"kernel.run"' /tmp/obs-smoke-trace.json && \
+	grep -q '"name": *"queue.wait"' /tmp/obs-smoke-trace.json && \
+	curl -sf http://127.0.0.1:8981/metrics > /tmp/obs-smoke-metrics.txt && \
+	grep -q 'halotisd_request_duration_seconds_bucket{endpoint="simulate",le="+Inf"} ' /tmp/obs-smoke-metrics.txt && \
+	grep -q '^halotisd_kernel_run_seconds_count 1$$' /tmp/obs-smoke-metrics.txt && \
+	grep -q '^halotisd_traces_started_total 1$$' /tmp/obs-smoke-metrics.txt && \
+	grep -q '^halotisd_go_goroutines ' /tmp/obs-smoke-metrics.txt && \
+	echo "obs-smoke: trace + histograms verified"
 
 # fuzz-smoke runs each parser/decoder fuzz target briefly (also in CI).
 FUZZTIME ?= 10s

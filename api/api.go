@@ -58,6 +58,12 @@ type Request struct {
 	// higher counts split the circuit across that many worker goroutines.
 	// Results are bit-identical for any value, so it tunes latency only.
 	Partitions int `json:"partitions,omitempty"`
+	// Profile requests the opt-in kernel execution profile: the report
+	// then carries per-worker counters (events popped, horizon-stall
+	// waits, mailbox sends/depth high-water) in Report.Profile. Off by
+	// default; the disabled path preserves the kernel's zero-allocation
+	// steady state.
+	Profile bool `json:"profile,omitempty"`
 	// Stimulus is the input drive.
 	Stimulus Stimulus `json:"stimulus"`
 	// Waveforms lists net names whose logic waveform (initial level plus
@@ -131,6 +137,13 @@ type Report struct {
 	// degradation from a live run.
 	Degraded bool  `json:"degraded,omitempty"`
 	Stats    Stats `json:"stats"`
+	// TraceID echoes the request's trace identity (the Halotis-Trace
+	// header, or a server-assigned ID) so a caller can fetch the request's
+	// span tree from GET /v1/traces/{id} on the nodes that served it.
+	TraceID string `json:"trace_id,omitempty"`
+	// Profile carries the kernel execution profile when the request asked
+	// for one (Request.Profile); nil otherwise.
+	Profile *KernelProfile `json:"profile,omitempty"`
 	// Outputs samples every primary output at TEnd (threshold VDD/2).
 	Outputs   map[string]bool     `json:"outputs"`
 	Waveforms map[string]Waveform `json:"waveforms,omitempty"`
@@ -279,6 +292,9 @@ type ErrorResponse struct {
 	// serving daemon (or the cluster router proxying it) carries an
 	// identity — so a cluster-wide error names the node to look at.
 	Replica string `json:"replica,omitempty"`
+	// TraceID echoes the failed request's trace identity, so errors are
+	// as traceable as successes.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // HealthResponse is the /healthz body.
@@ -449,7 +465,7 @@ func FromSim(st sim.Stimulus) Stimulus {
 // values defer to the engine defaults (see sim.Options).
 func (r *Request) Options() sim.Options {
 	m, _ := ParseModel(r.Model) // validated upstream
-	return sim.Options{Model: m, MinPulse: r.MinPulse, MaxEvents: r.MaxEvents, Partitions: r.Partitions}
+	return sim.Options{Model: m, MinPulse: r.MinPulse, MaxEvents: r.MaxEvents, Partitions: r.Partitions, Profile: r.Profile}
 }
 
 // ParseModel resolves the wire spelling of a delay model.

@@ -72,6 +72,7 @@ func BuildReport(ir *circ.Compiled, circuitID string, res *sim.Result, req *Requ
 		ElapsedNs: res.Elapsed.Nanoseconds(),
 		Stats:     statsOf(res.Stats),
 		Outputs:   res.OutputLogic(req.TEnd, vt),
+		Profile:   ProfileOf(res.Profile),
 	}
 	if len(req.Waveforms) > 0 {
 		rep.Waveforms = make(map[string]Waveform, len(req.Waveforms))

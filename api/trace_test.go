@@ -1,0 +1,74 @@
+package api
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestTraceHeaderRoundTrip: StampTrace and TraceFrom agree on the wire
+// form, including trace IDs that themselves contain dashes (only the last
+// dash separates the span).
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	cases := []struct{ traceID, spanID string }{
+		{"00000000deadbeef", "0a1b2c3d"},
+		{"with-dashes-inside", "span"},
+		{NewTraceID(), NewSpanID()},
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		StampTrace(h, tc.traceID, tc.spanID)
+		gotTrace, gotSpan, ok := TraceFrom(h)
+		if !ok || gotTrace != tc.traceID || gotSpan != tc.spanID {
+			t.Errorf("roundtrip(%q, %q) = (%q, %q, %v)", tc.traceID, tc.spanID, gotTrace, gotSpan, ok)
+		}
+	}
+
+	// An empty span ID stamps the "0" placeholder so the header stays
+	// parseable.
+	h := http.Header{}
+	StampTrace(h, "abc", "")
+	if got := h.Get(TraceHeader); got != "abc-0" {
+		t.Errorf("empty span stamped %q, want abc-0", got)
+	}
+
+	// An empty trace ID stamps nothing at all.
+	h = http.Header{}
+	StampTrace(h, "", "span")
+	if got := h.Get(TraceHeader); got != "" {
+		t.Errorf("empty trace stamped %q", got)
+	}
+}
+
+// TestTraceFromMalformed: tracing is an optimization layer — a header the
+// parser cannot split is reported not-ok (served untraced), never an error.
+func TestTraceFromMalformed(t *testing.T) {
+	for _, v := range []string{"", "nodash", "-leading", "trailing-", "-"} {
+		h := http.Header{}
+		if v != "" {
+			h.Set(TraceHeader, v)
+		}
+		if trace, span, ok := TraceFrom(h); ok {
+			t.Errorf("header %q parsed as (%q, %q)", v, trace, span)
+		}
+	}
+}
+
+// TestNewTraceIDShape: fixed-width lowercase hex, and random enough that
+// two calls differ (a collision here is a 1-in-2^64 flake).
+func TestNewTraceIDShape(t *testing.T) {
+	id, other := NewTraceID(), NewTraceID()
+	if len(id) != 16 {
+		t.Errorf("trace ID %q length %d, want 16", id, len(id))
+	}
+	for _, c := range id {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Errorf("trace ID %q has non-hex %q", id, c)
+		}
+	}
+	if id == other {
+		t.Errorf("two trace IDs collided: %q", id)
+	}
+	if sp := NewSpanID(); len(sp) != 8 {
+		t.Errorf("span ID %q length %d, want 8", sp, len(sp))
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"halotis/api"
+	"halotis/internal/obs"
 )
 
 // Re-exported wire types: the client speaks exactly the shared API.
@@ -53,6 +54,11 @@ type (
 	Waveform        = api.Waveform
 	ActivitySummary = api.ActivitySummary
 	PowerSummary    = api.PowerSummary
+	TraceResponse   = api.TraceResponse
+	TraceSummary    = api.TraceSummary
+	SpanInfo        = api.SpanInfo
+	KernelProfile   = api.KernelProfile
+	WorkerProfile   = api.WorkerProfile
 )
 
 // APIError is a non-2xx response from the service. It carries the server's
@@ -111,9 +117,10 @@ func (e *APIError) Is(target error) bool {
 
 // Client talks to one halotisd instance.
 type Client struct {
-	base  string
-	http  *http.Client
-	retry RetryPolicy
+	base   string
+	http   *http.Client
+	retry  RetryPolicy
+	traces *obs.Recorder // client-side span recorder; nil unless WithTracing
 }
 
 // Option configures a Client.
@@ -130,6 +137,19 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h
 // (errors matching api.ErrOverloaded) are retried; transport failures and
 // every other error class return immediately.
 func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p.withDefaults() } }
+
+// WithTracing opts the client into request tracing: every request that does
+// not already carry a trace starts a fresh one, a "client.send" span is
+// recorded locally per HTTP attempt (see LocalTrace), and the trace ID is
+// propagated in the Halotis-Trace header so the serving nodes record their
+// side under the same ID — retrievable there via GET /v1/traces/{id} (the
+// Traces/Trace methods). The trace ID of a run comes back in
+// Report.TraceID. Without this option requests are still traced when the
+// caller's context already carries a trace; tracing-off costs one context
+// lookup per request.
+func WithTracing() Option {
+	return func(c *Client) { c.traces = obs.NewRecorder("client", obs.DefaultTraceCapacity) }
+}
 
 // New builds a client for the service at base (e.g. "http://host:8080").
 // The default transport keeps enough idle connections per host for highly
@@ -179,6 +199,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return err
 		}
 	}
+	if c.traces != nil {
+		if _, _, ok := obs.ContextTrace(ctx); !ok {
+			ctx = obs.WithTrace(ctx, c.traces, api.NewTraceID(), "")
+		}
+	}
 	attempt := 0
 	for {
 		attempt++
@@ -224,8 +249,22 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 		}
 		api.StampBudget(req.Header, ctx)
 	}
+	// The "client.send" span brackets one HTTP attempt; its identity goes
+	// out in the Halotis-Trace header so the server's spans parent under
+	// it. Untraced contexts skip all of this at the cost of one context
+	// lookup (sp is nil and the second lookup fails fast).
+	sctx, sp := obs.Start(ctx, "client.send")
+	if sp != nil {
+		sp.SetAttr("method", method)
+		sp.SetAttr("path", path)
+	}
+	if tid, sid, ok := obs.ContextTrace(sctx); ok {
+		api.StampTrace(req.Header, tid, sid)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		// A transport failure caused by the caller's context maps onto
 		// the taxonomy like a server-side cancellation would.
 		if ctx.Err() != nil {
@@ -234,6 +273,10 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 		return err
 	}
 	defer resp.Body.Close()
+	if sp != nil {
+		sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
+		sp.End()
+	}
 	if resp.StatusCode >= 400 {
 		return apiError(resp)
 	}
@@ -326,6 +369,45 @@ func (c *Client) Topology(ctx context.Context) (*api.TopologyResponse, error) {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Traces lists the traces the serving node retains (newest first), from
+// its GET /v1/traces.
+func (c *Client) Traces(ctx context.Context) ([]TraceSummary, error) {
+	var resp []TraceSummary
+	if err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Trace fetches one trace's spans from the serving node's GET
+// /v1/traces/{id}. Each node serves only its own spans; a cross-node view
+// of a routed request joins this response with the router's.
+func (c *Client) Trace(ctx context.Context, id string) (*TraceResponse, error) {
+	var resp TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// LocalTraces summarizes the traces recorded on the client side
+// (WithTracing), newest first.
+func (c *Client) LocalTraces() []TraceSummary {
+	if c.traces == nil {
+		return nil
+	}
+	return c.traces.Traces()
+}
+
+// LocalTrace returns the client-side spans ("client.send" attempts) of one
+// trace recorded under WithTracing.
+func (c *Client) LocalTrace(id string) (TraceResponse, bool) {
+	if c.traces == nil {
+		return TraceResponse{}, false
+	}
+	return c.traces.Trace(id)
 }
 
 // Base returns the base URL the client was built with.

@@ -37,6 +37,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -48,6 +49,7 @@ import (
 	"halotis/internal/cellib"
 	"halotis/internal/netfmt"
 	"halotis/internal/netlist"
+	"halotis/internal/obs"
 )
 
 // Cluster routes requests across halotisd replicas by rendezvous hashing
@@ -71,6 +73,8 @@ type Cluster struct {
 	met     routerMetrics
 	mux     *http.ServeMux
 	start   time.Time
+	traces  *obs.Recorder
+	log     *slog.Logger
 
 	rot atomic.Uint64 // read-spread rotation over a placement set
 
@@ -93,6 +97,8 @@ type config struct {
 	breaker      BreakerPolicy
 	hedge        HedgePolicy
 	listener     func(ReplicaEvent)
+	logger       *slog.Logger
+	traceCap     int
 }
 
 // Option configures New.
@@ -151,6 +157,19 @@ func WithHedgePolicy(p HedgePolicy) Option { return func(c *config) { c.hedge = 
 // request and probe paths.
 func WithStateListener(fn func(ReplicaEvent)) Option { return func(c *config) { c.listener = fn } }
 
+// WithLogger sets the structured logger the router emits operational
+// events through: request logs (with trace IDs when traced), breaker
+// transitions, and passive failure marking. Default: a discard logger.
+// Logging is additive — WithStateListener callbacks fire exactly as
+// before, whether or not a logger is set.
+func WithLogger(l *slog.Logger) Option { return func(c *config) { c.logger = l } }
+
+// WithTraceCapacity bounds the router's in-memory trace ring served by
+// GET /v1/traces (default obs.DefaultTraceCapacity). The router records
+// its own spans only; each replica serves its half of a trace from its
+// own /v1/traces.
+func WithTraceCapacity(n int) Option { return func(c *config) { c.traceCap = n } }
+
 // New builds a cluster over the replica base URLs (e.g.
 // "http://10.0.0.1:8080"). All replicas start optimistically healthy;
 // the first probe or transport failure corrects the picture.
@@ -183,6 +202,12 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 	}
 	cfg.breaker = cfg.breaker.withDefaults()
 	cfg.hedge = cfg.hedge.withDefaults()
+	if cfg.logger == nil {
+		cfg.logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.traceCap <= 0 {
+		cfg.traceCap = obs.DefaultTraceCapacity
+	}
 
 	c := &Cluster{
 		rf:           cfg.replication,
@@ -195,8 +220,11 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 		texts:        newTextStore(cfg.textCap),
 		results:      newResultCache(resultCacheCap),
 		start:        time.Now(),
+		traces:       obs.NewRecorder("router", cfg.traceCap),
+		log:          cfg.logger,
 		stop:         make(chan struct{}),
 	}
+	c.met.init()
 	seen := make(map[string]bool, len(replicas))
 	for i, addr := range replicas {
 		id := strings.TrimRight(addr, "/")
@@ -216,6 +244,19 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 		// state is closed by construction.
 		r.br.pol = cfg.breaker
 		r.events = func(ev ReplicaEvent) {
+			// Breaker transitions used to be visible only through metrics
+			// and WithStateListener; they now also log. Opens are the
+			// actionable ones (a replica just dropped out of rotation).
+			lvl := slog.LevelInfo
+			if ev.To == BreakerOpen {
+				lvl = slog.LevelWarn
+			}
+			c.log.LogAttrs(context.Background(), lvl, "replica breaker transition",
+				slog.String("replica", ev.Replica),
+				slog.String("addr", ev.Addr),
+				slog.String("from", ev.From.String()),
+				slog.String("to", ev.To.String()),
+				slog.String("reason", ev.Reason))
 			switch ev.To {
 			case BreakerOpen:
 				c.met.breakerOpens.Add(1)

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"halotis/api"
 	"halotis/client"
+	"halotis/internal/obs"
 )
 
 // Error classification for routing. Three classes matter:
@@ -53,8 +55,12 @@ func isTransport(err error) bool {
 // count against the replica's breaker only on a transport-level failure
 // that was not caused by the caller's own context dying — a canceled
 // request says nothing about the replica's health.
-func noteFailure(ctx context.Context, r *replica, err error) {
+func (c *Cluster) noteFailure(ctx context.Context, r *replica, err error) {
 	if isTransport(err) && ctx.Err() == nil {
+		c.log.LogAttrs(context.Background(), slog.LevelWarn, "replica marked down (passive)",
+			slog.String("replica", r.id),
+			slog.String("addr", r.addr),
+			slog.String("error", err.Error()))
 		r.markDown()
 	}
 }
@@ -154,7 +160,7 @@ func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, p
 		if !isAvailability(err) {
 			return err
 		}
-		noteFailure(ctx, r, err)
+		c.noteFailure(ctx, r, err)
 		lastErr = err
 		// Count a failover only when the replica itself failed (transport
 		// or overload) and another candidate exists. A not-found advance is
@@ -174,10 +180,15 @@ func (c *Cluster) withFailover(ctx context.Context, id string, t *circuitText, p
 // guaranteed identical — and one retry. A success feeds the replica's
 // latency tracker (the hedge trigger) and closes its breaker.
 func (c *Cluster) tryReplica(ctx context.Context, r *replica, id string, t *circuitText, fn replicaFn) error {
+	// One attempt = one span; the replica client's client.send (and the
+	// replica's own server spans, via the propagated header) nest under it.
+	ctx, sp := obs.Start(ctx, "router.attempt")
+	sp.SetAttr("replica", r.id)
 	begin := time.Now()
 	err := fn(ctx, r)
 	if err != nil && errors.Is(err, api.ErrCircuitNotFound) && t != nil {
 		c.met.reuploads.Add(1)
+		sp.SetAttr("reupload", "true")
 		if _, uerr := c.uploadTo(ctx, r, t); uerr == nil {
 			begin = time.Now()
 			err = fn(ctx, r)
@@ -190,6 +201,8 @@ func (c *Cluster) tryReplica(ctx context.Context, r *replica, id string, t *circ
 		r.lat.record(time.Since(begin))
 		r.markUp("request ok")
 	}
+	sp.Fail(err)
+	sp.End()
 	return err
 }
 
@@ -229,7 +242,7 @@ func (c *Cluster) place(ctx context.Context, t *circuitText) (*api.UploadRespons
 			if !isAvailability(err) {
 				return nil, err
 			}
-			noteFailure(ctx, r, err)
+			c.noteFailure(ctx, r, err)
 			lastErr = err
 			continue
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"halotis/api"
+	"halotis/internal/obs"
 )
 
 // Hedged requests: tail latency on a replicated read is dominated by the
@@ -177,7 +178,7 @@ func (c *Cluster) tryHedged(ctx context.Context, r0, r1 *replica, id string, t *
 	select {
 	case first = <-ch:
 		if first.err != nil {
-			noteFailure(ctx0, r0, first.err)
+			c.noteFailure(ctx0, r0, first.err)
 		}
 		return first.err, false
 	case <-timer.C:
@@ -185,9 +186,16 @@ func (c *Cluster) tryHedged(ctx context.Context, r0, r1 *replica, id string, t *
 
 	// The primary is slower than its own tail estimate: fire the hedge.
 	c.met.hedges.Add(1)
-	ctx1, cancel1 := context.WithCancel(ctx)
+	hctx, hsp := obs.Start(ctx, "router.hedge")
+	hsp.SetAttr("replica", r1.id)
+	ctx1, cancel1 := context.WithCancel(hctx)
 	defer cancel1()
-	go func() { ch <- res{r1, ctx1, c.tryReplica(ctx1, r1, id, t, fn)} }()
+	go func() {
+		err := c.tryReplica(ctx1, r1, id, t, fn)
+		hsp.Fail(err)
+		hsp.End()
+		ch <- res{r1, ctx1, err}
+	}()
 
 	a := <-ch
 	if a.err == nil {
@@ -201,7 +209,7 @@ func (c *Cluster) tryHedged(ctx context.Context, r0, r1 *replica, id string, t *
 		}
 		return nil, true
 	}
-	noteFailure(a.ctx, a.r, a.err)
+	c.noteFailure(a.ctx, a.r, a.err)
 	b := <-ch
 	if b.err == nil {
 		if b.r == r1 {
@@ -209,7 +217,7 @@ func (c *Cluster) tryHedged(ctx context.Context, r0, r1 *replica, id string, t *
 		}
 		return nil, true
 	}
-	noteFailure(b.ctx, b.r, b.err)
+	c.noteFailure(b.ctx, b.r, b.err)
 
 	// Both failed. Prefer a terminal error (it decides the request), then
 	// the primary's error (classification parity with the serial path).

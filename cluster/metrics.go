@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"halotis/internal/buildinfo"
+	"halotis/internal/obs"
 )
 
 // routeID indexes the router's per-endpoint request counters.
@@ -20,6 +21,7 @@ const (
 	routeHealth
 	routeTopology
 	routeMetrics
+	routeTraces
 	routeCount
 )
 
@@ -31,6 +33,7 @@ var routeNames = [routeCount]string{
 	routeHealth:   "healthz",
 	routeTopology: "topology",
 	routeMetrics:  "metrics",
+	routeTraces:   "traces",
 }
 
 // routerMetrics aggregates the routing layer's counters. Per-replica state
@@ -62,6 +65,18 @@ type routerMetrics struct {
 	// deadlineShed counts requests refused at admission because their
 	// propagated deadline budget had already expired.
 	deadlineShed atomic.Uint64
+
+	// latency distributes end-to-end routed request time per endpoint
+	// (seconds) — including failover, hedging and replica round trips.
+	latency [routeCount]*obs.Histogram
+}
+
+// init builds the histogram storage; routerMetrics is embedded by value in
+// Cluster, so the pointers cannot be set at literal-construction time.
+func (m *routerMetrics) init() {
+	for r := range m.latency {
+		m.latency[r] = obs.NewHistogram(obs.LatencyBuckets()...)
+	}
 }
 
 // write renders the Prometheus text exposition of the router and fleet
@@ -102,6 +117,19 @@ func (m *routerMetrics) write(w io.Writer, c *Cluster) {
 	counter("degraded_serves_total", m.degradedServes.Load(), "Simulate responses served stale from the result cache with every holder unreachable.")
 	counter("deadline_shed_total", m.deadlineShed.Load(), "Requests shed at admission because their deadline budget had expired.")
 
+	obs.WriteHistogramHeader(w, "halotisd_router_request_duration_seconds", "End-to-end routed request latency by endpoint, seconds.")
+	for r := routeID(0); r < routeCount; r++ {
+		m.latency[r].WriteSeries(w, "halotisd_router_request_duration_seconds", fmt.Sprintf("endpoint=%q", routeNames[r]))
+	}
+
+	if c.traces != nil {
+		started, spans, dropped, retained := c.traces.Stats()
+		counter("traces_started_total", started, "Traces recorded (one per traced request arriving at the router).")
+		counter("trace_spans_total", spans, "Spans recorded across all router traces.")
+		counter("trace_spans_dropped_total", dropped, "Spans dropped by the per-trace span bound.")
+		gauge("traces_retained", float64(retained), "Traces currently held in the router's in-memory ring.")
+	}
+
 	healthy := 0
 	for _, r := range c.replicas {
 		if r.healthy() {
@@ -135,4 +163,6 @@ func (m *routerMetrics) write(w io.Writer, c *Cluster) {
 	for _, r := range c.replicas {
 		fmt.Fprintf(w, "halotisd_router_replica_failures_total{replica=%q} %d\n", r.id, r.failures.Load())
 	}
+
+	obs.WriteRuntimeMetrics(w, "halotisd_router")
 }

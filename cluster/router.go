@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"halotis/api"
 	"halotis/client"
 	"halotis/internal/circ"
+	"halotis/internal/obs"
 	"halotis/internal/service"
 )
 
@@ -24,8 +26,71 @@ import (
 // Handler returns the HTTP handler of the cluster router. Requests
 // carrying a deadline budget header are shed (504) when the budget is
 // already spent and narrowed to it otherwise, so the remaining budget —
-// not the original — propagates to the replicas.
-func (c *Cluster) Handler() http.Handler { return c.withBudget(c.mux) }
+// not the original — propagates to the replicas. Requests carrying a
+// Halotis-Trace header are traced: the router records its own spans
+// (router.request, router.resolve, router.attempt, router.hedge) and
+// re-stamps the header toward the replicas so each replica's spans join
+// the same trace. Trace before budget, so even budget-shed 504s carry a
+// trace ID.
+func (c *Cluster) Handler() http.Handler { return c.withTrace(c.withBudget(c.mux)) }
+
+// statusWriter captures the response status for the request log and the
+// root span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withTrace is the router's half of trace propagation: adopt an upstream
+// Halotis-Trace header, open the router.request root span, and stamp the
+// request log with the trace ID. Untraced requests skip all of it unless
+// debug logging wants a request line.
+func (c *Cluster) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID, parent, traced := api.TraceFrom(r.Header)
+		lvl := slog.LevelDebug
+		if traced {
+			lvl = slog.LevelInfo
+		}
+		if !traced && !c.log.Enabled(r.Context(), lvl) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		ctx := r.Context()
+		var sp *obs.Span
+		if traced {
+			ctx = obs.WithTrace(ctx, c.traces, traceID, parent)
+			ctx, sp = obs.Start(ctx, "router.request")
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("path", r.URL.Path)
+		}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sp != nil {
+			sp.SetAttr("status", strconv.Itoa(sw.status))
+			sp.End()
+		}
+		if sw.status >= 500 {
+			lvl = slog.LevelWarn
+		}
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(begin)),
+		}
+		if traced {
+			attrs = append(attrs, slog.String("trace_id", traceID))
+		}
+		c.log.LogAttrs(r.Context(), lvl, "request", attrs...)
+	})
+}
 
 // withBudget is the router's half of deadline propagation: honor an
 // upstream Halotis-Budget-Ms before routing work anywhere.
@@ -39,10 +104,12 @@ func (c *Cluster) withBudget(next http.Handler) http.Handler {
 		if budget <= 0 {
 			c.met.deadlineShed.Add(1)
 			c.met.httpErrors.Add(1)
-			c.writeJSON(w, http.StatusGatewayTimeout, api.ErrorResponse{
+			resp := api.ErrorResponse{
 				Error: api.DeadlineExceededf("deadline budget expired before routing").Error(),
 				Code:  api.CodeDeadlineExceeded,
-			})
+			}
+			resp.TraceID, _, _ = obs.ContextTrace(r.Context())
+			c.writeJSON(w, http.StatusGatewayTimeout, resp)
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
@@ -53,15 +120,45 @@ func (c *Cluster) withBudget(next http.Handler) http.Handler {
 
 func (c *Cluster) routes() {
 	c.mux = http.NewServeMux()
-	c.mux.HandleFunc("POST /v1/circuits", c.handleUpload)
-	c.mux.HandleFunc("GET /v1/circuits", c.handleList)
-	c.mux.HandleFunc("GET /v1/circuits/{id}", c.handleGet)
-	c.mux.HandleFunc("DELETE /v1/circuits/{id}", c.handleEvict)
-	c.mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
-	c.mux.HandleFunc("POST /v1/simulate/batch", c.handleBatch)
-	c.mux.HandleFunc("GET /healthz", c.handleHealth)
-	c.mux.HandleFunc("GET /v1/topology", c.handleTopology)
-	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("POST /v1/circuits", c.route(routeUpload, c.handleUpload))
+	c.mux.HandleFunc("GET /v1/circuits", c.route(routeCircuits, c.handleList))
+	c.mux.HandleFunc("GET /v1/circuits/{id}", c.route(routeCircuits, c.handleGet))
+	c.mux.HandleFunc("DELETE /v1/circuits/{id}", c.route(routeCircuits, c.handleEvict))
+	c.mux.HandleFunc("POST /v1/simulate", c.route(routeSimulate, c.handleSimulate))
+	c.mux.HandleFunc("POST /v1/simulate/batch", c.route(routeBatch, c.handleBatch))
+	c.mux.HandleFunc("GET /healthz", c.route(routeHealth, c.handleHealth))
+	c.mux.HandleFunc("GET /v1/topology", c.route(routeTopology, c.handleTopology))
+	c.mux.HandleFunc("GET /metrics", c.route(routeMetrics, c.handleMetrics))
+	c.mux.HandleFunc("GET /v1/traces", c.route(routeTraces, c.handleTraces))
+	c.mux.HandleFunc("GET /v1/traces/{id}", c.route(routeTraces, c.handleTrace))
+}
+
+// route counts and times one endpoint. The latency histogram is observed
+// here — inside the mux — because only the matched pattern knows which
+// endpoint a request was.
+func (c *Cluster) route(id routeID, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.met.requests[id].Add(1)
+		begin := time.Now()
+		h(w, r)
+		c.met.latency[id].Observe(time.Since(begin).Seconds())
+	}
+}
+
+// handleTraces lists the router's recorded traces, newest first. Each
+// trace holds only the router's own spans; the replicas serve theirs
+// under the same trace ID from their own /v1/traces.
+func (c *Cluster) handleTraces(w http.ResponseWriter, r *http.Request) {
+	c.writeJSON(w, http.StatusOK, c.traces.Traces())
+}
+
+func (c *Cluster) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := c.traces.Trace(r.PathValue("id"))
+	if !ok {
+		c.writeError(w, r, api.NotFoundf("unknown trace %q", r.PathValue("id")))
+		return
+	}
+	c.writeJSON(w, http.StatusOK, tr)
 }
 
 func (c *Cluster) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -75,11 +172,14 @@ func (c *Cluster) writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError maps a routing failure onto the wire error contract. Errors
 // proxied from a replica keep their status, taxonomy code, Retry-After
 // hint and originating replica; the cluster's own failures (every replica
-// unavailable) map through the error taxonomy, defaulting to 502.
-func (c *Cluster) writeError(w http.ResponseWriter, err error) {
+// unavailable) map through the error taxonomy, defaulting to 502. Traced
+// requests get their trace ID echoed so the caller can look up what the
+// router tried.
+func (c *Cluster) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	c.met.httpErrors.Add(1)
 	status := http.StatusBadGateway
 	resp := api.ErrorResponse{Error: err.Error(), Code: api.CodeOf(err)}
+	resp.TraceID, _, _ = obs.ContextTrace(r.Context())
 
 	var ae *client.APIError
 	if errors.As(err, &ae) {
@@ -117,36 +217,50 @@ func (c *Cluster) writeError(w http.ResponseWriter, err error) {
 // and therefore placement, never depends on which node computes it — and
 // placed on the top-R replicas before the run is routed.
 func (c *Cluster) resolveTarget(ctx context.Context, circuit, netlistText, format, name string) (string, *circuitText, error) {
+	ctx, sp := obs.Start(ctx, "router.resolve")
+	defer sp.End()
 	if circuit != "" {
+		sp.SetAttr("source", "id")
 		return circuit, c.texts.get(circuit), nil
 	}
 	ckt, err := parseText(netlistText, format, c.lib, name)
 	if err != nil {
-		return "", nil, api.InvalidRequestf("parse netlist: %v", err)
+		err = api.InvalidRequestf("parse netlist: %v", err)
+		sp.Fail(err)
+		return "", nil, err
 	}
 	ir := circ.Compile(ckt)
 	t := &circuitText{id: ir.Hash, text: netlistText, format: format, name: name}
 	if known := c.texts.get(ir.Hash); known == nil {
+		sp.SetAttr("source", "inline-placed")
 		c.texts.put(t)
 		if _, err := c.place(ctx, t); err != nil {
+			sp.Fail(err)
 			return "", nil, err
 		}
+	} else {
+		sp.SetAttr("source", "inline-known")
 	}
 	return ir.Hash, t, nil
 }
 
+// badRequest writes a decode/parse failure with the trace ID echoed.
+func (c *Cluster) badRequest(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	c.met.httpErrors.Add(1)
+	resp := api.ErrorResponse{Error: msg, Code: api.CodeInvalidRequest}
+	resp.TraceID, _, _ = obs.ContextTrace(r.Context())
+	c.writeJSON(w, status, resp)
+}
+
 func (c *Cluster) handleUpload(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeUpload].Add(1)
 	req, err := service.DecodeUploadRequest(http.MaxBytesReader(w, r.Body, c.maxBody))
 	if err != nil {
-		c.met.httpErrors.Add(1)
-		c.writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: err.Error(), Code: api.CodeInvalidRequest})
+		c.badRequest(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	ckt, err := parseText(req.Netlist, req.Format, c.lib, req.Name)
 	if err != nil {
-		c.met.httpErrors.Add(1)
-		c.writeJSON(w, http.StatusUnprocessableEntity, api.ErrorResponse{Error: "parse netlist: " + err.Error(), Code: api.CodeInvalidRequest})
+		c.badRequest(w, r, http.StatusUnprocessableEntity, "parse netlist: "+err.Error())
 		return
 	}
 	ir := circ.Compile(ckt)
@@ -154,23 +268,21 @@ func (c *Cluster) handleUpload(w http.ResponseWriter, r *http.Request) {
 	c.texts.put(t)
 	resp, err := c.place(r.Context(), t)
 	if err != nil {
-		c.writeError(w, err)
+		c.writeError(w, r, err)
 		return
 	}
 	c.writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Cluster) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeSimulate].Add(1)
 	req, err := service.DecodeSimRequest(http.MaxBytesReader(w, r.Body, c.maxBody))
 	if err != nil {
-		c.met.httpErrors.Add(1)
-		c.writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: err.Error(), Code: api.CodeInvalidRequest})
+		c.badRequest(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	id, t, err := c.resolveTarget(r.Context(), req.Circuit, req.Netlist, req.Format, "")
 	if err != nil {
-		c.writeError(w, err)
+		c.writeError(w, r, err)
 		return
 	}
 	key, kerr := resultKeyOf(id, req.Request)
@@ -194,12 +306,13 @@ func (c *Cluster) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if kerr == nil && isAvailability(err) && !errors.Is(err, api.ErrCircuitNotFound) {
 			if cached, ok := c.results.get(key); ok {
 				cached.Degraded = true
+				cached.TraceID, _, _ = obs.ContextTrace(r.Context())
 				c.met.degradedServes.Add(1)
 				c.writeJSON(w, http.StatusOK, &cached)
 				return
 			}
 		}
-		c.writeError(w, err)
+		c.writeError(w, r, err)
 		return
 	}
 	if kerr == nil {
@@ -209,22 +322,20 @@ func (c *Cluster) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Cluster) handleBatch(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeBatch].Add(1)
 	req, err := service.DecodeBatchRequest(http.MaxBytesReader(w, r.Body, c.maxBody))
 	if err != nil {
-		c.met.httpErrors.Add(1)
-		c.writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: err.Error(), Code: api.CodeInvalidRequest})
+		c.badRequest(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	id, t, err := c.resolveTarget(r.Context(), req.Circuit, req.Netlist, req.Format, "")
 	if err != nil {
-		c.writeError(w, err)
+		c.writeError(w, r, err)
 		return
 	}
 	if req.Options != nil && req.Options.AllowPartial {
 		reports, errs, err := c.scatterBatchPartial(r.Context(), id, t, req.Requests)
 		if err != nil {
-			c.writeError(w, err)
+			c.writeError(w, r, err)
 			return
 		}
 		resp := api.BatchResponse{Circuit: id, Reports: make([]api.Report, len(reports))}
@@ -243,7 +354,7 @@ func (c *Cluster) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	reports, err := c.scatterBatch(r.Context(), id, t, req.Requests)
 	if err != nil {
-		c.writeError(w, err)
+		c.writeError(w, r, err)
 		return
 	}
 	resp := api.BatchResponse{Circuit: id, Reports: make([]api.Report, len(reports))}
@@ -257,7 +368,6 @@ func (c *Cluster) handleBatch(w http.ResponseWriter, r *http.Request) {
 // deduplicated by content-hash ID (replication places each circuit on R
 // nodes; it is still one circuit).
 func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeCircuits].Add(1)
 	seen := make(map[string]bool)
 	out := []api.CircuitInfo{}
 	for _, rep := range c.replicas {
@@ -266,7 +376,7 @@ func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		infos, err := rep.c.Circuits(r.Context())
 		if err != nil {
-			noteFailure(r.Context(), rep, err)
+			c.noteFailure(r.Context(), rep, err)
 			continue
 		}
 		for _, info := range infos {
@@ -280,7 +390,6 @@ func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Cluster) handleGet(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeCircuits].Add(1)
 	id := r.PathValue("id")
 	var mu sync.Mutex
 	var info *api.CircuitInfo
@@ -295,7 +404,7 @@ func (c *Cluster) handleGet(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		c.writeError(w, err)
+		c.writeError(w, r, err)
 		return
 	}
 	c.writeJSON(w, http.StatusOK, info)
@@ -308,7 +417,6 @@ func (c *Cluster) handleGet(w http.ResponseWriter, r *http.Request) {
 // replica that was genuinely unreachable during the DELETE keeps its copy
 // and may serve the ID again after it revives.
 func (c *Cluster) handleEvict(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeCircuits].Add(1)
 	id := r.PathValue("id")
 	c.texts.drop(id)
 	evicted := false
@@ -316,11 +424,11 @@ func (c *Cluster) handleEvict(w http.ResponseWriter, r *http.Request) {
 		if err := rep.c.Evict(r.Context(), id); err == nil {
 			evicted = true
 		} else {
-			noteFailure(r.Context(), rep, err)
+			c.noteFailure(r.Context(), rep, err)
 		}
 	}
 	if !evicted {
-		c.writeError(w, api.NotFoundf("unknown circuit %q", id))
+		c.writeError(w, r, api.NotFoundf("unknown circuit %q", id))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -332,7 +440,6 @@ func (c *Cluster) handleEvict(w http.ResponseWriter, r *http.Request) {
 // workers sum across healthy replicas; the circuit count is the maximum
 // over replicas (replication makes a sum overcount).
 func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeHealth].Add(1)
 	resp := api.HealthResponse{UptimeSeconds: time.Since(c.start).Seconds()}
 	healthy := 0
 	for _, rep := range c.replicas {
@@ -361,12 +468,10 @@ func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Cluster) handleTopology(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeTopology].Add(1)
 	c.writeJSON(w, http.StatusOK, c.Topology())
 }
 
 func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	c.met.requests[routeMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	c.met.write(w, c)
 }

@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|partition|serve|cluster|chaos]
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|partition|serve|cluster|chaos|obs]
 //	          [-fast] [-benchruns N] [-benchjson PATH]
 //	          [-scaleruns N] [-scalesizes 1000,3000,10000] [-scalejson PATH]
 //	          [-partruns N] [-partsizes 100000,250000] [-partcounts 1,2,4,8] [-partfam NAME] [-partjson PATH]
 //	          [-serveruns N] [-serveconc 1,2,4,8] [-servejson PATH]
-//	          [-chaosdur DUR] [-chaosclients N] [-chaosjson PATH] [-version]
+//	          [-chaosdur DUR] [-chaosclients N] [-chaosjson PATH]
+//	          [-obsruns N] [-obsjson PATH] [-version]
 //
 // -fast uses a coarser analog integration step for Table 2 (the shape of
 // the comparison — orders of magnitude — is unaffected). -exp bench
@@ -29,7 +30,12 @@
 // kill/slow/blackout schedule, asserting zero divergent reports, bounded
 // p99 and that every resilience mechanism (hedging, breakers, failover,
 // stale serve, deadline shed) actually fired; -chaosjson writes the record
-// (BENCH_PR6.json).
+// (BENCH_PR6.json). -exp obs measures what request tracing and kernel
+// profiling cost: identical unique-stimulus sweeps against an in-process
+// daemon with tracing off, tracing on, and tracing plus profiling,
+// asserting the worst p50 regression stays under 5% and that a traced
+// request's span tree is retrievable from GET /v1/traces; -obsjson writes
+// the record (BENCH_PR8.json).
 package main
 
 import (
@@ -44,7 +50,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, partition, serve, cluster, chaos")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, partition, serve, cluster, chaos, obs")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
 	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
 	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
@@ -66,6 +72,8 @@ func main() {
 	chaosJSON := flag.String("chaosjson", "", "chaos: also write the JSON resilience record to this path")
 	chaosDur := flag.Duration("chaosdur", 8*time.Second, "chaos: soak duration")
 	chaosClients := flag.Int("chaosclients", 6, "chaos: concurrent clients during the soak")
+	obsJSON := flag.String("obsjson", "", "obs: also write the JSON overhead record to this path")
+	obsRuns := flag.Int("obsruns", 300, "obs: requests per round and mode")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -167,6 +175,12 @@ func main() {
 			fmt.Println(text)
 		case "chaos":
 			text, err := chaosExperiment(lib, *chaosJSON, *chaosDur, *chaosClients)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "obs":
+			text, err := obsExperiment(lib, *obsJSON, *obsRuns)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"halotis/client"
+	"halotis/internal/cellib"
+	"halotis/internal/circuits"
+	"halotis/internal/netfmt"
+	"halotis/internal/service"
+)
+
+// ObsPoint is one measured observability mode: "off" (no trace header, no
+// profiling — the baseline every production request takes unless a caller
+// opts in), "trace" (every request carries a Halotis-Trace header and the
+// daemon records its span tree) and "trace+profile" (tracing plus the
+// per-run kernel profile in every report).
+type ObsPoint struct {
+	Mode        string  `json:"mode"`
+	Requests    int     `json:"requests"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	DeltaP50Pct float64 `json:"delta_p50_pct"` // vs. the "off" baseline
+}
+
+// ObsReport is the JSON document emitted by -exp obs (BENCH_PR8.json).
+type ObsReport struct {
+	GoVersion      string     `json:"go_version"`
+	GOMAXPROCS     int        `json:"gomaxprocs"`
+	Runs           int        `json:"runs_per_round"`
+	Rounds         int        `json:"rounds"`
+	Circuit        string     `json:"circuit"`
+	Gates          int        `json:"gates"`
+	Points         []ObsPoint `json:"points"`
+	TraceSpans     []string   `json:"trace_spans"`     // span names of one verified end-to-end trace
+	ProfileWorkers int        `json:"profile_workers"` // workers reported by one profiled run
+	MaxDeltaPct    float64    `json:"max_delta_pct"`   // worst p50 regression of any traced mode
+}
+
+// obsExperiment measures what observability costs: an in-process halotisd
+// serves one moderate workload (the 8x8 array multiplier, where
+// per-request kernel work dominates as it does in real sweeps) and one client
+// drives identical unique-stimulus sweeps in three modes — tracing off,
+// tracing on, tracing plus kernel profiling. Each mode runs several
+// rounds and keeps its best (lowest-noise) round; the p50 delta of each
+// traced mode against the off baseline is the headline number, asserted
+// under 5%. The experiment also verifies the instrumentation works end to
+// end: a traced request's span tree is fetched back from GET /v1/traces
+// and a profiled request's report carries kernel counters.
+func obsExperiment(lib *cellib.Library, jsonPath string, runs int) (string, error) {
+	if runs < 1 {
+		return "", fmt.Errorf("-obsruns must be >= 1, got %d", runs)
+	}
+	const rounds = 3
+	const maxDeltaPct = 5.0
+
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	ctx := context.Background()
+
+	mult, err := circuits.Multiplier(lib, 8, 8)
+	if err != nil {
+		return "", err
+	}
+	var multText strings.Builder
+	if err := netfmt.WriteCircuit(&multText, mult); err != nil {
+		return "", err
+	}
+	plain := client.New(ts.URL)
+	up, err := plain.UploadCircuit(ctx, client.UploadRequest{Name: "mult8x8", Format: "net", Netlist: multText.String()})
+	if err != nil {
+		return "", fmt.Errorf("upload: %w", err)
+	}
+	// Warm the engine pool so no mode pays first-run compilation.
+	if _, err := plain.Simulate(ctx, client.SimRequest{
+		Circuit: up.ID,
+		Request: client.Request{TEnd: 30, Stimulus: toggleStimulus(up.Inputs, 0)},
+	}); err != nil {
+		return "", fmt.Errorf("warm-up: %w", err)
+	}
+
+	traced := client.New(ts.URL, client.WithTracing())
+	modes := []struct {
+		name    string
+		cl      *client.Client
+		profile bool
+	}{
+		{"off", plain, false},
+		{"trace", traced, false},
+		{"trace+profile", traced, true},
+	}
+
+	// Unique stimuli force a kernel run per request (the realistic steady
+	// state); the variant counter never repeats across modes or rounds, so
+	// the result cache absorbs nothing.
+	nextVariant := 1
+	sweep := func(cl *client.Client, profile bool) ([]time.Duration, time.Duration, error) {
+		lat := make([]time.Duration, 0, runs)
+		base := nextVariant
+		nextVariant += runs
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			req := client.SimRequest{
+				Circuit: up.ID,
+				Request: client.Request{TEnd: 30, Profile: profile, Stimulus: toggleStimulus(up.Inputs, base+i)},
+			}
+			t0 := time.Now()
+			rep, err := cl.Simulate(ctx, req)
+			if err != nil {
+				return nil, 0, err
+			}
+			lat = append(lat, time.Since(t0))
+			if profile && rep.Profile == nil {
+				return nil, 0, fmt.Errorf("profiled run returned no Report.Profile")
+			}
+		}
+		return lat, time.Since(start), nil
+	}
+
+	rep := ObsReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runs:       runs,
+		Rounds:     rounds,
+		Circuit:    "mult8x8",
+		Gates:      up.Gates,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability overhead (%d requests/round, best of %d rounds, %s)\n",
+		runs, rounds, rep.GoVersion)
+	fmt.Fprintf(&b, "%-15s %10s %12s %10s %10s %12s\n",
+		"mode", "requests", "req/s", "p50(us)", "p99(us)", "d(p50)%")
+
+	var baseP50 float64
+	for _, m := range modes {
+		// Best-of-rounds: the minimum p50 round is the least scheduler-noise
+		// view of each mode's intrinsic cost.
+		var best ObsPoint
+		for round := 0; round < rounds; round++ {
+			lat, wall, err := sweep(m.cl, m.profile)
+			if err != nil {
+				return "", fmt.Errorf("mode %s: %w", m.name, err)
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p := ObsPoint{
+				Mode:      m.name,
+				Requests:  len(lat),
+				ReqPerSec: float64(len(lat)) / wall.Seconds(),
+				P50Us:     percentile(lat, 0.50),
+				P99Us:     percentile(lat, 0.99),
+			}
+			if round == 0 || p.P50Us < best.P50Us {
+				best = p
+			}
+		}
+		if m.name == "off" {
+			baseP50 = best.P50Us
+		} else if baseP50 > 0 {
+			best.DeltaP50Pct = (best.P50Us - baseP50) / baseP50 * 100
+			if best.DeltaP50Pct > rep.MaxDeltaPct {
+				rep.MaxDeltaPct = best.DeltaP50Pct
+			}
+		}
+		rep.Points = append(rep.Points, best)
+		fmt.Fprintf(&b, "%-15s %10d %12.0f %10.0f %10.0f %+11.2f%%\n",
+			best.Mode, best.Requests, best.ReqPerSec, best.P50Us, best.P99Us, best.DeltaP50Pct)
+	}
+
+	// Verify the instrumentation end to end: one traced+profiled request,
+	// its trace fetched back from the daemon by the ID echoed in the report.
+	verify, err := traced.Simulate(ctx, client.SimRequest{
+		Circuit: up.ID,
+		Request: client.Request{TEnd: 30, Profile: true, Stimulus: toggleStimulus(up.Inputs, nextVariant)},
+	})
+	if err != nil {
+		return "", fmt.Errorf("verification request: %w", err)
+	}
+	if verify.TraceID == "" {
+		return "", fmt.Errorf("traced report carries no trace_id")
+	}
+	tr, err := traced.Trace(ctx, verify.TraceID)
+	if err != nil {
+		return "", fmt.Errorf("fetch trace %s: %w", verify.TraceID, err)
+	}
+	seen := map[string]bool{}
+	for _, s := range tr.Spans {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			rep.TraceSpans = append(rep.TraceSpans, s.Name)
+		}
+	}
+	sort.Strings(rep.TraceSpans)
+	for _, want := range []string{"replica.request", "kernel.run", "report.build"} {
+		if !seen[want] {
+			return "", fmt.Errorf("trace %s is missing span %q (has %v)", verify.TraceID, want, rep.TraceSpans)
+		}
+	}
+	if verify.Profile == nil || len(verify.Profile.Workers) == 0 {
+		return "", fmt.Errorf("profiled report carries no kernel profile")
+	}
+	rep.ProfileWorkers = len(verify.Profile.Workers)
+	fmt.Fprintf(&b, "verified trace %s: spans %s; profile workers %d\n",
+		verify.TraceID, strings.Join(rep.TraceSpans, ","), rep.ProfileWorkers)
+
+	if rep.MaxDeltaPct > maxDeltaPct {
+		return "", fmt.Errorf("observability overhead too high: worst p50 delta %.2f%% > %.1f%%\n%s",
+			rep.MaxDeltaPct, maxDeltaPct, b.String())
+	}
+	fmt.Fprintf(&b, "worst p50 delta %.2f%% (bound %.1f%%)\n", rep.MaxDeltaPct, maxDeltaPct)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\nwrote %s\n", jsonPath)
+	}
+	return b.String(), nil
+}

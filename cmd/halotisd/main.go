@@ -7,11 +7,22 @@
 //
 //	halotisd [-addr :8080] [-id NAME] [-workers N] [-queue N] [-cache N]
 //	         [-result-cache N] [-pool N] [-max-body BYTES]
-//	         [-max-timeout DUR] [-chaos RULES] [-chaos-seed N] [-version]
+//	         [-max-timeout DUR] [-chaos RULES] [-chaos-seed N]
+//	         [-log-level LEVEL] [-log-format FMT] [-pprof ADDR] [-version]
 //
 // Endpoints: POST /v1/circuits, GET /v1/circuits[/{id}], DELETE
 // /v1/circuits/{id}, POST /v1/simulate, POST /v1/simulate/batch,
-// GET /healthz, GET /metrics.
+// GET /v1/traces[/{id}], GET /healthz, GET /metrics.
+//
+// Observability: -log-level (debug|info|warn|error) and -log-format
+// (text|json) shape the structured request/operational log on stderr;
+// requests carrying a Halotis-Trace header additionally log their trace
+// ID and record spans served by GET /v1/traces. -pprof ADDR serves
+// net/http/pprof on a separate listener (off by default), so CPU and
+// heap profiles never share a port with the public API:
+//
+//	halotisd -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
 // Router mode: -cluster "http://n1:8080,http://n2:8080,..." serves the
 // same wire API as a cluster router instead — requests are routed across
@@ -40,8 +51,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -51,6 +63,7 @@ import (
 	"halotis/cluster"
 	"halotis/internal/buildinfo"
 	"halotis/internal/faultinject"
+	"halotis/internal/obs"
 	"halotis/internal/service"
 )
 
@@ -71,6 +84,9 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "router mode: replica health probe interval (0 disables active probing)")
 	chaosSpec := flag.String("chaos", "", "fault-injection rules mounted in front of the handler, e.g. 'latency:p=0.1,d=200ms;reset:p=0.05' (see halotis/internal/faultinject)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "PRNG seed for -chaos: the same seed and request order replay the same faults")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug also logs untraced requests)")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = disabled)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -78,17 +94,29 @@ func main() {
 		fmt.Println(buildinfo.String("halotisd"))
 		return
 	}
-	chaos, err := chaosMiddleware(*chaosSpec, *chaosSeed)
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
 	if err != nil {
-		log.Fatalf("halotisd: -chaos: %v", err)
+		fmt.Fprintf(os.Stderr, "halotisd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+	chaos, err := chaosMiddleware(logger, *chaosSpec, *chaosSeed)
+	if err != nil {
+		fatal("-chaos", err)
 	}
 	if *clusterAddrs != "" {
-		if err := runRouter(*addr, *drainTimeout, *clusterAddrs, *replication, *probeInterval, chaos); err != nil {
-			log.Fatalf("halotisd: %v", err)
+		if err := runRouter(logger, *addr, *drainTimeout, *clusterAddrs, *replication, *probeInterval, chaos); err != nil {
+			fatal("router failed", err)
 		}
 		return
 	}
-	if err := run(*addr, *drainTimeout, chaos, service.Config{
+	if err := run(logger, *addr, *drainTimeout, chaos, service.Config{
 		ReplicaID:       *id,
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -98,8 +126,25 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		MaxTimeout:      *maxTimeout,
 		MaxEvents:       *maxEvents,
+		Logger:          logger,
 	}); err != nil {
-		log.Fatalf("halotisd: %v", err)
+		fatal("server failed", err)
+	}
+}
+
+// servePprof exposes the net/http/pprof handlers on their own listener —
+// never on the public API port — so profiling stays an explicit operator
+// decision (-pprof) and can be firewalled separately.
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener failed", "error", err)
 	}
 }
 
@@ -107,7 +152,7 @@ func main() {
 // returns the identity when no rules are given. Mounting the fault layer in
 // front of the full handler (rather than inside the service) means routing,
 // admission and metrics all see the injected faults exactly as a client would.
-func chaosMiddleware(spec string, seed int64) (func(http.Handler) http.Handler, error) {
+func chaosMiddleware(logger *slog.Logger, spec string, seed int64) (func(http.Handler) http.Handler, error) {
 	if spec == "" {
 		return func(h http.Handler) http.Handler { return h }, nil
 	}
@@ -117,14 +162,14 @@ func chaosMiddleware(spec string, seed int64) (func(http.Handler) http.Handler, 
 	}
 	inj := faultinject.New(seed, rules...)
 	for _, r := range inj.Rules() {
-		log.Printf("halotisd: chaos rule mounted: %s", r)
+		logger.Info("chaos rule mounted", "rule", r)
 	}
 	return inj.Middleware, nil
 }
 
 // runRouter serves the cluster router: the same wire API, sharded across
 // the listed replicas (see halotis/cluster).
-func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replication int, probeInterval time.Duration, chaos func(http.Handler) http.Handler) error {
+func runRouter(logger *slog.Logger, addr string, drainTimeout time.Duration, addrsFlag string, replication int, probeInterval time.Duration, chaos func(http.Handler) http.Handler) error {
 	var replicas []string
 	for _, a := range strings.Split(addrsFlag, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -134,6 +179,7 @@ func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replic
 	c, err := cluster.New(replicas,
 		cluster.WithReplication(replication),
 		cluster.WithProbeInterval(probeInterval),
+		cluster.WithLogger(logger),
 	)
 	if err != nil {
 		return err
@@ -145,7 +191,7 @@ func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replic
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("halotisd: routing over %d replicas (replication %d) on %s", len(replicas), c.Replication(), addr)
+		logger.Info("routing", "replicas", len(replicas), "replication", c.Replication(), "addr", addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -159,7 +205,7 @@ func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replic
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("halotisd: router shutting down")
+	logger.Info("router shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)
@@ -172,7 +218,7 @@ func runRouter(addr string, drainTimeout time.Duration, addrsFlag string, replic
 	return err
 }
 
-func run(addr string, drainTimeout time.Duration, chaos func(http.Handler) http.Handler, cfg service.Config) error {
+func run(logger *slog.Logger, addr string, drainTimeout time.Duration, chaos func(http.Handler) http.Handler, cfg service.Config) error {
 	svc := service.New(cfg)
 	srv := &http.Server{Addr: addr, Handler: chaos(svc.Handler())}
 
@@ -181,7 +227,7 @@ func run(addr string, drainTimeout time.Duration, chaos func(http.Handler) http.
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("halotisd: listening on %s", addr)
+		logger.Info("listening", "addr", addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -196,7 +242,7 @@ func run(addr string, drainTimeout time.Duration, chaos func(http.Handler) http.
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("halotisd: shutting down, draining in-flight jobs")
+	logger.Info("shutting down, draining in-flight jobs")
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
@@ -209,13 +255,13 @@ func run(addr string, drainTimeout time.Duration, chaos func(http.Handler) http.
 	// to completion.
 	err := srv.Shutdown(shutdownCtx)
 	if err != nil {
-		log.Printf("halotisd: drain timeout exceeded, aborting in-flight requests: %v", err)
+		logger.Warn("drain timeout exceeded, aborting in-flight requests", "error", err)
 		srv.Close()
 	}
 	svc.Close()
 	if serveErr := <-errCh; serveErr != nil && err == nil {
 		err = serveErr
 	}
-	log.Printf("halotisd: drained, exiting")
+	logger.Info("drained, exiting")
 	return err
 }

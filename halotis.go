@@ -144,6 +144,14 @@ func WithPartitions(n int) Option { return func(o *sim.Options) { o.Partitions =
 // Engine.RunContext takes a context explicitly and overrides this option.
 func WithContext(ctx context.Context) Option { return func(o *sim.Options) { o.Ctx = ctx } }
 
+// WithProfile enables per-run kernel profiling: Result.Profile reports,
+// per partition worker, the events popped, horizon-stall waits and
+// mailbox traffic of the run (sequential runs report one worker's event
+// count). Off by default — the disabled path costs nothing and keeps the
+// kernel's zero-allocation steady state; enabling it allocates one small
+// Profile per run.
+func WithProfile() Option { return func(o *sim.Options) { o.Profile = true } }
+
 func buildOptions(opts []Option) sim.Options {
 	var o sim.Options
 	for _, opt := range opts {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a dependency-free fixed-bucket histogram rendered in
+// Prometheus text exposition format. Observations are a linear bucket scan
+// (the bucket counts are small and cache-resident) plus three atomic
+// updates; it is safe for concurrent use and never allocates after
+// construction.
+type Histogram struct {
+	bounds []float64 // inclusive upper bounds, ascending, no +Inf
+	counts []atomic.Uint64
+	inf    atomic.Uint64 // observations above the last bound
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds (the implicit +Inf bucket is always present). It panics on
+// unsorted bounds — bucket layouts are compile-time decisions.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %g <= %g", i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// LatencyBuckets is the shared bucket layout for request-path latencies in
+// seconds: 100µs to 10s, roughly 2.5x steps. Cache hits land in the lowest
+// buckets, large kernel runs in the highest, so one layout serves every
+// request-path histogram.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			h.counts[i].Add(1)
+			goto done
+		}
+	}
+	h.inf.Add(1)
+done:
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// WriteHistogramHeader writes the HELP/TYPE preamble for the metric family
+// fq. Families with several labeled series (one histogram per endpoint)
+// write one header and then each series via WriteSeries.
+func WriteHistogramHeader(w io.Writer, fq, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", fq, help, fq)
+}
+
+// Write renders the complete single-series family: header plus series.
+func (h *Histogram) Write(w io.Writer, fq, help string) {
+	WriteHistogramHeader(w, fq, help)
+	h.WriteSeries(w, fq, "")
+}
+
+// WriteSeries renders the histogram's sample lines for family fq with the
+// extra labels (`key="value"` pairs, comma-separated, no braces; empty for
+// an unlabeled series): cumulative _bucket lines, _sum and _count.
+func (h *Histogram) WriteSeries(w io.Writer, fq, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", fq, labels, sep, formatBound(b), cum)
+	}
+	// The +Inf bucket (and _count, which must equal it) is the bucket sum,
+	// not the count atomic: Observe bumps the bucket before the count, so
+	// a racing reader could otherwise render a last bucket above _count —
+	// non-monotone output. Summing the buckets keeps every snapshot
+	// self-consistent.
+	count := cum + h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", fq, labels, sep, count)
+	sum := math.Float64frombits(h.sum.Load())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", fq, sum, fq, count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", fq, labels, sum, fq, labels, count)
+	}
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketPlacement pins the bucket semantics: inclusive upper
+// bounds, the implicit +Inf overflow, and a sum/count that agree with the
+// observations.
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e6} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	var b strings.Builder
+	h.Write(&b, "x", "test histogram")
+	out := b.String()
+	for _, line := range []string{
+		`x_bucket{le="1"} 2`,    // 0.5, 1 (inclusive)
+		`x_bucket{le="10"} 4`,   // + 1.5, 10
+		`x_bucket{le="100"} 6`,  // + 99, 100
+		`x_bucket{le="+Inf"} 8`, // + 101, 1e6
+		`x_count 8`,
+		`x_sum 1.000313e+06`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("rendering missing %q:\n%s", line, out)
+		}
+	}
+	if errs := LintPrometheusText(out); len(errs) != 0 {
+		t.Errorf("rendered histogram fails its own linter: %v", errs)
+	}
+}
+
+// TestHistogramLabeledSeries: several labeled series share one family
+// header and each carries the labels on every sample line.
+func TestHistogramLabeledSeries(t *testing.T) {
+	a := NewHistogram(LatencyBuckets()...)
+	b := NewHistogram(LatencyBuckets()...)
+	a.Observe(0.003)
+	b.Observe(2)
+	b.Observe(99) // overflow
+
+	var w strings.Builder
+	WriteHistogramHeader(&w, "lat", "per-endpoint latency")
+	a.WriteSeries(&w, "lat", `endpoint="simulate"`)
+	b.WriteSeries(&w, "lat", `endpoint="upload"`)
+	out := w.String()
+	for _, line := range []string{
+		`lat_bucket{endpoint="simulate",le="0.0025"} 0`,
+		`lat_bucket{endpoint="simulate",le="0.005"} 1`,
+		`lat_count{endpoint="simulate"} 1`,
+		`lat_bucket{endpoint="upload",le="10"} 1`,
+		`lat_bucket{endpoint="upload",le="+Inf"} 2`,
+		`lat_count{endpoint="upload"} 2`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("rendering missing %q:\n%s", line, out)
+		}
+	}
+	if errs := LintPrometheusText(out); len(errs) != 0 {
+		t.Errorf("labeled histogram fails the linter: %v", errs)
+	}
+}
+
+// TestHistogramConcurrentRenderIsMonotone: snapshots rendered while
+// observers race must stay self-consistent — cumulative buckets monotone
+// and _count equal to the +Inf bucket (the invariant the linter enforces
+// and Prometheus requires). This is the regression test for reading the
+// count atomic instead of summing the buckets.
+func TestHistogramConcurrentRenderIsMonotone(t *testing.T) {
+	h := NewHistogram(1, 2, 3)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64((i + g) % 5))
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		h.Write(&b, "x", "racing histogram")
+		if errs := LintPrometheusText(b.String()); len(errs) != 0 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot %d inconsistent under racing observers: %v\n%s", i, errs, b.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistogramRejectsUnsortedBounds: bucket layouts are compile-time
+// decisions; a bad one must fail loudly at construction.
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted descending bounds")
+		}
+	}()
+	NewHistogram(1, 3, 2)
+}
+
+// TestWriteRuntimeMetrics: the runtime gauges render, carry the caller's
+// prefix, and pass the linter.
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var b strings.Builder
+	WriteRuntimeMetrics(&b, "testnode")
+	out := b.String()
+	for _, name := range []string{
+		"testnode_go_goroutines",
+		"testnode_go_heap_objects_bytes",
+		"testnode_go_gc_pause_seconds_total",
+		"testnode_go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, fmt.Sprintf("# TYPE %s", name)) {
+			t.Errorf("runtime metrics missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "testnode_go_goroutines ") {
+		t.Error("goroutine gauge has no sample line")
+	}
+	if errs := LintPrometheusText(out); len(errs) != 0 {
+		t.Errorf("runtime metrics fail the linter: %v", errs)
+	}
+}

@@ -1,0 +1,255 @@
+// Package obs is the observability layer of the halotis stack: a
+// lightweight request-tracing span recorder, a dependency-free fixed-bucket
+// histogram rendered in Prometheus text format, Go runtime gauges, a
+// structured-logging constructor, and a minimal Prometheus text-format
+// validator used by the metrics tests.
+//
+// The design constraint throughout is that the disabled paths cost nothing
+// measurable: an untraced request pays one context lookup, a histogram
+// observation is a few atomic adds, and kernel profiling is opt-in per run
+// (see sim.Profile). The tracing wire types live in halotis/api so internal
+// packages never leak into exported signatures.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"halotis/api"
+)
+
+// DefaultTraceCapacity bounds the recorder ring when the caller does not.
+const DefaultTraceCapacity = 256
+
+// maxSpansPerTrace bounds one trace's span list so a pathological request
+// (a huge batch, a retry storm) cannot grow a trace without bound; spans
+// beyond it are counted as dropped.
+const maxSpansPerTrace = 256
+
+// Recorder accumulates finished spans into a bounded in-memory ring of
+// traces: the newest traces win, each trace keeps at most maxSpansPerTrace
+// spans, and the whole structure is safe for concurrent use. One Recorder
+// per node; GET /v1/traces serves its contents.
+type Recorder struct {
+	node string
+	cap  int
+
+	mu     sync.Mutex
+	traces map[string]*traceBuf
+	order  []string // trace IDs in arrival order; order[0] evicts first
+
+	started uint64 // traces ever started (== evictions + len(traces))
+	spans   uint64 // spans ever recorded
+	dropped uint64 // spans dropped by the per-trace bound
+}
+
+type traceBuf struct {
+	spans []api.SpanInfo
+}
+
+// NewRecorder builds a recorder identified as node, retaining up to
+// capacity traces (DefaultTraceCapacity when capacity <= 0).
+func NewRecorder(node string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Recorder{
+		node:   node,
+		cap:    capacity,
+		traces: make(map[string]*traceBuf, capacity),
+	}
+}
+
+// record files one finished span under its trace, evicting the oldest
+// trace when the ring is full.
+func (r *Recorder) record(s api.SpanInfo) {
+	if r == nil {
+		return
+	}
+	s.Node = r.node
+	r.mu.Lock()
+	tb := r.traces[s.TraceID]
+	if tb == nil {
+		if len(r.order) >= r.cap {
+			delete(r.traces, r.order[0])
+			r.order = r.order[1:]
+		}
+		tb = &traceBuf{}
+		r.traces[s.TraceID] = tb
+		r.order = append(r.order, s.TraceID)
+		r.started++
+	}
+	if len(tb.spans) >= maxSpansPerTrace {
+		r.dropped++
+	} else {
+		tb.spans = append(tb.spans, s)
+		r.spans++
+	}
+	r.mu.Unlock()
+}
+
+// Trace returns every span recorded for the trace, in end order.
+func (r *Recorder) Trace(id string) (api.TraceResponse, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tb := r.traces[id]
+	if tb == nil {
+		return api.TraceResponse{}, false
+	}
+	out := api.TraceResponse{TraceID: id, Spans: make([]api.SpanInfo, len(tb.spans))}
+	copy(out.Spans, tb.spans)
+	return out, true
+}
+
+// Traces summarizes the retained traces, newest first.
+func (r *Recorder) Traces() []api.TraceSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]api.TraceSummary, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		id := r.order[i]
+		tb := r.traces[id]
+		if tb == nil || len(tb.spans) == 0 {
+			continue
+		}
+		sum := api.TraceSummary{TraceID: id, Spans: len(tb.spans)}
+		var end int64
+		for _, s := range tb.spans {
+			if sum.StartUnixNs == 0 || s.StartUnixNs < sum.StartUnixNs {
+				sum.StartUnixNs = s.StartUnixNs
+				sum.Root = s.Name
+			}
+			if e := s.StartUnixNs + s.DurationNs; e > end {
+				end = e
+			}
+		}
+		sum.DurationNs = end - sum.StartUnixNs
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Stats reports the recorder's lifetime counters for /metrics: traces ever
+// started, spans ever recorded, spans dropped by the per-trace bound, and
+// traces currently retained.
+func (r *Recorder) Stats() (started, spans, dropped uint64, retained int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.started, r.spans, r.dropped, len(r.traces)
+}
+
+// traceCtx is the context payload of an active trace: the recorder to file
+// spans into and the current span (the parent of anything started next).
+type traceCtx struct {
+	rec     *Recorder
+	traceID string
+	spanID  string
+}
+
+type ctxKey struct{}
+
+// WithTrace activates tracing on the context: spans started under it file
+// into rec with the given trace identity. parentSpanID may be empty (a
+// root arriving with no upstream span).
+func WithTrace(ctx context.Context, rec *Recorder, traceID, parentSpanID string) context.Context {
+	if traceID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &traceCtx{rec: rec, traceID: traceID, spanID: parentSpanID})
+}
+
+// ContextTrace returns the context's trace identity — the trace ID and the
+// current span ID — for propagation (the client stamps them into the
+// Halotis-Trace header). ok is false on untraced contexts; the check is
+// one context lookup, which is the entire cost of tracing-off.
+func ContextTrace(ctx context.Context) (traceID, spanID string, ok bool) {
+	tc, _ := ctx.Value(ctxKey{}).(*traceCtx)
+	if tc == nil {
+		return "", "", false
+	}
+	return tc.traceID, tc.spanID, true
+}
+
+// Span is one in-flight traced phase; created by Start, finished by End.
+// The nil Span (what Start returns on untraced contexts) is a no-op on
+// every method, so call sites need no conditionals.
+type Span struct {
+	tc    *traceCtx
+	start time.Time
+	info  api.SpanInfo
+}
+
+// Start begins a span named name under the context's trace and returns a
+// derived context under which the span is the parent. On untraced contexts
+// it returns (ctx, nil) and costs one context lookup.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	tc, _ := ctx.Value(ctxKey{}).(*traceCtx)
+	if tc == nil {
+		return ctx, nil
+	}
+	child := &traceCtx{rec: tc.rec, traceID: tc.traceID, spanID: api.NewSpanID()}
+	sp := &Span{
+		tc:    child,
+		start: time.Now(),
+		info: api.SpanInfo{
+			TraceID:  tc.traceID,
+			SpanID:   child.spanID,
+			ParentID: tc.spanID,
+			Name:     name,
+		},
+	}
+	return context.WithValue(ctx, ctxKey{}, child), sp
+}
+
+// SetAttr attaches a key/value to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.info.Attrs == nil {
+		s.info.Attrs = make(map[string]string, 4)
+	}
+	s.info.Attrs[k] = v
+}
+
+// Fail marks the span as ended in error. A nil err is ignored, so call
+// sites can pass their error variable unconditionally.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.info.Error = err.Error()
+}
+
+// End finishes the span and files it with the recorder.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.info.StartUnixNs = s.start.UnixNano()
+	s.info.DurationNs = time.Since(s.start).Nanoseconds()
+	s.tc.rec.record(s.info)
+}
+
+// Record files a span whose bounds were measured externally (a queue wait
+// observed by the code that did the waiting) without deriving a context.
+// No-op on untraced contexts.
+func Record(ctx context.Context, name string, start time.Time, d time.Duration, err error) {
+	tc, _ := ctx.Value(ctxKey{}).(*traceCtx)
+	if tc == nil {
+		return
+	}
+	info := api.SpanInfo{
+		TraceID:     tc.traceID,
+		SpanID:      api.NewSpanID(),
+		ParentID:    tc.spanID,
+		Name:        name,
+		StartUnixNs: start.UnixNano(),
+		DurationNs:  d.Nanoseconds(),
+	}
+	if err != nil {
+		info.Error = err.Error()
+	}
+	tc.rec.record(info)
+}

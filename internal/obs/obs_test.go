@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeParentage: spans started under a traced context link to
+// their parent, roots link to the propagated upstream span, and the
+// recorder files everything under the trace.
+func TestSpanTreeParentage(t *testing.T) {
+	rec := NewRecorder("n1", 8)
+	ctx := WithTrace(context.Background(), rec, "trace-1", "upstream")
+
+	ctx, root := Start(ctx, "request")
+	cctx, child := Start(ctx, "kernel")
+	child.SetAttr("partitions", "4")
+	child.End()
+	Record(cctx, "queue.wait", time.Now(), time.Millisecond, nil)
+	root.Fail(errors.New("boom"))
+	root.End()
+
+	tr, ok := rec.Trace("trace-1")
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(tr.Spans))
+	}
+	byName := map[string]int{}
+	for i, s := range tr.Spans {
+		byName[s.Name] = i
+		if s.TraceID != "trace-1" {
+			t.Errorf("span %s trace = %q", s.Name, s.TraceID)
+		}
+		if s.Node != "n1" {
+			t.Errorf("span %s node = %q, want n1", s.Name, s.Node)
+		}
+	}
+	rootSpan := tr.Spans[byName["request"]]
+	kernel := tr.Spans[byName["kernel"]]
+	wait := tr.Spans[byName["queue.wait"]]
+	if rootSpan.ParentID != "upstream" {
+		t.Errorf("root parent = %q, want the propagated upstream span", rootSpan.ParentID)
+	}
+	if kernel.ParentID != rootSpan.SpanID {
+		t.Errorf("kernel parent = %q, want root %q", kernel.ParentID, rootSpan.SpanID)
+	}
+	// Record files under the context's current span — here the kernel span,
+	// because cctx was derived by Start("kernel").
+	if wait.ParentID != kernel.SpanID {
+		t.Errorf("queue.wait parent = %q, want kernel %q", wait.ParentID, kernel.SpanID)
+	}
+	if kernel.Attrs["partitions"] != "4" {
+		t.Errorf("kernel attrs = %v", kernel.Attrs)
+	}
+	if rootSpan.Error != "boom" {
+		t.Errorf("root error = %q, want boom", rootSpan.Error)
+	}
+	if kernel.Error != "" {
+		t.Errorf("kernel error = %q, want none", kernel.Error)
+	}
+}
+
+// TestUntracedContextIsNoOp pins the tracing-off contract every call site
+// relies on: Start returns a nil span whose methods are all safe, Record
+// does nothing, ContextTrace reports not-ok.
+func TestUntracedContextIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	if _, _, ok := ContextTrace(ctx); ok {
+		t.Fatal("plain context reports a trace")
+	}
+	sctx, sp := Start(ctx, "anything")
+	if sp != nil {
+		t.Fatal("Start on untraced context returned a live span")
+	}
+	if sctx != ctx {
+		t.Fatal("Start on untraced context derived a new context")
+	}
+	// The nil span is a no-op on every method.
+	sp.SetAttr("k", "v")
+	sp.Fail(errors.New("x"))
+	sp.End()
+	Record(ctx, "queue.wait", time.Now(), time.Second, nil)
+
+	// WithTrace with an empty trace ID stays untraced.
+	if _, _, ok := ContextTrace(WithTrace(ctx, NewRecorder("n", 1), "", "p")); ok {
+		t.Fatal("empty trace ID activated tracing")
+	}
+}
+
+// TestRecorderEviction: the ring keeps the newest traces, drops whole
+// traces FIFO, and bounds spans per trace, all visible in Stats.
+func TestRecorderEviction(t *testing.T) {
+	rec := NewRecorder("n", 2)
+	span := func(trace string) {
+		ctx := WithTrace(context.Background(), rec, trace, "")
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	span("t1")
+	span("t2")
+	span("t3") // evicts t1
+
+	if _, ok := rec.Trace("t1"); ok {
+		t.Error("t1 survived eviction")
+	}
+	for _, id := range []string{"t2", "t3"} {
+		if _, ok := rec.Trace(id); !ok {
+			t.Errorf("%s missing", id)
+		}
+	}
+	sums := rec.Traces()
+	if len(sums) != 2 || sums[0].TraceID != "t3" || sums[1].TraceID != "t2" {
+		t.Errorf("summaries = %+v, want t3 then t2 (newest first)", sums)
+	}
+
+	// Per-trace span bound: overflow counts as dropped, the trace survives.
+	ctx := WithTrace(context.Background(), rec, "big", "")
+	for i := 0; i < maxSpansPerTrace+5; i++ {
+		_, sp := Start(ctx, fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	tr, ok := rec.Trace("big")
+	if !ok {
+		t.Fatal("big trace missing")
+	}
+	if len(tr.Spans) != maxSpansPerTrace {
+		t.Errorf("big trace kept %d spans, want the %d bound", len(tr.Spans), maxSpansPerTrace)
+	}
+	started, spans, dropped, retained := rec.Stats()
+	if started != 4 {
+		t.Errorf("started = %d, want 4", started)
+	}
+	if dropped != 5 {
+		t.Errorf("dropped = %d, want 5", dropped)
+	}
+	if retained != 2 {
+		t.Errorf("retained = %d, want 2 (capacity)", retained)
+	}
+	// spans is a lifetime counter: one span each for t1..t3 plus the bounded
+	// big trace (eviction does not subtract).
+	if spans != uint64(3+maxSpansPerTrace) {
+		t.Errorf("spans = %d, want %d", spans, 3+maxSpansPerTrace)
+	}
+}
+
+// TestTraceSummaryBounds: a summary's start is the earliest span and its
+// duration spans to the latest span end.
+func TestTraceSummaryBounds(t *testing.T) {
+	rec := NewRecorder("n", 4)
+	ctx := WithTrace(context.Background(), rec, "t", "")
+	start := time.Now()
+	Record(ctx, "late", start.Add(10*time.Millisecond), 5*time.Millisecond, nil)
+	Record(ctx, "root", start, 20*time.Millisecond, nil)
+
+	sums := rec.Traces()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	s := sums[0]
+	if s.Root != "root" {
+		t.Errorf("root = %q, want the earliest-starting span", s.Root)
+	}
+	if s.Spans != 2 {
+		t.Errorf("spans = %d, want 2", s.Spans)
+	}
+	if s.StartUnixNs != start.UnixNano() {
+		t.Errorf("start = %d, want %d", s.StartUnixNs, start.UnixNano())
+	}
+	if want := int64(20 * time.Millisecond); s.DurationNs != want {
+		t.Errorf("duration = %d, want %d (the root span covers everything)", s.DurationNs, want)
+	}
+}
+
+// TestNilRecorderIsSafe: a context traced into a nil recorder must not
+// panic — the span machinery runs, records go nowhere.
+func TestNilRecorderIsSafe(t *testing.T) {
+	ctx := WithTrace(context.Background(), nil, "t", "")
+	_, sp := Start(ctx, "s")
+	sp.End()
+	Record(ctx, "r", time.Now(), time.Millisecond, nil)
+}

@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheusText validates a Prometheus text-format exposition against
+// the invariants the hand-rolled writers in this repo must hold:
+//
+//   - every sample belongs to a family announced by both a # HELP and a
+//     # TYPE line, in that order, before the family's first sample;
+//   - each family is announced exactly once (no interleaved re-opening);
+//   - sample lines parse: a valid metric name, a well-formed label set
+//     (quoted values, legal escapes), a parseable float value;
+//   - histogram families have monotone non-decreasing cumulative buckets
+//     per label set, a terminal le="+Inf" bucket, and a _count equal to it.
+//
+// It returns every violation found, empty for a clean exposition. It is a
+// validator for this repo's writers, not a full parser of the spec (no
+// timestamps, no exemplars — the writers never emit them).
+func LintPrometheusText(text string) []error {
+	l := &linter{
+		help:    map[string]bool{},
+		typ:     map[string]string{},
+		buckets: map[string]map[string][]bucket{},
+		counts:  map[string]map[string]float64{},
+	}
+	for i, line := range strings.Split(text, "\n") {
+		l.line(i+1, line)
+	}
+	l.finishHistograms()
+	return l.errs
+}
+
+type bucket struct {
+	le  float64
+	val float64
+}
+
+type linter struct {
+	errs []error
+	help map[string]bool
+	typ  map[string]string
+	// histogram state: family -> label set (minus le) -> buckets in order
+	buckets map[string]map[string][]bucket
+	counts  map[string]map[string]float64
+}
+
+func (l *linter) errf(ln int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", ln, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(ln int, line string) {
+	if line == "" {
+		return
+	}
+	if strings.HasPrefix(line, "#") {
+		l.comment(ln, line)
+		return
+	}
+	name, labels, valueStr, ok := splitSample(line)
+	if !ok {
+		l.errf(ln, "malformed sample line %q", line)
+		return
+	}
+	if !validMetricName(name) {
+		l.errf(ln, "invalid metric name %q", name)
+		return
+	}
+	value, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		l.errf(ln, "metric %s: unparseable value %q", name, valueStr)
+		return
+	}
+	lset, le, hasLE, err := parseLabels(labels)
+	if err != nil {
+		l.errf(ln, "metric %s: %v", name, err)
+		return
+	}
+
+	family := name
+	suffix := ""
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base != name && l.typ[base] == "histogram" {
+			family, suffix = base, s
+			break
+		}
+	}
+	if !l.help[family] {
+		l.errf(ln, "metric %s: no # HELP for family %s before first sample", name, family)
+	}
+	if _, ok := l.typ[family]; !ok {
+		l.errf(ln, "metric %s: no # TYPE for family %s before first sample", name, family)
+	}
+
+	if l.typ[family] == "histogram" {
+		switch suffix {
+		case "_bucket":
+			if !hasLE {
+				l.errf(ln, "metric %s: _bucket sample without le label", name)
+				return
+			}
+			leV := parseLE(le)
+			m := l.buckets[family]
+			if m == nil {
+				m = map[string][]bucket{}
+				l.buckets[family] = m
+			}
+			m[lset] = append(m[lset], bucket{le: leV, val: value})
+		case "_count":
+			m := l.counts[family]
+			if m == nil {
+				m = map[string]float64{}
+				l.counts[family] = m
+			}
+			m[lset] = value
+		case "", "_sum":
+			// The bare family name never appears for histograms; _sum
+			// needs no cross-checks here.
+			if suffix == "" {
+				l.errf(ln, "metric %s: bare sample of histogram family", name)
+			}
+		}
+	}
+}
+
+func (l *linter) comment(ln int, line string) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 4 || fields[2] == "" {
+			l.errf(ln, "malformed HELP line %q", line)
+			return
+		}
+		name := fields[2]
+		if l.help[name] {
+			l.errf(ln, "duplicate # HELP for %s", name)
+		}
+		l.help[name] = true
+	case "TYPE":
+		if len(fields) < 4 {
+			l.errf(ln, "malformed TYPE line %q", line)
+			return
+		}
+		name, kind := fields[2], strings.TrimSpace(fields[3])
+		if _, dup := l.typ[name]; dup {
+			l.errf(ln, "duplicate # TYPE for %s", name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(ln, "unknown metric type %q for %s", kind, name)
+		}
+		if !l.help[name] {
+			l.errf(ln, "# TYPE %s before its # HELP", name)
+		}
+		l.typ[name] = kind
+	}
+}
+
+func (l *linter) finishHistograms() {
+	for family, sets := range l.buckets {
+		for lset, bs := range sets {
+			where := family
+			if lset != "" {
+				where = family + "{" + lset + "}"
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					l.errs = append(l.errs, fmt.Errorf("%s: bucket bounds not ascending (le=%g after le=%g)", where, bs[i].le, bs[i-1].le))
+				}
+				if bs[i].val < bs[i-1].val {
+					l.errs = append(l.errs, fmt.Errorf("%s: non-monotone cumulative buckets (%g after %g)", where, bs[i].val, bs[i-1].val))
+				}
+			}
+			last := bs[len(bs)-1]
+			if last.le != posInf {
+				l.errs = append(l.errs, fmt.Errorf("%s: missing terminal le=\"+Inf\" bucket", where))
+				continue
+			}
+			if count, ok := l.counts[family][lset]; !ok {
+				l.errs = append(l.errs, fmt.Errorf("%s: histogram without _count", where))
+			} else if count != last.val {
+				l.errs = append(l.errs, fmt.Errorf("%s: _count %g != +Inf bucket %g", where, count, last.val))
+			}
+		}
+	}
+}
+
+var posInf = math.Inf(1)
+
+func parseLE(s string) float64 {
+	if s == "+Inf" {
+		return posInf
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return posInf
+	}
+	return v
+}
+
+// splitSample splits a sample line into name, raw label block (without the
+// braces) and value.
+func splitSample(line string) (name, labels, value string, ok bool) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := lastBraceOutsideQuotes(line)
+		if j < i {
+			return "", "", "", false
+		}
+		name, labels = line[:i], line[i+1:j]
+		value = strings.TrimSpace(line[j+1:])
+	} else {
+		i := strings.IndexByte(line, ' ')
+		if i < 0 {
+			return "", "", "", false
+		}
+		name, value = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	if name == "" || value == "" || strings.ContainsAny(value, " \t") {
+		return "", "", "", false
+	}
+	return name, labels, value, true
+}
+
+// lastBraceOutsideQuotes finds the closing brace of the label block,
+// ignoring braces inside quoted label values.
+func lastBraceOutsideQuotes(line string) int {
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuotes {
+				i++
+			}
+		case '"':
+			inQuotes = !inQuotes
+		case '}':
+			if !inQuotes {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseLabels validates a label block and returns a canonical string of
+// the set minus any le label (for grouping histogram series), plus the le
+// value itself.
+func parseLabels(block string) (canon, le string, hasLE bool, err error) {
+	if block == "" {
+		return "", "", false, nil
+	}
+	var parts []string
+	s := block
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return "", "", false, fmt.Errorf("malformed label in %q", block)
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return "", "", false, fmt.Errorf("invalid label name %q", key)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", "", false, fmt.Errorf("unquoted value for label %q", key)
+		}
+		val, remainder, verr := scanQuoted(rest)
+		if verr != nil {
+			return "", "", false, fmt.Errorf("label %q: %w", key, verr)
+		}
+		if key == "le" {
+			le, hasLE = val, true
+		} else {
+			parts = append(parts, key+"="+val)
+		}
+		s = remainder
+		if s != "" {
+			if s[0] != ',' {
+				return "", "", false, fmt.Errorf("expected ',' between labels in %q", block)
+			}
+			s = s[1:]
+		}
+	}
+	return strings.Join(parts, ","), le, hasLE, nil
+}
+
+// scanQuoted consumes a quoted label value (s starts at the opening quote)
+// and returns the unescaped value and the remainder after the closing
+// quote. Legal escapes are \\, \" and \n.
+func scanQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("illegal escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

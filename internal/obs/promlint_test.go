@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintAcceptsCleanExposition: a representative page in the shapes this
+// repo's writers emit — counters, gauges, labeled series, a histogram —
+// passes with no findings.
+func TestLintAcceptsCleanExposition(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP halotisd_requests_total Requests served.`,
+		`# TYPE halotisd_requests_total counter`,
+		`halotisd_requests_total{endpoint="simulate"} 12`,
+		`halotisd_requests_total{endpoint="upload"} 3`,
+		`# HELP halotisd_queue_depth Queued jobs.`,
+		`# TYPE halotisd_queue_depth gauge`,
+		`halotisd_queue_depth 0`,
+		`# HELP halotisd_odd_label Value with escapes.`,
+		`# TYPE halotisd_odd_label gauge`,
+		`halotisd_odd_label{path="a\"b\\c\nd"} 1`,
+		`# HELP lat Latency.`,
+		`# TYPE lat histogram`,
+		`lat_bucket{le="0.001"} 1`,
+		`lat_bucket{le="1"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 3.25`,
+		`lat_count 5`,
+	}, "\n") + "\n"
+	if errs := LintPrometheusText(text); len(errs) != 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+// TestLintCatchesViolations: each invariant the hand-rolled writers must
+// hold is individually detected.
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of some reported error
+	}{
+		{"missing HELP", "# TYPE x counter\nx 1\n", "no # HELP"},
+		{"missing TYPE", "# HELP x h.\nx 1\n", "no # TYPE"},
+		{"TYPE before HELP", "# TYPE x counter\n# HELP x h.\nx 1\n", "before its # HELP"},
+		{"duplicate HELP", "# HELP x h.\n# TYPE x counter\n# HELP x h.\nx 1\n", "duplicate # HELP"},
+		{"unknown type", "# HELP x h.\n# TYPE x sparkline\nx 1\n", "unknown metric type"},
+		{"bad metric name", "# HELP 9x h.\n# TYPE 9x counter\n9x 1\n", "invalid metric name"},
+		{"bad value", "# HELP x h.\n# TYPE x counter\nx potato\n", "unparseable value"},
+		{"unquoted label", "# HELP x h.\n# TYPE x counter\nx{a=1} 1\n", "unquoted value"},
+		{"illegal escape", "# HELP x h.\n# TYPE x counter\nx{a=\"\\t\"} 1\n", "illegal escape"},
+		// An unterminated quote swallows the closing brace, so the line
+		// fails at the sample-splitting stage.
+		{"unterminated value", "# HELP x h.\n# TYPE x counter\nx{a=\"b} 1\n", "malformed sample"},
+		{"malformed sample", "# HELP x h.\n# TYPE x counter\njust-words\n", "malformed sample"},
+		{"bucket without le", "# HELP h h.\n# TYPE h histogram\nh_bucket 1\n", "without le label"},
+		{"non-monotone buckets",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"non-monotone"},
+		{"missing +Inf bucket",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\n",
+			"missing terminal"},
+		{"count disagrees with +Inf",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n",
+			"_count 4 != +Inf bucket 5"},
+		{"histogram without count",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\n",
+			"without _count"},
+		{"bare histogram sample",
+			"# HELP h h.\n# TYPE h histogram\nh 5\n",
+			"bare sample"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := LintPrometheusText(tc.text)
+			if len(errs) == 0 {
+				t.Fatalf("violation not detected in:\n%s", tc.text)
+			}
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("no finding mentions %q; got %v", tc.want, errs)
+		})
+	}
+}
+
+// TestNewLogger pins the flag spellings both daemons share.
+func TestNewLogger(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger("warn", "json", &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info line emitted at warn level")
+	}
+	if !strings.Contains(out, `"msg":"visible"`) || !strings.Contains(out, `"k":"v"`) {
+		t.Errorf("json output = %q", out)
+	}
+	if _, err := NewLogger("loud", "text", &b); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger("info", "xml", &b); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger("", "", &b); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics series surfaced on /metrics:
+// process health an operator wants next to the service counters. Each maps
+// one runtime name to an exposition suffix appended to the writer's prefix.
+var runtimeSamples = []struct {
+	name   string // runtime/metrics name
+	suffix string
+	kind   string // exposition TYPE
+	help   string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "gauge",
+		"Current number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "gauge",
+		"Bytes of memory occupied by live heap objects."},
+	{"/cpu/classes/gc/pause:cpu-seconds", "go_gc_pause_seconds_total", "counter",
+		"Estimated total CPU seconds spent with the application paused by the GC."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "counter",
+		"Completed GC cycles."},
+}
+
+// WriteRuntimeMetrics samples the Go runtime and writes the process-health
+// series with the given metric prefix (e.g. "halotisd"). Unknown or
+// unsupported series (KindBad on an older runtime) are skipped rather than
+// rendered wrong.
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i := range runtimeSamples {
+		samples[i].Name = runtimeSamples[i].name
+	}
+	metrics.Read(samples)
+	for i, rs := range runtimeSamples {
+		fq := prefix + "_" + rs.suffix
+		var v float64
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			v = samples[i].Value.Float64()
+		default:
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", fq, rs.help, fq, rs.kind, fq, v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"halotis/internal/buildinfo"
+	"halotis/internal/obs"
 )
 
 // routeID indexes the per-endpoint request counters.
@@ -19,6 +20,7 @@ const (
 	routeBatch
 	routeHealth
 	routeMetrics
+	routeTraces
 	routeCount
 )
 
@@ -29,6 +31,7 @@ var routeNames = [routeCount]string{
 	routeBatch:    "batch",
 	routeHealth:   "healthz",
 	routeMetrics:  "metrics",
+	routeTraces:   "traces",
 }
 
 // metrics aggregates the daemon's counters; everything is atomic so the
@@ -47,6 +50,22 @@ type metrics struct {
 	simErrors atomic.Uint64
 	simEvents atomic.Uint64
 	simBusyNs atomic.Int64
+
+	// Latency distributions (seconds): end-to-end per endpoint, time spent
+	// queued before a job started, and wall time inside the kernel.
+	latency   [routeCount]*obs.Histogram
+	queueWait *obs.Histogram
+	kernelRun *obs.Histogram
+}
+
+// init builds the histogram storage; the struct is embedded in Server, so
+// the pointers cannot be set at literal-construction time.
+func (m *metrics) init() {
+	for r := range m.latency {
+		m.latency[r] = obs.NewHistogram(obs.LatencyBuckets()...)
+	}
+	m.queueWait = obs.NewHistogram(obs.LatencyBuckets()...)
+	m.kernelRun = obs.NewHistogram(obs.LatencyBuckets()...)
 }
 
 // recordRun accounts one kernel run (successful or not).
@@ -60,7 +79,7 @@ func (m *metrics) recordRun(events uint64, busy time.Duration, err error) {
 }
 
 // write renders the Prometheus text exposition of the daemon's state.
-func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats, queue QueueStats) {
+func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats, queue QueueStats, traces *obs.Recorder) {
 	gauge := func(name string, v float64, help string) {
 		fmt.Fprintf(w, "# HELP halotisd_%s %s\n# TYPE halotisd_%s gauge\nhalotisd_%s %g\n",
 			name, help, name, name, v)
@@ -123,4 +142,21 @@ func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats,
 	counter("queue_expired_total", queue.Expired, "Jobs dropped at dequeue because their deadline died while queued.")
 	gauge("queue_in_flight", float64(queue.InFlight), "Jobs currently executing on workers.")
 	gauge("queue_peak_in_flight", float64(queue.PeakInFlight), "High-water mark of concurrently executing jobs.")
+
+	obs.WriteHistogramHeader(w, "halotisd_request_duration_seconds", "End-to-end request latency by endpoint, seconds.")
+	for r := routeID(0); r < routeCount; r++ {
+		m.latency[r].WriteSeries(w, "halotisd_request_duration_seconds", fmt.Sprintf("endpoint=%q", routeNames[r]))
+	}
+	m.queueWait.Write(w, "halotisd_queue_wait_seconds", "Time jobs spent queued before a worker started them, seconds.")
+	m.kernelRun.Write(w, "halotisd_kernel_run_seconds", "Wall time of individual kernel runs, seconds.")
+
+	if traces != nil {
+		started, spans, dropped, retained := traces.Stats()
+		counter("traces_started_total", started, "Traces recorded (one per traced request arriving at this node).")
+		counter("trace_spans_total", spans, "Spans recorded across all traces.")
+		counter("trace_spans_dropped_total", dropped, "Spans dropped by the per-trace span bound.")
+		gauge("traces_retained", float64(retained), "Traces currently held in the in-memory ring.")
+	}
+
+	obs.WriteRuntimeMetrics(w, "halotisd")
 }

@@ -40,7 +40,11 @@ func (s ResultCacheStats) HitRate() float64 {
 // excluded for the same reason: the partitioned kernel is bit-identical to
 // the sequential one, so the count changes how fast a result arrives, never
 // what it is — requests differing only in partition count share a cache
-// entry (they do get distinct engine pools; see sim.PoolKey).
+// entry (they do get distinct engine pools; see sim.PoolKey). Profile IS
+// included, despite not changing the simulation outcome: it changes the
+// report's shape (Report.Profile), and the profile is execution-specific —
+// a profile-asking request must not be answered by a profile-less cached
+// report or vice versa.
 func resultKey(circuitID string, st sim.Stimulus, req *api.Request, key sim.PoolKey) string {
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	b := func(v bool) string {
@@ -56,7 +60,7 @@ func resultKey(circuitID string, st sim.Stimulus, req *api.Request, key sim.Pool
 		g(key.MinPulse),
 		strconv.FormatUint(key.MaxEvents, 10),
 		g(req.TEnd),
-		b(req.Activity), b(req.Power), b(req.VCD),
+		b(req.Activity), b(req.Power), b(req.VCD), b(req.Profile),
 		strconv.Itoa(len(req.Waveforms)),
 	}
 	parts = append(parts, req.Waveforms...)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"halotis/api"
+	"halotis/internal/obs"
 )
 
 // Server is the simulation service: an http.Handler plus the cache, engine
@@ -23,6 +25,8 @@ type Server struct {
 	results *resultCache
 	queue   *workerPool
 	met     metrics
+	traces  *obs.Recorder
+	log     *slog.Logger
 	mux     *http.ServeMux
 }
 
@@ -34,24 +38,100 @@ func New(cfg Config) *Server {
 		cache:   newCircuitCache(cfg.Lib, cfg.CacheSize, cfg.EnginePoolSize, cfg.ReplicaID),
 		results: newResultCache(cfg.ResultCacheSize),
 		queue:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		traces:  obs.NewRecorder(cfg.ReplicaID, cfg.TraceCapacity),
+		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
 	}
 	s.met.start = time.Now()
 	s.met.replica = cfg.ReplicaID
-	s.mux.HandleFunc("POST /v1/circuits", s.handleUpload)
-	s.mux.HandleFunc("GET /v1/circuits", s.handleList)
-	s.mux.HandleFunc("GET /v1/circuits/{id}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/circuits/{id}", s.handleEvict)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/simulate/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.met.init()
+	s.mux.HandleFunc("POST /v1/circuits", s.route(routeUpload, s.handleUpload))
+	s.mux.HandleFunc("GET /v1/circuits", s.route(routeCircuits, s.handleList))
+	s.mux.HandleFunc("GET /v1/circuits/{id}", s.route(routeCircuits, s.handleGet))
+	s.mux.HandleFunc("DELETE /v1/circuits/{id}", s.route(routeCircuits, s.handleEvict))
+	s.mux.HandleFunc("POST /v1/simulate", s.route(routeSimulate, s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/simulate/batch", s.route(routeBatch, s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.route(routeHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.route(routeMetrics, s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/traces", s.route(routeTraces, s.handleTraces))
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.route(routeTraces, s.handleTrace))
 	return s
 }
 
+// route counts and times one endpoint's requests: the per-endpoint counter
+// and latency histogram are observed here, inside the mux (middleware
+// cannot know which pattern matched).
+func (s *Server) route(r routeID, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		s.met.requests[r].Add(1)
+		start := time.Now()
+		h(w, req)
+		s.met.latency[r].Observe(time.Since(start).Seconds())
+	}
+}
+
 // Handler returns the HTTP handler serving the API: the route mux behind
-// the deadline-budget middleware.
-func (s *Server) Handler() http.Handler { return s.withBudget(s.mux) }
+// the deadline-budget middleware, behind the tracing middleware — so even
+// requests shed at admission (budget already expired) carry a trace ID.
+func (s *Server) Handler() http.Handler { return s.withTrace(s.withBudget(s.mux)) }
+
+// statusWriter captures the response status for spans and request logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// withTrace activates tracing for requests arriving with a Halotis-Trace
+// header: the request context carries the trace identity, a root
+// "replica.request" span brackets the whole request, and the completed
+// request is logged with its trace ID. Untraced requests pay one header
+// lookup and are logged at debug only.
+func (s *Server) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID, parent, traced := api.TraceFrom(r.Header)
+		lvl := slog.LevelDebug
+		if traced {
+			lvl = slog.LevelInfo
+		}
+		if !traced && !s.log.Enabled(r.Context(), lvl) {
+			next.ServeHTTP(w, r) // nothing to record: the untraced fast path
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		var sp *obs.Span
+		if traced {
+			ctx := obs.WithTrace(r.Context(), s.traces, traceID, parent)
+			ctx, sp = obs.Start(ctx, "replica.request")
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("path", r.URL.Path)
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(sw, r)
+		if sp != nil {
+			sp.SetAttr("status", strconv.Itoa(sw.status))
+			sp.End()
+		}
+		if sw.status >= 500 {
+			lvl = slog.LevelWarn
+		}
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(start)),
+		}
+		if traced {
+			attrs = append(attrs, slog.String("trace_id", traceID))
+		}
+		s.log.LogAttrs(r.Context(), lvl, "request", attrs...)
+	})
+}
 
 // withBudget applies the propagated deadline budget (api.BudgetHeader):
 // requests arriving with an already-expired budget are shed at admission
@@ -67,7 +147,7 @@ func (s *Server) withBudget(next http.Handler) http.Handler {
 		}
 		if budget <= 0 {
 			s.met.deadlineShed.Add(1)
-			s.writeError(w, http.StatusGatewayTimeout,
+			s.writeError(w, r, http.StatusGatewayTimeout,
 				api.DeadlineExceededf("budget expired before admission (%s %s)", r.Method, r.URL.Path))
 			return
 		}
@@ -121,11 +201,14 @@ func codeForStatus(status int, err error) string {
 	return api.CodeRunFailed
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	s.met.httpErrors.Add(1)
 	resp := ErrorResponse{Error: err.Error(), Code: codeForStatus(status, err), Replica: s.cfg.ReplicaID}
 	if ra, ok := api.RetryAfter(err); ok && ra > 0 {
 		resp.RetryAfterMs = ra.Milliseconds()
+	}
+	if tid, _, ok := obs.ContextTrace(r.Context()); ok {
+		resp.TraceID = tid
 	}
 	s.writeJSON(w, status, resp)
 }
@@ -135,9 +218,9 @@ const retryAfter = time.Second
 
 // writeBusy maps queue admission failures to 503 with a retry hint, typed
 // as ErrOverloaded on the wire.
-func (s *Server) writeBusy(w http.ResponseWriter, err error) {
+func (s *Server) writeBusy(w http.ResponseWriter, r *http.Request, err error) {
 	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
-	s.writeError(w, http.StatusServiceUnavailable, &api.OverloadedError{RetryAfter: retryAfter, Cause: err})
+	s.writeError(w, r, http.StatusServiceUnavailable, &api.OverloadedError{RetryAfter: retryAfter, Cause: err})
 }
 
 // simStatus maps a run error to an HTTP status via the error taxonomy:
@@ -206,19 +289,23 @@ func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, job func(
 		err    error
 	}
 	ch := make(chan out, 1)
+	submitted := time.Now()
 	if err := s.queue.SubmitTask(r.Context(), func() {
+		wait := time.Since(submitted)
+		s.met.queueWait.Observe(wait.Seconds())
+		obs.Record(r.Context(), "queue.wait", submitted, wait, nil)
 		v, status, err := job()
 		ch <- out{v, status, err}
 	}, func(cause error) {
 		ch <- out{nil, http.StatusGatewayTimeout, shedError(cause, "while queued")}
 	}); err != nil {
-		s.writeBusy(w, err)
+		s.writeBusy(w, r, err)
 		return
 	}
 	select {
 	case o := <-ch:
 		if o.err != nil {
-			s.writeError(w, o.status, o.err)
+			s.writeError(w, r, o.status, o.err)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, o.v)
@@ -234,30 +321,43 @@ func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, job func(
 		select {
 		case o := <-ch:
 			if o.err != nil {
-				s.writeError(w, o.status, o.err)
+				s.writeError(w, r, o.status, o.err)
 				return
 			}
 			s.writeJSON(w, http.StatusOK, o.v)
 		default:
-			s.writeError(w, http.StatusGatewayTimeout,
+			s.writeError(w, r, http.StatusGatewayTimeout,
 				shedError(r.Context().Err(), "before the job finished"))
 		}
 	}
 }
 
 // resolve finds the target circuit: by cached ID, or by registering inline
-// netlist text exactly as an upload would.
-func (s *Server) resolve(id, netlistText, format string) (*cacheEntry, int, error) {
+// netlist text exactly as an upload would. The "compile" span covers both
+// paths — its "source" attribute tells a cache lookup from an inline
+// parse+compile.
+func (s *Server) resolve(ctx context.Context, id, netlistText, format string) (*cacheEntry, int, error) {
+	_, sp := obs.Start(ctx, "compile")
+	defer sp.End()
 	if id != "" {
+		sp.SetAttr("source", "cache")
 		ent, ok := s.cache.Get(id)
 		if !ok {
-			return nil, http.StatusNotFound, api.NotFoundf("unknown circuit %q", id)
+			err := api.NotFoundf("unknown circuit %q", id)
+			sp.Fail(err)
+			return nil, http.StatusNotFound, err
 		}
 		return ent, 0, nil
 	}
-	ent, _, err := s.cache.Add(netlistText, format, "")
+	sp.SetAttr("source", "inline")
+	ent, cached, err := s.cache.Add(netlistText, format, "")
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, api.InvalidRequestf("parse netlist: %v", err)
+		err = api.InvalidRequestf("parse netlist: %v", err)
+		sp.Fail(err)
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	if cached {
+		sp.SetAttr("source", "inline-cached")
 	}
 	return ent, 0, nil
 }
@@ -265,10 +365,9 @@ func (s *Server) resolve(id, netlistText, format string) (*cacheEntry, int, erro
 // --- handlers ---
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeUpload].Add(1)
 	req, err := DecodeUploadRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.submitAndWait(w, r, func() (any, int, error) {
@@ -281,41 +380,50 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeCircuits].Add(1)
 	s.writeJSON(w, http.StatusOK, s.cache.List())
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeCircuits].Add(1)
 	ent, ok := s.cache.Get(r.PathValue("id"))
 	if !ok {
-		s.writeError(w, http.StatusNotFound, api.NotFoundf("unknown circuit %q", r.PathValue("id")))
+		s.writeError(w, r, http.StatusNotFound, api.NotFoundf("unknown circuit %q", r.PathValue("id")))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ent.info)
 }
 
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeCircuits].Add(1)
 	if !s.cache.Evict(r.PathValue("id")) {
-		s.writeError(w, http.StatusNotFound, api.NotFoundf("unknown circuit %q", r.PathValue("id")))
+		s.writeError(w, r, http.StatusNotFound, api.NotFoundf("unknown circuit %q", r.PathValue("id")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.traces.Traces())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.traces.Trace(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, api.NotFoundf("unknown trace %q", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, tr)
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeSimulate].Add(1)
 	req, err := DecodeSimRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.runCtx(r.Context(), req.TimeoutMs)
 	defer cancel()
 
 	s.submitAndWait(w, r, func() (any, int, error) {
-		ent, status, err := s.resolve(req.Circuit, req.Netlist, req.Format)
+		ent, status, err := s.resolve(ctx, req.Circuit, req.Netlist, req.Format)
 		if err != nil {
 			return nil, status, err
 		}
@@ -336,10 +444,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // midway. The coordinator is the HTTP handler goroutine, never a worker,
 // so waiting cannot deadlock the pool.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeBatch].Add(1)
 	req, err := DecodeBatchRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 
@@ -350,20 +457,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		err    error
 	}
 	rch := make(chan resolved, 1)
+	submitted := time.Now()
 	if err := s.queue.SubmitTask(r.Context(), func() {
-		ent, status, err := s.resolve(req.Circuit, req.Netlist, req.Format)
+		wait := time.Since(submitted)
+		s.met.queueWait.Observe(wait.Seconds())
+		obs.Record(r.Context(), "queue.wait", submitted, wait, nil)
+		ent, status, err := s.resolve(r.Context(), req.Circuit, req.Netlist, req.Format)
 		rch <- resolved{ent, status, err}
 	}, func(cause error) {
 		rch <- resolved{nil, http.StatusGatewayTimeout, shedError(cause, "while queued")}
 	}); err != nil {
-		s.writeBusy(w, err)
+		s.writeBusy(w, r, err)
 		return
 	}
 	var ent *cacheEntry
 	select {
 	case o := <-rch:
 		if o.err != nil {
-			s.writeError(w, o.status, o.err)
+			s.writeError(w, r, o.status, o.err)
 			return
 		}
 		ent = o.ent
@@ -443,7 +554,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if idx, err := api.FirstFailure(errs); err != nil {
-		s.writeError(w, simStatus(err), fmt.Errorf("requests[%d]: %w", idx, err))
+		s.writeError(w, r, simStatus(err), fmt.Errorf("requests[%d]: %w", idx, err))
 		return
 	}
 	resp := &BatchResponse{Circuit: ent.info.ID, Reports: make([]Report, n)}
@@ -454,7 +565,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeHealth].Add(1)
 	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.met.start).Seconds(),
@@ -466,9 +576,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.met.requests[routeMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.cache.Stats(), s.results.Stats(), s.queue.Stats())
+	s.met.write(w, s.cache.Stats(), s.results.Stats(), s.queue.Stats(), s.traces)
 }
 
 // --- run execution ---
@@ -485,6 +594,7 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 	if err != nil {
 		return nil, err
 	}
+	traceID, _, traced := obs.ContextTrace(ctx)
 	key := req.Options().PoolKey()
 	// The event guard bounds how long one request pins a worker; the
 	// operator's cap beats whatever the client asked for.
@@ -493,20 +603,49 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 	}
 	ck := resultKey(ent.info.ID, st, req, key)
 	if rep, ok := s.results.Get(ck); ok {
+		rep.TraceID = traceID // Get returned a copy; the cached entry stays clean
 		return rep, nil
 	}
 
+	_, spAcq := obs.Start(ctx, "engine.acquire")
 	eng := ent.pools.Acquire(key)
+	spAcq.End()
+	// Profiling is per-request run state on a pooled engine: set it for
+	// this run, clear it before release so the pool stays profile-free.
+	if req.Profile {
+		eng.SetProfiling(true)
+	}
+
+	_, spRun := obs.Start(ctx, "kernel.run")
 	res, err := eng.RunContext(ctx, st, req.TEnd)
 	if err != nil {
+		spRun.Fail(err)
+		spRun.End()
+		eng.SetProfiling(false)
 		ent.pools.Release(key, eng)
 		s.met.recordRun(0, 0, err)
 		return nil, api.MapRunError(err)
 	}
+	if spRun != nil {
+		spRun.SetAttr("events", strconv.FormatUint(res.Stats.EventsProcessed, 10))
+		spRun.End()
+	}
 	s.met.recordRun(res.Stats.EventsProcessed, res.Elapsed, nil)
+	s.met.kernelRun.Observe(res.Elapsed.Seconds())
+
+	_, spRep := obs.Start(ctx, "report.build")
 	rep := api.BuildReport(ent.ir, ent.info.ID, res, req)
+	spRep.End()
 	rep.Replica = s.cfg.ReplicaID
+	eng.SetProfiling(false)
 	ent.pools.Release(key, eng)
 	s.results.Put(ck, rep)
-	return rep, nil
+	if !traced {
+		return rep, nil
+	}
+	// The cached report must stay trace-free (a later hit belongs to a
+	// different trace); echo the ID on a copy.
+	cp := *rep
+	cp.TraceID = traceID
+	return &cp, nil
 }

@@ -306,8 +306,14 @@ func TestServiceBatchFansOut(t *testing.T) {
 		t.Fatalf("batch returned %d reports, want %d", len(batch.Reports), jobs)
 	}
 
+	// resolve job + one job per request, every one through the queue. The
+	// executed counter bumps after the job's result is delivered, so the
+	// response can arrive a beat before the final increment — poll briefly.
 	qs := s.QueueStats()
-	// resolve job + one job per request, every one through the queue.
+	for wait := time.Millisecond; qs.Executed-executedBefore < jobs+1 && wait < time.Second; wait *= 2 {
+		time.Sleep(wait)
+		qs = s.QueueStats()
+	}
 	if got := qs.Executed - executedBefore; got != jobs+1 {
 		t.Errorf("batch executed %d queue jobs, want %d (1 resolve + %d runs)", got, jobs+1, jobs)
 	}

@@ -37,14 +37,17 @@
 // Endpoints (see server.go): POST /v1/circuits (upload+compile), GET
 // /v1/circuits[/{id}] (list/inspect), DELETE /v1/circuits/{id} (evict),
 // POST /v1/simulate and /v1/simulate/batch (run; waveforms, activity,
-// power, VCD on request), GET /healthz and GET /metrics.
+// power, VCD on request), GET /v1/traces[/{id}] (recorded request traces),
+// GET /healthz and GET /metrics.
 package service
 
 import (
+	"log/slog"
 	"runtime"
 	"time"
 
 	"halotis/internal/cellib"
+	"halotis/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field has
@@ -86,6 +89,15 @@ type Config struct {
 	// kernel's oscillation guard, i.e. the bound on how long one request
 	// can pin a worker); 0 means uncapped beyond the engine default.
 	MaxEvents uint64
+	// Logger receives the server's structured request and error logs,
+	// stamped with trace IDs when the request was traced. Default: a
+	// discard logger, so embedding the service costs no log formatting
+	// unless the operator opts in (halotisd -log-level/-log-format).
+	Logger *slog.Logger
+	// TraceCapacity bounds the in-memory trace ring served by GET
+	// /v1/traces: the newest TraceCapacity traces are retained. Default
+	// obs.DefaultTraceCapacity (256).
+	TraceCapacity int
 }
 
 func (c *Config) setDefaults() {
@@ -112,5 +124,11 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = obs.DefaultTraceCapacity
 	}
 }

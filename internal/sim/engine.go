@@ -69,8 +69,9 @@ type Engine struct {
 	st  Stats
 	res Result // reused result storage returned by Run
 
-	part     *partRun // partitioned-execution state, built on first use
-	fireHook func(pin int32, t float64)
+	part      *partRun // partitioned-execution state, built on first use
+	fireHook  func(pin int32, t float64)
+	profiling bool // materialize Result.Profile (see SetProfiling)
 }
 
 // NewEngine prepares a reusable engine for the circuit.
@@ -99,6 +100,7 @@ func newEngineFromIR(ir *circ.Compiled, opt Options) *Engine {
 		outTarget:    make([]bool, ir.NumGates()),
 		lastOutStart: make([]float64, ir.NumGates()),
 		netVals:      make([]bool, ir.NumNets()),
+		profiling:    opt.Profile,
 	}
 	return e
 }
@@ -228,6 +230,17 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 		EndTime: tEnd,
 		ir:      e.ir,
 		wfs:     e.wfs,
+	}
+	if e.profiling {
+		// The sequential kernel is one "worker" with no partition
+		// boundaries to stall on or message across.
+		e.res.Profile = &Profile{
+			Partitions: 1,
+			Workers: []WorkerProfile{{
+				Partition:       0,
+				EventsProcessed: e.st.EventsProcessed,
+			}},
+		}
 	}
 	return &e.res, nil
 }
@@ -368,3 +381,11 @@ func (e *Engine) delayFor(g, pin, out int32, ev event, now float64, newTarget bo
 // default) costs one predicted branch per event. Not honored by the
 // partitioned path.
 func (e *Engine) SetFireHook(h func(pin int32, t float64)) { e.fireHook = h }
+
+// SetProfiling toggles per-run kernel profiling on a live engine: when on,
+// the next Run's Result.Profile carries per-worker counters (see Profile).
+// Pooled engines are profiled per request this way — profiling is run
+// state, not identity, so it does not fragment engine pools. When off (the
+// default) no profile is materialized and the steady-state run path
+// performs zero allocations, exactly as without the feature.
+func (e *Engine) SetProfiling(on bool) { e.profiling = on }

@@ -118,11 +118,15 @@ type boundaryMsg struct {
 type mailbox struct {
 	mu  sync.Mutex
 	buf []boundaryMsg
+	hw  int // deepest the buffer grew between drains (profiling counter)
 }
 
 func (m *mailbox) send(msg boundaryMsg) {
 	m.mu.Lock()
 	m.buf = append(m.buf, msg)
+	if len(m.buf) > m.hw {
+		m.hw = len(m.buf)
+	}
 	m.mu.Unlock()
 }
 
@@ -162,6 +166,13 @@ type partWorker struct {
 	now float64
 	st  Stats
 	err error
+
+	// Profiling counters (see Profile). Plain fields owned by this worker,
+	// counted unconditionally — both sit on cold paths (stalls, boundary
+	// sends), never in the per-event loop — and materialized into
+	// Result.Profile only when profiling is enabled.
+	stallWaits   uint64
+	mailboxSends uint64
 }
 
 // partRun is an engine's reusable partitioned-execution state for one
@@ -210,10 +221,13 @@ func (pr *partRun) reset() {
 		w.now = 0
 		w.st = Stats{}
 		w.err = nil
+		w.stallWaits = 0
+		w.mailboxSends = 0
 		w.clockPin.Store(0)
 		w.clockTime.Store(0)
 		for _, mb := range w.inbox {
 			mb.buf = mb.buf[:0] // no workers are running between runs
+			mb.hw = 0
 		}
 	}
 }
@@ -269,6 +283,25 @@ func (e *Engine) runPartitioned(ctx context.Context, st Stimulus, tEnd float64, 
 		EndTime: tEnd,
 		ir:      e.ir,
 		wfs:     e.wfs,
+	}
+	if e.profiling {
+		prof := &Profile{Partitions: pt.K, Workers: make([]WorkerProfile, len(pr.workers))}
+		for i, w := range pr.workers {
+			hw := 0
+			for _, mb := range w.inbox {
+				if mb.hw > hw { // workers have joined; no locks needed
+					hw = mb.hw
+				}
+			}
+			prof.Workers[i] = WorkerProfile{
+				Partition:        int(w.part),
+				EventsProcessed:  w.st.EventsProcessed,
+				StallWaits:       w.stallWaits,
+				MailboxSends:     w.mailboxSends,
+				MailboxHighWater: hw,
+			}
+		}
+		e.res.Profile = prof
 	}
 	return &e.res, nil
 }
@@ -382,6 +415,7 @@ func (w *partWorker) run(ctx context.Context, pr *partRun, tEnd float64) {
 					w.part, w.now, w.st.EventsProcessed, ctx.Err()))
 				return
 			}
+			w.stallWaits++
 			backoff(idle)
 			idle++
 		}
@@ -510,6 +544,7 @@ func (w *partWorker) emit(net int32, start, slew float64, rising bool) {
 			continue
 		}
 		sent = append(sent, dst)
+		w.mailboxSends++
 		w.outbox[dst].send(boundaryMsg{net: net, rising: rising, start: start, slew: slew, v0: tr.V0})
 	}
 	w.sent = sent[:0]

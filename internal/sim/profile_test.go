@@ -1,0 +1,150 @@
+package sim_test
+
+import (
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/circuits"
+	"halotis/internal/sim"
+	"halotis/internal/stimuli"
+)
+
+// profileWorkload is a circuit busy enough that every partition of a
+// 4-way cut processes events.
+func profileWorkload(t *testing.T) (*sim.Engine, func(parts int) *sim.Engine, sim.Stimulus, float64) {
+	t.Helper()
+	lib := cellib.Default06()
+	ckt, err := circuits.RandomCombinational(lib, circuits.RandomOptions{Inputs: 16, Gates: 600, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stimuli.RandomStimulusFor(ckt, 5, 4.0, 0.2, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(parts int) *sim.Engine {
+		return sim.NewEngine(ckt, sim.Options{Partitions: parts, Profile: true})
+	}
+	return mk(1), mk, st, 30.0
+}
+
+// TestProfileSequential: a profiled sequential run reports one worker
+// whose event count is exactly the run's Stats.EventsProcessed.
+func TestProfileSequential(t *testing.T) {
+	eng, _, st, tEnd := profileWorkload(t)
+	res, err := eng.Run(st, tEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("profiled run returned no Profile")
+	}
+	if p.Partitions != 1 || len(p.Workers) != 1 {
+		t.Fatalf("sequential profile = %d partitions, %d workers, want 1/1", p.Partitions, len(p.Workers))
+	}
+	w := p.Workers[0]
+	if w.Partition != 0 {
+		t.Errorf("worker partition = %d, want 0", w.Partition)
+	}
+	if w.EventsProcessed != res.Stats.EventsProcessed {
+		t.Errorf("worker events = %d, want Stats.EventsProcessed %d", w.EventsProcessed, res.Stats.EventsProcessed)
+	}
+	if w.StallWaits != 0 || w.MailboxSends != 0 || w.MailboxHighWater != 0 {
+		t.Errorf("sequential worker has partition-only counters: %+v", w)
+	}
+}
+
+// TestProfilePartitioned: a profiled partitioned run reports one worker
+// per partition whose event counts sum to the run's total, boundary sends
+// happen (the cut is real), and the counters reset between runs on a
+// reused engine.
+func TestProfilePartitioned(t *testing.T) {
+	_, mk, st, tEnd := profileWorkload(t)
+	const parts = 4
+	eng := mk(parts)
+	res, err := eng.Run(st, tEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("profiled run returned no Profile")
+	}
+	if p.Partitions != parts || len(p.Workers) != parts {
+		t.Fatalf("profile = %d partitions, %d workers, want %d/%d", p.Partitions, len(p.Workers), parts, parts)
+	}
+	var sum, sends uint64
+	for i, w := range p.Workers {
+		if w.Partition != i {
+			t.Errorf("worker %d labeled partition %d", i, w.Partition)
+		}
+		sum += w.EventsProcessed
+		sends += w.MailboxSends
+	}
+	if sum != res.Stats.EventsProcessed {
+		t.Errorf("per-worker events sum to %d, want Stats.EventsProcessed %d", sum, res.Stats.EventsProcessed)
+	}
+	if sends == 0 {
+		t.Error("no mailbox sends across a 4-way cut of a connected circuit")
+	}
+
+	// Reuse: the same run on the same engine reports identical event
+	// splits (the counters reset, they don't accumulate).
+	again, err := eng.Run(st, tEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Workers {
+		if got, want := again.Profile.Workers[i].EventsProcessed, p.Workers[i].EventsProcessed; got != want {
+			t.Errorf("worker %d events drifted across reuse: %d then %d", i, want, got)
+		}
+	}
+}
+
+// TestProfileOffIsFree: without profiling the result carries no profile,
+// and toggling profiling on and back off (what the pooled per-request path
+// does) returns the engine to the zero-allocation steady state.
+func TestProfileOffIsFree(t *testing.T) {
+	lib := cellib.Default06()
+	ckt, err := circuits.RandomCombinational(lib, circuits.RandomOptions{Inputs: 8, Gates: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stimuli.RandomStimulusFor(ckt, 3, 4.0, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(ckt, sim.Options{})
+	res, err := eng.Run(st, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Fatal("unprofiled run returned a Profile")
+	}
+
+	// One profiled request in the middle, as the engine pool does it.
+	eng.SetProfiling(true)
+	res, err = eng.Run(st, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("SetProfiling(true) run returned no Profile")
+	}
+	eng.SetProfiling(false)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		res, err := eng.Run(st, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Profile != nil {
+			t.Fatal("profiling stayed on after SetProfiling(false)")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state allocs/run after a profiled run = %g, want 0", allocs)
+	}
+}

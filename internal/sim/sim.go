@@ -77,6 +77,12 @@ type Options struct {
 	// wrapping ctx.Err(). The explicit-context entry points
 	// (Engine.RunContext, RunBatchContext) override it.
 	Ctx context.Context
+	// Profile enables per-run kernel profiling: Result.Profile carries
+	// per-worker counters (events popped, horizon-stall waits, mailbox
+	// sends and depth high-water). Off by default; the disabled path
+	// preserves the engine's zero-allocation steady state. Togglable per
+	// run on a live engine via Engine.SetProfiling.
+	Profile bool
 }
 
 // Defaults applied by setDefaults. DefaultMinPulse and DefaultMaxEvents
@@ -168,6 +174,9 @@ type Result struct {
 	Elapsed time.Duration
 	// EndTime is the simulated horizon in ns.
 	EndTime float64
+	// Profile holds per-worker kernel counters when profiling was enabled
+	// for the run (Options.Profile / Engine.SetProfiling); nil otherwise.
+	Profile *Profile
 
 	ir  *circ.Compiled
 	wfs []*wave.Waveform

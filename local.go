@@ -146,12 +146,20 @@ func (s *localSession) runOne(ctx context.Context, req *Request) (*Report, error
 
 	key := req.Options().PoolKey()
 	eng := s.pool.Acquire(key)
+	// Profiling is per-run state, not pool identity: toggle it on the
+	// pooled engine for this request and clear it before the engine goes
+	// back, so a later profile-less request reuses the engine untouched.
+	if req.Profile {
+		eng.SetProfiling(true)
+	}
 	res, err := eng.RunContext(ctx, st, req.TEnd)
 	if err != nil {
+		eng.SetProfiling(false)
 		s.pool.Release(key, eng)
 		return nil, api.MapRunError(err)
 	}
 	rep := api.BuildReport(ir, s.info.ID, res, req)
+	eng.SetProfiling(false)
 	s.pool.Release(key, eng)
 	return rep, nil
 }
