@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-smoke fuzz-smoke chaos-smoke partition-smoke obs-smoke paper apicheck apicheck-update service-smoke cluster-smoke
+.PHONY: all build test test-race vet lint fmt-check bench bench-smoke fuzz-smoke chaos-smoke partition-smoke obs-smoke paper apicheck apicheck-update service-smoke cluster-smoke
 
-all: build vet fmt-check test apicheck
+all: build lint fmt-check test apicheck
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus halotislint, the in-tree analyzer suite that
+# enforces the kernel's determinism, zero-alloc, and deadline contracts
+# (see internal/analysis and the Static analysis section of the README).
+lint: vet
+	$(GO) run ./cmd/halotislint ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -57,7 +57,10 @@ func isTransport(err error) bool {
 // request says nothing about the replica's health.
 func (c *Cluster) noteFailure(ctx context.Context, r *replica, err error) {
 	if isTransport(err) && ctx.Err() == nil {
-		c.log.LogAttrs(context.Background(), slog.LevelWarn, "replica marked down (passive)",
+		// Log with the request's context so the slog handler can correlate
+		// the markdown with the trace that triggered it; the guard above
+		// already ensured the context is still live.
+		c.log.LogAttrs(ctx, slog.LevelWarn, "replica marked down (passive)",
 			slog.String("replica", r.id),
 			slog.String("addr", r.addr),
 			slog.String("error", err.Error()))

@@ -148,6 +148,8 @@ func (c *Cluster) route(id routeID, h http.HandlerFunc) http.HandlerFunc {
 // handleTraces lists the router's recorded traces, newest first. Each
 // trace holds only the router's own spans; the replicas serve theirs
 // under the same trace ID from their own /v1/traces.
+//
+//halotis:noctx serves the router's in-memory trace ring; no downstream work
 func (c *Cluster) handleTraces(w http.ResponseWriter, r *http.Request) {
 	c.writeJSON(w, http.StatusOK, c.traces.Traces())
 }
@@ -439,6 +441,8 @@ func (c *Cluster) handleEvict(w http.ResponseWriter, r *http.Request) {
 // "degraded" when some are, "unavailable" when none is. Queue depth and
 // workers sum across healthy replicas; the circuit count is the maximum
 // over replicas (replication makes a sum overcount).
+//
+//halotis:noctx aggregates cached probe state; no downstream calls to bound
 func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := api.HealthResponse{UptimeSeconds: time.Since(c.start).Seconds()}
 	healthy := 0
@@ -467,10 +471,12 @@ func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
 	c.writeJSON(w, http.StatusOK, resp)
 }
 
+//halotis:noctx renders in-memory placement state; no downstream work
 func (c *Cluster) handleTopology(w http.ResponseWriter, r *http.Request) {
 	c.writeJSON(w, http.StatusOK, c.Topology())
 }
 
+//halotis:noctx renders in-memory counters; no downstream work
 func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	c.met.write(w, c)

@@ -1,0 +1,132 @@
+// Command halotislint is the HALOTIS multichecker: it runs the
+// internal/analysis suite — determinism, noalloc, ctxflow, metricreg,
+// wiretags — over the module and exits non-zero on any finding.
+//
+// Usage:
+//
+//	halotislint [-list] [-run name,name] [pattern ...]
+//
+// Patterns are import-path prefixes or the literal ./... (the default);
+// the whole module is always loaded and type-checked (analyzers need the
+// full in-module import graph), patterns only select which packages'
+// findings are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"halotis/internal/analysis"
+	"halotis/internal/buildinfo"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: halotislint [-list] [-run name,name] [pattern ...]\n\nAnalyzers:\n")
+		for _, s := range analysis.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", s.Name, s.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *version {
+		v, rev, goVersion := buildinfo.Info()
+		fmt.Printf("halotislint %s (%s, %s)\n", v, rev, goVersion)
+		return
+	}
+	if *list {
+		for _, s := range analysis.Suite() {
+			scope := "all packages"
+			if len(s.Paths) > 0 {
+				scope = strings.Join(s.Paths, ", ")
+			}
+			fmt.Printf("%-12s %s\n%14s scope: %s\n", s.Name, s.Doc, "", scope)
+		}
+		return
+	}
+
+	suite := analysis.Suite()
+	if *run != "" {
+		names := strings.Split(*run, ",")
+		var sel []analysis.Scoped
+		for _, name := range names {
+			s := analysis.ByName(strings.TrimSpace(name))
+			if s == nil {
+				fmt.Fprintf(os.Stderr, "halotislint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			sel = append(sel, *s)
+		}
+		suite = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halotislint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halotislint:", err)
+		os.Exit(2)
+	}
+
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if !selected(pkg.Path, patterns) {
+			continue
+		}
+		for _, s := range suite {
+			if !s.Matches(pkg.Path) {
+				continue
+			}
+			diags, err := analysis.Run(s.Analyzer, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "halotislint:", err)
+				os.Exit(2)
+			}
+			all = append(all, diags...)
+		}
+	}
+	analysis.SortDiagnostics(all)
+	for _, d := range all {
+		fmt.Println(d)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "halotislint: %d finding(s)\n", len(all))
+		os.Exit(1)
+	}
+}
+
+// selected reports whether an import path matches any pattern. ./... and
+// ... select everything; other patterns match as path prefixes, with or
+// without a trailing /...
+func selected(path string, patterns []string) bool {
+	for _, p := range patterns {
+		p = strings.TrimSuffix(strings.TrimSuffix(p, "/..."), "...")
+		p = strings.TrimSuffix(strings.TrimPrefix(p, "./"), "/")
+		if p == "" || p == "." {
+			return true
+		}
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+		// Allow directory-style patterns relative to the module root
+		// (internal/sim as well as halotis/internal/sim).
+		if full := "halotis/" + p; path == full || strings.HasPrefix(path, full+"/") {
+			return true
+		}
+	}
+	return false
+}

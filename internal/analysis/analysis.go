@@ -1,0 +1,209 @@
+// Package analysis is halotislint's analyzer suite: static checks that
+// promote HALOTIS's runtime contracts — deterministic event order,
+// zero-allocation steady-state hot paths, hop-by-hop deadline propagation,
+// Prometheus metric hygiene, and wire-struct discipline — from test-time
+// luck to build-time law.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built on the standard library alone:
+// the module is deliberately dependency-free, so the suite loads and
+// type-checks packages itself (see Load) instead of importing the x/tools
+// driver. Porting an analyzer to the upstream framework is a mechanical
+// rename.
+//
+// Contracts are annotated and suppressed with //halotis: directives:
+//
+//	//halotis:noalloc              function must not allocate (noalloc)
+//	//halotis:alloc <reason>       allow an allocation inside a noalloc fn
+//	//halotis:ordered <reason>     allow a map range (determinism)
+//	//halotis:wallclock <reason>   allow time.Now/Since (determinism)
+//	//halotis:unordered <reason>   allow a multi-case select (determinism)
+//	//halotis:rootctx <reason>     allow context.Background/TODO (ctxflow)
+//	//halotis:pins <names>         names the functions an AllocsPerRun
+//	                               test pins (checked by the meta-test)
+//
+// Every suppression requires a reason: an exception without a documented
+// why is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the halotislint
+	// command line.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects the package held by pass and reports diagnostics
+	// through pass.Reportf. A non-nil error aborts the run (broken
+	// analyzer, not a lint finding).
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding: a position and a message, stamped with the
+// analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	// directives indexes //halotis: comments by file and line, built
+	// lazily on first suppression lookup.
+	directives map[*ast.File]map[int][]directive
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directive is one parsed //halotis:key reason comment.
+type directive struct {
+	key    string
+	reason string
+}
+
+// Directive is the comment prefix every annotation and suppression uses.
+const Directive = "//halotis:"
+
+// parseDirective splits a comment into a halotis directive, if it is one.
+func parseDirective(text string) (directive, bool) {
+	if !strings.HasPrefix(text, Directive) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, Directive)
+	key, reason, _ := strings.Cut(rest, " ")
+	return directive{key: key, reason: strings.TrimSpace(reason)}, true
+}
+
+// buildDirectives indexes every //halotis: comment of f by line.
+func buildDirectives(fset *token.FileSet, f *ast.File) map[int][]directive {
+	m := map[int][]directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c.Text); ok {
+				line := fset.Position(c.Pos()).Line
+				m[line] = append(m[line], d)
+			}
+		}
+	}
+	return m
+}
+
+// Suppressed reports whether the construct at pos carries the given
+// suppression key on its own line or the line directly above it. A
+// suppression with an empty reason does not suppress — it is reported as a
+// finding of its own, so every exception in the tree documents its why.
+func (p *Pass) Suppressed(pos token.Pos, key string) bool {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int][]directive, len(p.Files))
+	}
+	f := p.fileOf(pos)
+	if f == nil {
+		return false
+	}
+	idx, ok := p.directives[f]
+	if !ok {
+		idx = buildDirectives(p.Fset, f)
+		p.directives[f] = idx
+	}
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range idx[l] {
+			if d.key != key {
+				continue
+			}
+			if d.reason == "" {
+				p.Reportf(pos, "%s%s suppression requires a reason", Directive, key)
+				return true // suppress the original finding; the missing reason is the finding
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether fn's doc comment carries the directive key
+// (e.g. "noalloc").
+func FuncDirective(fn *ast.FuncDecl, key string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parseDirective(c.Text); ok && d.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzer to one loaded package and returns its findings
+// sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

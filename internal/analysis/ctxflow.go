@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the deadline-propagation contract (PR 6) in the
+// request-path packages: a deadline set by the caller must reach every
+// downstream call, hop by hop, with no function quietly restarting the
+// clock.
+//
+//   - A function that receives a context.Context must not call
+//     context.Background() or context.TODO(): doing so severs the caller's
+//     deadline, cancellation, and trace. The one recognized idiom is the
+//     nil guard `if ctx == nil { ctx = context.Background() }` on the
+//     received parameter itself; anything else needs //halotis:rootctx
+//     <reason> (e.g. detached background work that must outlive the
+//     request).
+//   - An HTTP handler (func(http.ResponseWriter, *http.Request)) must
+//     consume its request context: either call r.Context() or hand r to a
+//     helper that does. Handlers with genuinely no downstream work carry
+//     //halotis:noctx <reason>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "enforce hop-by-hop deadline propagation: no context.Background/TODO below a received ctx, handlers consume r.Context()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftyp *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftyp, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftyp, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if params := ctxParams(pass, ftyp); len(params) > 0 {
+				checkNoFreshRoots(pass, params, body)
+			}
+			if req := handlerRequestParam(pass, ftyp); req != nil {
+				checkHandlerConsumesCtx(pass, ftyp, req, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxParams returns the names of ftyp's context.Context parameters.
+func ctxParams(pass *Pass, ftyp *ast.FuncType) map[string]bool {
+	var names map[string]bool
+	for _, field := range ftyp.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if names == nil {
+				names = map[string]bool{}
+			}
+			names[name.Name] = true
+		}
+	}
+	return names
+}
+
+// checkNoFreshRoots flags context.Background/TODO calls in a body that
+// already receives a context, excluding the nil-guard idiom. Nested
+// function literals that declare their own ctx parameter are skipped —
+// they are checked as functions in their own right.
+func checkNoFreshRoots(pass *Pass, ctxNames map[string]bool, body *ast.BlockStmt) {
+	allowed := map[*ast.CallExpr]bool{}
+	// First pass: bless calls inside `if ctx == nil { ctx = context.Background() }`.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		name, ok := nilGuardSubject(ifs.Cond)
+		if !ok || !ctxNames[name] {
+			return true
+		}
+		for _, s := range ifs.Body.List {
+			asg, ok := s.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := asg.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name != name {
+				continue
+			}
+			if call, ok := asg.Rhs[0].(*ast.CallExpr); ok && isContextRoot(pass, call) != "" {
+				allowed[call] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if len(ctxParams(pass, fl.Type)) > 0 {
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := isContextRoot(pass, call)
+		if name == "" || allowed[call] {
+			return true
+		}
+		if pass.Suppressed(call.Pos(), "rootctx") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s() inside a function that receives a context severs the caller's deadline and trace; thread the received ctx through, or mark //halotis:rootctx <why this work must detach>", name)
+		return true
+	})
+}
+
+// isContextRoot returns "Background" or "TODO" if the call is
+// context.Background() or context.TODO(), else "".
+func isContextRoot(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// nilGuardSubject matches `x == nil` (either operand order) and returns x.
+func nilGuardSubject(cond ast.Expr) (string, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return "", false
+	}
+	x, y := be.X, be.Y
+	if id, ok := y.(*ast.Ident); ok && id.Name == "nil" {
+		if sub, ok := x.(*ast.Ident); ok {
+			return sub.Name, true
+		}
+	}
+	if id, ok := x.(*ast.Ident); ok && id.Name == "nil" {
+		if sub, ok := y.(*ast.Ident); ok {
+			return sub.Name, true
+		}
+	}
+	return "", false
+}
+
+// handlerRequestParam returns the *http.Request parameter identifier when
+// ftyp has the HTTP handler shape (http.ResponseWriter, *http.Request).
+func handlerRequestParam(pass *Pass, ftyp *ast.FuncType) *ast.Ident {
+	var flat []*ast.Field
+	for _, f := range ftyp.Params.List {
+		if len(f.Names) == 0 {
+			flat = append(flat, f)
+			continue
+		}
+		for range f.Names {
+			flat = append(flat, f)
+		}
+	}
+	if len(flat) != 2 {
+		return nil
+	}
+	if !isNamedType(pass.TypesInfo.TypeOf(flat[0].Type), "net/http", "ResponseWriter") {
+		return nil
+	}
+	rt := pass.TypesInfo.TypeOf(flat[1].Type)
+	ptr, ok := rt.(*types.Pointer)
+	if !ok || !isNamedType(ptr.Elem(), "net/http", "Request") {
+		return nil
+	}
+	f := ftyp.Params.List[len(ftyp.Params.List)-1]
+	if len(f.Names) == 0 || f.Names[len(f.Names)-1].Name == "_" {
+		return nil // unnamed request: nothing to consume (flagged implicitly by usage review)
+	}
+	return f.Names[len(f.Names)-1]
+}
+
+// checkHandlerConsumesCtx requires the handler body to call r.Context() or
+// pass r onward as a call argument.
+func checkHandlerConsumesCtx(pass *Pass, ftyp *ast.FuncType, req *ast.Ident, body *ast.BlockStmt) {
+	consumed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if consumed {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// r.Context(), r.WithContext(...), r.Clone(...) all consume.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == req.Name && sameObject(pass, id, req) {
+				consumed = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && id.Name == req.Name && sameObject(pass, id, req) {
+				consumed = true
+				return false
+			}
+		}
+		return true
+	})
+	if consumed {
+		return
+	}
+	if pass.Suppressed(ftyp.Pos(), "noctx") {
+		return
+	}
+	pass.Reportf(ftyp.Pos(), "HTTP handler ignores its request context: call %s.Context() or pass %s to a helper so deadlines and traces propagate, or mark //halotis:noctx <why no downstream work>", req.Name, req.Name)
+}
+
+func sameObject(pass *Pass, use, def *ast.Ident) bool {
+	uo := pass.TypesInfo.ObjectOf(use)
+	do := pass.TypesInfo.ObjectOf(def)
+	return uo != nil && uo == do
+}
+
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

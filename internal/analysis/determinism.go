@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the kernel's bit-identical-results contract in the
+// event-kernel packages: simulation output must be a pure function of
+// (circuit, stimulus, options), never of map iteration order, scheduler
+// interleaving, the wall clock, or a process-global RNG.
+//
+//   - range over a map is flagged unless the body only collects the keys
+//     for sorting (the sort-then-iterate idiom) or the site carries
+//     //halotis:ordered <reason>;
+//   - time.Now / time.Since are flagged outside //halotis:wallclock sites
+//     (timing stats such as Result.Elapsed are measurements about a run,
+//     never inputs to one);
+//   - the unseeded process-global math/rand functions are flagged with no
+//     suppression — kernel randomness must flow from a seeded rand.New so
+//     runs are reproducible;
+//   - a select with two or more communication cases is flagged unless
+//     marked //halotis:unordered — ready-case choice is runtime
+//     nondeterminism, which is why the partitioned kernel exchanges
+//     boundary events through mailboxes instead.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag nondeterminism sources (map ranges, wall clock, global rand, multi-case selects) in kernel packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isKeyCollectionRange(rs) {
+		return
+	}
+	if pass.Suppressed(rs.Pos(), "ordered") {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over map %s iterates in nondeterministic order; sort the keys first or mark the site //halotis:ordered <why order cannot reach results>", exprString(rs.X))
+}
+
+// isKeyCollectionRange recognizes the benign sort-then-iterate idiom:
+//
+//	for k := range m { names = append(names, k) }
+//
+// The iteration order is laundered away by the sort that follows, so the
+// range itself cannot leak nondeterminism.
+func isKeyCollectionRange(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || rs.Key == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+func checkWallClock(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if name := fn.Name(); name != "Now" && name != "Since" {
+		return
+	}
+	if pass.Suppressed(call.Pos(), "wallclock") {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.%s reads the wall clock inside the kernel; simulated time must come from the event queue — mark timing-stat sites //halotis:wallclock <reason>", fn.Name())
+}
+
+// globalRandConstructors are the math/rand functions that build an
+// explicitly seeded generator instead of touching the process-global one.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func checkGlobalRand(pass *Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on an explicit *rand.Rand are fine
+	}
+	if globalRandConstructors[fn.Name()] {
+		return
+	}
+	// No suppression: the process-global source is shared, lockstepped
+	// across goroutines, and unseeded — kernel results would stop being a
+	// function of the request.
+	pass.Reportf(sel.Pos(), "rand.%s uses the process-global RNG; kernel randomness must flow from a seeded rand.New(rand.NewSource(seed)) carried in the request", fn.Name())
+}
+
+func checkSelect(pass *Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, cl := range sel.Body.List {
+		if c, ok := cl.(*ast.CaseClause); ok {
+			_ = c // CaseClause never appears in select; defensive
+			continue
+		}
+		if c, ok := cl.(*ast.CommClause); ok && c.Comm != nil {
+			comms++
+		}
+	}
+	if comms < 2 {
+		return
+	}
+	if pass.Suppressed(sel.Pos(), "unordered") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "select with %d communication cases picks a ready case at random; ordering-sensitive kernel channels must not race — mark //halotis:unordered <why order is immaterial> if it truly is", comms)
+}
+
+// calleeFunc resolves a call's callee to its types.Func, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness is a stdlib-only analogue of analysistest: every
+// package under testdata/src/<name> is parsed and type-checked (fixtures
+// import only the standard library), the analyzer under test runs over
+// it, and its diagnostics are matched line-by-line against `// want
+// `regexp`` comments. Every want must be hit and every diagnostic must
+// be wanted.
+
+func TestDeterminismFixture(t *testing.T) { runFixture(t, Determinism, "determinism") }
+func TestNoAllocFixture(t *testing.T)     { runFixture(t, NoAlloc, "noalloc") }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
+func TestMetricRegFixture(t *testing.T)   { runFixture(t, MetricReg, "metricreg") }
+func TestWireTagsFixture(t *testing.T)    { runFixture(t, WireTags, "wiretags") }
+
+// wantPatternRe extracts the backquoted patterns of a // want comment.
+var wantPatternRe = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags, err := Run(a, pkg)
+	if err != nil {
+		t.Fatalf("run %s on fixture %s: %v", a.Name, name, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none",
+				filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// matchWant marks and reports a want matching the diagnostic's file, line
+// and message, preferring one not yet hit.
+func matchWant(wants []*expectation, d Diagnostic) bool {
+	var fallback *expectation
+	for _, w := range wants {
+		if w.file != d.Pos.Filename || w.line != d.Pos.Line || !w.re.MatchString(d.Message) {
+			continue
+		}
+		if !w.hit {
+			w.hit = true
+			return true
+		}
+		fallback = w
+	}
+	return fallback != nil
+}
+
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantPatternRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture parses and type-checks one fixture package. Fixtures import
+// only the standard library, so the stdlib source importer covers every
+// import once cgo is off.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := build.Default.CgoEnabled
+	build.Default.CgoEnabled = false
+	t.Cleanup(func() { build.Default.CgoEnabled = prev })
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tp, err := conf.Check("fixture/"+name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", name, err)
+	}
+	return &Package{Path: "fixture/" + name, Dir: dir, Fset: fset, Files: files, Types: tp, TypesInfo: info}
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricReg is the static complement of obs.LintPrometheusText: it checks
+// metric name, help, and label hygiene at the registration sites instead
+// of on the rendered exposition. A registration site is any call whose
+// callee declares a (name|fq string, ..., help string) parameter shape —
+// which is exactly how the gauge/counter helpers in service and cluster,
+// obs.WriteHistogramHeader, and (*obs.Histogram).Write are declared — so
+// new metric families are covered the moment they are written, with no
+// analyzer change.
+//
+// Checks, applied when the argument is a string literal (computed names
+// are left to the runtime linter):
+//
+//   - names are snake_case ASCII: [a-z][a-z0-9_]*, no "__", no trailing "_"
+//   - counter helpers register names ending in _total; gauges must not
+//   - help strings are non-empty, start with a capital letter, end with "."
+//   - label literals (a param named labels) use snake_case keys
+//   - the same family name is not registered twice in one package
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc:  "metric name/help/label hygiene at registration sites (static complement of obs.LintPrometheusText)",
+	Run:  runMetricReg,
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	labelPairRe  = regexp.MustCompile(`^([A-Za-z_][A-Za-z0-9_]*)=`)
+	labelKeyRe   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+func runMetricReg(pass *Pass) error {
+	seen := map[string]bool{} // family names registered in this package
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkRegistration(pass, call, seen)
+			return true
+		})
+	}
+	return nil
+}
+
+// registrationShape locates the (name, help, labels) parameter indices of
+// a callee signature, by parameter name. Returns ok only for the
+// registration-helper shape: a string param named "name" or "fq" plus a
+// trailing string param named "help" (labels is optional and standalone).
+func registrationShape(sig *types.Signature) (nameIdx, helpIdx, labelsIdx int, ok bool) {
+	nameIdx, helpIdx, labelsIdx = -1, -1, -1
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if !isString(p.Type()) {
+			continue
+		}
+		switch p.Name() {
+		case "name", "fq":
+			if nameIdx == -1 {
+				nameIdx = i
+			}
+		case "help":
+			helpIdx = i
+		case "labels":
+			labelsIdx = i
+		}
+	}
+	ok = nameIdx >= 0 && (helpIdx >= 0 || labelsIdx >= 0)
+	return
+}
+
+func checkRegistration(pass *Pass, call *ast.CallExpr, seen map[string]bool) {
+	sig, calleeName := calleeSignature(pass, call)
+	if sig == nil || sig.Variadic() {
+		return
+	}
+	nameIdx, helpIdx, labelsIdx, ok := registrationShape(sig)
+	if !ok || len(call.Args) != sig.Params().Len() {
+		return
+	}
+
+	if name, lit := stringLiteralArg(call, nameIdx); lit {
+		checkMetricName(pass, call.Args[nameIdx], calleeName, name, helpIdx >= 0, seen)
+	}
+	if helpIdx >= 0 {
+		if help, lit := stringLiteralArg(call, helpIdx); lit {
+			checkMetricHelp(pass, call.Args[helpIdx], help)
+		}
+	}
+	if labelsIdx >= 0 {
+		if labels, lit := stringLiteralArg(call, labelsIdx); lit {
+			checkMetricLabels(pass, call.Args[labelsIdx], labels)
+		}
+	}
+}
+
+func checkMetricName(pass *Pass, arg ast.Expr, calleeName, name string, isFamily bool, seen map[string]bool) {
+	if !metricNameRe.MatchString(name) || strings.Contains(name, "__") || strings.HasSuffix(name, "_") {
+		pass.Reportf(arg.Pos(), "metric name %q is not snake_case ([a-z][a-z0-9_]*, no doubled or trailing underscores)", name)
+		return
+	}
+	callee := strings.ToLower(calleeName)
+	switch {
+	case strings.HasPrefix(callee, "counter"):
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter %q must end in _total (Prometheus counter naming)", name)
+		}
+	case strings.HasPrefix(callee, "gauge"):
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "gauge %q must not end in _total (reserved for counters)", name)
+		}
+	}
+	// Only full registrations (name+help) claim a family; WriteSeries-style
+	// calls re-emit an already-registered family per label set.
+	if isFamily {
+		if seen[name] {
+			pass.Reportf(arg.Pos(), "metric family %q registered twice in this package; duplicated families render twice in /metrics", name)
+		}
+		seen[name] = true
+	}
+}
+
+func checkMetricHelp(pass *Pass, arg ast.Expr, help string) {
+	switch {
+	case strings.TrimSpace(help) == "":
+		pass.Reportf(arg.Pos(), "metric help string is empty; every family documents itself in /metrics")
+	case !strings.HasSuffix(help, "."):
+		pass.Reportf(arg.Pos(), "metric help %q must end with a period", clip(help))
+	case help[0] >= 'a' && help[0] <= 'z':
+		pass.Reportf(arg.Pos(), "metric help %q must start with a capital letter", clip(help))
+	}
+}
+
+// checkMetricLabels validates a labels literal of the WriteSeries form:
+// comma-separated key="value" pairs.
+func checkMetricLabels(pass *Pass, arg ast.Expr, labels string) {
+	if labels == "" {
+		return
+	}
+	for _, pair := range strings.Split(labels, ",") {
+		m := labelPairRe.FindStringSubmatch(pair)
+		if m == nil {
+			pass.Reportf(arg.Pos(), "label %q is not a key=\"value\" pair", clip(pair))
+			continue
+		}
+		if !labelKeyRe.MatchString(m[1]) {
+			pass.Reportf(arg.Pos(), "label key %q is not snake_case", m[1])
+		}
+	}
+}
+
+// calleeSignature resolves the called function's signature and a display
+// name, covering package functions, methods, and local helper closures
+// (e.g. the gauge/counter func literals bound to variables in metrics.go).
+func calleeSignature(pass *Pass, call *ast.CallExpr) (*types.Signature, string) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil, ""
+	}
+	if obj == nil {
+		return nil, ""
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil, ""
+	}
+	return sig, obj.Name()
+}
+
+func stringLiteralArg(call *ast.CallExpr, idx int) (string, bool) {
+	if idx < 0 || idx >= len(call.Args) {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[idx]).(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

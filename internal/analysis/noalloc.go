@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces the zero-allocation contract on functions annotated
+// //halotis:noalloc — the engine/eventq steady-state path whose runtime
+// counterpart is the testing.AllocsPerRun == 0 suite. Inside an annotated
+// function it flags the constructs that heap-allocate:
+//
+//   - make and new
+//   - composite literals that escape (&T{...}) and map/slice literals
+//   - function literals (closures capture by reference and escape)
+//   - go statements (a goroutine's stack is an allocation)
+//   - calls into fmt (interface boxing plus formatting buffers)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//
+// Two escapes keep the check honest rather than noisy: blocks that
+// terminate by returning a non-nil error (or panicking) are cold error
+// paths — the runtime contract binds the steady state, and error
+// construction there is expected; and a construct marked //halotis:alloc
+// <reason> is an audited exception (for example the opt-in profiling
+// branch, which the pinned tests run with profiling off).
+//
+// The check is intraprocedural: callees are not followed. Annotate every
+// function on the hot path (the meta-test in noalloc_meta_test.go keeps
+// the annotated set aligned with what the AllocsPerRun tests actually
+// pin), and the suite checks each body in isolation.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid heap-allocating constructs in functions annotated //halotis:noalloc, outside cold error paths",
+	Run:  runNoAlloc,
+}
+
+// NoAllocDirective is the annotation marking a zero-allocation function.
+const NoAllocDirective = "noalloc"
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncDirective(fn, NoAllocDirective) {
+				continue
+			}
+			w := &noallocWalker{pass: pass, fname: fn.Name.Name}
+			w.stmts(fn.Body.List, false)
+		}
+	}
+	return nil
+}
+
+type noallocWalker struct {
+	pass  *Pass
+	fname string
+	// stmt is the statement currently being checked; suppressions may sit
+	// on the statement's first line as well as on the construct's own.
+	stmt ast.Stmt
+}
+
+// stmts checks a statement list. cold marks subtrees only reachable on an
+// error path.
+func (w *noallocWalker) stmts(list []ast.Stmt, cold bool) {
+	for _, s := range list {
+		w.stmt1(s, cold)
+	}
+}
+
+func (w *noallocWalker) stmt1(s ast.Stmt, cold bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, cold)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt1(s.Init, cold)
+		}
+		w.exprs(s, s.Cond, cold)
+		w.stmts(s.Body.List, cold || isColdBlock(s.Body.List))
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.stmts(e.List, cold || isColdBlock(e.List))
+			default:
+				w.stmt1(e, cold)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt1(s.Init, cold)
+		}
+		if s.Cond != nil {
+			w.exprs(s, s.Cond, cold)
+		}
+		if s.Post != nil {
+			w.stmt1(s.Post, cold)
+		}
+		w.stmts(s.Body.List, cold)
+	case *ast.RangeStmt:
+		w.exprs(s, s.X, cold)
+		w.stmts(s.Body.List, cold)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt1(s.Init, cold)
+		}
+		if s.Tag != nil {
+			w.exprs(s, s.Tag, cold)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.exprs(s, e, cold)
+				}
+				w.stmts(cc.Body, cold || isColdBlock(cc.Body))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt1(s.Init, cold)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cold || isColdBlock(cc.Body))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt1(cc.Comm, cold)
+				}
+				w.stmts(cc.Body, cold || isColdBlock(cc.Body))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt1(s.Stmt, cold)
+	case *ast.GoStmt:
+		w.flag(s, s.Pos(), cold, "go statement allocates a goroutine")
+		w.exprs(s, s.Call, cold)
+	default:
+		w.node(s, cold)
+	}
+}
+
+// node inspects a leaf statement's expressions.
+func (w *noallocWalker) node(s ast.Stmt, cold bool) {
+	w.stmt = s
+	ast.Inspect(s, func(n ast.Node) bool { return w.check(s, n, cold) })
+}
+
+// exprs inspects one expression subtree hanging off statement s.
+func (w *noallocWalker) exprs(s ast.Stmt, e ast.Expr, cold bool) {
+	ast.Inspect(e, func(n ast.Node) bool { return w.check(s, n, cold) })
+}
+
+// check flags one allocation construct; returning false prunes descent.
+func (w *noallocWalker) check(s ast.Stmt, n ast.Node, cold bool) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		w.flag(s, n.Pos(), cold, "function literal allocates a closure")
+		return false // the closure body is a different function
+	case *ast.UnaryExpr:
+		if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+			w.flag(s, n.Pos(), cold, "&%s{...} escapes to the heap", typeName(w.pass, lit))
+			// Still descend: nested map/slice literals are separate allocations.
+		}
+	case *ast.CompositeLit:
+		if t := w.pass.TypesInfo.TypeOf(n); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				w.flag(s, n.Pos(), cold, "map literal allocates")
+			case *types.Slice:
+				w.flag(s, n.Pos(), cold, "slice literal allocates")
+			case *types.Chan:
+				w.flag(s, n.Pos(), cold, "channel literal allocates")
+			}
+		}
+	case *ast.CallExpr:
+		w.checkCall(s, n, cold)
+	case *ast.BinaryExpr:
+		if n.Op.String() == "+" {
+			if t := w.pass.TypesInfo.TypeOf(n); t != nil && isString(t) {
+				w.flag(s, n.Pos(), cold, "string concatenation allocates")
+			}
+		}
+	}
+	return true
+}
+
+func (w *noallocWalker) checkCall(s ast.Stmt, call *ast.CallExpr, cold bool) {
+	// Builtins new and make.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new", "make":
+				w.flag(s, call.Pos(), cold, "%s allocates", b.Name())
+			}
+			return
+		}
+	}
+	// Conversions between string and []byte / []rune copy the payload.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := w.pass.TypesInfo.TypeOf(call.Args[0])
+		if src != nil && isStringByteConversion(dst, src) {
+			w.flag(s, call.Pos(), cold, "%s conversion copies and allocates", types.TypeString(dst, types.RelativeTo(w.pass.Pkg)))
+		}
+		return
+	}
+	if fn := calleeFunc(w.pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		w.flag(s, call.Pos(), cold, "fmt.%s boxes its operands and allocates", fn.Name())
+	}
+}
+
+func (w *noallocWalker) flag(s ast.Stmt, pos token.Pos, cold bool, format string, args ...any) {
+	if cold {
+		return // error paths may allocate; the contract binds the steady state
+	}
+	if w.pass.Suppressed(pos, "alloc") {
+		return
+	}
+	if s != nil && w.pass.Suppressed(s.Pos(), "alloc") {
+		return
+	}
+	w.pass.Reportf(pos, "in //halotis:noalloc function %s: "+format, append([]any{w.fname}, args...)...)
+}
+
+// isColdBlock reports whether a block is an error path: its last statement
+// returns with a non-nil final result (the error) or panics. Allocations
+// there — fmt.Errorf and friends — are off the steady-state contract.
+func isColdBlock(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false
+		}
+		if id, ok := last.Results[len(last.Results)-1].(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringByteConversion(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func typeName(pass *Pass, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return exprString(lit.Type)
+	}
+	if t := pass.TypesInfo.TypeOf(lit); t != nil {
+		return types.TypeString(t, types.RelativeTo(pass.Pkg))
+	}
+	return "T"
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllocsPerRunSitesArePinned keeps the static and runtime halves of
+// the zero-allocation contract naming the same set of functions: every
+// testing.AllocsPerRun call site in the module must carry a
+// //halotis:pins <names> comment on the line above it, and every pinned
+// name must resolve to a function in that package whose doc comment
+// carries //halotis:noalloc. A pinned-but-unannotated function means the
+// runtime test guards a path the static checker ignores; fix it by
+// annotating the function (and resolving whatever halotislint then finds).
+func TestAllocsPerRunSitesArePinned(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDir := map[string][]string{} // dir -> test files containing AllocsPerRun
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if strings.Contains(string(src), "AllocsPerRun") {
+			dir := filepath.Dir(path)
+			byDir[dir] = append(byDir[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byDir) == 0 {
+		t.Fatal("no AllocsPerRun test sites found; the zero-alloc runtime suite is gone")
+	}
+
+	for dir, testFiles := range byDir {
+		noalloc := noallocFuncs(t, dir)
+		for _, path := range testFiles {
+			for _, site := range allocsPerRunSites(t, path) {
+				rel, _ := filepath.Rel(root, path)
+				if len(site.pins) == 0 {
+					t.Errorf("%s:%d: testing.AllocsPerRun site has no //halotis:pins <names> comment on the line above; name the functions this test pins", rel, site.line)
+					continue
+				}
+				for _, name := range site.pins {
+					switch noalloc[name] {
+					case pinnedAnnotated:
+						// aligned
+					case pinnedDeclared:
+						t.Errorf("%s:%d: pinned function %s is not annotated //halotis:noalloc; the runtime test guards it but the static checker skips it", rel, site.line, name)
+					default:
+						t.Errorf("%s:%d: //halotis:pins names %s, which is not declared in %s", rel, site.line, name, dir)
+					}
+				}
+			}
+		}
+	}
+}
+
+type pinState int
+
+const (
+	pinnedMissing pinState = iota
+	pinnedDeclared
+	pinnedAnnotated
+)
+
+// noallocFuncs maps every function/method name declared in dir's non-test
+// files to whether its doc carries //halotis:noalloc.
+func noallocFuncs(t *testing.T, dir string) map[string]pinState {
+	t.Helper()
+	out := map[string]pinState{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range af.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			st := pinnedDeclared
+			if FuncDirective(fn, NoAllocDirective) {
+				st = pinnedAnnotated
+			}
+			if st > out[fn.Name.Name] {
+				out[fn.Name.Name] = st
+			}
+		}
+	}
+	return out
+}
+
+type pinSite struct {
+	line int
+	pins []string
+}
+
+// allocsPerRunSites returns every testing.AllocsPerRun call in the file,
+// with the names a //halotis:pins comment on the call line or the line
+// above declares.
+func allocsPerRunSites(t *testing.T, path string) []pinSite {
+	t.Helper()
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinsByLine := map[int][]string{}
+	for _, cg := range af.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c.Text); ok && d.key == "pins" {
+				pinsByLine[fset.Position(c.Pos()).Line] = strings.Fields(d.reason)
+			}
+		}
+	}
+	var sites []pinSite
+	ast.Inspect(af, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "testing" {
+			return true
+		}
+		line := fset.Position(call.Pos()).Line
+		pins := pinsByLine[line]
+		if pins == nil {
+			pins = pinsByLine[line-1]
+		}
+		sites = append(sites, pinSite{line: line, pins: pins})
+		return true
+	})
+	return sites
+}

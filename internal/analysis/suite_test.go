@@ -1,0 +1,53 @@
+package analysis
+
+import "testing"
+
+func TestSuiteScoping(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"determinism", "halotis/internal/sim", true},
+		{"determinism", "halotis/internal/eventq", true},
+		{"determinism", "halotis/internal/service", false},
+		{"determinism", "halotis/cluster", false},
+		{"ctxflow", "halotis/cluster", true},
+		{"ctxflow", "halotis/internal/service", true},
+		{"ctxflow", "halotis/client", true},
+		{"ctxflow", "halotis/internal/sim", false},
+		{"noalloc", "halotis/internal/sim", true},
+		{"noalloc", "halotis/cmd/halotisd", true},
+		{"metricreg", "halotis/internal/obs", true},
+		{"wiretags", "halotis/api", true},
+	}
+	for _, c := range cases {
+		s := ByName(c.analyzer)
+		if s == nil {
+			t.Fatalf("ByName(%q) = nil", c.analyzer)
+		}
+		if got := s.Matches(c.pkg); got != c.want {
+			t.Errorf("%s.Matches(%q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+	if len(Suite()) != 5 {
+		t.Errorf("Suite() has %d analyzers, want 5", len(Suite()))
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	d, ok := parseDirective("//halotis:ordered max is order-independent")
+	if !ok || d.key != "ordered" || d.reason != "max is order-independent" {
+		t.Errorf("parseDirective = %+v, %v", d, ok)
+	}
+	if _, ok := parseDirective("// halotis:ordered spaced out"); ok {
+		t.Error("a spaced comment is not a directive")
+	}
+	d, ok = parseDirective("//halotis:noalloc")
+	if !ok || d.key != "noalloc" || d.reason != "" {
+		t.Errorf("bare directive = %+v, %v", d, ok)
+	}
+}

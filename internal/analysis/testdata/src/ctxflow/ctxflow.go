@@ -1,0 +1,54 @@
+// Package fixture exercises the ctxflow analyzer: fresh context roots
+// below a received context, the nil-guard idiom, and HTTP handlers that
+// ignore their request context.
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func fresh(ctx context.Context) context.Context {
+	return context.Background() // want `context\.Background\(\) inside a function that receives a context`
+}
+
+func todo(ctx context.Context) context.Context {
+	return context.TODO() // want `context\.TODO\(\) inside a function that receives a context`
+}
+
+func nilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // ok: the recognized nil guard
+	}
+	return ctx
+}
+
+func detached(ctx context.Context) context.Context {
+	//halotis:rootctx the audit write must survive request cancellation
+	return context.Background()
+}
+
+func noCtxReceived() context.Context {
+	return context.Background() // ok: no received context to sever
+}
+
+func handlerIgnores(w http.ResponseWriter, r *http.Request) { // want `HTTP handler ignores its request context`
+	w.WriteHeader(http.StatusOK)
+}
+
+func handlerUses(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+	w.WriteHeader(http.StatusOK)
+}
+
+func handlerDelegates(w http.ResponseWriter, r *http.Request) {
+	dump(r) // ok: r handed to a helper
+	w.WriteHeader(http.StatusOK)
+}
+
+func dump(r *http.Request) { _ = r.URL }
+
+//halotis:noctx serves a static banner; no downstream work to bound
+func handlerStatic(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}

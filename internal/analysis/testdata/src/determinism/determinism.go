@@ -1,0 +1,95 @@
+// Package fixture exercises the determinism analyzer: map ranges, wall
+// clock reads, the process-global RNG, and multi-case selects.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m iterates in nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+func keyCollection(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for k := range m { // ok: the sort-then-iterate idiom
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func orderedSuppressed(m map[string]int) int {
+	best := 0
+	//halotis:ordered max over values is an order-independent reduction
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func missingReason(m map[string]int) int {
+	n := 0
+	//halotis:ordered
+	for range m { // want `//halotis:ordered suppression requires a reason`
+		n++
+	}
+	return n
+}
+
+func elapsed() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock inside the kernel`
+	return time.Since(start) // want `time\.Since reads the wall clock inside the kernel`
+}
+
+func stamped() time.Duration {
+	//halotis:wallclock measures the run for stats; never feeds simulated time
+	start := time.Now()
+	//halotis:wallclock measures the run for stats; never feeds simulated time
+	return time.Since(start)
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `rand\.Intn uses the process-global RNG`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded generator
+	return r.Intn(6)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select with 2 communication cases picks a ready case at random`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func nonBlocking(a chan int) int {
+	select { // ok: one communication case
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func blessedSelect(a, b chan int) int {
+	//halotis:unordered both channels carry idempotent shutdown ticks
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the metricreg analyzer against the
+// registration-helper shapes used by service/metrics.go and
+// internal/obs: (name, v, help) closures and (fq, labels) series
+// writers.
+package fixture
+
+func gauge(name string, v float64, help string) { _, _, _ = name, v, help }
+
+func counter(name string, v int64, help string) { _, _, _ = name, v, help }
+
+func writeSeries(fq string, labels string, v float64) { _, _, _ = fq, labels, v }
+
+func register() {
+	gauge("halotis_queue_depth", 1, "Current queue depth.")
+	counter("halotis_requests_total", 1, "Requests served.")
+	gauge("BadName", 1, "Bad name.")                                // want `metric name "BadName" is not snake_case`
+	gauge("halotis__depth", 1, "Doubled underscore.")               // want `metric name "halotis__depth" is not snake_case`
+	counter("halotis_requests", 1, "Missing counter suffix.")       // want `counter "halotis_requests" must end in _total`
+	gauge("halotis_free_total", 1, "Reserved counter suffix.")      // want `gauge "halotis_free_total" must not end in _total`
+	gauge("halotis_queue_depth", 2, "Current queue depth.")         // want `metric family "halotis_queue_depth" registered twice`
+	counter("halotis_empty_total", 1, "")                           // want `metric help string is empty`
+	counter("halotis_period_total", 1, "Missing terminal period")   // want `must end with a period`
+	counter("halotis_capital_total", 1, "lowercase help sentence.") // want `must start with a capital letter`
+	writeSeries("halotis_latency_bucket", `le="0.1"`, 1)
+	writeSeries("halotis_latency_bucket", `LE="0.1"`, 1) // want `label key "LE" is not snake_case`
+	writeSeries("halotis_latency_bucket", `oops`, 1)     // want `label "oops" is not a key="value" pair`
+}

@@ -1,0 +1,81 @@
+// Package fixture exercises the noalloc analyzer: heap-allocating
+// constructs inside //halotis:noalloc functions, cold error paths, and
+// audited //halotis:alloc exceptions.
+package fixture
+
+import "fmt"
+
+type rec struct{ n int }
+
+//halotis:noalloc
+func hot(buf []int, n int) []int {
+	s := make([]int, n) // want `in //halotis:noalloc function hot: make allocates`
+	_ = s
+	p := new(int) // want `new allocates`
+	_ = p
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	return buf
+}
+
+//halotis:noalloc
+func escape() *rec {
+	return &rec{n: 1} // want `&rec\{\.\.\.\} escapes to the heap`
+}
+
+//halotis:noalloc
+func logs(n int) {
+	fmt.Println(n) // want `fmt\.Println boxes its operands and allocates`
+}
+
+//halotis:noalloc
+func closes(n int) func() int {
+	f := func() int { return n } // want `function literal allocates a closure`
+	return f
+}
+
+//halotis:noalloc
+func strcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//halotis:noalloc
+func conv(b []byte) string {
+	return string(b) // want `string conversion copies and allocates`
+}
+
+//halotis:noalloc
+func spawn(ch chan int) {
+	go drain(ch) // want `go statement allocates a goroutine`
+}
+
+func drain(ch chan int) { <-ch }
+
+//halotis:noalloc
+func coldPath(v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("negative: %d", v) // ok: cold error path
+	}
+	return v, nil
+}
+
+//halotis:noalloc
+func panics(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("negative: %d", v)) // ok: panic path is cold
+	}
+	return v
+}
+
+//halotis:noalloc
+func warmup(buf []int) []int {
+	if buf == nil {
+		//halotis:alloc one-time warm-up reservation; the steady state reuses it
+		buf = make([]int, 0, 16)
+	}
+	return buf
+}
+
+func unannotated(n int) []int {
+	return make([]int, n) // ok: no //halotis:noalloc contract here
+}

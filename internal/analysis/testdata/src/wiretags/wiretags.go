@@ -1,0 +1,66 @@
+// Package fixture exercises the wiretags analyzer: wire-struct json-tag
+// discipline and the errors.Is-only rule for taxonomy sentinels.
+package fixture
+
+import "errors"
+
+type Good struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	hidden int
+}
+
+type Untagged struct {
+	ID   string `json:"id"`
+	Name string // want `exported field Name has no json tag`
+}
+
+type CamelTag struct {
+	ID     string `json:"id"`
+	WireID string `json:"WireID"` // want `json tag "WireID" is not snake_case`
+}
+
+type DupTag struct {
+	A string `json:"x"`
+	B string `json:"x"` // want `json tag "x" duplicates the one on A`
+}
+
+type OptOut struct {
+	ID    string `json:"id"`
+	Local string `json:"-"` // ok: explicit opt-out
+}
+
+type Inline struct {
+	Good         // ok: untagged embedded field inlines into the parent wire form
+	Extra string `json:"extra"`
+}
+
+type plain struct { // ok: no json tags anywhere, not a wire struct
+	ID   string
+	Name string
+}
+
+var ErrBroken = errors.New("fixture: broken")
+
+func compares(err error) bool {
+	return err == ErrBroken // want `ErrBroken compared with ==`
+}
+
+func negated(err error) bool {
+	return err != ErrBroken // want `ErrBroken compared with !=`
+}
+
+func properly(err error) bool {
+	return errors.Is(err, ErrBroken) // ok: wrap-aware comparison
+}
+
+type wrapped struct{ cause error }
+
+func (w *wrapped) Error() string { return w.cause.Error() }
+
+// Is makes errors.Is match the sentinel across wrapping; identity
+// comparison is the point here.
+func (w *wrapped) Is(target error) bool { return target == ErrBroken }
+
+var _ = plain{}
+var _ = Inline{}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// WireTags enforces wire-struct discipline on the JSON surface and the
+// error-taxonomy usage rules that keep it evolvable:
+//
+//   - In a wire struct (any struct with at least one json-tagged field),
+//     every exported field carries an explicit json tag — relying on the
+//     Go field name leaks CamelCase into the wire format and makes
+//     renames silent wire breaks. Tag names are snake_case and unique
+//     within the struct ("-" is an allowed explicit opt-out).
+//   - Taxonomy errors (package-level error variables, halotis's
+//     api.Err... family and friends) are never compared with == or != :
+//     the taxonomy wraps errors (Retry-After, ctx causes), so only
+//     errors.Is matches across the wire round trip.
+var WireTags = &Analyzer{
+	Name: "wiretags",
+	Doc:  "wire structs: exported fields carry unique snake_case json tags; taxonomy errors compared via errors.Is, never ==",
+	Run:  runWireTags,
+}
+
+var jsonNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runWireTags(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if st, ok := n.Type.(*ast.StructType); ok {
+					checkWireStruct(pass, n.Name.Name, st)
+				}
+			case *ast.FuncDecl:
+				// An errors.Is support method is the one place identity
+				// comparison against a sentinel is the point:
+				//   func (e *T) Is(target error) bool { return target == ErrX }
+				if isErrorIsMethod(pass, n) {
+					return false
+				}
+			case *ast.BinaryExpr:
+				checkErrorComparison(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWireStruct(pass *Pass, name string, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	// A struct is a wire struct when any field opts into JSON.
+	wire := false
+	for _, f := range st.Fields.List {
+		if _, ok := jsonTag(f); ok {
+			wire = true
+			break
+		}
+	}
+	if !wire {
+		return
+	}
+	used := map[string]*ast.Field{}
+	for _, f := range st.Fields.List {
+		tag, ok := jsonTag(f)
+		exported := exportedFieldNames(f)
+		if !ok {
+			// An untagged embedded field inlines its fields into the
+			// parent's wire form — a deliberate wire pattern
+			// (UploadResponse embeds CircuitInfo).
+			if len(f.Names) > 0 {
+				for _, fn := range exported {
+					pass.Reportf(f.Pos(), "wire struct %s: exported field %s has no json tag; the wire name must be explicit (use `json:\"-\"` to exclude)", name, fn)
+				}
+			}
+			continue
+		}
+		tagName, _, _ := strings.Cut(tag, ",")
+		if tagName == "" && len(exported) > 0 {
+			pass.Reportf(f.Pos(), "wire struct %s: field %s has an option-only json tag; name the wire field explicitly", name, exported[0])
+			continue
+		}
+		if tagName == "-" {
+			continue
+		}
+		if !jsonNameRe.MatchString(tagName) {
+			pass.Reportf(f.Pos(), "wire struct %s: json tag %q is not snake_case", name, tagName)
+		}
+		if prev, dup := used[tagName]; dup {
+			pass.Reportf(f.Pos(), "wire struct %s: json tag %q duplicates the one on %s", name, tagName, fieldLabel(prev))
+		}
+		used[tagName] = f
+	}
+}
+
+func jsonTag(f *ast.Field) (string, bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(f.Tag.Value, "`")
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+func exportedFieldNames(f *ast.Field) []string {
+	var out []string
+	for _, n := range f.Names {
+		if ast.IsExported(n.Name) {
+			out = append(out, n.Name)
+		}
+	}
+	// Embedded exported field: the type name is the field name.
+	if len(f.Names) == 0 {
+		t := f.Type
+		if se, ok := t.(*ast.StarExpr); ok {
+			t = se.X
+		}
+		switch t := t.(type) {
+		case *ast.Ident:
+			if ast.IsExported(t.Name) {
+				out = append(out, t.Name)
+			}
+		case *ast.SelectorExpr:
+			if ast.IsExported(t.Sel.Name) {
+				out = append(out, t.Sel.Name)
+			}
+		}
+	}
+	return out
+}
+
+func fieldLabel(f *ast.Field) string {
+	if len(f.Names) > 0 {
+		return f.Names[0].Name
+	}
+	return "an embedded field"
+}
+
+// checkErrorComparison flags `x == taxonomyErr` / `x != taxonomyErr` where
+// taxonomyErr is a package-level error variable (Err* / err*).
+func checkErrorComparison(pass *Pass, be *ast.BinaryExpr) {
+	op := be.Op.String()
+	if op != "==" && op != "!=" {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		obj := referencedObject(pass, side)
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			continue
+		}
+		// Package-level error variable named like a sentinel.
+		if v.Parent() != v.Pkg().Scope() {
+			continue
+		}
+		if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+			continue
+		}
+		if !isErrorType(v.Type()) {
+			continue
+		}
+		pass.Reportf(be.Pos(), "%s compared with %s: the error taxonomy wraps causes (Retry-After, ctx errors), so identity comparison breaks across the wire — use errors.Is", v.Name(), op)
+		return
+	}
+}
+
+// isErrorIsMethod matches the errors.Is support-method shape:
+// a method named Is with signature func(error) bool.
+func isErrorIsMethod(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || fn.Name.Name != "Is" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && isErrorType(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1
+}
+
+func referencedObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	i, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return i.NumMethods() == 1 && i.Method(0).Name() == "Error"
+}

@@ -68,6 +68,8 @@ func (q *ArenaQueue[T]) Stats() (pushed, popped, removed uint64) {
 
 // Reset empties the queue and zeroes its counters while retaining all slot
 // and heap capacity. Every outstanding Handle is invalidated.
+//
+//halotis:noalloc
 func (q *ArenaQueue[T]) Reset() {
 	q.free = q.free[:0]
 	for i := range q.slots {
@@ -86,6 +88,8 @@ func (q *ArenaQueue[T]) Reset() {
 }
 
 // Push schedules an event at time t and returns its handle.
+//
+//halotis:noalloc
 func (q *ArenaQueue[T]) Push(t float64, payload T) Handle {
 	q.seq++
 	q.pushed++
@@ -113,6 +117,8 @@ func (q *ArenaQueue[T]) Push(t float64, payload T) Handle {
 // — which is what lets several queues on different goroutines reproduce one
 // global order. Mixing Push and PushKeyed in one queue leaves same-time ties
 // between the two kinds unspecified; use one or the other per run.
+//
+//halotis:noalloc
 func (q *ArenaQueue[T]) PushKeyed(t float64, key uint64, payload T) Handle {
 	q.pushed++
 	var idx int32
@@ -179,6 +185,8 @@ func (q *ArenaQueue[T]) PeekKey() (t float64, key uint64, ok bool) {
 // false — but it still equals (as a value) the handle Push returned for this
 // event, so callers can use it as an identity token to reconcile their own
 // bookkeeping ("was this the event I had recorded for that pin?").
+//
+//halotis:noalloc
 func (q *ArenaQueue[T]) Pop() (h Handle, t float64, payload T, ok bool) {
 	if len(q.heap) == 0 {
 		var zero T
@@ -195,6 +203,8 @@ func (q *ArenaQueue[T]) Pop() (h Handle, t float64, payload T, ok bool) {
 
 // Remove deletes a pending event. It returns false (and does nothing) if the
 // event already fired or was removed.
+//
+//halotis:noalloc
 func (q *ArenaQueue[T]) Remove(h Handle) bool {
 	s := q.lookup(h)
 	if s == nil {

@@ -211,6 +211,7 @@ func TestArenaSteadyStateAllocs(t *testing.T) {
 		}
 	}
 	warm()
+	//halotis:pins Push Pop
 	allocs := testing.AllocsPerRun(100, func() {
 		for i := 0; i < 64; i++ {
 			q.Push(float64(i%7), i)

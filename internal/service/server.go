@@ -379,6 +379,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+//halotis:noctx lists the in-memory circuit cache; no downstream work
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.cache.List())
 }
@@ -400,6 +401,7 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+//halotis:noctx serves the in-memory trace ring; no downstream work
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.traces.Traces())
 }
@@ -564,6 +566,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+//halotis:noctx renders local gauges; no downstream work
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
@@ -575,6 +578,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+//halotis:noctx renders in-memory counters; no downstream work
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, s.cache.Stats(), s.results.Stats(), s.queue.Stats(), s.traces)

@@ -81,6 +81,7 @@ func RunClassic(ckt *netlist.Circuit, st Stimulus, tEnd float64, opt ClassicOpti
 		return nil, err
 	}
 
+	//halotis:wallclock Elapsed measures the run for stats; it never feeds simulated time
 	start := time.Now()
 	vdd := ckt.Lib.VDD
 
@@ -203,5 +204,6 @@ func RunClassic(ckt *netlist.Circuit, st Stimulus, tEnd float64, opt ClassicOpti
 	if removed != stats.EventsFiltered {
 		return nil, fmt.Errorf("sim: classic filtered accounting mismatch: %d vs %d", stats.EventsFiltered, removed)
 	}
+	//halotis:wallclock Elapsed measures the run for stats; it never feeds simulated time
 	return &ClassicResult{Stats: stats, Elapsed: time.Since(start), ckt: ckt, wfs: wfs}, nil
 }

@@ -115,6 +115,8 @@ func (e *Engine) IR() *circ.Compiled { return e.ir }
 // reallocating: waveforms are rewound to the settled boolean solution of the
 // stimulus's initial input levels, gate slabs are refilled, the event queue
 // is emptied with its arena intact, and all counters restart.
+//
+//halotis:noalloc
 func (e *Engine) Reset(st Stimulus) {
 	ir := e.ir
 
@@ -168,6 +170,8 @@ const ctxCheckMask = 63
 // place first. The returned Result aliases engine storage and is invalidated
 // by the next Run or Reset — Detach it to keep it. Run honors the engine
 // options' Ctx when one was set; RunContext takes one explicitly.
+//
+//halotis:noalloc
 func (e *Engine) Run(st Stimulus, tEnd float64) (*Result, error) {
 	return e.RunContext(e.opt.Ctx, st, tEnd)
 }
@@ -176,6 +180,8 @@ func (e *Engine) Run(st Stimulus, tEnd float64) (*Result, error) {
 // cancellation aborts the event loop at event-pop granularity (checked every
 // 64 pops), returning an error that wraps ctx.Err(). A nil ctx means no
 // cancellation and adds no per-event cost.
+//
+//halotis:noalloc
 func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Result, error) {
 	if err := st.Validate(e.ir.InputSet); err != nil {
 		return nil, err
@@ -185,6 +191,7 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 			return e.runPartitioned(ctx, st, tEnd, pt)
 		}
 	}
+	//halotis:wallclock Result.Elapsed measures the run for stats; it never feeds simulated time
 	start := time.Now()
 	e.Reset(st)
 	e.applyStimulus(st)
@@ -215,6 +222,7 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 		e.fire(h, ev)
 	}
 
+	//halotis:wallclock Result.Elapsed measures the run for stats; it never feeds simulated time
 	elapsed := time.Since(start)
 	queued, _, removed := e.q.Stats()
 	e.st.EventsQueued = queued
@@ -234,6 +242,7 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 	if e.profiling {
 		// The sequential kernel is one "worker" with no partition
 		// boundaries to stall on or message across.
+		//halotis:alloc profiling is opt-in; the pinned zero-alloc steady state runs with it off
 		e.res.Profile = &Profile{
 			Partitions: 1,
 			Workers: []WorkerProfile{{
@@ -248,6 +257,8 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 // applyStimulus emits the externally driven transitions onto the primary
 // input nets in deterministic (sorted-name) order, scheduling receiver
 // events through the same reconciliation path gate outputs use.
+//
+//halotis:noalloc
 func (e *Engine) applyStimulus(st Stimulus) {
 	e.names = e.names[:0]
 	for name := range st {
@@ -270,6 +281,8 @@ func (e *Engine) applyStimulus(st Stimulus) {
 // emit appends a transition to a net's waveform and reconciles every fanout
 // pin's pending event, implementing the insertion/deletion rule of the
 // paper's Fig. 4 algorithm.
+//
+//halotis:noalloc
 func (e *Engine) emit(net int32, start, slew float64, rising bool) {
 	ir := e.ir
 	wf := e.wfs[net]
@@ -315,6 +328,8 @@ func (e *Engine) emit(net int32, start, slew float64, rising bool) {
 // gate, and emits a delayed output transition when the output target flips.
 // h is the popped event's (stale) handle, used to reconcile the per-pin
 // pending record.
+//
+//halotis:noalloc
 func (e *Engine) fire(h eventq.Handle, ev event) {
 	ir := e.ir
 	pin := ev.pin
@@ -356,6 +371,8 @@ func (e *Engine) fire(h eventq.Handle, ev event) {
 // delayFor evaluates the configured delay model for an output flip of gate g
 // triggered by the event on pin at time now; the one copy of the model
 // dispatch shared by the sequential and partitioned fire paths.
+//
+//halotis:noalloc
 func (e *Engine) delayFor(g, pin, out int32, ev event, now float64, newTarget bool) delay.Result {
 	ir := e.ir
 	cl := ir.Load[out]

@@ -104,6 +104,7 @@ func TestEngineSteadyStateZeroAllocs(t *testing.T) {
 		if _, err := eng.Run(st, 100); err != nil { // warm-up
 			t.Fatal(err)
 		}
+		//halotis:pins Run
 		allocs := testing.AllocsPerRun(20, func() {
 			if _, err := eng.Run(st, 100); err != nil {
 				t.Fatal(err)

@@ -235,6 +235,7 @@ func (pr *partRun) reset() {
 // runPartitioned is RunContext's parallel path; the caller already resolved
 // pt with K > 1.
 func (e *Engine) runPartitioned(ctx context.Context, st Stimulus, tEnd float64, pt *circ.Partitioning) (*Result, error) {
+	//halotis:wallclock Result.Elapsed measures the run for stats; it never feeds simulated time
 	start := time.Now()
 	e.Reset(st)
 	if e.part == nil || e.part.pt != pt {
@@ -277,8 +278,9 @@ func (e *Engine) runPartitioned(ctx context.Context, st Stimulus, tEnd float64, 
 
 	e.st = total
 	e.res = Result{
-		Model:   e.opt.Model,
-		Stats:   e.st,
+		Model: e.opt.Model,
+		Stats: e.st,
+		//halotis:wallclock Result.Elapsed measures the run for stats; it never feeds simulated time
 		Elapsed: time.Since(start),
 		EndTime: tEnd,
 		ir:      e.ir,

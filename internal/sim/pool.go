@@ -88,6 +88,8 @@ func (p *EnginePool) IR() *circ.Compiled { return p.ir }
 func (p *EnginePool) Created() uint64 { return p.own.Load() }
 
 // Acquire pops a warm engine for the options key, or builds one.
+//
+//halotis:noalloc
 func (p *EnginePool) Acquire(k PoolKey) *Engine {
 	p.mu.Lock()
 	free := p.free[k]
@@ -108,6 +110,8 @@ func (p *EnginePool) Acquire(k PoolKey) *Engine {
 
 // Release returns an engine to its free list (or drops it when the per-key
 // list, or the key count itself, is at its bound).
+//
+//halotis:noalloc
 func (p *EnginePool) Release(k PoolKey, eng *Engine) {
 	p.mu.Lock()
 	free, ok := p.free[k]

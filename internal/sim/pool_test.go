@@ -66,6 +66,7 @@ func TestEnginePoolSteadyStateAllocs(t *testing.T) {
 	}
 	p.Release(key, eng)
 
+	//halotis:pins Acquire RunContext Release
 	allocs := testing.AllocsPerRun(50, func() {
 		eng := p.Acquire(key)
 		if _, err := eng.RunContext(nil, st, 30); err != nil {

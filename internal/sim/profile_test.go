@@ -135,6 +135,7 @@ func TestProfileOffIsFree(t *testing.T) {
 	}
 	eng.SetProfiling(false)
 
+	//halotis:pins Run
 	allocs := testing.AllocsPerRun(20, func() {
 		res, err := eng.Run(st, 20)
 		if err != nil {

@@ -35,23 +35,42 @@ type Stimulus map[string]InputWave
 // Validate checks edge ordering and slews; inputNames lists the circuit's
 // primary inputs for membership checking.
 func (st Stimulus) Validate(inputNames map[string]bool) error {
+	// The reduction below is order-independent — every drive is checked and
+	// the reported error is pinned to the lexicographically smallest
+	// offending input — so map iteration order cannot reach the caller.
+	// Sorting the names first would be simpler but allocates, and Validate
+	// sits on the engine's zero-allocation steady-state path.
+	var badName string
+	var badErr error
+	//halotis:ordered error choice reduces to the smallest offending input name; the happy path is order-independent
 	for name, w := range st {
-		if !inputNames[name] {
-			return fmt.Errorf("sim: stimulus drives %q, which is not a primary input", name)
+		if err := validateWave(name, w, inputNames); err != nil {
+			if badErr == nil || name < badName {
+				badName, badErr = name, err
+			}
 		}
-		prev := 0.0
-		for i, e := range w.Edges {
-			if e.Slew <= 0 {
-				return fmt.Errorf("sim: stimulus %q edge %d has non-positive slew %g", name, i, e.Slew)
-			}
-			if e.Time < 0 {
-				return fmt.Errorf("sim: stimulus %q edge %d at negative time %g", name, i, e.Time)
-			}
-			if i > 0 && e.Time < prev {
-				return fmt.Errorf("sim: stimulus %q edges out of order at %d (%g < %g)", name, i, e.Time, prev)
-			}
-			prev = e.Time
+	}
+	return badErr
+}
+
+// validateWave checks one input's drive; the edge scan is deterministic
+// (edges are a slice), so the first bad edge is always the one reported.
+func validateWave(name string, w InputWave, inputNames map[string]bool) error {
+	if !inputNames[name] {
+		return fmt.Errorf("sim: stimulus drives %q, which is not a primary input", name)
+	}
+	prev := 0.0
+	for i, e := range w.Edges {
+		if e.Slew <= 0 {
+			return fmt.Errorf("sim: stimulus %q edge %d has non-positive slew %g", name, i, e.Slew)
 		}
+		if e.Time < 0 {
+			return fmt.Errorf("sim: stimulus %q edge %d at negative time %g", name, i, e.Time)
+		}
+		if i > 0 && e.Time < prev {
+			return fmt.Errorf("sim: stimulus %q edges out of order at %d (%g < %g)", name, i, e.Time, prev)
+		}
+		prev = e.Time
 	}
 	return nil
 }
@@ -114,6 +133,7 @@ func (st Stimulus) ContentHash() string {
 // LastEdgeTime returns the time of the latest edge across all inputs, or 0.
 func (st Stimulus) LastEdgeTime() float64 {
 	last := 0.0
+	//halotis:ordered max over values is an order-independent reduction
 	for _, w := range st {
 		if n := len(w.Edges); n > 0 && w.Edges[n-1].Time > last {
 			last = w.Edges[n-1].Time

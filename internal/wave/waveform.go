@@ -41,6 +41,8 @@ func clamp(v, lo, hi float64) float64 {
 // mark. Any Transitions slice previously obtained from the waveform aliases
 // storage that Reset will overwrite; detach (Clone) results that must
 // survive.
+//
+//halotis:noalloc
 func (w *Waveform) Reset(vinit float64) {
 	w.VInit = clamp(vinit, 0, w.VDD)
 	w.ts = w.ts[:0]
@@ -91,6 +93,8 @@ func (w *Waveform) V(t float64) float64 {
 // Add panics if start precedes the start of the last transition: the engine
 // must clamp output times to keep per-signal transition starts
 // non-decreasing.
+//
+//halotis:noalloc
 func (w *Waveform) Add(start, slew float64, rising bool) *Transition {
 	if slew <= 0 {
 		panic(fmt.Sprintf("wave: non-positive slew %g", slew))
@@ -105,6 +109,7 @@ func (w *Waveform) Add(start, slew float64, rising bool) *Transition {
 	} else if w.ts == nil {
 		// First transition ever: reserve a batch up front so active nets
 		// do not pay the doubling-growth allocations one by one.
+		//halotis:alloc one-time warm-up reservation on a net's first-ever transition; the steady state reuses it
 		w.ts = make([]Transition, 0, 16)
 	}
 	w.seq++

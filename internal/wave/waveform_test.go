@@ -334,6 +334,7 @@ func TestResetSteadyStateAllocs(t *testing.T) {
 		}
 	}
 	fill()
+	//halotis:pins Reset Add
 	if allocs := testing.AllocsPerRun(50, fill); allocs != 0 {
 		t.Errorf("steady-state Reset+Add allocs = %g, want 0", allocs)
 	}
