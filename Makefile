@@ -64,7 +64,11 @@ apicheck-update:
 # configuration checked bit-identical to the sequential baseline), and the
 # observability overhead sweep (BENCH_PR8.json: tracing-off vs tracing-on
 # vs tracing+profiling p50/p99 against an in-process daemon, asserting the
-# worst p50 regression stays under 5%).
+# worst p50 regression stays under 5%), and the fleet-health sweep
+# (BENCH_PR10.json: observability-disabled vs enabled p50 within 2%, an
+# injected latency breach flipping /v1/status to firing within one rollup
+# interval, and the breaching requests retrievable from /v1/flightrecorder
+# as pinned exemplars with full span trees).
 # Bump the *_OUT vars when a new PR adds a new perf record so the
 # trajectory stays comparable.
 BENCH_OUT ?= BENCH_PR1.json
@@ -74,6 +78,7 @@ CLUSTER_OUT ?= BENCH_PR5.json
 CHAOS_OUT ?= BENCH_PR6.json
 PARTITION_OUT ?= BENCH_PR7.json
 OBS_OUT ?= BENCH_PR8.json
+SLO_OUT ?= BENCH_PR10.json
 bench: build
 	$(GO) run ./cmd/halobench -exp bench -benchruns 500 -benchjson $(BENCH_OUT)
 	$(GO) run ./cmd/halobench -exp scale -scaleruns 5 -scalejson $(SCALE_OUT)
@@ -82,6 +87,7 @@ bench: build
 	$(GO) run ./cmd/halobench -exp chaos -chaosjson $(CHAOS_OUT)
 	$(GO) run ./cmd/halobench -exp partition -partjson $(PARTITION_OUT)
 	$(GO) run ./cmd/halobench -exp obs -obsjson $(OBS_OUT)
+	$(GO) run ./cmd/halobench -exp slo -slojson $(SLO_OUT)
 
 # bench-smoke is the quick CI variant: few iterations, no JSON artifact.
 bench-smoke:
@@ -109,8 +115,10 @@ partition-smoke:
 # daemon with structured logging, drive one traced simulate request with a
 # fixed Halotis-Trace header, fetch the trace back by ID and assert the
 # span tree (replica.request down to kernel.run) plus histogram buckets
-# and runtime gauges in /metrics. The trap kills the daemon on every exit
-# path.
+# and runtime gauges in /metrics, then the fleet-health surface: /v1/status
+# must carry SLO burn-rate windows and a queue drain estimate, and
+# /v1/series must list the sampled metrics at its ring resolution. The
+# trap kills the daemon on every exit path.
 obs-smoke: build
 	$(GO) build -o /tmp/halotisd-obs-smoke ./cmd/halotisd
 	/tmp/halotisd-obs-smoke -addr 127.0.0.1:8981 -log-format json -log-level info & \
@@ -139,7 +147,16 @@ obs-smoke: build
 	grep -q '^halotisd_kernel_run_seconds_count 1$$' /tmp/obs-smoke-metrics.txt && \
 	grep -q '^halotisd_traces_started_total 1$$' /tmp/obs-smoke-metrics.txt && \
 	grep -q '^halotisd_go_goroutines ' /tmp/obs-smoke-metrics.txt && \
-	echo "obs-smoke: trace + histograms verified"
+	curl -sf http://127.0.0.1:8981/v1/status > /tmp/obs-smoke-status.json && \
+	grep -q '"burn_rate":' /tmp/obs-smoke-status.json && \
+	grep -q '"name": *"fast"' /tmp/obs-smoke-status.json && \
+	grep -q '"name": *"slow"' /tmp/obs-smoke-status.json && \
+	grep -q '"target_p99_ms":' /tmp/obs-smoke-status.json && \
+	grep -q '"queue_drain_estimate_ms":' /tmp/obs-smoke-status.json && \
+	curl -sf http://127.0.0.1:8981/v1/series > /tmp/obs-smoke-series.json && \
+	grep -q '"resolution_ms":' /tmp/obs-smoke-series.json && \
+	grep -q 'requests_per_second' /tmp/obs-smoke-series.json && \
+	echo "obs-smoke: trace + histograms + fleet-health surface verified"
 
 # fuzz-smoke runs each parser/decoder fuzz target briefly (also in CI).
 FUZZTIME ?= 10s

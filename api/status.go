@@ -1,0 +1,134 @@
+package api
+
+// Wire types for the fleet-health surface: the in-process time-series
+// (GET /v1/series), the anomaly flight recorder (GET /v1/flightrecorder),
+// and the SLO status rollup (GET /v1/status). All three exist on replicas
+// (node-local views) and on the router, where /v1/status additionally
+// merges the fleet.
+
+// SeriesPoint is one time-series window: the window-start timestamp and
+// the window's value (a per-window sum for counter-style metrics, a
+// last-write gauge otherwise).
+type SeriesPoint struct {
+	UnixMs int64   `json:"unix_ms"`
+	Value  float64 `json:"value"`
+}
+
+// SeriesResponse answers GET /v1/series. Without ?metric= it lists the
+// known metric names; with one it carries that metric's points over the
+// requested trailing window.
+type SeriesResponse struct {
+	Node         string        `json:"node"`
+	ResolutionMs int64         `json:"resolution_ms"`
+	Metric       string        `json:"metric,omitempty"`
+	Points       []SeriesPoint `json:"points,omitempty"`
+	Metrics      []string      `json:"metrics,omitempty"`
+}
+
+// SLOConfig echoes the node's configured objective.
+type SLOConfig struct {
+	TargetP99Ms        float64 `json:"target_p99_ms"`
+	TargetAvailability float64 `json:"target_availability"`
+}
+
+// SLOWindow is one burn-rate evaluation window. BurnRate is the observed
+// bad-request fraction divided by the SLO's error budget (1 − target
+// availability): 1.0 means the budget is being spent exactly at the
+// sustainable rate, above 1 it is burning down. A request is bad when it
+// fails server-side or exceeds the latency target.
+type SLOWindow struct {
+	Name         string  `json:"name"` // "fast" or "slow"
+	WindowMs     int64   `json:"window_ms"`
+	Requests     float64 `json:"requests"`
+	BadRequests  float64 `json:"bad_requests"`
+	Availability float64 `json:"availability"`
+	BurnRate     float64 `json:"burn_rate"`
+	Firing       bool    `json:"firing"`
+}
+
+// ReplicaStatusSummary is the router's per-replica rollup row.
+type ReplicaStatusSummary struct {
+	ID           string  `json:"id"`
+	Addr         string  `json:"addr"`
+	Healthy      bool    `json:"healthy"`
+	BreakerState string  `json:"breaker_state,omitempty"`
+	Availability float64 `json:"availability"`
+	P99Ms        float64 `json:"p99_ms"`
+	QueueDepth   int     `json:"queue_depth"`
+	// QueueDrainEstimateMs estimates how long the replica's current queue
+	// needs to drain at its recent service rate — what its 503s stamp
+	// into Retry-After.
+	QueueDrainEstimateMs float64 `json:"queue_drain_estimate_ms"`
+	Firing               bool    `json:"firing"`
+	// ServedShare is the fraction of fleet requests this replica served
+	// over the rollup horizon; skew shows up as shares far from 1/N.
+	ServedShare      float64  `json:"served_share"`
+	ExemplarTraceIDs []string `json:"exemplar_trace_ids,omitempty"`
+}
+
+// StatusResponse answers GET /v1/status: the one endpoint an operator or
+// load balancer reads. Replica responses describe the node; the router
+// adds the fleet view.
+type StatusResponse struct {
+	// Status is "ok", "warn" (fast window burning but not both), or
+	// "firing" (both burn windows above 1 — the SLO is actively burning).
+	Status        string      `json:"status"`
+	Node          string      `json:"node"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	SLO           SLOConfig   `json:"slo"`
+	Windows       []SLOWindow `json:"windows"`
+
+	RequestsPerSecond    float64 `json:"requests_per_second"`
+	ErrorsPerSecond      float64 `json:"errors_per_second"`
+	P50Ms                float64 `json:"p50_ms"`
+	P99Ms                float64 `json:"p99_ms"`
+	QueueDepth           int     `json:"queue_depth"`
+	QueueDrainEstimateMs float64 `json:"queue_drain_estimate_ms"`
+
+	// TracesPinned counts anomaly exemplars currently pinned in the trace
+	// ring; Exemplars lists their trace IDs, newest first, resolvable via
+	// GET /v1/traces/{id}.
+	TracesPinned int      `json:"traces_pinned"`
+	Exemplars    []string `json:"exemplars,omitempty"`
+
+	// Fleet rollup, router only.
+	ReplicasHealthy    int                    `json:"replicas_healthy,omitempty"`
+	ReplicasTotal      int                    `json:"replicas_total,omitempty"`
+	BreakersOpen       int                    `json:"breakers_open,omitempty"`
+	HedgesPerSecond    float64                `json:"hedges_per_second,omitempty"`
+	FailoversPerSecond float64                `json:"failovers_per_second,omitempty"`
+	DegradedPerSecond  float64                `json:"degraded_per_second,omitempty"`
+	Replicas           []ReplicaStatusSummary `json:"replicas,omitempty"`
+}
+
+// FlightRecord is one request's flight-recorder entry, the JSON shape of
+// the compact in-memory record.
+type FlightRecord struct {
+	UnixMs       int64   `json:"unix_ms"`
+	TraceID      string  `json:"trace_id,omitempty"`
+	Route        string  `json:"route"`
+	Replica      string  `json:"replica,omitempty"`
+	StatusCode   int     `json:"status_code"`
+	Code         string  `json:"code,omitempty"` // error taxonomy code
+	LatencyMs    float64 `json:"latency_ms"`
+	QueueWaitMs  float64 `json:"queue_wait_ms,omitempty"`
+	KernelEvents uint64  `json:"kernel_events,omitempty"`
+	Cached       bool    `json:"cached,omitempty"`
+	Hedged       bool    `json:"hedged,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	Partial      bool    `json:"partial,omitempty"`
+	Shed         bool    `json:"shed,omitempty"`
+	Failed       bool    `json:"failed,omitempty"`
+	Slow         bool    `json:"slow,omitempty"`
+	Pinned       bool    `json:"pinned,omitempty"`
+}
+
+// FlightResponse answers GET /v1/flightrecorder: recent records newest
+// first plus the pinned exemplar trace IDs.
+type FlightResponse struct {
+	Node           string         `json:"node"`
+	Recorded       uint64         `json:"recorded"`
+	Promoted       uint64         `json:"promoted"`
+	Records        []FlightRecord `json:"records"`
+	PinnedTraceIDs []string       `json:"pinned_trace_ids,omitempty"`
+}

@@ -59,6 +59,9 @@ type (
 	SpanInfo        = api.SpanInfo
 	KernelProfile   = api.KernelProfile
 	WorkerProfile   = api.WorkerProfile
+	StatusResponse  = api.StatusResponse
+	SeriesResponse  = api.SeriesResponse
+	FlightResponse  = api.FlightResponse
 )
 
 // APIError is a non-2xx response from the service. It carries the server's
@@ -408,6 +411,55 @@ func (c *Client) LocalTrace(id string) (TraceResponse, bool) {
 		return TraceResponse{}, false
 	}
 	return c.traces.Trace(id)
+}
+
+// Status fetches the serving node's GET /v1/status: SLO burn-rate
+// windows, throughput and latency gauges, and pinned exemplar trace IDs.
+// On a router it additionally carries the fleet rollup.
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	var resp StatusResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/status", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Series fetches one metric's time-series from the serving node's GET
+// /v1/series (the metric name index when metric is empty). A positive
+// window limits the points to that trailing span; zero means the full
+// retention.
+func (c *Client) Series(ctx context.Context, metric string, window time.Duration) (*SeriesResponse, error) {
+	q := url.Values{}
+	if metric != "" {
+		q.Set("metric", metric)
+	}
+	if window > 0 {
+		q.Set("window", window.String())
+	}
+	path := "/v1/series"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp SeriesResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FlightRecords fetches the serving node's GET /v1/flightrecorder: the
+// recent request records, newest first (capped at limit when positive),
+// plus the pinned exemplar trace IDs.
+func (c *Client) FlightRecords(ctx context.Context, limit int) (*FlightResponse, error) {
+	path := "/v1/flightrecorder"
+	if limit > 0 {
+		path += "?n=" + strconv.Itoa(limit)
+	}
+	var resp FlightResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Base returns the base URL the client was built with.

@@ -50,6 +50,8 @@ import (
 	"halotis/internal/netfmt"
 	"halotis/internal/netlist"
 	"halotis/internal/obs"
+	"halotis/internal/obs/flight"
+	"halotis/internal/obs/tsdb"
 )
 
 // Cluster routes requests across halotisd replicas by rendezvous hashing
@@ -76,6 +78,18 @@ type Cluster struct {
 	traces  *obs.Recorder
 	log     *slog.Logger
 
+	// Fleet-health surface (see status.go): SLO accounting, the series
+	// ring, the flight recorder, and the latest replica rollup.
+	slo          SLOPolicy
+	db           *tsdb.DB
+	flight       *flight.Ring
+	slowNs       [routeCount]atomic.Int64
+	sloTotal     atomic.Uint64
+	sloBad       atomic.Uint64
+	sampledTotal atomic.Uint64
+	sampledBad   atomic.Uint64
+	rollup       atomic.Pointer[fleetRollup]
+
 	rot atomic.Uint64 // read-spread rotation over a placement set
 
 	stop     chan struct{}
@@ -99,6 +113,7 @@ type config struct {
 	listener     func(ReplicaEvent)
 	logger       *slog.Logger
 	traceCap     int
+	slo          SLOPolicy
 }
 
 // Option configures New.
@@ -222,9 +237,19 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 		start:        time.Now(),
 		traces:       obs.NewRecorder("router", cfg.traceCap),
 		log:          cfg.logger,
+		slo:          cfg.slo.withDefaults(),
 		stop:         make(chan struct{}),
 	}
 	c.met.init()
+	if c.slo.SeriesWindows > 0 {
+		c.db = tsdb.New(c.slo.SeriesResolution, c.slo.SeriesWindows)
+	}
+	if c.slo.FlightCapacity > 0 {
+		c.flight = flight.NewRing(c.slo.FlightCapacity)
+	}
+	for r := range c.slowNs {
+		c.slowNs[r].Store(c.slo.TargetP99.Nanoseconds())
+	}
 	seen := make(map[string]bool, len(replicas))
 	for i, addr := range replicas {
 		id := strings.TrimRight(addr, "/")
@@ -273,6 +298,10 @@ func New(replicas []string, opts ...Option) (*Cluster, error) {
 	if c.probeEvery > 0 {
 		c.wg.Add(1)
 		go c.probeLoop()
+	}
+	if c.db != nil {
+		c.wg.Add(1)
+		go c.statusLoop()
 	}
 	return c, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"halotis/api"
 	"halotis/internal/obs"
+	"halotis/internal/obs/flight"
 )
 
 // Hedged requests: tail latency on a replicated read is dominated by the
@@ -186,6 +187,11 @@ func (c *Cluster) tryHedged(ctx context.Context, r0, r1 *replica, id string, t *
 
 	// The primary is slower than its own tail estimate: fire the hedge.
 	c.met.hedges.Add(1)
+	if n := flight.NoteFrom(ctx); n != nil {
+		// Single writer: the request's own goroutine, before the hedge
+		// goroutine starts and before the route boundary reads the note.
+		n.Hedged = true
+	}
 	hctx, hsp := obs.Start(ctx, "router.hedge")
 	hsp.SetAttr("replica", r1.id)
 	ctx1, cancel1 := context.WithCancel(hctx)

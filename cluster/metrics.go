@@ -22,6 +22,9 @@ const (
 	routeTopology
 	routeMetrics
 	routeTraces
+	routeStatus
+	routeSeries
+	routeFlight
 	routeCount
 )
 
@@ -34,6 +37,9 @@ var routeNames = [routeCount]string{
 	routeTopology: "topology",
 	routeMetrics:  "metrics",
 	routeTraces:   "traces",
+	routeStatus:   "status",
+	routeSeries:   "series",
+	routeFlight:   "flightrecorder",
 }
 
 // routerMetrics aggregates the routing layer's counters. Per-replica state
@@ -128,6 +134,13 @@ func (m *routerMetrics) write(w io.Writer, c *Cluster) {
 		counter("trace_spans_total", spans, "Spans recorded across all router traces.")
 		counter("trace_spans_dropped_total", dropped, "Spans dropped by the per-trace span bound.")
 		gauge("traces_retained", float64(retained), "Traces currently held in the router's in-memory ring.")
+		gauge("traces_pinned", float64(len(c.traces.Pinned())), "Anomaly exemplar traces currently pinned against eviction.")
+	}
+
+	if c.flight != nil {
+		recorded, promoted := c.flight.Stats()
+		counter("flight_records_total", recorded, "Routed requests filed in the flight-recorder ring.")
+		counter("flight_promoted_total", promoted, "Flight records promoted to pinned exemplars (slow, failed, shed, degraded, hedged, or partial).")
 	}
 
 	healthy := 0

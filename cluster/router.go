@@ -14,6 +14,7 @@ import (
 	"halotis/client"
 	"halotis/internal/circ"
 	"halotis/internal/obs"
+	"halotis/internal/obs/flight"
 	"halotis/internal/service"
 )
 
@@ -48,16 +49,20 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // withTrace is the router's half of trace propagation: adopt an upstream
 // Halotis-Trace header, open the router.request root span, and stamp the
-// request log with the trace ID. Untraced requests skip all of it unless
-// debug logging wants a request line.
+// request log with the trace ID. Untraced API requests headed for the
+// flight recorder get a self-assigned internal trace — invisible in the
+// /v1/traces listing but fetchable by ID — so a promoted anomaly has a
+// span tree to pin even when nobody enabled tracing. Everything else
+// skips the machinery unless debug logging wants a request line.
 func (c *Cluster) withTrace(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		traceID, parent, traced := api.TraceFrom(r.Header)
+		recorded := c.flight != nil && flightPath(r.URL.Path)
 		lvl := slog.LevelDebug
 		if traced {
 			lvl = slog.LevelInfo
 		}
-		if !traced && !c.log.Enabled(r.Context(), lvl) {
+		if !traced && !recorded && !c.log.Enabled(r.Context(), lvl) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -65,11 +70,19 @@ func (c *Cluster) withTrace(next http.Handler) http.Handler {
 		begin := time.Now()
 		ctx := r.Context()
 		var sp *obs.Span
-		if traced {
+		switch {
+		case traced:
 			ctx = obs.WithTrace(ctx, c.traces, traceID, parent)
+		case recorded:
+			ctx = obs.WithInternalTrace(ctx, c.traces, api.NewTraceID())
+		}
+		if traced || recorded {
 			ctx, sp = obs.Start(ctx, "router.request")
 			sp.SetAttr("method", r.Method)
 			sp.SetAttr("path", r.URL.Path)
+		}
+		if recorded {
+			ctx, _ = flight.WithNote(ctx)
 		}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		if sp != nil {
@@ -131,17 +144,24 @@ func (c *Cluster) routes() {
 	c.mux.HandleFunc("GET /metrics", c.route(routeMetrics, c.handleMetrics))
 	c.mux.HandleFunc("GET /v1/traces", c.route(routeTraces, c.handleTraces))
 	c.mux.HandleFunc("GET /v1/traces/{id}", c.route(routeTraces, c.handleTrace))
+	c.mux.HandleFunc("GET /v1/status", c.route(routeStatus, c.handleStatus))
+	c.mux.HandleFunc("GET /v1/series", c.route(routeSeries, c.handleSeries))
+	c.mux.HandleFunc("GET /v1/flightrecorder", c.route(routeFlight, c.handleFlight))
 }
 
 // route counts and times one endpoint. The latency histogram is observed
 // here — inside the mux — because only the matched pattern knows which
-// endpoint a request was.
+// endpoint a request was; the same boundary files the flight record and
+// the SLO outcome once the handler returns.
 func (c *Cluster) route(id routeID, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.met.requests[id].Add(1)
 		begin := time.Now()
-		h(w, r)
-		c.met.latency[id].Observe(time.Since(begin).Seconds())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		d := time.Since(begin)
+		c.met.latency[id].Observe(d.Seconds())
+		c.observe(id, r, sw.status, d)
 	}
 }
 
@@ -209,6 +229,9 @@ func (c *Cluster) writeError(w http.ResponseWriter, r *http.Request, err error) 
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	if n := flight.NoteFrom(r.Context()); n != nil {
+		n.Code = resp.Code
 	}
 	c.writeJSON(w, status, resp)
 }
@@ -310,6 +333,10 @@ func (c *Cluster) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				cached.Degraded = true
 				cached.TraceID, _, _ = obs.ContextTrace(r.Context())
 				c.met.degradedServes.Add(1)
+				if n := flight.NoteFrom(r.Context()); n != nil {
+					n.Degraded = true
+					n.Cached = true
+				}
 				c.writeJSON(w, http.StatusOK, &cached)
 				return
 			}
@@ -350,6 +377,11 @@ func (c *Cluster) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			resp.Reports[i] = *rep
+		}
+		if resp.Errors != nil {
+			if n := flight.NoteFrom(r.Context()); n != nil {
+				n.Partial = true
+			}
 		}
 		c.writeJSON(w, http.StatusOK, resp)
 		return

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"halotis"
+	"halotis/api"
+	"halotis/client"
+	"halotis/internal/faultinject"
+	"halotis/internal/service"
+)
+
+// TestRouterStatusRollup: the router's /v1/status merges its own SLO view
+// with a per-replica rollup — availability, queue drain estimates, served
+// share — pulled from the replicas' own status endpoints.
+func TestRouterStatusRollup(t *testing.T) {
+	ctx := context.Background()
+	reps := startReplicas(t, 2, service.Config{})
+	c := newTestCluster(t, reps, WithReplication(2))
+	rts := httptest.NewServer(c.Handler())
+	t.Cleanup(rts.Close)
+	cl := client.New(rts.URL)
+
+	up, err := cl.UploadCircuit(ctx, api.UploadRequest{Netlist: halotis.C17BenchText(), Format: "bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Simulate(ctx, api.SimRequest{Circuit: up.ID, Request: api.Request{
+			TEnd:     30,
+			Stimulus: api.Stimulus{"1": {Edges: []api.Edge{{T: float64(i + 1), Rising: true, Slew: 0.2}}}},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RollupNow()
+
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || st.Node != "router" {
+		t.Errorf("status = %q node = %q, want ok/router", st.Status, st.Node)
+	}
+	if st.ReplicasTotal != 2 || st.ReplicasHealthy != 2 || st.BreakersOpen != 0 {
+		t.Errorf("fleet counts = %d/%d healthy, %d open, want 2/2, 0",
+			st.ReplicasHealthy, st.ReplicasTotal, st.BreakersOpen)
+	}
+	if len(st.Windows) != 2 {
+		t.Fatalf("windows = %d, want fast+slow", len(st.Windows))
+	}
+	for _, w := range st.Windows {
+		if w.Requests < 5 { // upload + 4 simulates, via the live remainder
+			t.Errorf("window %q requests = %g, want >= 5", w.Name, w.Requests)
+		}
+	}
+	if len(st.Replicas) != 2 {
+		t.Fatalf("rollup rows = %d, want 2", len(st.Replicas))
+	}
+	var share float64
+	for _, rs := range st.Replicas {
+		if !rs.Healthy || rs.BreakerState != "closed" {
+			t.Errorf("replica %s = %+v, want healthy/closed", rs.ID, rs)
+		}
+		if rs.Availability != 1 {
+			t.Errorf("replica %s availability = %g, want 1 (no failures)", rs.ID, rs.Availability)
+		}
+		if rs.QueueDrainEstimateMs <= 0 {
+			t.Errorf("replica %s carries no drain estimate: %+v", rs.ID, rs)
+		}
+		share += rs.ServedShare
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("served shares sum to %g, want 1", share)
+	}
+}
+
+// TestChaosSlowRequestPinnedAtRouter is the chaos acceptance end to end:
+// a replica behind a fault injector delays every simulate past the
+// router's latency SLO, and the breaching routed request must (a) appear
+// in the router's /v1/flightrecorder flagged slow and pinned, (b) resolve
+// by its record's trace ID to the full router span tree — request,
+// resolve, attempt — without anyone having enabled tracing, and (c) flip
+// /v1/status to firing immediately (well within one rollup interval).
+func TestChaosSlowRequestPinnedAtRouter(t *testing.T) {
+	ctx := context.Background()
+	svc := service.New(service.Config{ReplicaID: "r1"})
+	inj := faultinject.New(1, faultinject.Rule{
+		Kind:    faultinject.KindLatency,
+		Match:   "/v1/simulate",
+		P:       1,
+		Latency: 60 * time.Millisecond,
+	})
+	ts := httptest.NewServer(inj.Middleware(svc.Handler()))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+
+	c, err := New([]string{ts.URL},
+		WithReplicaIDs("r1"), WithProbeInterval(0),
+		WithSLO(SLOPolicy{TargetP99: 25 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	rts := httptest.NewServer(c.Handler())
+	t.Cleanup(rts.Close)
+	cl := client.New(rts.URL)
+
+	up, err := cl.UploadCircuit(ctx, api.UploadRequest{Netlist: halotis.C17BenchText(), Format: "bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Simulate(ctx, api.SimRequest{Circuit: up.ID, Request: api.Request{
+		TEnd:     30,
+		Stimulus: api.Stimulus{"1": {Edges: []api.Edge{{T: 2, Rising: true, Slew: 0.2}}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Stats().Latency; got == 0 {
+		t.Fatal("fault injector never fired; the chaos premise is broken")
+	}
+
+	fr, err := cl.FlightRecords(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow *api.FlightRecord
+	for i, rec := range fr.Records {
+		if rec.Route == "simulate" {
+			slow = &fr.Records[i]
+		}
+	}
+	if slow == nil {
+		t.Fatalf("no simulate record in the flight recorder: %+v", fr.Records)
+	}
+	if !slow.Slow || !slow.Pinned {
+		t.Fatalf("chaos-delayed request not promoted: %+v", slow)
+	}
+	if slow.LatencyMs < 60 {
+		t.Errorf("recorded latency %.1fms does not include the injected 60ms", slow.LatencyMs)
+	}
+	if slow.TraceID == "" {
+		t.Fatal("promoted record carries no trace ID")
+	}
+
+	// The pinned span tree shows the request's routing life.
+	tr, err := cl.Trace(ctx, slow.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"router.request", "router.resolve", "router.attempt"} {
+		if !names[want] {
+			t.Errorf("pinned trace missing span %q (have %v)", want, names)
+		}
+	}
+	// Internal traces stay out of the external listing.
+	sums, err := cl.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 0 {
+		t.Errorf("internal trace leaked into /v1/traces: %+v", sums)
+	}
+
+	// Detection: the breach is visible on the very next status read.
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "firing" {
+		t.Errorf("status = %q, want firing with every simulate breaching", st.Status)
+	}
+	found := false
+	for _, ex := range st.Exemplars {
+		if ex == slow.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("status exemplars %v missing the pinned trace %s", st.Exemplars, slow.TraceID)
+	}
+}
+
+// TestRouterObservabilityDisabled: a negative SLOPolicy turns the surface
+// off — the three endpoints 404 and routed requests take the untraced
+// fast path.
+func TestRouterObservabilityDisabled(t *testing.T) {
+	reps := startReplicas(t, 1, service.Config{})
+	c := newTestCluster(t, reps, WithSLO(SLOPolicy{SeriesWindows: -1, FlightCapacity: -1}))
+	rts := httptest.NewServer(c.Handler())
+	t.Cleanup(rts.Close)
+	cl := client.New(rts.URL)
+
+	ctx := context.Background()
+	for _, probe := range []func() error{
+		func() error { _, err := cl.Status(ctx); return err },
+		func() error { _, err := cl.Series(ctx, "", 0); return err },
+		func() error { _, err := cl.FlightRecords(ctx, 0); return err },
+	} {
+		err := probe()
+		if err == nil || !strings.Contains(err.Error(), "disabled") {
+			t.Errorf("disabled endpoint err = %v, want a 404 explaining it is off", err)
+		}
+	}
+}
+
+// TestRouterMetricsIncludeFlight: the new router series — pinned gauge and
+// flight counters — expose cleanly alongside the rest.
+func TestRouterMetricsIncludeFlight(t *testing.T) {
+	ctx := context.Background()
+	reps := startReplicas(t, 1, service.Config{})
+	c := newTestCluster(t, reps)
+	rts := httptest.NewServer(c.Handler())
+	t.Cleanup(rts.Close)
+	cl := client.New(rts.URL)
+
+	if _, err := cl.UploadCircuit(ctx, api.UploadRequest{Netlist: halotis.C17BenchText(), Format: "bench"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"halotisd_router_traces_pinned 0",
+		"halotisd_router_flight_records_total 1",
+		"halotisd_router_flight_promoted_total 0",
+		`halotisd_router_requests_total{endpoint="flightrecorder"} 0`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("router metrics missing %q", want)
+		}
+	}
+}

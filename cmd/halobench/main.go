@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|partition|serve|cluster|chaos|obs]
+//	halobench [-exp all|fig1|fig3|fig5|fig6|fig7|table1|table2|power|ddmcurve|bench|scale|partition|serve|cluster|chaos|obs|slo]
 //	          [-fast] [-benchruns N] [-benchjson PATH]
 //	          [-scaleruns N] [-scalesizes 1000,3000,10000] [-scalejson PATH]
 //	          [-partruns N] [-partsizes 100000,250000] [-partcounts 1,2,4,8] [-partfam NAME] [-partjson PATH]
 //	          [-serveruns N] [-serveconc 1,2,4,8] [-servejson PATH]
 //	          [-chaosdur DUR] [-chaosclients N] [-chaosjson PATH]
-//	          [-obsruns N] [-obsjson PATH] [-version]
+//	          [-obsruns N] [-obsjson PATH]
+//	          [-sloruns N] [-slojson PATH] [-version]
 //
 // -fast uses a coarser analog integration step for Table 2 (the shape of
 // the comparison — orders of magnitude — is unaffected). -exp bench
@@ -35,7 +36,14 @@
 // daemon with tracing off, tracing on, and tracing plus profiling,
 // asserting the worst p50 regression stays under 5% and that a traced
 // request's span tree is retrievable from GET /v1/traces; -obsjson writes
-// the record (BENCH_PR8.json).
+// the record (BENCH_PR8.json). -exp slo exercises the fleet-health surface:
+// identical sweeps with observability disabled vs. enabled bound the
+// always-on cost (p50 within 2%), then a fault injector slows every
+// simulate past the router's latency SLO and the experiment asserts
+// /v1/status flips to firing within one rollup interval and that the
+// breaching requests are retrievable from /v1/flightrecorder as pinned
+// exemplars with full span trees; -slojson writes the record
+// (BENCH_PR10.json).
 package main
 
 import (
@@ -50,7 +58,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, partition, serve, cluster, chaos, obs")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig3, fig5, fig6, fig7, table1, table2, power, ddmcurve, bench, scale, partition, serve, cluster, chaos, obs, slo")
 	fast := flag.Bool("fast", false, "coarser analog step for table2")
 	benchJSON := flag.String("benchjson", "", "bench: also write the JSON perf record to this path")
 	benchRuns := flag.Int("benchruns", 200, "bench: iterations per kernel configuration")
@@ -74,6 +82,8 @@ func main() {
 	chaosClients := flag.Int("chaosclients", 6, "chaos: concurrent clients during the soak")
 	obsJSON := flag.String("obsjson", "", "obs: also write the JSON overhead record to this path")
 	obsRuns := flag.Int("obsruns", 300, "obs: requests per round and mode")
+	sloJSON := flag.String("slojson", "", "slo: also write the JSON fleet-health record to this path")
+	sloRuns := flag.Int("sloruns", 300, "slo: requests per round and mode in the overhead phase")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -181,6 +191,12 @@ func main() {
 			fmt.Println(text)
 		case "obs":
 			text, err := obsExperiment(lib, *obsJSON, *obsRuns)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		case "slo":
+			text, err := sloExperiment(lib, *sloJSON, *sloRuns)
 			if err != nil {
 				return err
 			}

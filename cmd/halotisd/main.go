@@ -12,7 +12,17 @@
 //
 // Endpoints: POST /v1/circuits, GET /v1/circuits[/{id}], DELETE
 // /v1/circuits/{id}, POST /v1/simulate, POST /v1/simulate/batch,
-// GET /v1/traces[/{id}], GET /healthz, GET /metrics.
+// GET /v1/traces[/{id}], GET /healthz, GET /metrics, GET /v1/status,
+// GET /v1/series, GET /v1/flightrecorder.
+//
+// Fleet health: -slo-p99-ms and -slo-availability set the objectives the
+// node (or router) evaluates multi-window burn rates against on GET
+// /v1/status. Every API request is filed into an in-memory flight
+// recorder; anomalous ones — slow, failed, shed, degraded, hedged,
+// partial — are promoted to pinned trace exemplars retrievable through
+// GET /v1/flightrecorder and GET /v1/traces/{id} even when the caller
+// never enabled tracing. GET /v1/series serves the node's in-process
+// time-series history (?metric=...&window=...).
 //
 // Observability: -log-level (debug|info|warn|error) and -log-format
 // (text|json) shape the structured request/operational log on stderr;
@@ -79,6 +89,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on per-request run time, capping timeout_ms and applying when it is omitted (0 = uncapped)")
 	maxEvents := flag.Uint64("max-events", 0, "cap on per-request max_events (0 = engine default only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight requests")
+	sloP99Ms := flag.Float64("slo-p99-ms", 500, "latency SLO in milliseconds: a request slower than this is SLO-bad and promoted in the flight recorder (both modes)")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability SLO target in (0,1) the /v1/status burn-rate windows are evaluated against (both modes)")
 	clusterAddrs := flag.String("cluster", "", "router mode: comma-separated replica base URLs to route over instead of simulating locally")
 	replication := flag.Int("replication", 2, "router mode: place each circuit on the top-R ranked replicas")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "router mode: replica health probe interval (0 disables active probing)")
@@ -110,23 +122,26 @@ func main() {
 	if err != nil {
 		fatal("-chaos", err)
 	}
+	sloP99 := time.Duration(*sloP99Ms * float64(time.Millisecond))
 	if *clusterAddrs != "" {
-		if err := runRouter(logger, *addr, *drainTimeout, *clusterAddrs, *replication, *probeInterval, chaos); err != nil {
+		if err := runRouter(logger, *addr, *drainTimeout, *clusterAddrs, *replication, *probeInterval, sloP99, *sloAvail, chaos); err != nil {
 			fatal("router failed", err)
 		}
 		return
 	}
 	if err := run(logger, *addr, *drainTimeout, chaos, service.Config{
-		ReplicaID:       *id,
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheSize:       *cacheSize,
-		ResultCacheSize: *resultCache,
-		EnginePoolSize:  *poolSize,
-		MaxBodyBytes:    *maxBody,
-		MaxTimeout:      *maxTimeout,
-		MaxEvents:       *maxEvents,
-		Logger:          logger,
+		ReplicaID:             *id,
+		Workers:               *workers,
+		QueueDepth:            *queueDepth,
+		CacheSize:             *cacheSize,
+		ResultCacheSize:       *resultCache,
+		EnginePoolSize:        *poolSize,
+		MaxBodyBytes:          *maxBody,
+		MaxTimeout:            *maxTimeout,
+		MaxEvents:             *maxEvents,
+		SLOTargetP99:          sloP99,
+		SLOTargetAvailability: *sloAvail,
+		Logger:                logger,
 	}); err != nil {
 		fatal("server failed", err)
 	}
@@ -169,7 +184,7 @@ func chaosMiddleware(logger *slog.Logger, spec string, seed int64) (func(http.Ha
 
 // runRouter serves the cluster router: the same wire API, sharded across
 // the listed replicas (see halotis/cluster).
-func runRouter(logger *slog.Logger, addr string, drainTimeout time.Duration, addrsFlag string, replication int, probeInterval time.Duration, chaos func(http.Handler) http.Handler) error {
+func runRouter(logger *slog.Logger, addr string, drainTimeout time.Duration, addrsFlag string, replication int, probeInterval time.Duration, sloP99 time.Duration, sloAvail float64, chaos func(http.Handler) http.Handler) error {
 	var replicas []string
 	for _, a := range strings.Split(addrsFlag, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -179,6 +194,7 @@ func runRouter(logger *slog.Logger, addr string, drainTimeout time.Duration, add
 	c, err := cluster.New(replicas,
 		cluster.WithReplication(replication),
 		cluster.WithProbeInterval(probeInterval),
+		cluster.WithSLO(cluster.SLOPolicy{TargetP99: sloP99, TargetAvailability: sloAvail}),
 		cluster.WithLogger(logger),
 	)
 	if err != nil {

@@ -1,0 +1,134 @@
+package flight
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutAndRecentNewestFirst(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Put(Record{UnixNano: int64(i + 1), TraceID: fmt.Sprintf("t%d", i)})
+	}
+	recs := r.Recent(0)
+	if len(recs) != 5 {
+		t.Fatalf("records = %d, want 5", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].UnixNano > recs[i-1].UnixNano {
+			t.Fatalf("records not newest-first: %+v", recs)
+		}
+	}
+	if recs[0].TraceID != "t4" {
+		t.Fatalf("newest = %s, want t4", recs[0].TraceID)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Put(Record{UnixNano: int64(i + 1)})
+	}
+	recs := r.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.UnixNano < 7 {
+			t.Fatalf("old record survived wrap: %+v", recs)
+		}
+	}
+}
+
+func TestRecentLimit(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.Put(Record{UnixNano: int64(i + 1)})
+	}
+	if got := len(r.Recent(3)); got != 3 {
+		t.Fatalf("Recent(3) = %d records, want 3", got)
+	}
+}
+
+func TestStatsCountPromotions(t *testing.T) {
+	r := NewRing(8)
+	r.Put(Record{UnixNano: 1})
+	r.Put(Record{UnixNano: 2, Flags: FlagSlow | FlagPinned})
+	r.Put(Record{UnixNano: 3, Flags: FlagFailed | FlagPinned})
+	recorded, promoted := r.Stats()
+	if recorded != 3 || promoted != 2 {
+		t.Fatalf("Stats = (%d, %d), want (3, 2)", recorded, promoted)
+	}
+}
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Put(Record{})
+	if r.Recent(0) != nil {
+		t.Fatal("nil ring returned records")
+	}
+	if rec, pro := r.Stats(); rec != 0 || pro != 0 {
+		t.Fatal("nil ring returned stats")
+	}
+}
+
+func TestNoteRoundTrip(t *testing.T) {
+	ctx, n := WithNote(context.Background())
+	n.Cached = true
+	n.QueueWaitNs = 42
+	got := NoteFrom(ctx)
+	if got == nil || !got.Cached || got.QueueWaitNs != 42 {
+		t.Fatalf("NoteFrom = %+v", got)
+	}
+	if NoteFrom(context.Background()) != nil {
+		t.Fatal("NoteFrom on bare context should be nil")
+	}
+}
+
+// TestParallelWriters hammers a small ring from many goroutines while
+// readers drain it, for the race detector; every surviving record must be
+// intact (no torn TraceID/UnixNano pairs).
+func TestParallelWriters(t *testing.T) {
+	r := NewRing(64)
+	const writers = 16
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seq := int64(w*perWriter + i)
+				r.Put(Record{
+					UnixNano: seq,
+					TraceID:  fmt.Sprintf("%d", seq),
+					Flags:    Flags(seq) & (FlagSlow | FlagPinned),
+				})
+			}
+		}(w)
+	}
+	for rdr := 0; rdr < 4; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, rec := range r.Recent(0) {
+					if rec.TraceID != fmt.Sprintf("%d", rec.UnixNano) {
+						t.Errorf("torn record: trace=%s unixnano=%d", rec.TraceID, rec.UnixNano)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	recorded, _ := r.Stats()
+	if recorded != writers*perWriter {
+		t.Fatalf("recorded = %d, want %d", recorded, writers*perWriter)
+	}
+	if got := len(r.Recent(0)); got != 64 {
+		t.Fatalf("retained = %d, want full ring 64", got)
+	}
+}

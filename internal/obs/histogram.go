@@ -110,3 +110,92 @@ func (h *Histogram) WriteSeries(w io.Writer, fq, labels string) {
 }
 
 func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets,
+// suitable for windowed deltas: subtract two snapshots to get the
+// distribution of observations between them, then ask for quantiles.
+type HistogramSnapshot struct {
+	Bounds []float64 // finite upper bounds, ascending (shared, do not mutate)
+	Counts []uint64  // per-bucket counts; len(Bounds)+1, last is +Inf
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current bucket counts. The copy is not
+// atomic across buckets — concurrent observations may straddle it — but
+// each bucket is internally consistent, which is all windowed quantile
+// estimation needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.bounds {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Counts[len(h.bounds)] = h.inf.Load()
+	return s
+}
+
+// Count returns the snapshot's total observation count.
+func (s HistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Sub returns the delta distribution s − prev. Buckets that would go
+// negative (prev from a different histogram generation) clamp to zero.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Bounds: s.Bounds, Counts: make([]uint64, len(s.Counts)), Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		var p uint64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		if s.Counts[i] > p {
+			out.Counts[i] = s.Counts[i] - p
+		}
+	}
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the snapshot by linear
+// interpolation within the target bucket, the standard Prometheus
+// histogram_quantile estimator. Observations in the +Inf bucket report the
+// last finite bound (the estimate saturates there). Returns 0 on an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.Count()
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			inBucket := float64(s.Counts[i])
+			if inBucket == 0 {
+				return b
+			}
+			frac := (rank - float64(cum-s.Counts[i])) / inBucket
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (b-lo)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -35,35 +35,50 @@ type Recorder struct {
 	node string
 	cap  int
 
-	mu     sync.Mutex
-	traces map[string]*traceBuf
-	order  []string // trace IDs in arrival order; order[0] evicts first
+	mu       sync.Mutex
+	traces   map[string]*traceBuf
+	order    []string // trace IDs in arrival order; unpinned evict first
+	pinned   map[string]bool
+	pinOrder []string // pinned IDs in pin order; pinOrder[0] unpins first
+	maxPin   int
 
-	started uint64 // traces ever started (== evictions + len(traces))
+	started uint64 // externally traced requests ever started
 	spans   uint64 // spans ever recorded
 	dropped uint64 // spans dropped by the per-trace bound
 }
 
 type traceBuf struct {
-	spans []api.SpanInfo
+	spans    []api.SpanInfo
+	internal bool // self-assigned trace (flight-recorder exemplar candidate)
 }
 
 // NewRecorder builds a recorder identified as node, retaining up to
-// capacity traces (DefaultTraceCapacity when capacity <= 0).
+// capacity traces (DefaultTraceCapacity when capacity <= 0). Up to a
+// quarter of the capacity can be pinned as anomaly exemplars exempt from
+// FIFO eviction.
 func NewRecorder(node string, capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
+	}
+	maxPin := capacity / 4
+	if maxPin < 1 {
+		maxPin = 1
 	}
 	return &Recorder{
 		node:   node,
 		cap:    capacity,
 		traces: make(map[string]*traceBuf, capacity),
+		pinned: make(map[string]bool, maxPin),
+		maxPin: maxPin,
 	}
 }
 
 // record files one finished span under its trace, evicting the oldest
-// trace when the ring is full.
-func (r *Recorder) record(s api.SpanInfo) {
+// unpinned trace when the ring is full. internal marks traces the node
+// assigned to itself (flight-recorder capture on untraced requests): they
+// are fetchable by ID but hidden from the trace listing and the
+// traces-started counter, which count only externally traced requests.
+func (r *Recorder) record(s api.SpanInfo, internal bool) {
 	if r == nil {
 		return
 	}
@@ -72,13 +87,14 @@ func (r *Recorder) record(s api.SpanInfo) {
 	tb := r.traces[s.TraceID]
 	if tb == nil {
 		if len(r.order) >= r.cap {
-			delete(r.traces, r.order[0])
-			r.order = r.order[1:]
+			r.evictLocked()
 		}
-		tb = &traceBuf{}
+		tb = &traceBuf{internal: internal}
 		r.traces[s.TraceID] = tb
 		r.order = append(r.order, s.TraceID)
-		r.started++
+		if !internal {
+			r.started++
+		}
 	}
 	if len(tb.spans) >= maxSpansPerTrace {
 		r.dropped++
@@ -87,6 +103,77 @@ func (r *Recorder) record(s api.SpanInfo) {
 		r.spans++
 	}
 	r.mu.Unlock()
+}
+
+// evictLocked removes the oldest unpinned trace; if every retained trace
+// is pinned (capacity smaller than the pin budget), the oldest pin is
+// released and evicted so the ring keeps turning. Caller holds r.mu.
+func (r *Recorder) evictLocked() {
+	evict := -1
+	for i, id := range r.order {
+		if !r.pinned[id] {
+			evict = i
+			break
+		}
+	}
+	if evict == -1 {
+		r.unpinLocked(r.order[0])
+		evict = 0
+	}
+	delete(r.traces, r.order[evict])
+	r.order = append(r.order[:evict], r.order[evict+1:]...)
+}
+
+func (r *Recorder) unpinLocked(id string) {
+	if !r.pinned[id] {
+		return
+	}
+	delete(r.pinned, id)
+	for i, p := range r.pinOrder {
+		if p == id {
+			r.pinOrder = append(r.pinOrder[:i], r.pinOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Pin exempts the trace from FIFO eviction so it survives as an anomaly
+// exemplar. When the pin budget (a quarter of capacity) is full, the
+// oldest pin is released — exemplars rotate rather than fossilize.
+// Pinning a trace that has not been recorded yet is allowed: the pin
+// applies when its spans arrive.
+func (r *Recorder) Pin(id string) {
+	if r == nil || id == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pinned[id] {
+		return
+	}
+	if len(r.pinOrder) >= r.maxPin {
+		r.unpinLocked(r.pinOrder[0])
+	}
+	r.pinned[id] = true
+	r.pinOrder = append(r.pinOrder, id)
+}
+
+// Pinned lists the pinned trace IDs that have recorded spans, newest pin
+// first — the exemplar list /v1/status and /v1/flightrecorder expose.
+func (r *Recorder) Pinned() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.pinOrder))
+	for i := len(r.pinOrder) - 1; i >= 0; i-- {
+		id := r.pinOrder[i]
+		if tb := r.traces[id]; tb != nil && len(tb.spans) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Trace returns every span recorded for the trace, in end order.
@@ -102,7 +189,9 @@ func (r *Recorder) Trace(id string) (api.TraceResponse, bool) {
 	return out, true
 }
 
-// Traces summarizes the retained traces, newest first.
+// Traces summarizes the retained externally traced requests, newest
+// first. Internal (self-assigned) traces are omitted — they are reachable
+// by ID via flight-recorder exemplars, not by browsing.
 func (r *Recorder) Traces() []api.TraceSummary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -110,7 +199,7 @@ func (r *Recorder) Traces() []api.TraceSummary {
 	for i := len(r.order) - 1; i >= 0; i-- {
 		id := r.order[i]
 		tb := r.traces[id]
-		if tb == nil || len(tb.spans) == 0 {
+		if tb == nil || len(tb.spans) == 0 || tb.internal {
 			continue
 		}
 		sum := api.TraceSummary{TraceID: id, Spans: len(tb.spans)}
@@ -142,9 +231,10 @@ func (r *Recorder) Stats() (started, spans, dropped uint64, retained int) {
 // traceCtx is the context payload of an active trace: the recorder to file
 // spans into and the current span (the parent of anything started next).
 type traceCtx struct {
-	rec     *Recorder
-	traceID string
-	spanID  string
+	rec      *Recorder
+	traceID  string
+	spanID   string
+	internal bool
 }
 
 type ctxKey struct{}
@@ -159,16 +249,40 @@ func WithTrace(ctx context.Context, rec *Recorder, traceID, parentSpanID string)
 	return context.WithValue(ctx, ctxKey{}, &traceCtx{rec: rec, traceID: traceID, spanID: parentSpanID})
 }
 
+// WithInternalTrace activates tracing with a node-assigned identity on a
+// request that arrived untraced, so the flight recorder can pin its span
+// tree if it turns out anomalous. Internal traces do not surface in
+// ContextTrace (response headers and bodies stay as if untraced), the
+// trace listing, or the traces-started counter; they are reachable only
+// by ID.
+func WithInternalTrace(ctx context.Context, rec *Recorder, traceID string) context.Context {
+	if traceID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &traceCtx{rec: rec, traceID: traceID, internal: true})
+}
+
 // ContextTrace returns the context's trace identity — the trace ID and the
 // current span ID — for propagation (the client stamps them into the
 // Halotis-Trace header). ok is false on untraced contexts; the check is
 // one context lookup, which is the entire cost of tracing-off.
 func ContextTrace(ctx context.Context) (traceID, spanID string, ok bool) {
 	tc, _ := ctx.Value(ctxKey{}).(*traceCtx)
-	if tc == nil {
+	if tc == nil || tc.internal {
 		return "", "", false
 	}
 	return tc.traceID, tc.spanID, true
+}
+
+// ContextTraceAny returns the context's trace ID whether the trace is
+// external or internal — the flight recorder stamps it into records so
+// pinned exemplars resolve regardless of who assigned the identity.
+func ContextTraceAny(ctx context.Context) (traceID string, ok bool) {
+	tc, _ := ctx.Value(ctxKey{}).(*traceCtx)
+	if tc == nil {
+		return "", false
+	}
+	return tc.traceID, true
 }
 
 // Span is one in-flight traced phase; created by Start, finished by End.
@@ -188,7 +302,7 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if tc == nil {
 		return ctx, nil
 	}
-	child := &traceCtx{rec: tc.rec, traceID: tc.traceID, spanID: api.NewSpanID()}
+	child := &traceCtx{rec: tc.rec, traceID: tc.traceID, spanID: api.NewSpanID(), internal: tc.internal}
 	sp := &Span{
 		tc:    child,
 		start: time.Now(),
@@ -229,7 +343,7 @@ func (s *Span) End() {
 	}
 	s.info.StartUnixNs = s.start.UnixNano()
 	s.info.DurationNs = time.Since(s.start).Nanoseconds()
-	s.tc.rec.record(s.info)
+	s.tc.rec.record(s.info, s.tc.internal)
 }
 
 // Record files a span whose bounds were measured externally (a queue wait
@@ -251,5 +365,5 @@ func Record(ctx context.Context, name string, start time.Time, d time.Duration, 
 	if err != nil {
 		info.Error = err.Error()
 	}
-	tc.rec.record(info)
+	tc.rec.record(info, tc.internal)
 }

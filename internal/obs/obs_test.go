@@ -184,3 +184,96 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	sp.End()
 	Record(ctx, "r", time.Now(), time.Millisecond, nil)
 }
+
+// TestPinExemptsFromEviction: a pinned trace must survive FIFO eviction
+// while unpinned neighbors churn out.
+func TestPinExemptsFromEviction(t *testing.T) {
+	rec := NewRecorder("n", 4)
+	Record(WithTrace(context.Background(), rec, "keep", ""), "s", time.Now(), time.Millisecond, nil)
+	rec.Pin("keep")
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("churn-%d", i)
+		Record(WithTrace(context.Background(), rec, id, ""), "s", time.Now(), time.Millisecond, nil)
+	}
+	if _, ok := rec.Trace("keep"); !ok {
+		t.Fatal("pinned trace was evicted")
+	}
+	if _, ok := rec.Trace("churn-0"); ok {
+		t.Fatal("unpinned trace survived past capacity")
+	}
+	pinned := rec.Pinned()
+	if len(pinned) != 1 || pinned[0] != "keep" {
+		t.Fatalf("Pinned = %v, want [keep]", pinned)
+	}
+}
+
+// TestPinBudgetRotates: pins beyond a quarter of capacity release the
+// oldest pin instead of growing without bound.
+func TestPinBudgetRotates(t *testing.T) {
+	rec := NewRecorder("n", 8) // pin budget = 2
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("p%d", i)
+		Record(WithTrace(context.Background(), rec, id, ""), "s", time.Now(), time.Millisecond, nil)
+		rec.Pin(id)
+	}
+	pinned := rec.Pinned()
+	if len(pinned) != 2 {
+		t.Fatalf("pinned = %v, want 2 entries", pinned)
+	}
+	for _, id := range pinned {
+		if id == "p0" {
+			t.Fatal("oldest pin p0 should have been released")
+		}
+	}
+}
+
+// TestPinBeforeRecordApplies: pinning an ID before any span arrives is
+// allowed and protects the trace once recorded.
+func TestPinBeforeRecordApplies(t *testing.T) {
+	rec := NewRecorder("n", 4)
+	rec.Pin("early")
+	if got := rec.Pinned(); len(got) != 0 {
+		t.Fatalf("Pinned before record = %v, want empty", got)
+	}
+	Record(WithTrace(context.Background(), rec, "early", ""), "s", time.Now(), time.Millisecond, nil)
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("churn-%d", i)
+		Record(WithTrace(context.Background(), rec, id, ""), "s", time.Now(), time.Millisecond, nil)
+	}
+	if _, ok := rec.Trace("early"); !ok {
+		t.Fatal("pre-pinned trace was evicted")
+	}
+}
+
+// TestInternalTraceHiddenButFetchable: an internal (self-assigned) trace
+// must not surface in ContextTrace, the listing, or the started counter,
+// yet resolves by ID.
+func TestInternalTraceHiddenButFetchable(t *testing.T) {
+	rec := NewRecorder("n", 4)
+	ctx := WithInternalTrace(context.Background(), rec, "int1")
+	if _, _, ok := ContextTrace(ctx); ok {
+		t.Fatal("ContextTrace exposed an internal trace")
+	}
+	id, ok := ContextTraceAny(ctx)
+	if !ok || id != "int1" {
+		t.Fatalf("ContextTraceAny = (%q, %v), want (int1, true)", id, ok)
+	}
+	cctx, sp := Start(ctx, "child")
+	if _, _, ok := ContextTrace(cctx); ok {
+		t.Fatal("child of internal trace leaked into ContextTrace")
+	}
+	sp.End()
+	if got := rec.Traces(); len(got) != 0 {
+		t.Fatalf("Traces listed internal trace: %+v", got)
+	}
+	started, spans, _, _ := rec.Stats()
+	if started != 0 {
+		t.Fatalf("started = %d, want 0 (internal traces don't count)", started)
+	}
+	if spans != 1 {
+		t.Fatalf("spans = %d, want 1", spans)
+	}
+	if tr, ok := rec.Trace("int1"); !ok || len(tr.Spans) != 1 {
+		t.Fatalf("Trace(int1) = %+v ok=%v, want the recorded span", tr, ok)
+	}
+}

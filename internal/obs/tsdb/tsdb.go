@@ -1,0 +1,166 @@
+// Package tsdb is a dependency-free in-process time-series store: a fixed
+// ring of aligned time windows per metric, fed by a periodic sampler that
+// snapshots the node's counters and histograms. It trades everything a
+// real TSDB has (persistence, compression, queries) for what a single
+// node postmortem actually needs — the last hour of every interesting
+// number at 10-second resolution, queryable as JSON — at the cost of a
+// few fixed-size float slices.
+//
+// Two write styles map onto the two metric kinds: Add accumulates deltas
+// within the current window (rates, counts), Set overwrites it (gauges,
+// quantile estimates). Readers get ascending points with window-start
+// timestamps; windows the ring has rotated past simply vanish.
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults for the sampler ring: 10s windows, one hour of history.
+const (
+	DefaultResolution = 10 * time.Second
+	DefaultWindows    = 360
+)
+
+// Point is one window's value, stamped with the window start.
+type Point struct {
+	UnixMs int64
+	Value  float64
+}
+
+// series is one metric's ring. start[i] holds the aligned window-start
+// epoch occupying slot i; a write into a slot whose epoch moved on resets
+// the slot, which is how old windows expire without a background sweeper.
+type series struct {
+	start []int64
+	vals  []float64
+}
+
+// DB is the store. Safe for concurrent use; writes are two map/slice
+// operations under a mutex, far off any hot path (the sampler ticks once
+// per resolution, handlers only read).
+type DB struct {
+	res time.Duration
+	n   int
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// New builds a store with the given window resolution and window count
+// (defaults apply for zero or negative values).
+func New(res time.Duration, windows int) *DB {
+	if res <= 0 {
+		res = DefaultResolution
+	}
+	if windows <= 0 {
+		windows = DefaultWindows
+	}
+	return &DB{res: res, n: windows, series: make(map[string]*series, 32)}
+}
+
+// Resolution returns the window size.
+func (db *DB) Resolution() time.Duration { return db.res }
+
+// Span returns the full retention span of the ring.
+func (db *DB) Span() time.Duration { return db.res * time.Duration(db.n) }
+
+func (db *DB) slot(now time.Time) (idx int, epoch int64) {
+	w := now.UnixNano() / int64(db.res)
+	return int(w % int64(db.n)), w
+}
+
+func (db *DB) get(name string) *series {
+	s := db.series[name]
+	if s == nil {
+		s = &series{start: make([]int64, db.n), vals: make([]float64, db.n)}
+		db.series[name] = s
+	}
+	return s
+}
+
+// Add accumulates v into the metric's current window (counter style).
+func (db *DB) Add(now time.Time, name string, v float64) {
+	idx, epoch := db.slot(now)
+	db.mu.Lock()
+	s := db.get(name)
+	if s.start[idx] != epoch {
+		s.start[idx] = epoch
+		s.vals[idx] = 0
+	}
+	s.vals[idx] += v
+	db.mu.Unlock()
+}
+
+// Set overwrites the metric's current window (gauge style).
+func (db *DB) Set(now time.Time, name string, v float64) {
+	idx, epoch := db.slot(now)
+	db.mu.Lock()
+	s := db.get(name)
+	s.start[idx] = epoch
+	s.vals[idx] = v
+	db.mu.Unlock()
+}
+
+// Query returns the metric's points within the trailing window (the full
+// ring when window <= 0), ascending by time. Unwritten or expired slots
+// are omitted, not zero-filled.
+func (db *DB) Query(name string, window time.Duration) []Point {
+	if window <= 0 || window > db.Span() {
+		window = db.Span()
+	}
+	cutoff := time.Now().Add(-window).UnixNano() / int64(db.res)
+	db.mu.RLock()
+	s := db.series[name]
+	if s == nil {
+		db.mu.RUnlock()
+		return nil
+	}
+	out := make([]Point, 0, db.n)
+	for i := range s.start {
+		if s.start[i] == 0 || s.start[i] < cutoff {
+			continue
+		}
+		out = append(out, Point{
+			UnixMs: s.start[i] * int64(db.res) / int64(time.Millisecond),
+			Value:  s.vals[i],
+		})
+	}
+	db.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].UnixMs < out[j].UnixMs })
+	return out
+}
+
+// Sum totals the metric over the trailing window — the burn-rate reader
+// for counter-style series.
+func (db *DB) Sum(name string, window time.Duration) float64 {
+	var total float64
+	for _, p := range db.Query(name, window) {
+		total += p.Value
+	}
+	return total
+}
+
+// Latest returns the most recent point, ok=false when the series is
+// empty or fully expired.
+func (db *DB) Latest(name string) (Point, bool) {
+	pts := db.Query(name, 0)
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// Names lists the known metrics, sorted — the /v1/series index.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	out := make([]string, 0, len(db.series))
+	for name := range db.series {
+		out = append(out, name)
+	}
+	db.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package tsdb
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAccumulatesWithinWindow(t *testing.T) {
+	db := New(10*time.Second, 6)
+	now := time.Now()
+	db.Add(now, "req", 3)
+	db.Add(now, "req", 4)
+	pts := db.Query("req", 0)
+	if len(pts) != 1 {
+		t.Fatalf("points = %d, want 1", len(pts))
+	}
+	if pts[0].Value != 7 {
+		t.Fatalf("value = %g, want 7", pts[0].Value)
+	}
+	if got := db.Sum("req", 0); got != 7 {
+		t.Fatalf("Sum = %g, want 7", got)
+	}
+}
+
+func TestSetOverwritesWindow(t *testing.T) {
+	db := New(10*time.Second, 6)
+	now := time.Now()
+	db.Set(now, "depth", 5)
+	db.Set(now, "depth", 2)
+	p, ok := db.Latest("depth")
+	if !ok || p.Value != 2 {
+		t.Fatalf("Latest = %+v ok=%v, want value 2", p, ok)
+	}
+}
+
+func TestWindowRotationExpiresOldSlots(t *testing.T) {
+	res := 10 * time.Second
+	db := New(res, 4)
+	base := time.Now().Truncate(res)
+	// Write 6 consecutive windows into a 4-slot ring: the first two must
+	// be overwritten by their modular successors.
+	for i := 0; i < 6; i++ {
+		db.Set(base.Add(time.Duration(i)*res), "g", float64(i))
+	}
+	pts := db.Query("g", 0)
+	if len(pts) > 4 {
+		t.Fatalf("points = %d, want <= 4 after rotation", len(pts))
+	}
+	// Ascending order, and the survivors are the newest writes.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].UnixMs <= pts[i-1].UnixMs {
+			t.Fatalf("points not ascending: %v", pts)
+		}
+	}
+	if len(pts) > 0 && pts[len(pts)-1].Value != 5 {
+		t.Fatalf("newest value = %g, want 5", pts[len(pts)-1].Value)
+	}
+	for _, p := range pts {
+		if p.Value < 2 {
+			t.Fatalf("expired window survived rotation: %v", pts)
+		}
+	}
+}
+
+func TestQueryTrailingWindowFilters(t *testing.T) {
+	res := 10 * time.Second
+	db := New(res, 360)
+	now := time.Now()
+	db.Add(now.Add(-5*time.Minute), "req", 100)
+	db.Add(now, "req", 1)
+	if got := db.Sum("req", time.Minute); got != 1 {
+		t.Fatalf("Sum(1m) = %g, want 1 (old window must be excluded)", got)
+	}
+	if got := db.Sum("req", time.Hour); got != 101 {
+		t.Fatalf("Sum(1h) = %g, want 101", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	db := New(time.Second, 4)
+	now := time.Now()
+	db.Set(now, "b", 1)
+	db.Set(now, "a", 1)
+	names := db.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v, want [a b]", names)
+	}
+}
+
+// TestConcurrentRotation hammers one DB from parallel writers spanning
+// many windows while readers query, for the race detector.
+func TestConcurrentRotation(t *testing.T) {
+	res := time.Millisecond
+	db := New(res, 8)
+	base := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				ts := base.Add(time.Duration(i) * res / 4)
+				db.Add(ts, "req", 1)
+				db.Set(ts, "depth", float64(i))
+			}
+		}(w)
+	}
+	for rdr := 0; rdr < 4; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				db.Query("req", 0)
+				db.Sum("req", db.Span())
+				db.Latest("depth")
+				db.Names()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(db.Query("req", 0)) == 0 {
+		t.Fatal("no points survived concurrent writes")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"halotis/internal/buildinfo"
 	"halotis/internal/obs"
+	"halotis/internal/obs/flight"
 )
 
 // routeID indexes the per-endpoint request counters.
@@ -21,6 +22,9 @@ const (
 	routeHealth
 	routeMetrics
 	routeTraces
+	routeStatus
+	routeSeries
+	routeFlight
 	routeCount
 )
 
@@ -32,6 +36,9 @@ var routeNames = [routeCount]string{
 	routeHealth:   "healthz",
 	routeMetrics:  "metrics",
 	routeTraces:   "traces",
+	routeStatus:   "status",
+	routeSeries:   "series",
+	routeFlight:   "flightrecorder",
 }
 
 // metrics aggregates the daemon's counters; everything is atomic so the
@@ -79,7 +86,7 @@ func (m *metrics) recordRun(events uint64, busy time.Duration, err error) {
 }
 
 // write renders the Prometheus text exposition of the daemon's state.
-func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats, queue QueueStats, traces *obs.Recorder) {
+func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats, queue QueueStats, traces *obs.Recorder, fr *flight.Ring) {
 	gauge := func(name string, v float64, help string) {
 		fmt.Fprintf(w, "# HELP halotisd_%s %s\n# TYPE halotisd_%s gauge\nhalotisd_%s %g\n",
 			name, help, name, name, v)
@@ -156,6 +163,13 @@ func (m *metrics) write(w io.Writer, cache CacheStats, results ResultCacheStats,
 		counter("trace_spans_total", spans, "Spans recorded across all traces.")
 		counter("trace_spans_dropped_total", dropped, "Spans dropped by the per-trace span bound.")
 		gauge("traces_retained", float64(retained), "Traces currently held in the in-memory ring.")
+		gauge("traces_pinned", float64(len(traces.Pinned())), "Anomaly exemplar traces currently pinned against eviction.")
+	}
+
+	if fr != nil {
+		recorded, promoted := fr.Stats()
+		counter("flight_records_total", recorded, "Requests filed in the flight-recorder ring.")
+		counter("flight_promoted_total", promoted, "Flight records promoted to pinned exemplars (slow, failed, shed, degraded, hedged, or partial).")
 	}
 
 	obs.WriteRuntimeMetrics(w, "halotisd")

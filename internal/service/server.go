@@ -10,10 +10,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"halotis/api"
 	"halotis/internal/obs"
+	"halotis/internal/obs/flight"
+	"halotis/internal/obs/tsdb"
 )
 
 // Server is the simulation service: an http.Handler plus the cache, engine
@@ -28,6 +31,20 @@ type Server struct {
 	traces  *obs.Recorder
 	log     *slog.Logger
 	mux     *http.ServeMux
+
+	// Fleet-health surface (status.go): the series ring and its sampler,
+	// the flight recorder, SLO accounting, and the per-endpoint slow
+	// promotion thresholds (ns; derived from recent p99s by the sampler).
+	db           *tsdb.DB
+	flight       *flight.Ring
+	slowNs       [routeCount]atomic.Int64
+	sloTotal     atomic.Uint64
+	sloBad       atomic.Uint64
+	sampledTotal atomic.Uint64
+	sampledBad   atomic.Uint64
+	samplerStop  chan struct{}
+	samplerDone  chan struct{}
+	closeOnce    sync.Once
 }
 
 // New builds a Server from the config (zero value = defaults).
@@ -45,6 +62,20 @@ func New(cfg Config) *Server {
 	s.met.start = time.Now()
 	s.met.replica = cfg.ReplicaID
 	s.met.init()
+	if cfg.FlightCapacity > 0 {
+		s.flight = flight.NewRing(cfg.FlightCapacity)
+	}
+	// Until the sampler has a p99 to derive from, "slow" means "past the
+	// SLO target".
+	for r := range s.slowNs {
+		s.slowNs[r].Store(cfg.SLOTargetP99.Nanoseconds())
+	}
+	if cfg.SeriesWindows > 0 {
+		s.db = tsdb.New(cfg.SeriesResolution, cfg.SeriesWindows)
+		s.samplerStop = make(chan struct{})
+		s.samplerDone = make(chan struct{})
+		go s.runSampler()
+	}
 	s.mux.HandleFunc("POST /v1/circuits", s.route(routeUpload, s.handleUpload))
 	s.mux.HandleFunc("GET /v1/circuits", s.route(routeCircuits, s.handleList))
 	s.mux.HandleFunc("GET /v1/circuits/{id}", s.route(routeCircuits, s.handleGet))
@@ -55,18 +86,25 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.route(routeMetrics, s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/traces", s.route(routeTraces, s.handleTraces))
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.route(routeTraces, s.handleTrace))
+	s.mux.HandleFunc("GET /v1/status", s.route(routeStatus, s.handleStatus))
+	s.mux.HandleFunc("GET /v1/series", s.route(routeSeries, s.handleSeries))
+	s.mux.HandleFunc("GET /v1/flightrecorder", s.route(routeFlight, s.handleFlight))
 	return s
 }
 
 // route counts and times one endpoint's requests: the per-endpoint counter
 // and latency histogram are observed here, inside the mux (middleware
-// cannot know which pattern matched).
+// cannot know which pattern matched). API routes additionally feed the SLO
+// accounting and the flight recorder (see observe).
 func (s *Server) route(r routeID, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		s.met.requests[r].Add(1)
 		start := time.Now()
-		h(w, req)
-		s.met.latency[r].Observe(time.Since(start).Seconds())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, req)
+		d := time.Since(start)
+		s.met.latency[r].Observe(d.Seconds())
+		s.observe(r, req, sw.status, d)
 	}
 }
 
@@ -94,22 +132,34 @@ func (sw *statusWriter) WriteHeader(code int) {
 func (s *Server) withTrace(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		traceID, parent, traced := api.TraceFrom(r.Header)
+		// API requests get a flight-recorder Note, and — when untraced — a
+		// self-assigned internal trace, so an anomalous request's span tree
+		// can be pinned as an exemplar without pre-enabled tracing.
+		recorded := s.flight != nil && flightPath(r.URL.Path)
 		lvl := slog.LevelDebug
 		if traced {
 			lvl = slog.LevelInfo
 		}
-		if !traced && !s.log.Enabled(r.Context(), lvl) {
+		if !traced && !recorded && !s.log.Enabled(r.Context(), lvl) {
 			next.ServeHTTP(w, r) // nothing to record: the untraced fast path
 			return
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		var sp *obs.Span
-		if traced {
-			ctx := obs.WithTrace(r.Context(), s.traces, traceID, parent)
+		if traced || recorded {
+			ctx := r.Context()
+			if traced {
+				ctx = obs.WithTrace(ctx, s.traces, traceID, parent)
+			} else {
+				ctx = obs.WithInternalTrace(ctx, s.traces, api.NewTraceID())
+			}
 			ctx, sp = obs.Start(ctx, "replica.request")
 			sp.SetAttr("method", r.Method)
 			sp.SetAttr("path", r.URL.Path)
+			if recorded {
+				ctx, _ = flight.WithNote(ctx)
+			}
 			r = r.WithContext(ctx)
 		}
 		next.ServeHTTP(sw, r)
@@ -158,9 +208,17 @@ func (s *Server) withBudget(next http.Handler) http.Handler {
 }
 
 // Close stops job admission and drains: queued and in-flight jobs run to
-// completion before Close returns. Call http.Server.Shutdown first so no
-// new requests arrive while draining.
-func (s *Server) Close() { s.queue.Close() }
+// completion before Close returns, and the series sampler stops. Call
+// http.Server.Shutdown first so no new requests arrive while draining.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.samplerStop != nil {
+			close(s.samplerStop)
+			<-s.samplerDone
+		}
+		s.queue.Close()
+	})
+}
 
 // CacheStats snapshots the compiled-circuit cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
@@ -210,17 +268,20 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 	if tid, _, ok := obs.ContextTrace(r.Context()); ok {
 		resp.TraceID = tid
 	}
+	if n := flight.NoteFrom(r.Context()); n != nil {
+		n.Code = resp.Code
+	}
 	s.writeJSON(w, status, resp)
 }
 
-// retryAfter is the hint attached to 503 responses.
-const retryAfter = time.Second
-
-// writeBusy maps queue admission failures to 503 with a retry hint, typed
-// as ErrOverloaded on the wire.
+// writeBusy maps queue admission failures to 503, typed as ErrOverloaded
+// on the wire. The Retry-After hint is the live queue-drain estimate —
+// how long the backlog needs at the observed service rate — not a fixed
+// constant, so clients back off proportionally to the actual overload.
 func (s *Server) writeBusy(w http.ResponseWriter, r *http.Request, err error) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
-	s.writeError(w, r, http.StatusServiceUnavailable, &api.OverloadedError{RetryAfter: retryAfter, Cause: err})
+	est := s.drainEstimate()
+	w.Header().Set("Retry-After", retryAfterHeader(est))
+	s.writeError(w, r, http.StatusServiceUnavailable, &api.OverloadedError{RetryAfter: retryAfterHint(est), Cause: err})
 }
 
 // simStatus maps a run error to an HTTP status via the error taxonomy:
@@ -294,6 +355,9 @@ func (s *Server) submitAndWait(w http.ResponseWriter, r *http.Request, job func(
 		wait := time.Since(submitted)
 		s.met.queueWait.Observe(wait.Seconds())
 		obs.Record(r.Context(), "queue.wait", submitted, wait, nil)
+		if n := flight.NoteFrom(r.Context()); n != nil {
+			n.QueueWaitNs = wait.Nanoseconds()
+		}
 		v, status, err := job()
 		ch <- out{v, status, err}
 	}, func(cause error) {
@@ -464,6 +528,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wait := time.Since(submitted)
 		s.met.queueWait.Observe(wait.Seconds())
 		obs.Record(r.Context(), "queue.wait", submitted, wait, nil)
+		if n := flight.NoteFrom(r.Context()); n != nil {
+			n.QueueWaitNs = wait.Nanoseconds()
+		}
 		ent, status, err := s.resolve(r.Context(), req.Circuit, req.Netlist, req.Format)
 		rch <- resolved{ent, status, err}
 	}, func(cause error) {
@@ -527,7 +594,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
 				// Shutdown/backpressure mid-fan-out is an availability
 				// condition, reported like any other admission refusal.
-				err = &api.OverloadedError{RetryAfter: retryAfter, Cause: err}
+				err = &api.OverloadedError{RetryAfter: retryAfterHint(s.drainEstimate()), Cause: err}
 			}
 			errs[i] = api.MapRunError(err)
 			if partial {
@@ -550,6 +617,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			resp.Reports[i] = *rep
+		}
+		if resp.Errors != nil {
+			if fn := flight.NoteFrom(r.Context()); fn != nil {
+				fn.Partial = true
+			}
 		}
 		s.writeJSON(w, http.StatusOK, resp)
 		return
@@ -581,7 +653,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 //halotis:noctx renders in-memory counters; no downstream work
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.cache.Stats(), s.results.Stats(), s.queue.Stats(), s.traces)
+	s.met.write(w, s.cache.Stats(), s.results.Stats(), s.queue.Stats(), s.traces, s.flight)
 }
 
 // --- run execution ---
@@ -607,6 +679,9 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 	}
 	ck := resultKey(ent.info.ID, st, req, key)
 	if rep, ok := s.results.Get(ck); ok {
+		if n := flight.NoteFrom(ctx); n != nil {
+			n.Cached = true
+		}
 		rep.TraceID = traceID // Get returned a copy; the cached entry stays clean
 		return rep, nil
 	}
@@ -619,6 +694,11 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 	if req.Profile {
 		eng.SetProfiling(true)
 	}
+	// Stream kernel progress into the node's event counter so the series
+	// sampler sees events/sec while a long run is still in flight; the
+	// engine publishes every event exactly once (including on error
+	// paths), so recordRun must not add them again.
+	eng.SetProgress(&s.met.simEvents)
 
 	_, spRun := obs.Start(ctx, "kernel.run")
 	res, err := eng.RunContext(ctx, st, req.TEnd)
@@ -626,6 +706,7 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 		spRun.Fail(err)
 		spRun.End()
 		eng.SetProfiling(false)
+		eng.SetProgress(nil)
 		ent.pools.Release(key, eng)
 		s.met.recordRun(0, 0, err)
 		return nil, api.MapRunError(err)
@@ -634,7 +715,10 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 		spRun.SetAttr("events", strconv.FormatUint(res.Stats.EventsProcessed, 10))
 		spRun.End()
 	}
-	s.met.recordRun(res.Stats.EventsProcessed, res.Elapsed, nil)
+	if n := flight.NoteFrom(ctx); n != nil {
+		n.KernelEvents = res.Stats.EventsProcessed
+	}
+	s.met.recordRun(0, res.Elapsed, nil)
 	s.met.kernelRun.Observe(res.Elapsed.Seconds())
 
 	_, spRep := obs.Start(ctx, "report.build")
@@ -642,6 +726,7 @@ func (s *Server) runOne(ctx context.Context, ent *cacheEntry, req *Request) (*Re
 	spRep.End()
 	rep.Replica = s.cfg.ReplicaID
 	eng.SetProfiling(false)
+	eng.SetProgress(nil)
 	ent.pools.Release(key, eng)
 	s.results.Put(ck, rep)
 	if !traced {

@@ -38,7 +38,9 @@
 // /v1/circuits[/{id}] (list/inspect), DELETE /v1/circuits/{id} (evict),
 // POST /v1/simulate and /v1/simulate/batch (run; waveforms, activity,
 // power, VCD on request), GET /v1/traces[/{id}] (recorded request traces),
-// GET /healthz and GET /metrics.
+// GET /v1/status (SLO burn-rate rollup), GET /v1/series (in-process
+// time-series), GET /v1/flightrecorder (anomaly flight recorder), GET
+// /healthz and GET /metrics.
 package service
 
 import (
@@ -48,6 +50,8 @@ import (
 
 	"halotis/internal/cellib"
 	"halotis/internal/obs"
+	"halotis/internal/obs/flight"
+	"halotis/internal/obs/tsdb"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field has
@@ -98,6 +102,26 @@ type Config struct {
 	// /v1/traces: the newest TraceCapacity traces are retained. Default
 	// obs.DefaultTraceCapacity (256).
 	TraceCapacity int
+	// SLOTargetP99 is the latency objective: API requests slower than it
+	// count against the error budget in /v1/status burn rates (halotisd
+	// -slo-p99-ms). Default 500ms.
+	SLOTargetP99 time.Duration
+	// SLOTargetAvailability is the availability objective in (0, 1): the
+	// target fraction of API requests that are neither server errors nor
+	// slower than SLOTargetP99 (halotisd -slo-availability). Default 0.999.
+	SLOTargetAvailability float64
+	// SeriesResolution is the window size of the in-process time-series
+	// ring served by GET /v1/series. Default tsdb.DefaultResolution (10s).
+	SeriesResolution time.Duration
+	// SeriesWindows is the ring's window count (SeriesResolution ×
+	// SeriesWindows of history). Default tsdb.DefaultWindows (360, one
+	// hour at the default resolution); negative disables the sampler and
+	// the series/status endpoints it feeds.
+	SeriesWindows int
+	// FlightCapacity bounds the flight-recorder ring served by GET
+	// /v1/flightrecorder. Default flight.DefaultCapacity (4096); negative
+	// disables flight recording and the self-tracing it performs.
+	FlightCapacity int
 }
 
 func (c *Config) setDefaults() {
@@ -130,5 +154,26 @@ func (c *Config) setDefaults() {
 	}
 	if c.TraceCapacity <= 0 {
 		c.TraceCapacity = obs.DefaultTraceCapacity
+	}
+	if c.SLOTargetP99 <= 0 {
+		c.SLOTargetP99 = 500 * time.Millisecond
+	}
+	if c.SLOTargetAvailability <= 0 || c.SLOTargetAvailability >= 1 {
+		c.SLOTargetAvailability = 0.999
+	}
+	if c.SeriesResolution <= 0 {
+		c.SeriesResolution = tsdb.DefaultResolution
+	}
+	switch {
+	case c.SeriesWindows == 0:
+		c.SeriesWindows = tsdb.DefaultWindows
+	case c.SeriesWindows < 0:
+		c.SeriesWindows = 0 // disabled
+	}
+	switch {
+	case c.FlightCapacity == 0:
+		c.FlightCapacity = flight.DefaultCapacity
+	case c.FlightCapacity < 0:
+		c.FlightCapacity = 0 // disabled
 	}
 }

@@ -1,0 +1,276 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"halotis/client"
+	"halotis/internal/netfmt"
+	"halotis/internal/service"
+)
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// TestStatusAndSeriesEndpoints: a healthy node reports "ok" with two burn
+// windows covering the live traffic, and /v1/series serves the ring.
+func TestStatusAndSeriesEndpoints(t *testing.T) {
+	_, ts := newTracedService(t, service.Config{})
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	if _, err := c.Simulate(ctx, client.SimRequest{
+		Netlist: netfmt.C17Bench(), Format: "bench",
+		Request: client.Request{TEnd: 30, Stimulus: c17WireStimulus()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" {
+		t.Errorf("status = %q, want ok", st.Status)
+	}
+	if st.SLO.TargetP99Ms != 500 || st.SLO.TargetAvailability != 0.999 {
+		t.Errorf("SLO config = %+v, want defaults (500ms, 0.999)", st.SLO)
+	}
+	if len(st.Windows) != 2 {
+		t.Fatalf("windows = %d, want fast+slow", len(st.Windows))
+	}
+	for _, w := range st.Windows {
+		// The sampler has not ticked yet (10s resolution); the live
+		// remainder must still be visible so breaches surface immediately.
+		if w.Requests < 1 {
+			t.Errorf("window %q requests = %g, want >= 1 (live remainder)", w.Name, w.Requests)
+		}
+		if w.Firing {
+			t.Errorf("window %q firing on a healthy node", w.Name)
+		}
+	}
+	if st.QueueDrainEstimateMs <= 0 {
+		t.Errorf("drain estimate = %g, want > 0", st.QueueDrainEstimateMs)
+	}
+
+	se, err := c.Series(ctx, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.ResolutionMs != 10_000 {
+		t.Errorf("resolution = %dms, want 10000", se.ResolutionMs)
+	}
+}
+
+// TestFlightRecorderRecordsRequests: API requests land in the flight
+// recorder with their interior observations (kernel events on a miss, the
+// cached flag on a repeat).
+func TestFlightRecorderRecordsRequests(t *testing.T) {
+	_, ts := newTracedService(t, service.Config{})
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	req := client.SimRequest{
+		Netlist: netfmt.C17Bench(), Format: "bench",
+		Request: client.Request{TEnd: 30, Stimulus: c17WireStimulus()},
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Simulate(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fr, err := c.FlightRecords(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Recorded != 2 || len(fr.Records) != 2 {
+		t.Fatalf("recorded = %d, records = %d, want 2/2", fr.Recorded, len(fr.Records))
+	}
+	// Newest first: the repeat is a cache hit, the original did kernel work.
+	if !fr.Records[0].Cached {
+		t.Errorf("repeat record not flagged cached: %+v", fr.Records[0])
+	}
+	if fr.Records[1].KernelEvents == 0 {
+		t.Errorf("miss record carries no kernel events: %+v", fr.Records[1])
+	}
+	for _, rec := range fr.Records {
+		if rec.Route != "simulate" || rec.StatusCode != http.StatusOK {
+			t.Errorf("record = %+v, want simulate/200", rec)
+		}
+		if rec.TraceID == "" {
+			t.Errorf("record carries no trace ID (self-tracing off?): %+v", rec)
+		}
+	}
+}
+
+// TestSlowRequestPromotedWithSpanTree is the replica-side postmortem
+// acceptance: with an absurdly tight latency SLO every request breaches,
+// so an untraced simulate must (a) appear in /v1/flightrecorder flagged
+// slow+pinned, (b) flip /v1/status to firing via the live remainder, and
+// (c) have its full span tree retrievable by the record's trace ID even
+// though nobody enabled tracing — while staying invisible in the
+// /v1/traces listing and the external-trace counter.
+func TestSlowRequestPromotedWithSpanTree(t *testing.T) {
+	_, ts := newTracedService(t, service.Config{SLOTargetP99: time.Nanosecond})
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	if _, err := c.Simulate(ctx, client.SimRequest{
+		Netlist: netfmt.C17Bench(), Format: "bench",
+		Request: client.Request{TEnd: 30, Stimulus: c17WireStimulus()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := c.FlightRecords(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(fr.Records))
+	}
+	rec := fr.Records[0]
+	if !rec.Slow || !rec.Pinned {
+		t.Fatalf("breaching record not promoted: %+v", rec)
+	}
+	if rec.TraceID == "" {
+		t.Fatal("promoted record carries no trace ID")
+	}
+	if len(fr.PinnedTraceIDs) != 1 || fr.PinnedTraceIDs[0] != rec.TraceID {
+		t.Errorf("pinned IDs = %v, want [%s]", fr.PinnedTraceIDs, rec.TraceID)
+	}
+
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "firing" {
+		t.Errorf("status = %q, want firing (every request breaches)", st.Status)
+	}
+	if st.TracesPinned != 1 || len(st.Exemplars) != 1 || st.Exemplars[0] != rec.TraceID {
+		t.Errorf("status exemplars = %v (pinned %d), want the promoted trace", st.Exemplars, st.TracesPinned)
+	}
+
+	// The pinned span tree resolves by ID with the request's whole life...
+	tr, err := c.Trace(ctx, rec.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"replica.request", "queue.wait", "compile", "kernel.run"} {
+		if !names[want] {
+			t.Errorf("pinned trace missing span %q (have %v)", want, names)
+		}
+	}
+	// ...yet the internal trace stays out of the external listing.
+	sums, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 0 {
+		t.Errorf("internal trace leaked into /v1/traces: %+v", sums)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"halotisd_traces_pinned 1",
+		"halotisd_flight_promoted_total 1",
+		"halotisd_traces_started_total 0",
+	} {
+		if !containsLine(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func containsLine(text, line string) bool {
+	for len(text) > 0 {
+		i := 0
+		for i < len(text) && text[i] != '\n' {
+			i++
+		}
+		if text[:i] == line {
+			return true
+		}
+		if i == len(text) {
+			break
+		}
+		text = text[i+1:]
+	}
+	return false
+}
+
+// TestObservabilityDisabled: negative SeriesWindows/FlightCapacity turn
+// the whole surface off — 404s, no self-tracing, and the untraced fast
+// path back in force.
+func TestObservabilityDisabled(t *testing.T) {
+	_, ts := newTracedService(t, service.Config{SeriesWindows: -1, FlightCapacity: -1})
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	if _, err := c.Simulate(ctx, client.SimRequest{
+		Netlist: netfmt.C17Bench(), Format: "bench",
+		Request: client.Request{TEnd: 30, Stimulus: c17WireStimulus()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/status", "/v1/series", "/v1/flightrecorder"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404 when disabled", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestBusyRetryAfterFromDrainEstimate: a closed (draining) daemon's 503
+// carries a Retry-After derived from the drain estimate — at least the 1s
+// wire floor — in both the header and the typed body.
+func TestBusyRetryAfterFromDrainEstimate(t *testing.T) {
+	s, ts := newTracedService(t, service.Config{})
+	s.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+		jsonBody(t, client.SimRequest{Netlist: netfmt.C17Bench(), Format: "bench",
+			Request: client.Request{TEnd: 30, Stimulus: c17WireStimulus()}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 from a draining daemon", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After header = %q, want >= 1 second", ra)
+	}
+	var body struct {
+		RetryAfterMs int64 `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RetryAfterMs < 1000 {
+		t.Errorf("retry_after_ms = %d, want >= 1000 (wire floor)", body.RetryAfterMs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"halotis/internal/cellib"
@@ -72,6 +73,9 @@ type Engine struct {
 	part      *partRun // partitioned-execution state, built on first use
 	fireHook  func(pin int32, t float64)
 	profiling bool // materialize Result.Profile (see SetProfiling)
+
+	progress    *atomic.Uint64 // live event counter, published every 64 pops (see SetProgress)
+	progressPub uint64         // events already published to progress this run
 }
 
 // NewEngine prepares a reusable engine for the circuit.
@@ -157,6 +161,7 @@ func (e *Engine) Reset(st Stimulus) {
 	e.q.Reset()
 	e.now = 0
 	e.st = Stats{}
+	e.progressPub = 0
 }
 
 // ctxCheckMask batches the cancellation check of RunContext: the context is
@@ -197,10 +202,13 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 	e.applyStimulus(st)
 
 	for {
-		if ctx != nil && e.st.EventsProcessed&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: run aborted at t=%g ns after %d events: %w",
-					e.now, e.st.EventsProcessed, err)
+		if e.st.EventsProcessed&ctxCheckMask == 0 {
+			e.publishProgress()
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: run aborted at t=%g ns after %d events: %w",
+						e.now, e.st.EventsProcessed, err)
+				}
 			}
 		}
 		tNext, ok := e.q.PeekTime()
@@ -209,11 +217,13 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 		}
 		h, t, ev, _ := e.q.Pop()
 		if t < e.now {
+			e.publishProgress()
 			return nil, fmt.Errorf("sim: causality violation: event at %g before now %g", t, e.now)
 		}
 		e.now = t
 		e.st.EventsProcessed++
 		if e.st.EventsProcessed > e.opt.MaxEvents {
+			e.publishProgress()
 			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%g ns (oscillation?)", e.opt.MaxEvents, e.now)
 		}
 		if e.fireHook != nil {
@@ -221,6 +231,7 @@ func (e *Engine) RunContext(ctx context.Context, st Stimulus, tEnd float64) (*Re
 		}
 		e.fire(h, ev)
 	}
+	e.publishProgress()
 
 	//halotis:wallclock Result.Elapsed measures the run for stats; it never feeds simulated time
 	elapsed := time.Since(start)
@@ -406,3 +417,26 @@ func (e *Engine) SetFireHook(h func(pin int32, t float64)) { e.fireHook = h }
 // default) no profile is materialized and the steady-state run path
 // performs zero allocations, exactly as without the feature.
 func (e *Engine) SetProfiling(on bool) { e.profiling = on }
+
+// SetProgress attaches a live event counter: during a run the kernel adds
+// exact event deltas into c every ctxCheckMask+1 pops (and a final
+// remainder when the run ends, normally or not), so an external sampler
+// can derive kernel events/sec while a long run is still in flight. Like
+// profiling, progress is run state, not identity — pooled engines share
+// the node-wide counter. A nil counter (the default) restores the
+// unobserved path at the cost of one predicted branch per check batch.
+// Both the sequential and partitioned kernels honor it; partitioned
+// workers publish their deltas concurrently.
+func (e *Engine) SetProgress(c *atomic.Uint64) { e.progress = c }
+
+// publishProgress flushes the events processed since the last publish
+// into the attached progress counter.
+//
+//halotis:noalloc
+func (e *Engine) publishProgress() {
+	if e.progress == nil {
+		return
+	}
+	e.progress.Add(e.st.EventsProcessed - e.progressPub)
+	e.progressPub = e.st.EventsProcessed
+}

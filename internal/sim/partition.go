@@ -173,6 +173,18 @@ type partWorker struct {
 	// Result.Profile only when profiling is enabled.
 	stallWaits   uint64
 	mailboxSends uint64
+
+	pub uint64 // events already published to e.progress (see Engine.SetProgress)
+}
+
+// pubProgress flushes this worker's events since the last publish into the
+// engine's attached progress counter; workers publish concurrently, each
+// tracking its own high-water mark, so the shared counter stays exact.
+func (w *partWorker) pubProgress() {
+	if p := w.e.progress; p != nil {
+		p.Add(w.st.EventsProcessed - w.pub)
+		w.pub = w.st.EventsProcessed
+	}
 }
 
 // partRun is an engine's reusable partitioned-execution state for one
@@ -223,6 +235,7 @@ func (pr *partRun) reset() {
 		w.err = nil
 		w.stallWaits = 0
 		w.mailboxSends = 0
+		w.pub = 0
 		w.clockPin.Store(0)
 		w.clockTime.Store(0)
 		for _, mb := range w.inbox {
@@ -354,6 +367,9 @@ func keyLess(t1 float64, p1 uint64, t2 float64, p2 uint64) bool {
 // below the horizon.
 func (w *partWorker) run(ctx context.Context, pr *partRun, tEnd float64) {
 	e := w.e
+	// Flush the progress remainder on every exit path (completion, abort,
+	// failure) so the attached counter converges on the exact event total.
+	defer w.pubProgress()
 	idle := 0
 	for {
 		if pr.abort.Load() {
@@ -368,6 +384,7 @@ func (w *partWorker) run(ctx context.Context, pr *partRun, tEnd float64) {
 				break
 			}
 			if w.st.EventsProcessed&ctxCheckMask == 0 {
+				w.pubProgress()
 				if pr.abort.Load() {
 					return
 				}

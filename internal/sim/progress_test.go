@@ -1,0 +1,88 @@
+package sim_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"halotis/internal/cellib"
+	"halotis/internal/circuits"
+	"halotis/internal/sim"
+	"halotis/internal/stimuli"
+)
+
+func progressWorkload(t *testing.T, parts int) (*sim.Engine, sim.Stimulus, float64) {
+	t.Helper()
+	lib := cellib.Default06()
+	ckt, err := circuits.RandomCombinational(lib, circuits.RandomOptions{Inputs: 16, Gates: 600, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stimuli.RandomStimulusFor(ckt, 5, 4.0, 0.2, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.NewEngine(ckt, sim.Options{Partitions: parts}), st, 30.0
+}
+
+// TestProgressSequentialExact: an attached progress counter converges on
+// exactly Stats.EventsProcessed after a sequential run, and accumulates
+// across reuse.
+func TestProgressSequentialExact(t *testing.T) {
+	eng, st, tEnd := progressWorkload(t, 1)
+	var c atomic.Uint64
+	eng.SetProgress(&c)
+	res, err := eng.Run(st, tEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsProcessed == 0 {
+		t.Fatal("workload processed no events")
+	}
+	if got := c.Load(); got != res.Stats.EventsProcessed {
+		t.Fatalf("progress = %d, want %d", got, res.Stats.EventsProcessed)
+	}
+	// A second run on the reused engine adds its own exact total.
+	res2, err := eng.Run(st, tEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Load(), res.Stats.EventsProcessed+res2.Stats.EventsProcessed; got != want {
+		t.Fatalf("progress after reuse = %d, want %d", got, want)
+	}
+}
+
+// TestProgressPartitionedExact: partitioned workers publish concurrently
+// yet the counter still lands on the exact total.
+func TestProgressPartitionedExact(t *testing.T) {
+	eng, st, tEnd := progressWorkload(t, 4)
+	var c atomic.Uint64
+	eng.SetProgress(&c)
+	res, err := eng.Run(st, tEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsProcessed == 0 {
+		t.Fatal("workload processed no events")
+	}
+	if got := c.Load(); got != res.Stats.EventsProcessed {
+		t.Fatalf("progress = %d, want %d", got, res.Stats.EventsProcessed)
+	}
+}
+
+// TestProgressDetach: SetProgress(nil) restores the unobserved path.
+func TestProgressDetach(t *testing.T) {
+	eng, st, tEnd := progressWorkload(t, 1)
+	var c atomic.Uint64
+	eng.SetProgress(&c)
+	if _, err := eng.Run(st, tEnd); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Load()
+	eng.SetProgress(nil)
+	if _, err := eng.Run(st, tEnd); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Load(); got != before {
+		t.Fatalf("detached counter moved: %d -> %d", before, got)
+	}
+}
